@@ -1,0 +1,41 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench demo fig5 accuracy sweep clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Reproduce the paper's results.
+demo:
+	$(GO) run ./cmd/septic-demo -v
+
+fig5:
+	$(GO) run ./cmd/septic-bench fig5 -rounds 9
+
+accuracy:
+	$(GO) run ./cmd/septic-bench accuracy
+
+sweep:
+	$(GO) run ./cmd/septic-bench sweep -loops 4
+
+clean:
+	$(GO) clean ./...

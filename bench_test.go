@@ -1,0 +1,412 @@
+// Benchmarks regenerating the paper's quantitative results and the
+// ablations listed in DESIGN.md §3.
+//
+//   - BenchmarkFig5_*: the §II-F performance study — per-request latency
+//     of each application workload under the baseline engine and the
+//     four SEPTIC configurations (NN/YN/NY/YY). The Fig. 5 metric is the
+//     relative overhead between these series; `go run ./cmd/septic-bench
+//     fig5` prints it directly as percentages.
+//   - BenchmarkTableI_*: cost of one hook invocation per operation mode.
+//   - Benchmark ablations: QS construction scaling, two-step comparison
+//     vs always-full comparison, ID generation variants, stored-injection
+//     pre-filter vs always-validate, and in-DBMS vs proxy vs WAF
+//     detection cost on the same attack corpus.
+package septic_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/septic-db/septic/internal/attacks"
+	"github.com/septic-db/septic/internal/benchlab"
+	"github.com/septic-db/septic/internal/core"
+	"github.com/septic-db/septic/internal/dbfw"
+	"github.com/septic-db/septic/internal/engine"
+	"github.com/septic-db/septic/internal/qstruct"
+	"github.com/septic-db/septic/internal/sqlparser"
+	"github.com/septic-db/septic/internal/waf"
+	"github.com/septic-db/septic/internal/webapp"
+)
+
+// --- Fig. 5: workload latency under each SEPTIC configuration ---------
+
+// fig5Deployment builds one application deployment, trained and switched
+// to the requested configuration, ready for workload replay.
+func fig5Deployment(b *testing.B, spec benchlab.AppSpec, cfg benchlab.SepticConfig) (*webapp.App, []webapp.Request) {
+	b.Helper()
+	var (
+		db    *engine.DB
+		guard *core.Septic
+	)
+	if cfg == benchlab.ConfigBaseline {
+		db = engine.New()
+	} else {
+		guard = core.New(core.Config{Mode: core.ModeTraining})
+		db = engine.New(engine.WithQueryHook(guard))
+	}
+	for _, q := range spec.Schema {
+		if _, err := db.Exec(q); err != nil {
+			b.Fatalf("schema: %v", err)
+		}
+	}
+	app := spec.Build(db)
+	for _, req := range spec.Training {
+		if resp := app.Serve(req.Clone()); resp.Status != 200 {
+			b.Fatalf("training %s: %v", req, resp.Err)
+		}
+	}
+	if guard != nil {
+		c := core.Config{Mode: core.ModePrevention, IncrementalLearning: true}
+		switch cfg {
+		case benchlab.ConfigYN:
+			c.DetectSQLI = true
+		case benchlab.ConfigNY:
+			c.DetectStored = true
+		case benchlab.ConfigYY:
+			c.DetectSQLI, c.DetectStored = true, true
+		}
+		guard.SetConfig(c)
+	}
+	return app, spec.Workload
+}
+
+func benchmarkFig5(b *testing.B, spec benchlab.AppSpec, cfg benchlab.SepticConfig) {
+	app, workload := fig5Deployment(b, spec, cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := workload[i%len(workload)]
+		if resp := app.Serve(req.Clone()); resp.Status != 200 {
+			b.Fatalf("%s: %v", req, resp.Err)
+		}
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	configs := append([]benchlab.SepticConfig{benchlab.ConfigBaseline}, benchlab.Configs()...)
+	for _, spec := range benchlab.PaperSpecs() {
+		for _, cfg := range configs {
+			spec, cfg := spec, cfg
+			b.Run(fmt.Sprintf("%s/%s", sanitizeName(spec.Name), cfg), func(b *testing.B) {
+				benchmarkFig5(b, spec, cfg)
+			})
+		}
+	}
+}
+
+func sanitizeName(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r == ' ' {
+			r = '_'
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}
+
+// --- Table I: per-mode hook cost ---------------------------------------
+
+func BenchmarkTableI_Modes(b *testing.B) {
+	const benign = "SELECT * FROM tickets WHERE reservID = 'ZZ91AB' AND creditCard = 42"
+	for _, mode := range []core.Mode{core.ModeTraining, core.ModeDetection, core.ModePrevention} {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			guard := core.New(core.Config{Mode: core.ModeTraining})
+			db := engine.New(engine.WithQueryHook(guard))
+			if _, err := db.Exec("CREATE TABLE tickets (id INT, reservID TEXT, creditCard INT)"); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := db.Exec(benign); err != nil {
+				b.Fatal(err)
+			}
+			guard.SetConfig(core.Config{
+				Mode: mode, DetectSQLI: true, DetectStored: true, IncrementalLearning: true,
+			})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Exec(benign); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablation: QS construction cost vs query size ----------------------
+
+func BenchmarkQSBuild(b *testing.B) {
+	queries := map[string]string{
+		"small":  "SELECT id FROM t WHERE a = 1",
+		"medium": "SELECT id, name, email FROM users WHERE city = 'lisbon' AND age > 18 ORDER BY name LIMIT 10",
+		"large": "SELECT u.id, u.name, COUNT(*) AS n FROM users u JOIN orders o ON u.id = o.uid " +
+			"WHERE u.city IN ('a','b','c') AND o.total BETWEEN 10 AND 500 AND o.state <> 'void' " +
+			"GROUP BY u.id, u.name HAVING COUNT(*) > 2 ORDER BY n DESC, u.name LIMIT 20 OFFSET 5",
+	}
+	for name, q := range queries {
+		name, q := name, q
+		b.Run(name, func(b *testing.B) {
+			stmt, err := sqlparser.Parse(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if qs := qstruct.BuildStack(stmt); len(qs) == 0 {
+					b.Fatal("empty stack")
+				}
+			}
+		})
+	}
+}
+
+// --- Ablation: two-step comparison vs always-full walk -----------------
+
+func BenchmarkCompareTwoStep(b *testing.B) {
+	trained, err := sqlparser.Parse("SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234")
+	if err != nil {
+		b.Fatal(err)
+	}
+	qm := qstruct.ModelOf(qstruct.BuildStack(trained))
+	attacked, err := sqlparser.Parse("SELECT * FROM tickets WHERE reservID = 'ID34FG'-- ' AND creditCard = 0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	attackQS := qstruct.BuildStack(attacked)
+	benignQS := qstruct.BuildStack(trained)
+
+	b.Run("two-step/attack", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if v := qstruct.Compare(attackQS, qm); v.Match {
+				b.Fatal("attack matched")
+			}
+		}
+	})
+	b.Run("full-walk/attack", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if v := qstruct.CompareFull(attackQS, qm); v.Match {
+				b.Fatal("attack matched")
+			}
+		}
+	})
+	b.Run("two-step/benign", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if v := qstruct.Compare(benignQS, qm); !v.Match {
+				b.Fatal("benign flagged")
+			}
+		}
+	})
+	b.Run("full-walk/benign", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if v := qstruct.CompareFull(benignQS, qm); !v.Match {
+				b.Fatal("benign flagged")
+			}
+		}
+	})
+}
+
+// --- Ablation: ID generation with and without external identifiers -----
+
+func BenchmarkIDGeneration(b *testing.B) {
+	tagged, err := sqlparser.Parse("/* waspmon:devices */ SELECT id, name FROM devices WHERE name = 'x'")
+	if err != nil {
+		b.Fatal(err)
+	}
+	comments := tagged.StatementComments()
+	b.Run("internal-only", func(b *testing.B) {
+		g := &core.IDGenerator{UseExternal: false}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if id := g.ID(tagged, comments); id == "" {
+				b.Fatal("empty id")
+			}
+		}
+	})
+	b.Run("external+internal", func(b *testing.B) {
+		g := core.NewIDGenerator()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if id := g.ID(tagged, comments); id == "" {
+				b.Fatal("empty id")
+			}
+		}
+	})
+}
+
+// --- Ablation: stored-injection pre-filter vs always-validate ----------
+
+func BenchmarkStoredInjectionFilter(b *testing.B) {
+	values := []string{
+		"a perfectly benign note about maintenance",
+		"another value, plain prose with no metacharacters at all",
+		"<script>alert(1)</script>",
+		"check wiring then re-test tomorrow morning",
+	}
+	plugins := core.DefaultPlugins()
+	b.Run("with-prefilter", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			v := values[i%len(values)]
+			for _, p := range plugins {
+				if p.Filter(v) {
+					_, _ = p.Validate(v)
+				}
+			}
+		}
+	})
+	b.Run("always-validate", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			v := values[i%len(values)]
+			for _, p := range plugins {
+				_, _ = p.Validate(v)
+			}
+		}
+	})
+}
+
+// --- Ablation: detection cost by placement (in-DBMS vs proxy vs WAF) ---
+
+func BenchmarkDetectionPlacement(b *testing.B) {
+	attackReq := attacks.Corpus()[0].Request
+	rawQuery := "SELECT id, name, location, maxWatts FROM devices WHERE name = 'benign'"
+
+	b.Run("waf-check", func(b *testing.B) {
+		w := waf.New()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = w.Check(attackReq)
+		}
+	})
+	b.Run("proxy-normalize", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if p := dbfw.Normalize(rawQuery); p == "" {
+				b.Fatal("empty pattern")
+			}
+		}
+	})
+	b.Run("septic-hook", func(b *testing.B) {
+		guard := core.New(core.Config{Mode: core.ModeTraining})
+		db := engine.New(engine.WithQueryHook(guard))
+		if _, err := db.Exec("CREATE TABLE devices (id INT, name TEXT, location TEXT, maxWatts INT)"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.Exec(rawQuery); err != nil {
+			b.Fatal(err)
+		}
+		guard.SetConfig(core.Config{
+			Mode: core.ModePrevention, DetectSQLI: true, DetectStored: true, IncrementalLearning: true,
+		})
+		stmt, err := sqlparser.Parse(rawQuery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hctx := &engine.HookContext{Raw: rawQuery, Decoded: rawQuery, Stmt: stmt}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := guard.BeforeExecute(hctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Engine microbenchmarks (the substrate's own cost) ------------------
+
+func BenchmarkEngineExec(b *testing.B) {
+	db := engine.New()
+	if _, err := db.Exec("CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT, n INT)"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := db.Exec(fmt.Sprintf("INSERT INTO t (name, n) VALUES ('row%d', %d)", i, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("point-select", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Exec("SELECT name FROM t WHERE id = 42"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("aggregate", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Exec("SELECT COUNT(*), AVG(n) FROM t WHERE n > 10"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("insert", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Exec("INSERT INTO t (name, n) VALUES ('bench', 1)"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Ablation: unique hash index vs full scan ---------------------------
+
+func BenchmarkIndexVsScan(b *testing.B) {
+	db := engine.New()
+	if _, err := db.Exec("CREATE TABLE p (id INT PRIMARY KEY, v TEXT)"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		if _, err := db.Exec(fmt.Sprintf("INSERT INTO p (id, v) VALUES (%d, 'v')", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("indexed-point-select", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Exec("SELECT v FROM p WHERE id = 9000"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("forced-scan", func(b *testing.B) {
+		// The extra AND disables the fast path without changing results.
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Exec("SELECT v FROM p WHERE id = 9000 AND 1 = 1"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	next := 100000 // survives b.N ramp-up re-invocations
+	b.Run("indexed-insert", func(b *testing.B) {
+		// Uniqueness checks ride the index: throughput stays flat as the
+		// table grows.
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q := fmt.Sprintf("INSERT INTO p (id, v) VALUES (%d, 'w')", next)
+			next++
+			if _, err := db.Exec(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkParse(b *testing.B) {
+	const q = "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sqlparser.Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Command septic-bench regenerates the paper's quantitative results:
+//
+//	septic-bench fig5      — the §II-F performance study (Fig. 5):
+//	                         average latency overhead of the NN/YN/NY/YY
+//	                         SEPTIC configurations on the three
+//	                         applications, replayed BenchLab-style.
+//	septic-bench accuracy  — the §IV detection comparison (phases A–E):
+//	                         per-mechanism detection and false-positive
+//	                         table over the attack corpus.
+//	septic-bench sweep     — extra scalability sweep: overhead vs number
+//	                         of concurrent browsers (the shape of the
+//	                         paper's 1→20-browser ramp).
+//	septic-bench table1    — Table I regenerated behaviourally: which
+//	                         actions each operation mode takes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/septic-db/septic/internal/benchlab"
+	"github.com/septic-db/septic/internal/core"
+	"github.com/septic-db/septic/internal/demo"
+	"github.com/septic-db/septic/internal/engine"
+	"github.com/septic-db/septic/internal/waf"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "septic-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	defaults := benchlab.DefaultParams()
+	fig5Flags := flag.NewFlagSet("fig5", flag.ExitOnError)
+	machines := fig5Flags.Int("machines", defaults.Machines, "client machines (sequential by default: overhead is a ratio, not a load test)")
+	browsers := fig5Flags.Int("browsers", defaults.BrowsersPerMachine, "browsers per machine")
+	loops := fig5Flags.Int("loops", defaults.Loops, "workload replays per browser")
+	rounds := fig5Flags.Int("rounds", 7, "interleaved measurement rounds (best mean kept)")
+	webtier := fig5Flags.Int("webtier", benchlab.DefaultWebTierWork,
+		"per-request web-tier work (SHA-256 rounds) standing in for Apache+PHP; 0 = bare DBMS")
+	overHTTP := fig5Flags.Bool("http", false,
+		"serve the applications over real loopback HTTP instead of the synthetic web tier")
+
+	sweepFlags := flag.NewFlagSet("sweep", flag.ExitOnError)
+	sweepLoops := sweepFlags.Int("loops", 3, "workload replays per browser")
+
+	accFlags := flag.NewFlagSet("accuracy", flag.ExitOnError)
+	paranoia := accFlags.Int("paranoia", 1, "WAF paranoia level (1 or 2)")
+
+	if len(os.Args) < 2 {
+		return fmt.Errorf("usage: septic-bench fig5|accuracy|sweep|table1 [flags]")
+	}
+	switch os.Args[1] {
+	case "table1":
+		return runTable1()
+	case "fig5":
+		if err := fig5Flags.Parse(os.Args[2:]); err != nil {
+			return err
+		}
+		p := benchlab.Params{
+			Machines: *machines, BrowsersPerMachine: *browsers, Loops: *loops,
+			WebTierWork: *webtier, HTTP: *overHTTP,
+		}
+		if *overHTTP {
+			p.WebTierWork = 0 // the real network path replaces the stand-in
+		}
+		return runFig5(p, *rounds)
+	case "accuracy":
+		if err := accFlags.Parse(os.Args[2:]); err != nil {
+			return err
+		}
+		return runAccuracy(*paranoia)
+	case "sweep":
+		if err := sweepFlags.Parse(os.Args[2:]); err != nil {
+			return err
+		}
+		return runSweep(*sweepLoops)
+	default:
+		return fmt.Errorf("unknown subcommand %q", os.Args[1])
+	}
+}
+
+func runFig5(p benchlab.Params, rounds int) error {
+	fmt.Printf("replaying workloads: %d machines × %d browsers, %d loops, %d rounds\n\n",
+		p.Machines, p.BrowsersPerMachine, p.Loops, rounds)
+	var all [][]benchlab.Overhead
+	for _, spec := range benchlab.PaperSpecs() {
+		series, err := benchlab.Series(spec, p, rounds)
+		if err != nil {
+			return err
+		}
+		all = append(all, series)
+		fmt.Printf("  %s done (baseline mean %v)\n", spec.Name, series[0].Base)
+	}
+	fmt.Println()
+	fmt.Print(benchlab.FormatFig5(all))
+	fmt.Println("\npaper (Fig. 5): overhead ranges 0.5% (NN) to 2.2% (YY); YN ≈ 0.8%;")
+	fmt.Println("similar across the three applications. Compare shapes, not absolutes.")
+	return nil
+}
+
+func runAccuracy(paranoia int) error {
+	var opts []demo.RunOption
+	if paranoia >= 2 {
+		opts = append(opts, demo.WithWAFOptions(waf.WithParanoia(waf.Paranoia2)))
+		fmt.Println("WAF at paranoia level 2 (aggressive PL2 rules active)")
+	}
+	report, err := demo.Run(opts...)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.Summary())
+	return nil
+}
+
+// runTable1 regenerates Table I behaviourally: for each operation mode
+// it runs a training query, an attack and a benign query against a
+// fresh deployment and reports which actions SEPTIC took.
+func runTable1() error {
+	const (
+		benign = "SELECT pass FROM users WHERE name = 'ann'"
+		attack = "SELECT pass FROM users WHERE name = 'ann' OR 1=1-- '"
+	)
+	fmt.Println("Table I — operation modes and actions taken by SEPTIC")
+	fmt.Printf("%-12s %-8s %-12s %-12s %-10s %-10s\n",
+		"mode", "learns", "logs attack", "drops query", "execs atk", "execs benign")
+	for _, mode := range []core.Mode{core.ModeTraining, core.ModeDetection, core.ModePrevention} {
+		guard := core.New(core.Config{Mode: core.ModeTraining})
+		db := engine.New(engine.WithQueryHook(guard))
+		for _, q := range []string{
+			"CREATE TABLE users (name TEXT, pass TEXT)",
+			"INSERT INTO users (name, pass) VALUES ('ann', 'pw')",
+			benign,
+		} {
+			if _, err := db.Exec(q); err != nil {
+				return err
+			}
+		}
+		modelsBefore := guard.Store().ModelCount()
+		guard.SetConfig(core.Config{
+			Mode: mode, DetectSQLI: true, DetectStored: true, IncrementalLearning: true,
+		})
+
+		_, atkErr := db.Exec(attack)
+		_, benignErr := db.Exec(benign)
+		if _, err := db.Exec("SELECT name FROM users WHERE pass = 'pw'"); err != nil {
+			return fmt.Errorf("new-shape query in %s: %w", mode, err)
+		}
+		learned := guard.Store().ModelCount() > modelsBefore
+		attacksLogged := len(guard.Logger().Attacks()) > 0
+		fmt.Printf("%-12s %-8s %-12s %-12s %-10s %-10s\n",
+			mode,
+			mark(learned),
+			mark(attacksLogged),
+			mark(atkErr != nil),
+			mark(atkErr == nil),
+			mark(benignErr == nil))
+	}
+	fmt.Println("\npaper: training learns and executes; detection logs and executes;")
+	fmt.Println("prevention logs and drops. Benign queries execute in every mode.")
+	return nil
+}
+
+func mark(b bool) string {
+	if b {
+		return "x"
+	}
+	return ""
+}
+
+func runSweep(loops int) error {
+	const rounds = 5
+	spec := benchlab.PaperSpecs()[2] // ZeroCMS: the largest workload
+	fmt.Printf("overhead (YY vs baseline) as browser count grows — %s workload\n\n", spec.Name)
+	fmt.Printf("%10s %14s %14s %10s\n", "browsers", "base mean", "YY mean", "overhead")
+	for _, n := range []int{1, 2, 4, 8, 12, 16, 20} {
+		p := benchlab.Params{Machines: 1, BrowsersPerMachine: n, Loops: loops,
+			WebTierWork: benchlab.DefaultWebTierWork}
+		var baseMin, yyMin time.Duration
+		for r := 0; r < rounds; r++ {
+			base, err := benchlab.Run(spec, benchlab.ConfigBaseline, p)
+			if err != nil {
+				return err
+			}
+			yy, err := benchlab.Run(spec, benchlab.ConfigYY, p)
+			if err != nil {
+				return err
+			}
+			if m := base.TrimmedMean(10); baseMin == 0 || m < baseMin {
+				baseMin = m
+			}
+			if m := yy.TrimmedMean(10); yyMin == 0 || m < yyMin {
+				yyMin = m
+			}
+		}
+		pct := 100 * (float64(yyMin) - float64(baseMin)) / float64(baseMin)
+		fmt.Printf("%10d %14v %14v %9.2f%%\n", n, baseMin, yyMin, pct)
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+// Command septicd runs the SEPTIC-protected database server: the
+// equivalent of the demo's "MySQL DBMS server, including the SEPTIC
+// mechanism" virtual machine.
+//
+// Usage:
+//
+//	septicd [-addr 127.0.0.1:3306] [-mode training|detection|prevention]
+//	        [-models models.json] [-sqli] [-stored]
+//
+// The server speaks the wire protocol of internal/wire. Query models are
+// loaded from -models at startup when the file exists, and saved there
+// on SIGINT/SIGTERM shutdown, mirroring the demo's persistent-model
+// restart (phase D).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/septic-db/septic/internal/core"
+	"github.com/septic-db/septic/internal/engine"
+	"github.com/septic-db/septic/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "septicd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:3306", "listen address")
+		modeName  = flag.String("mode", "prevention", "septic mode: training, detection or prevention")
+		modelPath = flag.String("models", "", "query-model store path (loaded if present, saved on shutdown)")
+		sqli      = flag.Bool("sqli", true, "enable SQLI detection")
+		stored    = flag.Bool("stored", true, "enable stored-injection detection")
+		quiet     = flag.Bool("quiet", false, "suppress the live event display")
+		audit     = flag.String("audit", "", "append JSON audit records to this file")
+	)
+	flag.Parse()
+
+	var mode core.Mode
+	switch *modeName {
+	case "training":
+		mode = core.ModeTraining
+	case "detection":
+		mode = core.ModeDetection
+	case "prevention":
+		mode = core.ModePrevention
+	default:
+		return fmt.Errorf("unknown mode %q", *modeName)
+	}
+
+	var loggerOpts []core.LoggerOption
+	if !*quiet {
+		loggerOpts = append(loggerOpts, core.WithStream(os.Stdout))
+	}
+	if *audit != "" {
+		f, err := os.OpenFile(*audit, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("open audit log: %w", err)
+		}
+		defer f.Close()
+		loggerOpts = append(loggerOpts, core.WithJSONStream(f))
+	}
+	store := core.NewStore()
+	if *modelPath != "" {
+		if _, err := os.Stat(*modelPath); err == nil {
+			if err := store.Load(*modelPath); err != nil {
+				return fmt.Errorf("load models: %w", err)
+			}
+			fmt.Printf("septicd: loaded %d query models from %s\n", store.Len(), *modelPath)
+		}
+	}
+	guard := core.New(core.Config{
+		Mode:                mode,
+		DetectSQLI:          *sqli,
+		DetectStored:        *stored,
+		IncrementalLearning: true,
+	}, core.WithStore(store), core.WithLogger(core.NewLogger(loggerOpts...)))
+
+	db := engine.New(engine.WithQueryHook(guard))
+	srv := wire.NewServer(db)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("septicd: listening on %s (mode=%s sqli=%t stored=%t)\n",
+		bound, mode, *sqli, *stored)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+
+	fmt.Println("\nsepticd: shutting down")
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	if *modelPath != "" {
+		if err := guard.Store().Save(*modelPath); err != nil {
+			return fmt.Errorf("save models: %w", err)
+		}
+		fmt.Printf("septicd: saved %d query models to %s\n", guard.Store().Len(), *modelPath)
+	}
+	stats := guard.Stats()
+	fmt.Printf("septicd: %d queries seen, %d models learned, %d attacks (%d blocked)\n",
+		stats.QueriesSeen, stats.ModelsLearned, stats.AttacksFound, stats.AttacksBlocked)
+	if pending := guard.Store().PendingReview(); len(pending) > 0 {
+		fmt.Printf("septicd: %d incrementally learned identifiers await review:\n", len(pending))
+		for _, id := range pending {
+			fmt.Println("  " + id)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+// Command sqlshell is an interactive SQL shell against either an
+// in-process SEPTIC-protected engine (default) or a remote septicd
+// server (-connect). It is the "mysql client" of the demonstration:
+// type queries, watch SEPTIC's verdicts.
+//
+// Shell commands: \mode training|detection|prevention, \events, \stats,
+// \models, \quit.
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/septic-db/septic/internal/core"
+	"github.com/septic-db/septic/internal/engine"
+	"github.com/septic-db/septic/internal/wire"
+)
+
+// executor abstracts local and remote execution for the shell.
+type executor interface {
+	Exec(query string) (*engine.Result, error)
+}
+
+func main() {
+	connect := flag.String("connect", "", "connect to a septicd address instead of running in-process")
+	flag.Parse()
+	if err := run(*connect); err != nil {
+		fmt.Fprintln(os.Stderr, "sqlshell:", err)
+		os.Exit(1)
+	}
+}
+
+func run(connect string) error {
+	var (
+		exec  executor
+		guard *core.Septic
+	)
+	if connect != "" {
+		client, err := wire.Dial(connect)
+		if err != nil {
+			return err
+		}
+		defer client.Close()
+		exec = client
+		fmt.Printf("connected to %s\n", connect)
+	} else {
+		guard = core.New(core.Config{
+			Mode: core.ModePrevention, DetectSQLI: true, DetectStored: true,
+			IncrementalLearning: true,
+		})
+		exec = engine.New(engine.WithQueryHook(guard))
+		fmt.Println("in-process engine with SEPTIC (prevention mode, incremental learning)")
+	}
+	fmt.Println(`type SQL, or \mode, \events, \stats, \models, \pending, \approve <id>, \reject <id>, \quit`)
+
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("septic> ")
+		if !scanner.Scan() {
+			fmt.Println()
+			return scanner.Err()
+		}
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\quit` || line == `\q`:
+			return nil
+		case strings.HasPrefix(line, `\mode`):
+			if guard == nil {
+				fmt.Println("mode control is only available in-process")
+				continue
+			}
+			switchMode(guard, strings.TrimSpace(strings.TrimPrefix(line, `\mode`)))
+		case line == `\events`:
+			if guard == nil {
+				fmt.Println("events are only available in-process")
+				continue
+			}
+			for _, e := range guard.Logger().Events() {
+				fmt.Println(e.String())
+			}
+		case line == `\stats`:
+			if guard == nil {
+				fmt.Println("stats are only available in-process")
+				continue
+			}
+			s := guard.Stats()
+			fmt.Printf("seen=%d learned=%d attacks=%d blocked=%d\n",
+				s.QueriesSeen, s.ModelsLearned, s.AttacksFound, s.AttacksBlocked)
+		case line == `\models`:
+			if guard == nil {
+				fmt.Println("models are only available in-process")
+				continue
+			}
+			for _, u := range guard.Store().UsageReport() {
+				marker := ""
+				if u.Incremental {
+					marker = "  [pending review]"
+				}
+				fmt.Printf("%-50s models=%d hits=%d%s\n", u.ID, u.Models, u.Hits, marker)
+			}
+		case line == `\pending`:
+			if guard == nil {
+				fmt.Println("review is only available in-process")
+				continue
+			}
+			pending := guard.Store().PendingReview()
+			if len(pending) == 0 {
+				fmt.Println("nothing pending review")
+			}
+			for _, id := range pending {
+				fmt.Println(id)
+			}
+		case strings.HasPrefix(line, `\approve `):
+			if guard == nil {
+				fmt.Println("review is only available in-process")
+				continue
+			}
+			id := strings.TrimSpace(strings.TrimPrefix(line, `\approve`))
+			if guard.Store().Approve(id) {
+				fmt.Println("approved", id)
+			} else {
+				fmt.Println("unknown id", id)
+			}
+		case strings.HasPrefix(line, `\reject `):
+			if guard == nil {
+				fmt.Println("review is only available in-process")
+				continue
+			}
+			id := strings.TrimSpace(strings.TrimPrefix(line, `\reject`))
+			guard.Store().Delete(id)
+			fmt.Println("rejected (models deleted)", id)
+		default:
+			runQuery(exec, line)
+		}
+	}
+}
+
+func switchMode(guard *core.Septic, name string) {
+	switch name {
+	case "training":
+		guard.SetMode(core.ModeTraining)
+	case "detection":
+		guard.SetMode(core.ModeDetection)
+	case "prevention":
+		guard.SetMode(core.ModePrevention)
+	default:
+		fmt.Printf("unknown mode %q (training, detection, prevention)\n", name)
+		return
+	}
+	fmt.Printf("mode set to %s\n", name)
+}
+
+func runQuery(exec executor, query string) {
+	res, err := exec.Exec(query)
+	if err != nil {
+		if errors.Is(err, engine.ErrQueryBlocked) {
+			fmt.Println("BLOCKED by SEPTIC:", err)
+		} else {
+			fmt.Println("error:", err)
+		}
+		return
+	}
+	printResult(res)
+}
+
+func printResult(res *engine.Result) {
+	if len(res.Columns) == 0 {
+		fmt.Printf("OK, %d row(s) affected", res.Affected)
+		if res.LastInsertID != 0 {
+			fmt.Printf(", last insert id %d", res.LastInsertID)
+		}
+		fmt.Println()
+		return
+	}
+	widths := make([]int, len(res.Columns))
+	for i, c := range res.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(res.Rows))
+	for r, row := range res.Rows {
+		cells[r] = make([]string, len(row))
+		for i, v := range row {
+			s := v.String()
+			cells[r][i] = s
+			if i < len(widths) && len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	sep := "+"
+	for _, w := range widths {
+		sep += strings.Repeat("-", w+2) + "+"
+	}
+	fmt.Println(sep)
+	fmt.Print("|")
+	for i, c := range res.Columns {
+		fmt.Printf(" %-*s |", widths[i], c)
+	}
+	fmt.Println()
+	fmt.Println(sep)
+	for _, row := range cells {
+		fmt.Print("|")
+		for i, s := range row {
+			fmt.Printf(" %-*s |", widths[i], s)
+		}
+		fmt.Println()
+	}
+	fmt.Println(sep)
+	fmt.Printf("%d row(s)\n", len(res.Rows))
+}

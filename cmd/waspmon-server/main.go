@@ -1,0 +1,88 @@
+// Command waspmon-server serves the §III demonstration application over
+// real HTTP so the attacks can be driven from a browser or curl, with
+// the protection stack selected on the command line:
+//
+//	waspmon-server -protect none    # phase A: sanitization only
+//	waspmon-server -protect waf     # phase B: ModSecurity in front
+//	waspmon-server -protect septic  # phase D: SEPTIC inside the DBMS
+//	waspmon-server -protect both    # defence in depth
+//
+// Try it:
+//
+//	curl 'localhost:8080/devices'
+//	curl 'localhost:8080/device/view?name=nothing%CA%BC%20OR%20%CA%BC1%CA%BC=%CA%BC1'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"github.com/septic-db/septic/internal/core"
+	"github.com/septic-db/septic/internal/engine"
+	"github.com/septic-db/septic/internal/trainer"
+	"github.com/septic-db/septic/internal/waf"
+	"github.com/septic-db/septic/internal/webapp"
+	"github.com/septic-db/septic/internal/webapp/apps"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "waspmon-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	protect := flag.String("protect", "septic", "protection stack: none, waf, septic or both")
+	flag.Parse()
+
+	useWAF := *protect == "waf" || *protect == "both"
+	useSeptic := *protect == "septic" || *protect == "both"
+	if !useWAF && !useSeptic && *protect != "none" {
+		return fmt.Errorf("unknown -protect value %q", *protect)
+	}
+
+	var guard *core.Septic
+	var db *engine.DB
+	if useSeptic {
+		guard = core.New(core.Config{Mode: core.ModeTraining},
+			core.WithLogger(core.NewLogger(core.WithStream(os.Stdout))))
+		db = engine.New(engine.WithQueryHook(guard))
+	} else {
+		db = engine.New()
+	}
+	for _, q := range apps.WaspMonSchema() {
+		if _, err := db.Exec(q); err != nil {
+			return fmt.Errorf("schema: %w", err)
+		}
+	}
+	app := apps.NewWaspMon(db)
+
+	if useSeptic {
+		report, err := trainer.Crawl(app, apps.WaspMonForms(), 3, 1)
+		if err != nil {
+			return fmt.Errorf("training crawl: %w", err)
+		}
+		guard.SetConfig(core.Config{
+			Mode: core.ModePrevention, DetectSQLI: true, DetectStored: true,
+			IncrementalLearning: false,
+		})
+		fmt.Printf("waspmon-server: SEPTIC trained on %d requests (%d models), prevention on\n",
+			report.Requests, guard.Store().Len())
+	}
+
+	handler := webapp.HTTPHandler(app)
+	if useWAF {
+		w := waf.New()
+		handler = webapp.WAFMiddleware(func(req webapp.Request) bool {
+			return w.Check(req).Blocked
+		}, handler)
+		fmt.Println("waspmon-server: ModSecurity-style WAF enabled (mini CRS, paranoia 1)")
+	}
+
+	fmt.Printf("waspmon-server: serving WaspMon on http://%s (protection: %s)\n", *addr, *protect)
+	return http.ListenAndServe(*addr, handler)
+}

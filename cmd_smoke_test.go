@@ -1,0 +1,96 @@
+package septic_test
+
+import (
+	"fmt"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"github.com/septic-db/septic/internal/attacks"
+)
+
+// Smoke tests for the command-line tools: build and run each binary the
+// way a user would, asserting on the output's load-bearing lines. These
+// protect the cmd/ wiring from rot; the logic behind each command is
+// unit-tested in its package.
+
+func runCommand(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", args...)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+func TestSepticDemoCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping command smoke test in -short mode")
+	}
+	n := len(attacks.Corpus())
+	out := runCommand(t, "run", "./cmd/septic-demo")
+	for _, want := range []string{
+		"phase A", "phase B", "phase C", "phase D", "phase E",
+		fmt.Sprintf("%d/%d attacks blocked", n, n), "0 false positives",
+		"0 added on retrain",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("demo output missing %q", want)
+		}
+	}
+}
+
+func TestSepticBenchAccuracyCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping command smoke test in -short mode")
+	}
+	n := len(attacks.Corpus())
+	out := runCommand(t, "run", "./cmd/septic-bench", "accuracy")
+	for _, want := range []string{fmt.Sprintf("septic %d/%d", n, n), "modsec", "proxy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("accuracy output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSepticBenchFig5CommandTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping command smoke test in -short mode")
+	}
+	out := runCommand(t, "run", "./cmd/septic-bench", "fig5",
+		"-loops", "2", "-rounds", "1")
+	for _, want := range []string{"Fig. 5", "Address Book", "refbase", "ZeroCMS", "NN", "YY"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig5 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExampleCommands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping command smoke test in -short mode")
+	}
+	cases := []struct {
+		path string
+		want []string
+	}{
+		{"./examples/quickstart", []string{"trained:", "benign login: 1 row(s)", "BLOCKED"}},
+		{"./examples/secondorder", []string{"COND_ITEM AND", "FROM_TABLE tickets", "second-order (Fig. 3): BLOCKED", "syntax mimicry (Fig. 4): BLOCKED"}},
+		{"./examples/waspmon", []string{"FALSE NEGATIVE", "attack BLOCKED", "benign request still fine"}},
+		{"./examples/clientdiversity", []string{"BLOCKED by the server-side SEPTIC", "raw TCP attacker", "\"blocked\":true"}},
+		{"./examples/adminreview", []string{"[pending]", "rejected:", "approved:", "BLOCKED"}},
+		{"./examples/batchjob", []string{"imported INV-1001", "BLOCKED by SEPTIC", "1 attacks blocked"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.path, func(t *testing.T) {
+			out := runCommand(t, "run", tc.path)
+			for _, want := range tc.want {
+				if !strings.Contains(out, want) {
+					t.Errorf("%s output missing %q", tc.path, want)
+				}
+			}
+		})
+	}
+}

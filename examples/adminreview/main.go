@@ -1,0 +1,88 @@
+// Administrator review walkthrough: the §II-E incremental-learning loop.
+// In normal mode SEPTIC learns models for queries it has never seen —
+// including, if the attacker gets there first, a poisoned one. The
+// administrator reviews the pending list, approves the legitimate
+// entries and rejects the poisoned one, restoring protection.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	septic "github.com/septic-db/septic"
+)
+
+func main() {
+	db, guard := septic.New(septic.Config{
+		Mode:                septic.ModePrevention,
+		DetectSQLI:          true,
+		DetectStored:        true,
+		IncrementalLearning: true, // the convenient — and risky — setting
+	})
+	must := func(q string) *septic.Result {
+		res, err := db.Exec(q)
+		if err != nil {
+			log.Fatalf("%s: %v", q, err)
+		}
+		return res
+	}
+	must(`CREATE TABLE accounts (id INT PRIMARY KEY AUTO_INCREMENT, owner TEXT, balance INT)`)
+	must(`INSERT INTO accounts (owner, balance) VALUES ('ann', 1200), ('bob', 300)`)
+
+	// Legitimate traffic arrives first for one query...
+	must(`SELECT balance FROM accounts WHERE owner = 'ann'`)
+	// ...but the attacker gets there first for another: the poisoned
+	// shape is learned as if it were the application's.
+	poisoned := `SELECT id FROM accounts WHERE owner = 'x' OR '1'='1'`
+	must(poisoned)
+	fmt.Println("attacker planted a model: the tautology shape now passes")
+	must(poisoned) // passes silently against its own model
+
+	// The administrator inspects the pending list.
+	fmt.Println("\npending review:")
+	var poisonedID string
+	for _, u := range guard.Store().UsageReport() {
+		marker := ""
+		if u.Incremental {
+			marker = "  [pending]"
+		}
+		fmt.Printf("  %-40s models=%d hits=%d%s\n", u.ID, u.Models, u.Hits, marker)
+	}
+	for _, e := range guard.Logger().Events() {
+		if e.Query == poisoned {
+			poisonedID = e.QueryID
+		}
+	}
+
+	// Review: the balance lookup is the app's — approve. The tautology
+	// is not — reject (its models are deleted).
+	for _, id := range guard.Store().PendingReview() {
+		if id == poisonedID {
+			guard.Store().Delete(id)
+			fmt.Println("\nrejected:", id)
+		} else {
+			guard.Store().Approve(id)
+			fmt.Println("\napproved:", id)
+		}
+	}
+	// Learning is switched off now that the application is mapped.
+	guard.SetConfig(septic.Config{
+		Mode: septic.ModePrevention, DetectSQLI: true, DetectStored: true,
+		IncrementalLearning: false,
+	})
+
+	// The legitimate query still works; the poisoned shape no longer has
+	// a model and — crucially — its structural cousin against the
+	// legitimate ID is detected.
+	if _, err := db.Exec(`SELECT balance FROM accounts WHERE owner = 'bob'`); err != nil {
+		log.Fatalf("legitimate query broken after review: %v", err)
+	}
+	fmt.Println("\nlegitimate lookup still works")
+	_, err := db.Exec(`SELECT balance FROM accounts WHERE owner = 'x' OR '1'='1'`)
+	if errors.Is(err, septic.ErrQueryBlocked) {
+		fmt.Println("tautology against the lookup: BLOCKED —", err)
+	} else {
+		log.Fatalf("attack not blocked after review: %v", err)
+	}
+}

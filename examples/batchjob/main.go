@@ -1,0 +1,124 @@
+// Non-web client: the paper stresses that the semantic mismatch "is not
+// restricted to web applications ... any class of applications that use
+// a database as backend may be vulnerable" (§I). This example is a
+// classic back-office batch job — no browser, no WAF anywhere in sight —
+// importing invoice records from a CSV feed into the database through
+// the wire protocol. The import code escapes its inputs diligently; one
+// supplier record in the feed carries a confusable-quote payload, and
+// only the SEPTIC inside the database server stands between it and the
+// ledger.
+package main
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/septic-db/septic/internal/core"
+	"github.com/septic-db/septic/internal/engine"
+	"github.com/septic-db/septic/internal/webapp"
+	"github.com/septic-db/septic/internal/wire"
+)
+
+// feed is the incoming CSV: supplier, reference, amount. The third
+// record is hostile: its "supplier" breaks out of the string context
+// once MySQL decodes the confusable quotes — a tautology that would
+// match (and in the follow-up UPDATE, approve) every pending invoice.
+const feed = `supplier,reference,amount
+Acme Tools,INV-1001,1250
+Volt Supplies,INV-1002,890
+evilʼ OR ʼ1ʼ=ʼ1,INV-9999,1
+Brick & Mortar Co,INV-1003,4400
+`
+
+func main() {
+	// The "DBA" side: a SEPTIC-protected database server.
+	guard := core.New(core.Config{Mode: core.ModeTraining})
+	db := engine.New(engine.WithQueryHook(guard))
+	srv := wire.NewServer(db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	admin, err := wire.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer admin.Close()
+	setup := []string{
+		`CREATE TABLE invoices (id INT PRIMARY KEY AUTO_INCREMENT,
+			supplier TEXT, reference TEXT, amount INT, approved BOOL DEFAULT FALSE)`,
+		// Train the two queries the batch job issues, with benign data.
+		`INSERT INTO invoices (supplier, reference, amount) VALUES ('seed', 'INV-0', 1)`,
+		`UPDATE invoices SET approved = TRUE WHERE supplier = 'seed' AND amount < 5000`,
+	}
+	for _, q := range setup {
+		if _, err := admin.Exec(q); err != nil {
+			log.Fatalf("%s: %v", q, err)
+		}
+	}
+	guard.SetConfig(core.Config{
+		Mode: core.ModePrevention, DetectSQLI: true, DetectStored: true,
+		IncrementalLearning: false,
+	})
+	fmt.Printf("septicd up on %s, %d query models trained, prevention on\n\n",
+		addr, guard.Store().Len())
+
+	// The batch job: a separate client, careful code, string building.
+	client, err := wire.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	records, err := csv.NewReader(strings.NewReader(feed)).ReadAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, rec := range records[1:] { // skip header
+		supplier := webapp.MySQLRealEscapeString(rec[0])
+		reference := webapp.MySQLRealEscapeString(rec[1])
+		amount := rec[2]
+		if !webapp.IsNumeric(amount) {
+			fmt.Printf("skip %q: bad amount\n", rec[1])
+			continue
+		}
+		insert := fmt.Sprintf(
+			"INSERT INTO invoices (supplier, reference, amount) VALUES ('%s', '%s', %s)",
+			supplier, reference, amount)
+		if _, err := client.Exec(insert); err != nil {
+			reportBlocked("import", rec[0], err)
+			continue
+		}
+		// Auto-approve small invoices from this supplier.
+		approve := fmt.Sprintf(
+			"UPDATE invoices SET approved = TRUE WHERE supplier = '%s' AND amount < 5000",
+			supplier)
+		if _, err := client.Exec(approve); err != nil {
+			reportBlocked("approve", rec[0], err)
+			continue
+		}
+		fmt.Printf("imported %s from %q\n", rec[1], rec[0])
+	}
+
+	res, err := admin.Exec("SELECT COUNT(*) FROM invoices WHERE approved = TRUE")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\napproved invoices: %s (the hostile record approved nothing)\n", res.Rows[0][0])
+	stats := guard.Stats()
+	fmt.Printf("server stats: %d queries seen, %d attacks blocked\n",
+		stats.QueriesSeen, stats.AttacksBlocked)
+}
+
+func reportBlocked(stage, supplier string, err error) {
+	if errors.Is(err, engine.ErrQueryBlocked) {
+		fmt.Printf("%s of %q BLOCKED by SEPTIC: %v\n", stage, supplier, err)
+		return
+	}
+	fmt.Printf("%s of %q failed: %v\n", stage, supplier, err)
+}

@@ -1,0 +1,147 @@
+// Client diversity: one SEPTIC-protected server, several concurrent
+// clients of different kinds — the wire connector and a raw TCP client
+// speaking the frame protocol by hand — none of which needed any
+// configuration to be protected (§II-B: "no client configuration",
+// "client diversity").
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"github.com/septic-db/septic/internal/core"
+	"github.com/septic-db/septic/internal/engine"
+	"github.com/septic-db/septic/internal/wire"
+)
+
+func main() {
+	// Boot a protected server on an ephemeral port.
+	guard := core.New(core.Config{
+		Mode: core.ModeTraining,
+	})
+	db := engine.New(engine.WithQueryHook(guard))
+	srv := wire.NewServer(db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Println("septicd listening on", addr)
+
+	// Admin client sets up schema and trains the lookup query.
+	admin, err := wire.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer admin.Close()
+	for _, q := range []string{
+		"CREATE TABLE readings (id INT PRIMARY KEY AUTO_INCREMENT, sensor TEXT, watts INT)",
+		"INSERT INTO readings (sensor, watts) VALUES ('oven', 2000), ('heatpump', 1200)",
+		"SELECT watts FROM readings WHERE sensor = 'oven'",
+	} {
+		if _, err := admin.Exec(q); err != nil {
+			log.Fatalf("%s: %v", q, err)
+		}
+	}
+	guard.SetConfig(core.Config{Mode: core.ModePrevention, DetectSQLI: true, IncrementalLearning: true})
+	fmt.Printf("trained %d models; switched to prevention\n\n", guard.Store().Len())
+
+	var wg sync.WaitGroup
+
+	// Client kind 1: several wire connectors in parallel, benign work.
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			c, err := wire.Dial(addr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer c.Close()
+			res, err := c.Exec("SELECT watts FROM readings WHERE sensor = 'heatpump'")
+			if err != nil {
+				log.Fatalf("client %d: %v", n, err)
+			}
+			fmt.Printf("wire client %d: heatpump draws %sW\n", n, res.Rows[0][0])
+		}(i)
+	}
+
+	// Client kind 2: a wire connector sending an injection.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := wire.Dial(addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer c.Close()
+		_, err = c.Exec("SELECT watts FROM readings WHERE sensor = 'x' OR 1=1-- '")
+		if errors.Is(err, engine.ErrQueryBlocked) {
+			fmt.Println("attacking client: BLOCKED by the server-side SEPTIC")
+		} else {
+			fmt.Println("attacking client: unexpected outcome:", err)
+		}
+	}()
+	wg.Wait()
+
+	// Client kind 3: a hand-rolled TCP client — no SDK at all — speaking
+	// the frame protocol directly. Still protected, because protection
+	// lives in the DBMS, not in any client library.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	sendFrame(conn, map[string]string{"query": "SELECT watts FROM readings WHERE sensor = 'oven'"})
+	fmt.Printf("raw TCP client: %s\n", recvFrame(conn))
+	sendFrame(conn, map[string]string{"query": "SELECT watts FROM readings WHERE sensor = 'x' UNION SELECT id FROM readings-- '"})
+	fmt.Printf("raw TCP attacker: %s\n", recvFrame(conn))
+
+	stats := guard.Stats()
+	fmt.Printf("\nserver stats: %d queries seen, %d attacks blocked\n",
+		stats.QueriesSeen, stats.AttacksBlocked)
+}
+
+func sendFrame(conn net.Conn, msg any) {
+	payload, err := json.Marshal(msg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var header [4]byte
+	binary.BigEndian.PutUint32(header[:], uint32(len(payload)))
+	if _, err := conn.Write(header[:]); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := conn.Write(payload); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func recvFrame(conn net.Conn) string {
+	var header [4]byte
+	if _, err := readFull(conn, header[:]); err != nil {
+		log.Fatal(err)
+	}
+	payload := make([]byte, binary.BigEndian.Uint32(header[:]))
+	if _, err := readFull(conn, payload); err != nil {
+		log.Fatal(err)
+	}
+	return string(payload)
+}
+
+func readFull(conn net.Conn, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := conn.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

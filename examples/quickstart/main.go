@@ -1,0 +1,59 @@
+// Quickstart: attach SEPTIC to a database, train it on the application's
+// queries, switch to prevention, and watch an injection die while the
+// equivalent benign query sails through.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	septic "github.com/septic-db/septic"
+)
+
+func main() {
+	// A protected database: the engine with a SEPTIC Guard installed at
+	// its pre-execution hook. Start in training mode.
+	db, guard := septic.New(septic.Config{Mode: septic.ModeTraining})
+
+	must := func(q string) *septic.Result {
+		res, err := db.Exec(q)
+		if err != nil {
+			log.Fatalf("%s: %v", q, err)
+		}
+		return res
+	}
+
+	// Schema and data.
+	must(`CREATE TABLE users (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT, pass TEXT)`)
+	must(`INSERT INTO users (name, pass) VALUES ('ann', 'pw1'), ('bob', 'pw2')`)
+
+	// Training: issue the application's query once with benign data so
+	// SEPTIC learns its model.
+	must(`SELECT id FROM users WHERE name = 'ann' AND pass = 'pw1'`)
+	fmt.Printf("trained: %d query models learned\n", guard.Store().Len())
+
+	// Switch to prevention (the demo restarts MySQL for this; here it is
+	// one call).
+	guard.SetConfig(septic.Config{Mode: septic.ModePrevention, DetectSQLI: true, DetectStored: true})
+
+	// Benign login: same structure, different data — allowed.
+	res := must(`SELECT id FROM users WHERE name = 'bob' AND pass = 'pw2'`)
+	fmt.Printf("benign login: %d row(s)\n", len(res.Rows))
+
+	// Injection: classic tautology through the name field.
+	_, err := db.Exec(`SELECT id FROM users WHERE name = 'x' OR 1=1-- ' AND pass = 'y'`)
+	if errors.Is(err, septic.ErrQueryBlocked) {
+		fmt.Println("injection: BLOCKED —", err)
+	} else {
+		log.Fatalf("injection was not blocked: %v", err)
+	}
+
+	// The event register shows what happened.
+	for _, e := range guard.Logger().Attacks() {
+		fmt.Println("event:", e.String())
+	}
+	stats := guard.Stats()
+	fmt.Printf("stats: %d queries seen, %d attacks blocked\n",
+		stats.QueriesSeen, stats.AttacksBlocked)
+}

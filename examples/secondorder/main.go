@@ -1,0 +1,86 @@
+// Second-order walkthrough: reproduces §II-D1 of the paper with the
+// exact tickets query of Fig. 2, printing the query structure (QS) and
+// query model (QM) stacks the way the figures draw them, then running
+// both attacks — the U+02BC second-order injection (Fig. 3, caught by
+// the structural step) and the syntax-mimicry injection (Fig. 4, caught
+// by the syntactical step).
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	septic "github.com/septic-db/septic"
+	"github.com/septic-db/septic/internal/qstruct"
+	"github.com/septic-db/septic/internal/sqlparser"
+)
+
+const trainedQuery = "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234"
+
+func main() {
+	fmt.Println("== Fig. 2(a): query structure (QS), top of stack first ==")
+	fmt.Println(trainedQuery)
+	stmt, err := sqlparser.Parse(trainedQuery)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qs := qstruct.BuildStack(stmt)
+	fmt.Println(qs)
+
+	fmt.Println("\n== Fig. 2(b): query model (QM) — data nodes blanked to ⊥ ==")
+	qm := qstruct.ModelOf(qs)
+	fmt.Println(qm)
+
+	// Now the live system: train SEPTIC on the query, then attack.
+	db, guard := septic.New(septic.Config{Mode: septic.ModeTraining})
+	must := func(q string) {
+		if _, err := db.Exec(q); err != nil {
+			log.Fatalf("%s: %v", q, err)
+		}
+	}
+	must("CREATE TABLE tickets (id INT PRIMARY KEY AUTO_INCREMENT, reservID TEXT, creditCard INT)")
+	must("INSERT INTO tickets (reservID, creditCard) VALUES ('ID34FG', 1234)")
+	must(trainedQuery)
+	guard.SetConfig(septic.Config{Mode: septic.ModePrevention, DetectSQLI: true})
+
+	// --- Fig. 3: second-order with the Unicode prime ------------------
+	// The database holds "ID34FGʼ-- " (stored earlier; the prime survived
+	// escaping because mysql_real_escape_string does not know it). The
+	// application reads it back and concatenates:
+	attack1 := "SELECT * FROM tickets WHERE reservID = 'ID34FGʼ-- ' AND creditCard = 0"
+	fmt.Println("\n== Fig. 3: second-order attack query (as received) ==")
+	fmt.Println(attack1)
+	decoded := sqlparser.DecodeCharset(attack1)
+	fmt.Println("after MySQL charset decode:", decoded)
+	if stmt, err := sqlparser.Parse(attack1); err == nil {
+		fmt.Println("attacked QS (shrunk — the AND clause was commented away):")
+		fmt.Println(qstruct.BuildStack(stmt))
+	}
+	_, err = db.Exec(attack1)
+	report("second-order (Fig. 3)", err)
+
+	// --- Fig. 4: syntax mimicry ----------------------------------------
+	attack2 := "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND 1=1-- ' AND creditCard = 0"
+	fmt.Println("\n== Fig. 4: syntax-mimicry attack query ==")
+	fmt.Println(attack2)
+	if stmt, err := sqlparser.Parse(attack2); err == nil {
+		fmt.Println("attacked QS (same node count, INT_ITEM where FIELD_ITEM was):")
+		fmt.Println(qstruct.BuildStack(stmt))
+	}
+	_, err = db.Exec(attack2)
+	report("syntax mimicry (Fig. 4)", err)
+
+	fmt.Println("\n== SEPTIC event register ==")
+	for _, e := range guard.Logger().Attacks() {
+		fmt.Println(e.String())
+	}
+}
+
+func report(name string, err error) {
+	if errors.Is(err, septic.ErrQueryBlocked) {
+		fmt.Printf("%s: BLOCKED — %v\n", name, err)
+		return
+	}
+	fmt.Printf("%s: NOT BLOCKED (err=%v)\n", name, err)
+}

@@ -1,0 +1,103 @@
+// WaspMon scenario: the §III application — a PHP-style energy monitor
+// with sanitized entry points — attacked first without protection, then
+// behind the ModSecurity-like WAF, then with SEPTIC inside the DBMS.
+// A compressed, runnable version of the five demo phases for one attack.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/septic-db/septic/internal/core"
+	"github.com/septic-db/septic/internal/engine"
+	"github.com/septic-db/septic/internal/waf"
+	"github.com/septic-db/septic/internal/webapp"
+	"github.com/septic-db/septic/internal/webapp/apps"
+)
+
+// theAttack is the U+02BC tautology: every byte passes
+// mysql_real_escape_string and the WAF, yet the DBMS decodes the
+// confusables into quotes and the WHERE clause becomes a tautology.
+var theAttack = webapp.Request{Path: "/device/view", Params: map[string]string{
+	"name": "nothingʼ OR ʼ1ʼ=ʼ1",
+}}
+
+func deploy(guard *core.Septic) *webapp.App {
+	var db *engine.DB
+	if guard != nil {
+		db = engine.New(engine.WithQueryHook(guard))
+	} else {
+		db = engine.New()
+	}
+	for _, q := range apps.WaspMonSchema() {
+		if _, err := db.Exec(q); err != nil {
+			log.Fatal(err)
+		}
+	}
+	app := apps.NewWaspMon(db)
+	for _, req := range apps.WaspMonTraining() {
+		if resp := app.Serve(req.Clone()); resp.Status != 200 {
+			log.Fatalf("training %s: %v", req, resp.Err)
+		}
+	}
+	return app
+}
+
+func main() {
+	// Phase A: sanitization only.
+	fmt.Println("phase A — sanitized application, no other protection")
+	app := deploy(nil)
+	resp := app.Serve(theAttack.Clone())
+	fmt.Printf("  attack status: %d; leaked device list:\n%s\n", resp.Status, indent(resp.Body))
+
+	// Phase B: ModSecurity in front.
+	fmt.Println("phase B — ModSecurity WAF (mini CRS) in front")
+	app = deploy(nil)
+	serve := waf.Protect(waf.New(), app)
+	resp = serve(theAttack.Clone())
+	if resp.Status == 403 {
+		fmt.Println("  attack blocked by the WAF")
+	} else {
+		fmt.Printf("  FALSE NEGATIVE: status %d, the WAF saw nothing wrong\n", resp.Status)
+		fmt.Printf("  leaked again:\n%s\n", indent(resp.Body))
+	}
+
+	// Phases C+D: SEPTIC trained, then prevention.
+	fmt.Println("phase C — SEPTIC training on the benign crawl")
+	guard := core.New(core.Config{Mode: core.ModeTraining})
+	app = deploy(guard)
+	fmt.Printf("  %d query models learned\n", guard.Store().Len())
+
+	fmt.Println("phase D — SEPTIC prevention inside the DBMS")
+	guard.SetConfig(core.Config{
+		Mode: core.ModePrevention, DetectSQLI: true, DetectStored: true,
+		IncrementalLearning: false,
+	})
+	resp = app.Serve(theAttack.Clone())
+	if resp.Blocked {
+		fmt.Println("  attack BLOCKED — the query was dropped inside the DBMS")
+		for _, e := range guard.Logger().Attacks() {
+			fmt.Println("  event:", e.String())
+		}
+	} else {
+		fmt.Printf("  attack not blocked: %+v\n", resp)
+	}
+
+	// And the application still works.
+	ok := app.Serve(webapp.Request{Path: "/device/view", Params: map[string]string{"name": "oven"}})
+	fmt.Printf("\nbenign request still fine (status %d):\n%s", ok.Status, indent(ok.Body))
+}
+
+func indent(s string) string {
+	out := ""
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '\n' {
+			if i > start {
+				out += "    " + s[start:i] + "\n"
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

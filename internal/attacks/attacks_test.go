@@ -1,0 +1,116 @@
+package attacks
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCorpusInvariants(t *testing.T) {
+	corpus := Corpus()
+	if len(corpus) < 10 {
+		t.Fatalf("corpus has %d cases; the demo needs broad class coverage", len(corpus))
+	}
+	names := make(map[string]bool, len(corpus))
+	for _, c := range corpus {
+		if c.Name == "" {
+			t.Error("case with empty name")
+		}
+		if names[c.Name] {
+			t.Errorf("duplicate case name %q", c.Name)
+		}
+		names[c.Name] = true
+		if c.Kind != KindSQLI && c.Kind != KindStored {
+			t.Errorf("%s: invalid kind %v", c.Name, c.Kind)
+		}
+		if c.Class == "" {
+			t.Errorf("%s: empty class", c.Name)
+		}
+		if c.Request.Path == "" {
+			t.Errorf("%s: empty request path", c.Name)
+		}
+		if c.Description == "" {
+			t.Errorf("%s: description required for the demo narration", c.Name)
+		}
+	}
+}
+
+func TestCorpusCoversPaperClasses(t *testing.T) {
+	// §II and §III-A name these classes; all must be represented.
+	want := []Class{
+		ClassEncodedQuote, ClassMimicry, ClassNumericCtx, ClassUnionExtract,
+		ClassSecondOrder, ClassStoredXSS, ClassRFI, ClassLFI, ClassOSCI, ClassRCE,
+	}
+	have := make(map[Class]bool)
+	for _, c := range Corpus() {
+		have[c.Class] = true
+	}
+	for _, cls := range want {
+		if !have[cls] {
+			t.Errorf("class %s missing from corpus", cls)
+		}
+	}
+}
+
+func TestCorpusKindsMatchClasses(t *testing.T) {
+	storedClasses := map[Class]bool{
+		ClassStoredXSS: true, ClassRFI: true, ClassLFI: true,
+		ClassOSCI: true, ClassRCE: true,
+	}
+	for _, c := range Corpus() {
+		if storedClasses[c.Class] != (c.Kind == KindStored) {
+			t.Errorf("%s: class %s inconsistent with kind %s", c.Name, c.Class, c.Kind)
+		}
+	}
+}
+
+func TestMismatchCount(t *testing.T) {
+	n := MismatchCount()
+	if n == 0 {
+		t.Fatal("no mismatch cases — the demonstration is about them")
+	}
+	manual := 0
+	for _, c := range Corpus() {
+		if c.Mismatch {
+			manual++
+		}
+	}
+	if n != manual {
+		t.Errorf("MismatchCount = %d, manual count %d", n, manual)
+	}
+}
+
+// TestEncodedPayloadsCarryNoASCIIMetacharacters: the confusable-quote
+// payloads must be clean at the byte level — that is their entire point.
+func TestEncodedPayloadsCarryNoASCIIMetacharacters(t *testing.T) {
+	for _, c := range Corpus() {
+		if c.Class != ClassEncodedQuote && c.Name != "second-order-encoded" {
+			continue
+		}
+		for _, req := range append(c.Setup, c.Request) {
+			for name, value := range req.Params {
+				if strings.ContainsAny(value, `'";\`) {
+					t.Errorf("%s: param %s contains ASCII metacharacters: %q",
+						c.Name, name, value)
+				}
+			}
+		}
+	}
+}
+
+func TestBenignRequestsNonEmpty(t *testing.T) {
+	benign := Benign()
+	if len(benign) < 5 {
+		t.Fatalf("benign set too small: %d", len(benign))
+	}
+	for _, req := range benign {
+		if req.Path == "" {
+			t.Error("benign request with empty path")
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindSQLI.String() != "sqli" || KindStored.String() != "stored" || KindInvalid.String() != "invalid" {
+		t.Error("Kind.String drifted")
+	}
+}

@@ -1,0 +1,69 @@
+package attacks
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// This file is the corpus's sqlmap stand-in (§IV: "the attacker uses the
+// browser and/or the sqlmap tool"): a generator that enumerates payload
+// variants the way an injection scanner does — combinations of quote
+// representations, boolean connectives, tautology expressions and
+// comment terminators — for fuzz-style stress testing of the detectors.
+
+// quoteReprs are the ways a quote can reach the DBMS: the ASCII quote,
+// an escaped quote (inert), and the confusables MySQL folds into quotes.
+var quoteReprs = []string{`'`, `\'`, "ʼ", "’", "＇", "′"}
+
+// connectives chain the injected condition.
+var connectives = []string{"OR", "or", "||", "AND", "XOR"}
+
+// tautologies are the injected conditions, with Q standing for the
+// chosen quote representation.
+var tautologies = []string{
+	"1=1", "2>1", "Q1Q=Q1Q", "QxQ=QxQ", "1 IN (1)", "QQ=QQ", "NOT 1=2",
+}
+
+// terminators cut off the remainder of the template query.
+var terminators = []string{"-- ", "#", ""}
+
+// GenerateStringContext returns n deterministic payload variants for a
+// single-quoted string entry point ("... WHERE col = '<payload>'").
+func GenerateStringContext(seed int64, n int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		q := quoteReprs[rng.Intn(len(quoteReprs))]
+		conn := connectives[rng.Intn(len(connectives))]
+		taut := strings.ReplaceAll(tautologies[rng.Intn(len(tautologies))], "Q", q)
+		term := terminators[rng.Intn(len(terminators))]
+		prefix := ""
+		if rng.Intn(2) == 0 {
+			prefix = "zz" // harmless leading text
+		}
+		out = append(out, prefix+q+" "+conn+" "+taut+term)
+	}
+	return out
+}
+
+// GenerateNumericContext returns n deterministic payload variants for an
+// unquoted numeric entry point ("... WHERE col = <payload>").
+func GenerateNumericContext(seed int64, n int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	shapes := []string{
+		"1 OR 1=1",
+		"1 || 1=1",
+		"0 UNION SELECT username, email FROM wm_users-- ",
+		"1 AND 2=2",
+		"(1) OR (1)",
+		"1 OR ts > 0",
+		"-1 OR 1 IN (1)",
+		"1 XOR 0",
+		"1 OR NOT 1=2",
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, shapes[rng.Intn(len(shapes))])
+	}
+	return out
+}

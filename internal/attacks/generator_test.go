@@ -1,0 +1,75 @@
+package attacks
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/septic-db/septic/internal/sqlparser"
+)
+
+func TestGenerateStringContextDeterministic(t *testing.T) {
+	a := GenerateStringContext(42, 50)
+	b := GenerateStringContext(42, 50)
+	if len(a) != 50 || len(b) != 50 {
+		t.Fatalf("lengths = %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("payload %d differs for same seed: %q vs %q", i, a[i], b[i])
+		}
+	}
+	if c := GenerateStringContext(43, 50); strings.Join(a, "|") == strings.Join(c, "|") {
+		t.Error("different seeds produced identical payload streams")
+	}
+}
+
+func TestGenerateStringContextShapes(t *testing.T) {
+	payloads := GenerateStringContext(7, 200)
+	var withConfusable, withASCIIQuote, withTerminator int
+	for _, p := range payloads {
+		if strings.ContainsAny(p, "ʼ’＇′") {
+			withConfusable++
+		}
+		if strings.Contains(p, "'") {
+			withASCIIQuote++
+		}
+		if strings.Contains(p, "-- ") || strings.Contains(p, "#") {
+			withTerminator++
+		}
+	}
+	if withConfusable == 0 || withASCIIQuote == 0 || withTerminator == 0 {
+		t.Errorf("generator variety too low: confusable=%d ascii=%d term=%d",
+			withConfusable, withASCIIQuote, withTerminator)
+	}
+}
+
+// TestGeneratedNumericPayloadsParse: every numeric-context payload must
+// form a parseable query when substituted — duds would silently weaken
+// the fuzz oracle.
+func TestGeneratedNumericPayloadsParse(t *testing.T) {
+	for _, p := range GenerateNumericContext(3, 100) {
+		q := "SELECT ts FROM readings WHERE device_id = " + p + " ORDER BY ts DESC LIMIT 10"
+		if _, err := sqlparser.Parse(q); err != nil {
+			t.Errorf("payload %q yields unparseable query: %v", p, err)
+		}
+	}
+}
+
+// TestConfusablePayloadsDecodeToLiveQuotes: the confusable payloads must
+// actually contain characters the DBMS folds to quotes.
+func TestConfusablePayloadsDecodeToLiveQuotes(t *testing.T) {
+	found := false
+	for _, p := range GenerateStringContext(9, 100) {
+		if strings.Contains(p, "'") {
+			continue // already an ASCII variant
+		}
+		decoded := sqlparser.DecodeCharset(p)
+		if strings.Contains(decoded, "'") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no confusable payload decodes to a live quote")
+	}
+}

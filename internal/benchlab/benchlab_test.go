@@ -1,0 +1,136 @@
+package benchlab
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func smallParams() Params {
+	return Params{Machines: 2, BrowsersPerMachine: 2, Loops: 2}
+}
+
+func TestRunBaselineAndConfigs(t *testing.T) {
+	spec := PaperSpecs()[0] // Address Book
+	p := smallParams()
+	for _, cfg := range append([]SepticConfig{ConfigBaseline}, Configs()...) {
+		s, err := Run(spec, cfg, p)
+		if err != nil {
+			t.Fatalf("Run(%s): %v", cfg, err)
+		}
+		wantReqs := p.Machines * p.BrowsersPerMachine * p.Loops * len(spec.Workload)
+		if s.Requests != wantReqs {
+			t.Errorf("%s: requests = %d, want %d", cfg, s.Requests, wantReqs)
+		}
+		if s.Errors != 0 {
+			t.Errorf("%s: %d request errors", cfg, s.Errors)
+		}
+		if s.Mean() <= 0 {
+			t.Errorf("%s: mean latency %v", cfg, s.Mean())
+		}
+		if s.Percentile(50) > s.Percentile(99) {
+			t.Errorf("%s: p50 %v > p99 %v", cfg, s.Percentile(50), s.Percentile(99))
+		}
+	}
+}
+
+func TestRunAllPaperSpecs(t *testing.T) {
+	p := Params{Machines: 1, BrowsersPerMachine: 2, Loops: 1}
+	for _, spec := range PaperSpecs() {
+		t.Run(spec.Name, func(t *testing.T) {
+			s, err := Run(spec, ConfigYY, p)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if s.Errors != 0 {
+				t.Errorf("%d request errors (false positives under YY?)", s.Errors)
+			}
+		})
+	}
+}
+
+func TestWaspMonSpecRuns(t *testing.T) {
+	s, err := Run(WaspMonSpec(), ConfigYY, Params{Machines: 1, BrowsersPerMachine: 1, Loops: 2})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s.Errors != 0 {
+		t.Errorf("%d request errors", s.Errors)
+	}
+}
+
+func TestSeriesProducesFourPoints(t *testing.T) {
+	series, err := Series(PaperSpecs()[1], Params{Machines: 1, BrowsersPerMachine: 2, Loops: 1}, 1)
+	if err != nil {
+		t.Fatalf("Series: %v", err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("series = %d points, want 4", len(series))
+	}
+	for i, cfg := range Configs() {
+		if series[i].Config != cfg {
+			t.Errorf("point %d config = %s, want %s", i, series[i].Config, cfg)
+		}
+		if series[i].Base <= 0 || series[i].Mean <= 0 {
+			t.Errorf("point %d has zero latency: %+v", i, series[i])
+		}
+	}
+}
+
+func TestFormatFig5(t *testing.T) {
+	rows := [][]Overhead{{
+		{App: "Address Book", Config: ConfigNN, Percent: 0.5},
+		{App: "Address Book", Config: ConfigYN, Percent: 0.8},
+		{App: "Address Book", Config: ConfigNY, Percent: 1.5},
+		{App: "Address Book", Config: ConfigYY, Percent: 2.2},
+	}}
+	out := FormatFig5(rows)
+	for _, want := range []string{"Fig. 5", "NN", "YY", "Address Book", "2.20%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSamplePercentiles(t *testing.T) {
+	s := &Sample{}
+	for i := 1; i <= 100; i++ {
+		s.Latencies = append(s.Latencies, time.Duration(i)*time.Millisecond)
+	}
+	if got := s.Percentile(50); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := s.Percentile(100); got != 100*time.Millisecond {
+		t.Errorf("p100 = %v", got)
+	}
+	empty := &Sample{}
+	if empty.Percentile(50) != 0 || empty.Mean() != 0 {
+		t.Error("empty sample should be zero")
+	}
+}
+
+func TestConfigStrings(t *testing.T) {
+	want := map[SepticConfig]string{
+		ConfigBaseline: "base", ConfigNN: "NN", ConfigYN: "YN",
+		ConfigNY: "NY", ConfigYY: "YY",
+	}
+	for cfg, s := range want {
+		if cfg.String() != s {
+			t.Errorf("%d.String() = %q, want %q", cfg, cfg.String(), s)
+		}
+	}
+}
+
+func TestRunOverHTTP(t *testing.T) {
+	p := Params{Machines: 1, BrowsersPerMachine: 2, Loops: 1, HTTP: true}
+	s, err := Run(PaperSpecs()[0], ConfigYY, p)
+	if err != nil {
+		t.Fatalf("Run over HTTP: %v", err)
+	}
+	if s.Errors != 0 {
+		t.Errorf("%d request errors over HTTP", s.Errors)
+	}
+	if s.Mean() <= 0 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"hash/fnv"
+	"strconv"
+	"strings"
+
+	"github.com/septic-db/septic/internal/qstruct"
+	"github.com/septic-db/septic/internal/sqlparser"
+)
+
+// IDGenerator produces query identifiers (paper §II-C2). An identifier
+// is the concatenation of two parts:
+//
+//   - The external identifier, optionally supplied by the application or
+//     its server-side language engine inside a leading SQL comment
+//     ("/* external identifier */ SELECT ..."). It is free-form text
+//     chosen by the programmer.
+//   - The internal identifier, computed by SEPTIC itself from the
+//     query's skeleton — statement kind, target tables and column lists —
+//     i.e. the parts of the query an injection into a data value cannot
+//     change. Hashing the full structure would be self-defeating: an
+//     attacked query would hash to an unknown ID and look like a *new*
+//     query instead of failing the comparison against its model.
+//
+// When no external identifier is present, the ID is just the internal
+// part.
+type IDGenerator struct {
+	// UseExternal controls whether comment-borne external identifiers
+	// participate in the ID (the ablation benchmarks toggle this).
+	UseExternal bool
+}
+
+// NewIDGenerator returns a generator with external identifiers enabled,
+// the paper's default ("one of these identifiers may be optionally
+// provided by the application").
+func NewIDGenerator() *IDGenerator {
+	return &IDGenerator{UseExternal: true}
+}
+
+// ID computes the query identifier for a validated statement.
+func (g *IDGenerator) ID(stmt sqlparser.Statement, comments []string) string {
+	internal := g.internal(stmt)
+	if !g.UseExternal {
+		return internal
+	}
+	if ext := ExternalID(comments); ext != "" {
+		return ext + "#" + internal
+	}
+	return internal
+}
+
+// internal hashes the statement skeleton to a fixed-width hex token.
+func (g *IDGenerator) internal(stmt sqlparser.Statement) string {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(qstruct.Skeleton(stmt)))
+	return "q" + strconv.FormatUint(h.Sum64(), 16)
+}
+
+// ExternalID extracts the application-supplied external identifier from
+// a statement's comments: the body of the first comment, trimmed. An
+// empty string means the application supplied none.
+func ExternalID(comments []string) string {
+	if len(comments) == 0 {
+		return ""
+	}
+	return strings.TrimSpace(comments[0])
+}

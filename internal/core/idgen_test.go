@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/septic-db/septic/internal/sqlparser"
+)
+
+func idOf(t *testing.T, g *IDGenerator, query string) string {
+	t.Helper()
+	stmt, err := sqlparser.Parse(query)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", query, err)
+	}
+	return g.ID(stmt, stmt.StatementComments())
+}
+
+func TestIDStableAcrossDataValues(t *testing.T) {
+	g := NewIDGenerator()
+	a := idOf(t, g, "SELECT * FROM tickets WHERE reservID = 'A' AND creditCard = 1")
+	b := idOf(t, g, "SELECT * FROM tickets WHERE reservID = 'B' AND creditCard = 999")
+	if a != b {
+		t.Errorf("IDs differ for same query shape: %q vs %q", a, b)
+	}
+}
+
+// TestIDStableUnderAttack is the property that makes detection work: an
+// injected query must produce the same ID as its victim so it is
+// compared against the learned model instead of being treated as new.
+func TestIDStableUnderAttack(t *testing.T) {
+	g := NewIDGenerator()
+	victim := idOf(t, g, "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234")
+	attacked := []string{
+		"SELECT * FROM tickets WHERE reservID = 'ID34FG'-- ' AND creditCard = 0",
+		"SELECT * FROM tickets WHERE reservID = 'ID34FG' AND 1=1-- ' AND creditCard = 0",
+		"SELECT * FROM tickets WHERE reservID = '' OR '1'='1'-- ' AND creditCard = 0",
+	}
+	for _, q := range attacked {
+		if got := idOf(t, g, q); got != victim {
+			t.Errorf("attacked query has different ID:\n  %q -> %q (victim %q)", q, got, victim)
+		}
+	}
+}
+
+func TestIDDistinguishesDifferentQueries(t *testing.T) {
+	g := NewIDGenerator()
+	ids := map[string]string{}
+	for _, q := range []string{
+		"SELECT * FROM tickets WHERE id = 1",
+		"SELECT * FROM users WHERE id = 1",
+		"SELECT id FROM tickets WHERE id = 1",
+		"DELETE FROM tickets WHERE id = 1",
+		"UPDATE tickets SET reservID = 'x' WHERE id = 1",
+		"INSERT INTO tickets (reservID) VALUES ('x')",
+	} {
+		id := idOf(t, g, q)
+		if prev, dup := ids[id]; dup {
+			t.Errorf("ID collision between %q and %q", prev, q)
+		}
+		ids[id] = q
+	}
+}
+
+func TestExternalIDComposition(t *testing.T) {
+	g := NewIDGenerator()
+	plain := idOf(t, g, "SELECT id FROM tickets WHERE id = 1")
+	tagged := idOf(t, g, "/* waspmon:devices:17 */ SELECT id FROM tickets WHERE id = 1")
+	if tagged == plain {
+		t.Error("external identifier should alter the ID")
+	}
+	if want := "waspmon:devices:17#" + plain; tagged != want {
+		t.Errorf("tagged = %q, want %q", tagged, want)
+	}
+}
+
+func TestExternalIDDisabled(t *testing.T) {
+	g := &IDGenerator{UseExternal: false}
+	plain := idOf(t, g, "SELECT id FROM tickets WHERE id = 1")
+	tagged := idOf(t, g, "/* anything */ SELECT id FROM tickets WHERE id = 1")
+	if tagged != plain {
+		t.Error("disabled external identifiers must not alter the ID")
+	}
+}
+
+func TestExternalIDExtraction(t *testing.T) {
+	tests := []struct {
+		comments []string
+		want     string
+	}{
+		{nil, ""},
+		{[]string{}, ""},
+		{[]string{"app:q1"}, "app:q1"},
+		{[]string{"  spaced  "}, "spaced"},
+		{[]string{"first", "second"}, "first"},
+	}
+	for _, tt := range tests {
+		if got := ExternalID(tt.comments); got != tt.want {
+			t.Errorf("ExternalID(%v) = %q, want %q", tt.comments, got, tt.want)
+		}
+	}
+}

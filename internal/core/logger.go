@@ -1,0 +1,286 @@
+// Package core implements SEPTIC — SElf-Protecting daTabases prevenTIng
+// attaCks — as described in the paper: a mechanism that runs inside the
+// DBMS, between query validation and execution, detecting and blocking
+// SQL injection and stored-injection attacks.
+//
+// The package mirrors the module structure of Fig. 1:
+//
+//   - Septic (septic.go) is the "QS&QM manager": it wires the modules
+//     together, builds query structures, learns models, and implements
+//     the engine's QueryHook — the in-DBMS hook point.
+//   - Store (store.go) is the "QM learned" store, with persistence and
+//     the administrator review extensions.
+//   - IDGenerator (idgen.go) composes the external (comment-supplied)
+//     and internal (skeleton-hash) query identifiers.
+//   - Detector (detector.go) runs the two-step SQLI comparison and the
+//     stored-injection plugin chain.
+//   - Logger (this file) is the event register shown on the demo's
+//     "SEPTIC events" display.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"github.com/septic-db/septic/internal/qstruct"
+)
+
+// EventKind classifies a logger event.
+type EventKind int
+
+// Event kinds. Enums start at 1 so the zero value is invalid.
+const (
+	EventInvalid EventKind = iota
+	// EventModelLearned: training mode stored a new query model.
+	EventModelLearned
+	// EventNewQuery: normal mode saw a query with no model and learned
+	// it incrementally (flagged for administrator review).
+	EventNewQuery
+	// EventQueryChecked: a query was compared against its model and
+	// passed.
+	EventQueryChecked
+	// EventAttackDetected: an attack was found (and logged only —
+	// detection mode).
+	EventAttackDetected
+	// EventAttackBlocked: an attack was found and the query dropped
+	// (prevention mode).
+	EventAttackBlocked
+	// EventModeChanged: the operation mode was switched.
+	EventModeChanged
+)
+
+var eventKindNames = map[EventKind]string{
+	EventInvalid:        "invalid",
+	EventModelLearned:   "model-learned",
+	EventNewQuery:       "new-query",
+	EventQueryChecked:   "query-checked",
+	EventAttackDetected: "attack-detected",
+	EventAttackBlocked:  "attack-blocked",
+	EventModeChanged:    "mode-changed",
+}
+
+// String names the event kind as the demo display prints it.
+func (k EventKind) String() string {
+	if s, ok := eventKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// AttackType distinguishes the two attack families SEPTIC handles.
+type AttackType int
+
+// Attack types.
+const (
+	AttackNone AttackType = iota
+	AttackSQLI
+	AttackStored
+)
+
+// String names the attack type.
+func (t AttackType) String() string {
+	switch t {
+	case AttackNone:
+		return "none"
+	case AttackSQLI:
+		return "sqli"
+	case AttackStored:
+		return "stored-injection"
+	default:
+		return fmt.Sprintf("AttackType(%d)", int(t))
+	}
+}
+
+// Event is one entry of SEPTIC's event register. Per the paper, an
+// attack record carries the received query, its identifier, its model
+// and the detection step; a new-query record carries the query, model
+// and identifier.
+type Event struct {
+	Seq     int64
+	Time    time.Time
+	Kind    EventKind
+	QueryID string
+	Query   string
+	// Attack fields (zero for non-attack events).
+	Attack AttackType
+	// Step is which SQLI detection step fired (structural/syntactical).
+	Step qstruct.CompareStep
+	// Plugin names the stored-injection plugin that confirmed the
+	// attack.
+	Plugin string
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+// String renders the event as one display line.
+func (e Event) String() string {
+	s := fmt.Sprintf("[%d] %s id=%s", e.Seq, e.Kind, e.QueryID)
+	if e.Attack != AttackNone {
+		s += fmt.Sprintf(" attack=%s", e.Attack)
+		if e.Attack == AttackSQLI {
+			s += fmt.Sprintf(" step=%s", e.Step)
+		}
+		if e.Plugin != "" {
+			s += fmt.Sprintf(" plugin=%s", e.Plugin)
+		}
+	}
+	if e.Detail != "" {
+		s += " — " + e.Detail
+	}
+	return s
+}
+
+// LogCounters aggregates the logger's event counts.
+type LogCounters struct {
+	ModelsLearned  int64
+	NewQueries     int64
+	QueriesChecked int64
+	Detected       int64
+	Blocked        int64
+}
+
+// Logger is SEPTIC's event register: a bounded in-memory buffer plus an
+// optional stream for live display. It is safe for concurrent use.
+type Logger struct {
+	mu         sync.Mutex
+	seq        int64
+	events     []Event
+	capacity   int
+	counts     LogCounters
+	clock      func() time.Time
+	stream     io.Writer
+	jsonStream io.Writer
+}
+
+// LoggerOption configures a Logger.
+type LoggerOption func(*Logger)
+
+// WithCapacity bounds the in-memory event buffer (default 4096).
+func WithCapacity(n int) LoggerOption {
+	return func(l *Logger) { l.capacity = n }
+}
+
+// WithClock injects the logger's time source (tests, benchmarks).
+func WithClock(clock func() time.Time) LoggerOption {
+	return func(l *Logger) { l.clock = clock }
+}
+
+// WithStream mirrors every event line to w (the demo's live display).
+func WithStream(w io.Writer) LoggerOption {
+	return func(l *Logger) { l.stream = w }
+}
+
+// WithJSONStream mirrors every event to w as one JSON object per line —
+// the audit-log format a SIEM ingests. Both streams may be active.
+func WithJSONStream(w io.Writer) LoggerOption {
+	return func(l *Logger) { l.jsonStream = w }
+}
+
+// NewLogger builds an event register.
+func NewLogger(opts ...LoggerOption) *Logger {
+	l := &Logger{capacity: 4096, clock: time.Now}
+	for _, o := range opts {
+		o(l)
+	}
+	return l
+}
+
+// Log appends an event, stamping sequence and time.
+func (l *Logger) Log(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	e.Seq = l.seq
+	e.Time = l.clock()
+	if len(l.events) >= l.capacity {
+		// Drop the oldest half to amortize copying.
+		half := len(l.events) / 2
+		l.events = append(l.events[:0], l.events[half:]...)
+	}
+	l.events = append(l.events, e)
+	switch e.Kind {
+	case EventModelLearned:
+		l.counts.ModelsLearned++
+	case EventNewQuery:
+		l.counts.NewQueries++
+	case EventQueryChecked:
+		l.counts.QueriesChecked++
+	case EventAttackDetected:
+		l.counts.Detected++
+	case EventAttackBlocked:
+		l.counts.Blocked++
+	}
+	if l.stream != nil {
+		_, _ = fmt.Fprintln(l.stream, e.String())
+	}
+	if l.jsonStream != nil {
+		if data, err := json.Marshal(auditRecord(e)); err == nil {
+			data = append(data, '\n')
+			_, _ = l.jsonStream.Write(data)
+		}
+	}
+}
+
+// auditEntry is the stable JSON shape of one audit record.
+type auditEntry struct {
+	Seq     int64  `json:"seq"`
+	Time    string `json:"time"`
+	Kind    string `json:"kind"`
+	QueryID string `json:"query_id,omitempty"`
+	Query   string `json:"query,omitempty"`
+	Attack  string `json:"attack,omitempty"`
+	Step    string `json:"step,omitempty"`
+	Plugin  string `json:"plugin,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+func auditRecord(e Event) auditEntry {
+	rec := auditEntry{
+		Seq:     e.Seq,
+		Time:    e.Time.UTC().Format(time.RFC3339Nano),
+		Kind:    e.Kind.String(),
+		QueryID: e.QueryID,
+		Query:   e.Query,
+		Detail:  e.Detail,
+	}
+	if e.Attack != AttackNone {
+		rec.Attack = e.Attack.String()
+		if e.Attack == AttackSQLI {
+			rec.Step = e.Step.String()
+		}
+		rec.Plugin = e.Plugin
+	}
+	return rec
+}
+
+// Events returns a snapshot of the buffered events.
+func (l *Logger) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Counters returns a snapshot of the aggregate counts.
+func (l *Logger) Counters() LogCounters {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.counts
+}
+
+// Attacks returns only the attack events (the demo's phase-E filter).
+func (l *Logger) Attacks() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Event
+	for _, e := range l.events {
+		if e.Kind == EventAttackDetected || e.Kind == EventAttackBlocked {
+			out = append(out, e)
+		}
+	}
+	return out
+}

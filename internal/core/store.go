@@ -1,0 +1,281 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/septic-db/septic/internal/qstruct"
+)
+
+// Store is the "QM learned" store of Fig. 1: learned query models keyed
+// by query identifier, held in memory and persisted to disk so models
+// survive a DBMS restart (demo phase D: "the persistent query models
+// are loaded").
+//
+// Extensions over the paper's prototype:
+//
+//   - Model sets: the store keeps a SET of models per identifier.
+//     Applications legitimately issue structural variants under one
+//     identifier (the canonical case is a sort selector); a query
+//     conforms if it matches ANY learned model. The paper's single-model
+//     behaviour is the degenerate one-element set.
+//   - Provenance and usage: each identifier records whether it was
+//     learned during deliberate training or incrementally in normal mode
+//     — the paper's §II-E requires "the programmer/administrator will
+//     have to decide if the query model comes from a malicious or a
+//     benign query", and PendingReview is exactly that work list — plus
+//     a hit counter for usage-based triage.
+//
+// The store is safe for concurrent use by many sessions.
+type Store struct {
+	mu     sync.RWMutex
+	models map[string]*modelSet
+}
+
+// modelSet is the per-identifier record.
+type modelSet struct {
+	models []qstruct.Model
+	// hits counts lookups; mutated atomically under the read lock.
+	hits int64
+	// incremental marks identifiers first seen outside training mode.
+	incremental bool
+}
+
+// Usage summarizes one identifier for administrative review.
+type Usage struct {
+	ID     string
+	Models int
+	Hits   int64
+	// Incremental is true until an administrator approves the
+	// identifier (or it was learned in training mode to begin with).
+	Incremental bool
+}
+
+// NewStore creates an empty model store.
+func NewStore() *Store {
+	return &Store{models: make(map[string]*modelSet)}
+}
+
+// Get returns the models learned for id (a copy) and counts the hit.
+func (s *Store) Get(id string) ([]qstruct.Model, bool) {
+	s.mu.RLock()
+	set, ok := s.models[id]
+	if !ok {
+		s.mu.RUnlock()
+		return nil, false
+	}
+	atomic.AddInt64(&set.hits, 1)
+	out := make([]qstruct.Model, len(set.models))
+	copy(out, set.models)
+	s.mu.RUnlock()
+	return out, true
+}
+
+// Put stores a model for id, recording whether it was learned
+// incrementally (normal mode) rather than during training. It reports
+// whether the model was new: a model with an identical fingerprint is
+// never re-added (paper §IV-C: "the query model is created and stored
+// only once").
+func (s *Store) Put(id string, m qstruct.Model, incremental bool) bool {
+	fp := m.Fingerprint()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	set, ok := s.models[id]
+	if !ok {
+		set = &modelSet{incremental: incremental}
+		s.models[id] = set
+	}
+	for _, existing := range set.models {
+		if existing.Fingerprint() == fp {
+			return false
+		}
+	}
+	set.models = append(set.models, m)
+	if incremental {
+		set.incremental = true
+	}
+	return true
+}
+
+// Delete removes every model learned for id (administrator review
+// rejecting a poisoned identifier).
+func (s *Store) Delete(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.models, id)
+}
+
+// Approve clears an identifier's incremental flag: the administrator
+// reviewed the query and deemed it benign.
+func (s *Store) Approve(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	set, ok := s.models[id]
+	if !ok {
+		return false
+	}
+	set.incremental = false
+	return true
+}
+
+// PendingReview lists the identifiers learned incrementally and not yet
+// approved — the administrator's §II-E work list — sorted.
+func (s *Store) PendingReview() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for id, set := range s.models {
+		if set.incremental {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// UsageReport returns per-identifier usage, sorted by descending hits
+// then id — the triage view for the administrator.
+func (s *Store) UsageReport() []Usage {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Usage, 0, len(s.models))
+	for id, set := range s.models {
+		out = append(out, Usage{
+			ID:          id,
+			Models:      len(set.models),
+			Hits:        atomic.LoadInt64(&set.hits),
+			Incremental: set.incremental,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Hits != out[j].Hits {
+			return out[i].Hits > out[j].Hits
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Len returns the number of known query identifiers.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.models)
+}
+
+// ModelCount returns the total number of learned models across all
+// identifiers (≥ Len when variants exist).
+func (s *Store) ModelCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, set := range s.models {
+		n += len(set.models)
+	}
+	return n
+}
+
+// IDs returns the learned query identifiers, sorted.
+func (s *Store) IDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.models))
+	for id := range s.models {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// persistedSet is the on-disk form of one identifier's record.
+type persistedSet struct {
+	Models      []qstruct.Model `json:"models"`
+	Sums        []uint64        `json:"sums"`
+	Hits        int64           `json:"hits"`
+	Incremental bool            `json:"incremental,omitempty"`
+}
+
+// storeFile is the persisted JSON layout.
+type storeFile struct {
+	Version int                     `json:"version"`
+	Sets    map[string]persistedSet `json:"sets"`
+}
+
+const storeVersion = 3
+
+// Save writes the learned models to path atomically (write to temp file,
+// then rename), with per-model fingerprints for integrity checking.
+func (s *Store) Save(path string) error {
+	s.mu.RLock()
+	file := storeFile{
+		Version: storeVersion,
+		Sets:    make(map[string]persistedSet, len(s.models)),
+	}
+	for id, set := range s.models {
+		p := persistedSet{
+			Models:      make([]qstruct.Model, len(set.models)),
+			Sums:        make([]uint64, len(set.models)),
+			Hits:        atomic.LoadInt64(&set.hits),
+			Incremental: set.incremental,
+		}
+		copy(p.Models, set.models)
+		for i, m := range set.models {
+			p.Sums[i] = m.Fingerprint()
+		}
+		file.Sets[id] = p
+	}
+	s.mu.RUnlock()
+
+	data, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encode model store: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("write model store: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("rename model store: %w", err)
+	}
+	return nil
+}
+
+// Load replaces the store contents with the models persisted at path,
+// verifying fingerprints.
+func (s *Store) Load(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("read model store: %w", err)
+	}
+	var file storeFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		return fmt.Errorf("decode model store: %w", err)
+	}
+	if file.Version != storeVersion {
+		return fmt.Errorf("model store version %d unsupported (want %d)",
+			file.Version, storeVersion)
+	}
+	loaded := make(map[string]*modelSet, len(file.Sets))
+	for id, p := range file.Sets {
+		for i, m := range p.Models {
+			if i < len(p.Sums) && p.Sums[i] != m.Fingerprint() {
+				return fmt.Errorf("model store corrupt: fingerprint mismatch for %q[%d]", id, i)
+			}
+		}
+		models := make([]qstruct.Model, len(p.Models))
+		copy(models, p.Models)
+		loaded[id] = &modelSet{
+			models:      models,
+			hits:        p.Hits,
+			incremental: p.Incremental,
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.models = loaded
+	return nil
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/septic-db/septic/internal/qstruct"
+	"github.com/septic-db/septic/internal/sqlparser"
+)
+
+func modelFor(t *testing.T, query string) qstruct.Model {
+	t.Helper()
+	stmt, err := sqlparser.Parse(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qstruct.ModelOf(qstruct.BuildStack(stmt))
+}
+
+func TestStorePutDedupesByFingerprint(t *testing.T) {
+	s := NewStore()
+	m := modelFor(t, "SELECT a FROM t WHERE b = 1")
+	if !s.Put("id1", m, false) {
+		t.Fatal("first Put should add")
+	}
+	if s.Put("id1", m, false) {
+		t.Fatal("identical model must not be re-added")
+	}
+	if s.Len() != 1 || s.ModelCount() != 1 {
+		t.Errorf("len=%d models=%d", s.Len(), s.ModelCount())
+	}
+}
+
+func TestStoreHoldsModelSetsPerID(t *testing.T) {
+	s := NewStore()
+	byName := modelFor(t, "SELECT id FROM devices ORDER BY name")
+	byLocation := modelFor(t, "SELECT id FROM devices ORDER BY location")
+	if !s.Put("devices", byName, false) || !s.Put("devices", byLocation, false) {
+		t.Fatal("both variants should be added")
+	}
+	if s.Len() != 1 {
+		t.Errorf("ids = %d, want 1", s.Len())
+	}
+	if s.ModelCount() != 2 {
+		t.Errorf("models = %d, want 2", s.ModelCount())
+	}
+	models, ok := s.Get("devices")
+	if !ok || len(models) != 2 {
+		t.Fatalf("Get = %v, %t", models, ok)
+	}
+}
+
+func TestStoreGetReturnsCopy(t *testing.T) {
+	s := NewStore()
+	s.Put("id", modelFor(t, "SELECT 1"), false)
+	models, _ := s.Get("id")
+	models[0] = qstruct.Model{}
+	fresh, _ := s.Get("id")
+	if len(fresh[0].Nodes) == 0 {
+		t.Error("Get exposed internal storage")
+	}
+}
+
+func TestStoreSaveLoadRoundTripsModelSets(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "models.json")
+	s := NewStore()
+	s.Put("devices", modelFor(t, "SELECT id FROM devices ORDER BY name"), false)
+	s.Put("devices", modelFor(t, "SELECT id FROM devices ORDER BY location"), false)
+	s.Put("other", modelFor(t, "DELETE FROM logs WHERE ts < 5"), false)
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded := NewStore()
+	if err := loaded.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 2 || loaded.ModelCount() != 3 {
+		t.Errorf("loaded len=%d models=%d, want 2/3", loaded.Len(), loaded.ModelCount())
+	}
+	models, _ := loaded.Get("devices")
+	if len(models) != 2 {
+		t.Errorf("devices models = %d, want 2", len(models))
+	}
+}
+
+func TestStoreLoadRejectsWrongVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "models.json")
+	mustWrite(t, path, []byte(`{"version": 99, "models": {}, "sums": {}}`))
+	if err := NewStore().Load(path); err == nil {
+		t.Fatal("wrong version must be rejected")
+	}
+}
+
+func TestStoreLoadMissingFile(t *testing.T) {
+	if err := NewStore().Load(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestStoreDeleteRemovesWholeSet(t *testing.T) {
+	s := NewStore()
+	s.Put("id", modelFor(t, "SELECT 1"), false)
+	s.Put("id", modelFor(t, "SELECT 1, 2"), false)
+	s.Delete("id")
+	if _, ok := s.Get("id"); ok {
+		t.Error("Delete left models behind")
+	}
+}
+
+// TestSingleModelAblation reproduces the paper's one-model-per-ID
+// behaviour by limiting the detector to the first learned model: the
+// second legitimate variant is then flagged — the false positive the
+// model-set extension removes.
+func TestSingleModelAblation(t *testing.T) {
+	byName := modelFor(t, "SELECT id FROM devices ORDER BY name")
+	variantStmt, err := sqlparser.Parse("SELECT id FROM devices ORDER BY location")
+	if err != nil {
+		t.Fatal(err)
+	}
+	variant := qstruct.BuildStack(variantStmt)
+	det := NewDetector(DefaultPlugins())
+
+	// Paper behaviour: only the first model.
+	if _, attack := det.DetectSQLI(variant, []qstruct.Model{byName}); !attack {
+		t.Error("single-model: variant should be flagged (the documented FP)")
+	}
+	// Extension: the set contains both.
+	byLocation := modelFor(t, "SELECT id FROM devices ORDER BY location")
+	if _, attack := det.DetectSQLI(variant, []qstruct.Model{byName, byLocation}); attack {
+		t.Error("model-set: trained variant should pass")
+	}
+}
+
+func TestDetectorPrefersSyntacticalVerdict(t *testing.T) {
+	det := NewDetector(DefaultPlugins())
+	// Two models: one longer (structural mismatch), one same-length
+	// (syntactical mismatch). The reported verdict should be the
+	// syntactical one — the closest explanation.
+	longer := modelFor(t, "SELECT id FROM t WHERE a = 1 AND b = 2")
+	sameLen := modelFor(t, "SELECT id FROM t WHERE a = 'x'")
+	qsStmt, err := sqlparser.Parse("SELECT id FROM t WHERE a = c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := qstruct.BuildStack(qsStmt)
+	d, attack := det.DetectSQLI(qs, []qstruct.Model{longer, sameLen})
+	if !attack {
+		t.Fatal("mismatching query not flagged")
+	}
+	if d.Step != qstruct.StepSyntactical {
+		t.Errorf("step = %s, want syntactical (closest model)", d.Step)
+	}
+}

@@ -1,0 +1,256 @@
+// Package dbfw implements a GreenSQL-style database firewall: a learning
+// SQL proxy that sits BETWEEN the application and the DBMS (the related-
+// work deployment the paper contrasts SEPTIC with, §I and §II-B).
+//
+// The firewall normalizes the *text* of each query — replacing literals
+// with placeholders — and learns the set of normalized shapes during a
+// training phase. In enforcement mode, queries whose normalized shape
+// was never learned are blocked, optionally combined with a risk score
+// over suspicious textual features.
+//
+// Its decisive limitation, which the benchmarks quantify, is positional:
+// it sees the query BEFORE the DBMS decodes it. A confusable quote is
+// still a multi-byte character, so the attacked query normalizes to the
+// same shape as the benign one and passes — the same query a SEPTIC
+// inside the DBMS rejects after decoding. This is the paper's argument
+// for moving detection inside the DBMS, rendered executable.
+package dbfw
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/septic-db/septic/internal/engine"
+)
+
+// ErrBlockedByProxy is wrapped by errors for queries the firewall drops.
+var ErrBlockedByProxy = errors.New("query blocked by database firewall")
+
+// Mode is the firewall's operation mode.
+type Mode int
+
+// Modes.
+const (
+	ModeInvalid Mode = iota
+	// ModeLearning records normalized query shapes and forwards
+	// everything.
+	ModeLearning
+	// ModeEnforcing blocks queries with unknown shapes or risky text.
+	ModeEnforcing
+)
+
+// Decision records what the firewall did with one query.
+type Decision struct {
+	Blocked bool
+	// Unknown reports the normalized shape was never learned.
+	Unknown bool
+	// Risk is the textual risk score.
+	Risk int
+	// Pattern is the normalized shape.
+	Pattern string
+}
+
+// Executor is the downstream the proxy forwards to (usually *engine.DB,
+// possibly a wire client).
+type Executor interface {
+	Exec(query string) (*engine.Result, error)
+	ExecArgs(query string, args ...engine.Value) (*engine.Result, error)
+}
+
+// Firewall is a learning SQL proxy in front of an Executor.
+type Firewall struct {
+	next Executor
+
+	mu       sync.RWMutex
+	mode     Mode
+	patterns map[string]struct{}
+	blocked  int64
+	passed   int64
+}
+
+// New builds a firewall proxying to next (usually the real DB).
+func New(next Executor) *Firewall {
+	return &Firewall{
+		next:     next,
+		mode:     ModeLearning,
+		patterns: make(map[string]struct{}),
+	}
+}
+
+// SetMode switches learning/enforcing.
+func (f *Firewall) SetMode(m Mode) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.mode = m
+}
+
+// PatternCount returns how many shapes were learned.
+func (f *Firewall) PatternCount() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.patterns)
+}
+
+// Counters returns (passed, blocked).
+func (f *Firewall) Counters() (int64, int64) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.passed, f.blocked
+}
+
+// Exec filters one query and forwards it when allowed, satisfying
+// webapp.Executor so applications can run unchanged behind the proxy.
+func (f *Firewall) Exec(query string) (*engine.Result, error) {
+	d := f.Inspect(query)
+	if d.Blocked {
+		return nil, fmt.Errorf("%w: unknown shape %q (risk %d)", ErrBlockedByProxy, d.Pattern, d.Risk)
+	}
+	return f.next.Exec(query)
+}
+
+// ExecArgs filters a parameterized query and forwards it when allowed.
+// Only the template text is inspected: bound values never enter the
+// query text, so they cannot change its shape — but the proxy also
+// performs no charset decoding on them, which is exactly why a
+// confusable payload stored through this path is invisible to it.
+func (f *Firewall) ExecArgs(query string, args ...engine.Value) (*engine.Result, error) {
+	d := f.Inspect(query)
+	if d.Blocked {
+		return nil, fmt.Errorf("%w: unknown shape %q (risk %d)", ErrBlockedByProxy, d.Pattern, d.Risk)
+	}
+	return f.next.ExecArgs(query, args...)
+}
+
+// Inspect renders the decision for one query without forwarding it.
+func (f *Firewall) Inspect(query string) Decision {
+	pattern := Normalize(query)
+	risk := riskScore(query)
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch f.mode {
+	case ModeLearning:
+		f.patterns[pattern] = struct{}{}
+		f.passed++
+		return Decision{Pattern: pattern, Risk: risk}
+	default:
+		_, known := f.patterns[pattern]
+		d := Decision{Pattern: pattern, Risk: risk, Unknown: !known}
+		if !known || risk >= riskThreshold {
+			d.Blocked = true
+			f.blocked++
+			return d
+		}
+		f.passed++
+		return d
+	}
+}
+
+// riskThreshold blocks a known-shape query whose text still screams
+// attack (GreenSQL's risk heuristics).
+const riskThreshold = 10
+
+// riskScore implements GreenSQL-style textual heuristics.
+func riskScore(query string) int {
+	lower := strings.ToLower(query)
+	score := 0
+	for _, probe := range []struct {
+		needle string
+		points int
+	}{
+		{"union select", 10},
+		{"into outfile", 10},
+		{"load_file", 10},
+		{"information_schema", 10},
+		{"sleep(", 8},
+		{"benchmark(", 8},
+		{"or 1=1", 10},
+		{"or '1'='1", 10},
+		{"; drop", 10},
+		{"; delete", 8},
+	} {
+		if strings.Contains(lower, probe.needle) {
+			score += probe.points
+		}
+	}
+	return score
+}
+
+// Normalize reduces a query to its textual shape: string literals become
+// ?s, numbers become ?n, whitespace collapses, keywords lower-case. The
+// crucial property (and flaw): it tokenizes the RAW text with generic
+// SQL rules — it cannot know that the DBMS will later fold a confusable
+// into a quote, so such a payload stays inside the ?s placeholder.
+func Normalize(query string) string {
+	var b strings.Builder
+	b.Grow(len(query))
+	i := 0
+	lastSpace := true
+	writeByte := func(c byte) {
+		b.WriteByte(c)
+		lastSpace = false
+	}
+	for i < len(query) {
+		c := query[i]
+		switch {
+		case c == '\'' || c == '"':
+			// Skip the literal, honoring backslash escapes and doubling.
+			quote := c
+			i++
+			for i < len(query) {
+				if query[i] == '\\' && i+1 < len(query) {
+					i += 2
+					continue
+				}
+				if query[i] == quote {
+					if i+1 < len(query) && query[i+1] == quote {
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				i++
+			}
+			b.WriteString("?s")
+			lastSpace = false
+		case c >= '0' && c <= '9':
+			for i < len(query) && (query[i] >= '0' && query[i] <= '9' || query[i] == '.') {
+				i++
+			}
+			b.WriteString("?n")
+			lastSpace = false
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			if !lastSpace {
+				b.WriteByte(' ')
+				lastSpace = true
+			}
+			i++
+		case c == '-' && i+1 < len(query) && query[i+1] == '-':
+			// Line comment: drop to end of line.
+			for i < len(query) && query[i] != '\n' {
+				i++
+			}
+		case c == '#':
+			for i < len(query) && query[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(query) && query[i+1] == '*':
+			end := strings.Index(query[i+2:], "*/")
+			if end < 0 {
+				i = len(query)
+				break
+			}
+			i += 2 + end + 2
+		case c >= 'A' && c <= 'Z':
+			writeByte(c + ('a' - 'A'))
+			i++
+		default:
+			writeByte(c)
+			i++
+		}
+	}
+	return strings.TrimSpace(b.String())
+}

@@ -1,0 +1,145 @@
+package dbfw
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/septic-db/septic/internal/engine"
+)
+
+func newDB(t *testing.T) *engine.DB {
+	t.Helper()
+	db := engine.New()
+	for _, q := range []string{
+		"CREATE TABLE tickets (id INT, reservID TEXT, creditCard INT)",
+		"INSERT INTO tickets (id, reservID, creditCard) VALUES (1, 'ID34FG', 1234)",
+	} {
+		if _, err := db.Exec(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestNormalize(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{
+			"SELECT * FROM t WHERE a = 'x' AND b = 42",
+			"select * from t where a = ?s and b = ?n",
+		},
+		{
+			"SELECT  *\nFROM t",
+			"select * from t",
+		},
+		{
+			"SELECT 1 -- comment",
+			"select ?n",
+		},
+		{
+			"SELECT /* hint */ 1",
+			"select ?n",
+		},
+		{
+			`SELECT 'it''s' , 'a\'b'`,
+			"select ?s , ?s",
+		},
+		{
+			"SELECT 3.14",
+			"select ?n",
+		},
+	}
+	for _, tt := range tests {
+		if got := Normalize(tt.in); got != tt.want {
+			t.Errorf("Normalize(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+// TestNormalizeConfusableStaysInLiteral is the proxy's blind spot: the
+// confusable quote is just bytes inside the literal, so the attacked and
+// benign queries share a shape at the proxy.
+func TestNormalizeConfusableStaysInLiteral(t *testing.T) {
+	benign := Normalize("SELECT * FROM t WHERE a = 'ID34FG' AND b = 1")
+	attacked := Normalize("SELECT * FROM t WHERE a = 'IDʼ OR ʼ1ʼ=ʼ1' AND b = 1")
+	if benign != attacked {
+		t.Errorf("shapes differ (%q vs %q) — the modelled flaw requires them equal",
+			benign, attacked)
+	}
+}
+
+func TestLearningThenEnforcing(t *testing.T) {
+	db := newDB(t)
+	fw := New(db)
+	// Learn one query shape.
+	if _, err := fw.Exec("SELECT reservID FROM tickets WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if fw.PatternCount() != 1 {
+		t.Fatalf("patterns = %d", fw.PatternCount())
+	}
+	fw.SetMode(ModeEnforcing)
+
+	// Same shape, new data: allowed.
+	if _, err := fw.Exec("SELECT reservID FROM tickets WHERE id = 2"); err != nil {
+		t.Errorf("same-shape query blocked: %v", err)
+	}
+	// Classic quote injection changes the shape: blocked.
+	_, err := fw.Exec("SELECT reservID FROM tickets WHERE id = 1 OR '1'='1'")
+	if !errors.Is(err, ErrBlockedByProxy) {
+		t.Errorf("err = %v, want ErrBlockedByProxy", err)
+	}
+	passed, blocked := fw.Counters()
+	if passed != 2 || blocked != 1 {
+		t.Errorf("counters = %d/%d, want 2/1", passed, blocked)
+	}
+}
+
+// TestProxyMissesSemanticMismatch is the baseline's headline false
+// negative: the confusable payload rides inside the literal, the shape
+// matches, the proxy forwards — and the DBMS then decodes it into an
+// injection the proxy never saw.
+func TestProxyMissesSemanticMismatch(t *testing.T) {
+	db := newDB(t)
+	fw := New(db)
+	if _, err := fw.Exec("SELECT creditCard FROM tickets WHERE reservID = 'ID34FG'"); err != nil {
+		t.Fatal(err)
+	}
+	fw.SetMode(ModeEnforcing)
+
+	res, err := fw.Exec("SELECT creditCard FROM tickets WHERE reservID = 'xʼ OR ʼ1ʼ=ʼ1'")
+	if err != nil {
+		t.Fatalf("the modelled flaw requires the proxy to forward: %v", err)
+	}
+	// The forwarded query executed as a tautology: data leaked.
+	if len(res.Rows) == 0 {
+		t.Error("tautology did not fire downstream; substrate drifted")
+	}
+}
+
+func TestRiskScoreBlocksKnownShapeAttack(t *testing.T) {
+	db := newDB(t)
+	fw := New(db)
+	// Adversarial training: the attacker polluted the training set.
+	if _, err := fw.Exec("SELECT reservID FROM tickets WHERE id = 1 UNION SELECT 'x'"); err != nil {
+		t.Fatal(err)
+	}
+	fw.SetMode(ModeEnforcing)
+	// Same shape, but the risk heuristics still fire.
+	_, err := fw.Exec("SELECT reservID FROM tickets WHERE id = 2 UNION SELECT 'y'")
+	if !errors.Is(err, ErrBlockedByProxy) {
+		t.Errorf("risky known-shape query should be blocked: %v", err)
+	}
+}
+
+func TestInspectDoesNotForward(t *testing.T) {
+	db := newDB(t)
+	fw := New(db)
+	before := db.Stats().Executed
+	d := fw.Inspect("SELECT * FROM tickets")
+	if d.Blocked {
+		t.Errorf("learning mode must not block: %+v", d)
+	}
+	if db.Stats().Executed != before {
+		t.Error("Inspect must not execute the query")
+	}
+}

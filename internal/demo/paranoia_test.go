@@ -1,0 +1,75 @@
+package demo
+
+import (
+	"testing"
+
+	"github.com/septic-db/septic/internal/waf"
+)
+
+// TestParanoia2Ablation runs the whole demonstration against a
+// paranoia-2 WAF: the aggressive bare-boolean rule closes the
+// confusable-tautology holes (their decoded form still reads
+// "OR x=y" byte-wise)...
+// but operator synonyms, ORDER BY injections, second-order triggers and
+// the evasive stored payloads remain invisible, and SEPTIC still
+// strictly dominates. The FP risk PL2 trades for that coverage does not
+// fire on this benign set; CRS gates the rule behind PL2 precisely
+// because broader traffic does trip it.
+func TestParanoia2Ablation(t *testing.T) {
+	pl1, err := Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl2, err := Run(WithWAFOptions(waf.WithParanoia(waf.Paranoia2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	det1 := pl1.DetectionCounts()["modsec"]
+	det2 := pl2.DetectionCounts()["modsec"]
+	if det2 <= det1 {
+		t.Errorf("paranoia 2 should catch more: PL1=%d PL2=%d", det1, det2)
+	}
+
+	// Per-case expectations at PL2.
+	wantCaught := map[string]bool{
+		"tautology-encoded-quote": true, // "or ʼ1ʼ=ʼ1" matches the bare-boolean rule
+		"mimicry-encoded-quote":   true,
+	}
+	wantStillMissed := []string{
+		"tautology-operator-synonym", // '||' carries no OR/AND word
+		"orderby-subquery",
+		"orderby-case-blind",
+		"second-order-profile", // the trigger request is a bare numeric id
+		"second-order-encoded",
+		"stored-xss-data-uri",
+		"stored-rfi",
+		"stored-osci-newline",
+	}
+	byName := make(map[string]Outcome, len(pl2.Outcomes))
+	for _, o := range pl2.Outcomes {
+		byName[o.Case.Name] = o
+	}
+	for name := range wantCaught {
+		if !byName[name].BlockedByWAF {
+			t.Errorf("%s: expected PL2 to catch it", name)
+		}
+	}
+	for _, name := range wantStillMissed {
+		if byName[name].BlockedByWAF {
+			t.Errorf("%s: expected even PL2 to miss it", name)
+		}
+		if !byName[name].BlockedBySeptic {
+			t.Errorf("%s: SEPTIC must still block it", name)
+		}
+	}
+
+	// SEPTIC remains complete at both levels; PL2 stays clean on this
+	// benign set.
+	if pl2.DetectionCounts()["septic"] != len(pl2.Outcomes) {
+		t.Error("SEPTIC coverage regressed under the PL2 run")
+	}
+	if pl2.FP.WAF != 0 {
+		t.Errorf("PL2 false positives on the demo benign set = %d", pl2.FP.WAF)
+	}
+}

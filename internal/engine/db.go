@@ -1,0 +1,433 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/septic-db/septic/internal/sqlparser"
+)
+
+// HookContext is what the engine hands to the registered QueryHook for
+// each statement, after parsing and validation and before execution. It
+// corresponds to the "Q received, parsed & validated by the DBMS" input
+// of Fig. 1.
+type HookContext struct {
+	// Raw is the query text exactly as received from the client.
+	Raw string
+	// Decoded is the query text after charset decoding — what the parser
+	// actually consumed. Raw != Decoded signals confusable folding.
+	Decoded string
+	// Stmt is the validated statement.
+	Stmt sqlparser.Statement
+	// Comments are the comment bodies found in the query, in order. The
+	// first one may carry the application-supplied external identifier.
+	Comments []string
+}
+
+// QueryHook observes validated queries immediately before execution.
+// Returning an error that wraps ErrQueryBlocked makes the engine drop
+// the query; any other error also aborts execution but is reported as an
+// engine failure rather than a security block. SEPTIC implements this
+// interface.
+type QueryHook interface {
+	BeforeExecute(ctx *HookContext) error
+}
+
+// Stats counts engine activity; read with DB.Stats.
+type Stats struct {
+	Executed int64
+	Blocked  int64
+	Failed   int64
+}
+
+// Option configures a DB at construction time.
+type Option func(*DB)
+
+// WithQueryHook installs the security hook (SEPTIC). Passing nil leaves
+// the engine unprotected, like a stock MySQL.
+func WithQueryHook(h QueryHook) Option {
+	return func(db *DB) { db.hook = h }
+}
+
+// WithClock injects the time source used by NOW(); defaults to time.Now.
+// Benchmarks and tests inject a fixed clock for determinism.
+func WithClock(clock func() time.Time) Option {
+	return func(db *DB) { db.clock = clock }
+}
+
+// DB is an in-memory database instance. It is safe for concurrent use by
+// multiple goroutines ("client diversity": many sessions, one server).
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	hook   QueryHook
+	clock  func() time.Time
+	stats  Stats
+}
+
+// New creates an empty database.
+func New(opts ...Option) *DB {
+	db := &DB{
+		tables: make(map[string]*Table),
+		clock:  time.Now,
+	}
+	for _, o := range opts {
+		o(db)
+	}
+	return db
+}
+
+// SetHook replaces the query hook at runtime (used when the demo flips
+// SEPTIC between modes and "restarts MySQL").
+func (db *DB) SetHook(h QueryHook) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.hook = h
+}
+
+// Stats returns a snapshot of the engine counters.
+func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.stats
+}
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Columns are the result column names for row-returning statements.
+	Columns []string
+	// Rows are the result rows.
+	Rows [][]Value
+	// Affected is the number of rows written by DML.
+	Affected int64
+	// LastInsertID is the last AUTO_INCREMENT value an INSERT produced.
+	LastInsertID int64
+}
+
+// Exec parses, validates, hooks and executes one SQL statement.
+func (db *DB) Exec(query string) (*Result, error) {
+	return db.exec(query, nil)
+}
+
+// ExecArgs executes a parameterized statement: every '?' placeholder in
+// the query is bound to the corresponding value from args after parsing.
+// Because binding happens in the AST — never by text substitution — the
+// query's structure is fixed before user data enters it. This is the
+// engine's "prepared statement" path, the textbook-safe alternative the
+// paper's vulnerable applications fail to use.
+func (db *DB) ExecArgs(query string, args ...Value) (*Result, error) {
+	return db.exec(query, args)
+}
+
+func (db *DB) exec(query string, args []Value) (*Result, error) {
+	decoded := sqlparser.DecodeCharset(query)
+	stmt, err := sqlparser.Parse(query)
+	if err != nil {
+		db.countFailed()
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	if args != nil {
+		if err := bindArgs(stmt, args); err != nil {
+			db.countFailed()
+			return nil, err
+		}
+	}
+	if err := db.validate(stmt); err != nil {
+		db.countFailed()
+		return nil, err
+	}
+
+	// SEPTIC's hook point: after validation, before execution (Fig. 1).
+	// The hook runs outside the engine lock so detection latency never
+	// serializes unrelated sessions.
+	if hook := db.currentHook(); hook != nil {
+		hctx := &HookContext{
+			Raw:      query,
+			Decoded:  decoded,
+			Stmt:     stmt,
+			Comments: stmt.StatementComments(),
+		}
+		if err := hook.BeforeExecute(hctx); err != nil {
+			// Only a deliberate security drop counts as blocked; a hook
+			// infrastructure failure is an ordinary failed query.
+			if errors.Is(err, ErrQueryBlocked) {
+				db.countBlocked()
+			} else {
+				db.countFailed()
+			}
+			return nil, err
+		}
+	}
+
+	res, err := db.execute(stmt)
+	if err != nil {
+		db.countFailed()
+		return nil, err
+	}
+	db.mu.Lock()
+	db.stats.Executed++
+	db.mu.Unlock()
+	return res, nil
+}
+
+func (db *DB) currentHook() QueryHook {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.hook
+}
+
+func (db *DB) countFailed() {
+	db.mu.Lock()
+	db.stats.Failed++
+	db.mu.Unlock()
+}
+
+func (db *DB) countBlocked() {
+	db.mu.Lock()
+	db.stats.Blocked++
+	db.mu.Unlock()
+}
+
+// validate checks the statement against the catalog: referenced tables
+// must exist and INSERT column lists must match the schema. This is the
+// "validated by the DBMS" half of the paper's hook contract.
+func (db *DB) validate(stmt sqlparser.Statement) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	switch s := stmt.(type) {
+	case *sqlparser.SelectStmt:
+		return db.validateSelect(s)
+	case *sqlparser.InsertStmt:
+		t, ok := db.tables[strings.ToLower(s.Table)]
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrNoSuchTable, s.Table)
+		}
+		for _, c := range s.Columns {
+			if t.colIndex(c) < 0 {
+				return fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, s.Table, c)
+			}
+		}
+		if s.Select != nil {
+			return db.validateSelect(s.Select)
+		}
+		width := len(s.Columns)
+		if width == 0 {
+			width = len(t.Columns)
+		}
+		for i, row := range s.Rows {
+			if len(row) != width {
+				return fmt.Errorf("row %d has %d values, want %d", i+1, len(row), width)
+			}
+		}
+		return nil
+	case *sqlparser.UpdateStmt:
+		t, ok := db.tables[strings.ToLower(s.Table)]
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrNoSuchTable, s.Table)
+		}
+		for _, a := range s.Sets {
+			if t.colIndex(a.Column) < 0 {
+				return fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, s.Table, a.Column)
+			}
+		}
+		return nil
+	case *sqlparser.DeleteStmt:
+		if _, ok := db.tables[strings.ToLower(s.Table)]; !ok {
+			return fmt.Errorf("%w: %s", ErrNoSuchTable, s.Table)
+		}
+		return nil
+	case *sqlparser.DescribeStmt:
+		if _, ok := db.tables[strings.ToLower(s.Table)]; !ok {
+			return fmt.Errorf("%w: %s", ErrNoSuchTable, s.Table)
+		}
+		return nil
+	case *sqlparser.ExplainStmt:
+		return db.validateSelect(s.Select)
+	case *sqlparser.CreateTableStmt:
+		if _, ok := db.tables[strings.ToLower(s.Table)]; ok && !s.IfNotExists {
+			return fmt.Errorf("%w: %s", ErrTableExists, s.Table)
+		}
+		return nil
+	case *sqlparser.DropTableStmt:
+		if _, ok := db.tables[strings.ToLower(s.Table)]; !ok && !s.IfExists {
+			return fmt.Errorf("%w: %s", ErrNoSuchTable, s.Table)
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+func (db *DB) validateSelect(s *sqlparser.SelectStmt) error {
+	for _, t := range s.From {
+		if t.Subquery != nil {
+			if err := db.validateSelect(t.Subquery); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, ok := db.tables[strings.ToLower(t.Name)]; !ok {
+			return fmt.Errorf("%w: %s", ErrNoSuchTable, t.Name)
+		}
+	}
+	if s.Union != nil {
+		return db.validateSelect(s.Union.Next)
+	}
+	return nil
+}
+
+// execute dispatches to the per-statement executors.
+func (db *DB) execute(stmt sqlparser.Statement) (*Result, error) {
+	switch s := stmt.(type) {
+	case *sqlparser.SelectStmt:
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		return db.execSelect(s, nil)
+	case *sqlparser.InsertStmt:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		return db.execInsert(s)
+	case *sqlparser.UpdateStmt:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		return db.execUpdate(s)
+	case *sqlparser.DeleteStmt:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		return db.execDelete(s)
+	case *sqlparser.CreateTableStmt:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		return db.execCreateTable(s)
+	case *sqlparser.DropTableStmt:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		return db.execDropTable(s)
+	case *sqlparser.ShowTablesStmt:
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		return db.execShowTables()
+	case *sqlparser.DescribeStmt:
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		return db.execDescribe(s)
+	case *sqlparser.ExplainStmt:
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		return db.execExplain(s)
+	default:
+		return nil, fmt.Errorf("unsupported statement %T", stmt)
+	}
+}
+
+func (db *DB) execShowTables() (*Result, error) {
+	names := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		names = append(names, t.Name)
+	}
+	sort.Strings(names)
+	res := &Result{Columns: []string{"Tables"}}
+	for _, n := range names {
+		res.Rows = append(res.Rows, []Value{Str(n)})
+	}
+	return res, nil
+}
+
+func (db *DB) execDescribe(s *sqlparser.DescribeStmt) (*Result, error) {
+	t := db.tables[strings.ToLower(s.Table)]
+	if t == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, s.Table)
+	}
+	res := &Result{Columns: []string{"Field", "Type", "Null", "Key", "Extra"}}
+	for _, c := range t.Columns {
+		null := "YES"
+		if c.NotNull {
+			null = "NO"
+		}
+		key := ""
+		if c.PrimaryKey {
+			key = "PRI"
+		} else if c.Unique {
+			key = "UNI"
+		}
+		extra := ""
+		if c.AutoIncrement {
+			extra = "auto_increment"
+		}
+		res.Rows = append(res.Rows, []Value{
+			Str(c.Name), Str(c.Type.String()), Str(null), Str(key), Str(extra),
+		})
+	}
+	return res, nil
+}
+
+func (db *DB) execCreateTable(s *sqlparser.CreateTableStmt) (*Result, error) {
+	key := strings.ToLower(s.Table)
+	if _, ok := db.tables[key]; ok {
+		if s.IfNotExists {
+			return &Result{}, nil
+		}
+		return nil, fmt.Errorf("%w: %s", ErrTableExists, s.Table)
+	}
+	t, err := newTable(s)
+	if err != nil {
+		return nil, err
+	}
+	db.tables[key] = t
+	return &Result{}, nil
+}
+
+func (db *DB) execDropTable(s *sqlparser.DropTableStmt) (*Result, error) {
+	key := strings.ToLower(s.Table)
+	if _, ok := db.tables[key]; !ok {
+		if s.IfExists {
+			return &Result{}, nil
+		}
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, s.Table)
+	}
+	delete(db.tables, key)
+	return &Result{}, nil
+}
+
+// bindArgs substitutes positional args for the '?' placeholders of a
+// parsed statement, in source order.
+func bindArgs(stmt sqlparser.Statement, args []Value) error {
+	n := 0
+	err := sqlparser.RewriteExprs(stmt, func(e sqlparser.Expr) (sqlparser.Expr, error) {
+		if _, ok := e.(*sqlparser.Placeholder); !ok {
+			return e, nil
+		}
+		if n >= len(args) {
+			return nil, fmt.Errorf("not enough arguments: placeholder %d of %d bound", n+1, len(args))
+		}
+		v := args[n]
+		n++
+		return valueLiteral(v), nil
+	})
+	if err != nil {
+		return err
+	}
+	if n != len(args) {
+		return fmt.Errorf("too many arguments: %d placeholders, %d args", n, len(args))
+	}
+	return nil
+}
+
+func valueLiteral(v Value) *sqlparser.Literal {
+	switch v.Kind {
+	case KindInt:
+		return &sqlparser.Literal{Kind: sqlparser.LiteralInt, Int: v.I}
+	case KindFloat:
+		return &sqlparser.Literal{Kind: sqlparser.LiteralFloat, Float: v.F}
+	case KindString:
+		return &sqlparser.Literal{Kind: sqlparser.LiteralString, Str: v.S}
+	case KindBool:
+		return &sqlparser.Literal{Kind: sqlparser.LiteralBool, Bool: v.B}
+	default:
+		return &sqlparser.Literal{Kind: sqlparser.LiteralNull}
+	}
+}

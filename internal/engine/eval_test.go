@@ -1,0 +1,250 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestThreeValuedLogic(t *testing.T) {
+	db := testDB(t)
+	tests := []struct {
+		q    string
+		want string
+	}{
+		{"SELECT NULL AND 1", "NULL"},
+		{"SELECT NULL AND 0", "0"},
+		{"SELECT 0 AND NULL", "0"},
+		{"SELECT NULL OR 1", "1"},
+		{"SELECT 1 OR NULL", "1"},
+		{"SELECT NULL OR 0", "NULL"},
+		{"SELECT NULL XOR 1", "NULL"},
+		{"SELECT 1 XOR 1", "0"},
+		{"SELECT 1 XOR 0", "1"},
+		{"SELECT NOT NULL", "NULL"},
+		{"SELECT NOT 0", "1"},
+		{"SELECT NOT 3", "0"},
+	}
+	for _, tt := range tests {
+		res := mustExec(t, db, tt.q)
+		if got := res.Rows[0][0].String(); got != tt.want {
+			t.Errorf("%s = %q, want %q", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestUnaryMinusOnExpressions(t *testing.T) {
+	db := testDB(t)
+	res := mustExec(t, db, "SELECT -age FROM users WHERE name = 'ann'")
+	if res.Rows[0][0].I != -31 {
+		t.Errorf("got %v", res.Rows[0][0])
+	}
+	res = mustExec(t, db, "SELECT -(1.5 + 1)")
+	if res.Rows[0][0].F != -2.5 {
+		t.Errorf("got %v", res.Rows[0][0])
+	}
+	res = mustExec(t, db, "SELECT -NULL")
+	if !res.Rows[0][0].IsNull() {
+		t.Errorf("got %v", res.Rows[0][0])
+	}
+}
+
+func TestAggregateExpressions(t *testing.T) {
+	db := testDB(t)
+	tests := []struct {
+		q    string
+		want string
+	}{
+		{"SELECT SUM(age) * 2 FROM users", "200"},
+		{"SELECT MAX(age) - MIN(age) FROM users", "15"},
+		{"SELECT COUNT(*) + COUNT(age) FROM users", "7"},
+		{"SELECT UPPER(GROUP_CONCAT(name)) FROM users WHERE city = 'lisbon'", "ANN,CAL"},
+		{"SELECT SUM(DISTINCT creditCard) FROM tickets", "6912"},
+		{"SELECT -COUNT(*) FROM users", "-4"},
+		{"SELECT IF(COUNT(*) > 3, 'many', 'few') FROM users", "many"},
+	}
+	for _, tt := range tests {
+		res := mustExec(t, db, tt.q)
+		if got := res.Rows[0][0].String(); got != tt.want {
+			t.Errorf("%s = %q, want %q", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestHavingComplexConditions(t *testing.T) {
+	db := testDB(t)
+	res := mustExec(t, db, `SELECT city, COUNT(*) FROM users GROUP BY city
+		HAVING COUNT(*) > 1 AND SUM(age) > 10 ORDER BY city`)
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "lisbon" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	res = mustExec(t, db, `SELECT city FROM users GROUP BY city
+		HAVING COUNT(*) = 1 OR MAX(age) > 40 ORDER BY city`)
+	if len(res.Rows) != 2 { // faro (1), porto (1 & max 42)
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	res = mustExec(t, db, `SELECT city FROM users GROUP BY city
+		HAVING NOT COUNT(*) = 1 ORDER BY city`)
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "lisbon" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// faro's only user has NULL age, so its XOR is NULL and the group is
+	// filtered; lisbon is false XOR false; porto is true XOR false.
+	res = mustExec(t, db, `SELECT city FROM users GROUP BY city
+		HAVING COUNT(*) = 1 XOR MAX(age) > 100 ORDER BY city`)
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "porto" {
+		t.Fatalf("xor rows = %v", res.Rows)
+	}
+}
+
+func TestHavingArithmeticAndComparisons(t *testing.T) {
+	db := testDB(t)
+	res := mustExec(t, db, `SELECT city FROM users WHERE age IS NOT NULL
+		GROUP BY city HAVING SUM(age) % 2 = 0 ORDER BY city`)
+	// lisbon 31+27=58 even, porto 42 even.
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestValueStringRendering(t *testing.T) {
+	tests := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "NULL"},
+		{Int(-5), "-5"},
+		{Float(2.5), "2.5"},
+		{Str("x"), "x"},
+		{Bool(true), "1"},
+		{Bool(false), "0"},
+		{Value{}, "<invalid>"},
+	}
+	for _, tt := range tests {
+		if got := tt.v.String(); got != tt.want {
+			t.Errorf("%#v.String() = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestNumericPrefixParsing(t *testing.T) {
+	tests := []struct {
+		in   string
+		want float64
+	}{
+		{"1234", 1234},
+		{"1234abc", 1234},
+		{"  42", 42},
+		{"-7x", -7},
+		{"+3", 3},
+		{"3.5rest", 3.5},
+		{"1e3", 1000},
+		{"abc", 0},
+		{"", 0},
+		{".5", 0.5},
+		{"-", 0},
+	}
+	for _, tt := range tests {
+		if got := Str(tt.in).AsFloat(); got != tt.want {
+			t.Errorf("numericPrefix(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestValueCoercions(t *testing.T) {
+	if Bool(true).AsFloat() != 1 || Bool(false).AsFloat() != 0 {
+		t.Error("bool to float")
+	}
+	if !Str("1x").AsBool() || Str("abc").AsBool() {
+		t.Error("string truthiness")
+	}
+	if Null().AsBool() {
+		t.Error("NULL must be falsy")
+	}
+	if Float(2.9).AsInt() != 2 {
+		t.Error("float truncation")
+	}
+	if Int(7).AsInt() != 7 {
+		t.Error("int identity")
+	}
+}
+
+// TestCompareProperties: Compare is antisymmetric and Equal is
+// consistent with it, for random numeric values.
+func TestCompareProperties(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := Int(a), Int(b)
+		c1, ok1 := Compare(va, vb)
+		c2, ok2 := Compare(vb, va)
+		if !ok1 || !ok2 {
+			return false
+		}
+		if c1 != -c2 {
+			return false
+		}
+		return Equal(va, vb) == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColTypeNames(t *testing.T) {
+	for typ, want := range map[ColType]string{
+		ColInt: "INT", ColFloat: "FLOAT", ColText: "TEXT",
+		ColBool: "BOOL", ColDatetime: "DATETIME",
+	} {
+		if typ.String() != want {
+			t.Errorf("%d.String() = %q", typ, typ.String())
+		}
+	}
+	if _, err := colTypeFromName("BLOB"); err == nil {
+		t.Error("unknown type must fail")
+	}
+}
+
+func TestDatetimeColumnStoresCanonicalString(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE ev (at DATETIME)")
+	mustExec(t, db, "INSERT INTO ev (at) VALUES ('2017-06-26 09:00:00')")
+	res := mustExec(t, db, "SELECT at FROM ev WHERE at < '2018-01-01 00:00:00'")
+	if len(res.Rows) != 1 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestBoolColumnCoercion(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE f (ok BOOL)")
+	mustExec(t, db, "INSERT INTO f (ok) VALUES (1), (0), ('yes'), (2.5)")
+	res := mustExec(t, db, "SELECT COUNT(*) FROM f WHERE ok = TRUE")
+	// 1 -> true, 0 -> false, 'yes' -> numeric prefix 0 -> false, 2.5 -> true
+	if res.Rows[0][0].I != 2 {
+		t.Errorf("count = %v, want 2", res.Rows[0][0])
+	}
+}
+
+func TestCaseExpressions(t *testing.T) {
+	db := testDB(t)
+	tests := []struct {
+		q    string
+		want string
+	}{
+		{"SELECT CASE WHEN 1 > 2 THEN 'a' WHEN 2 > 1 THEN 'b' ELSE 'c' END", "b"},
+		{"SELECT CASE WHEN 1 > 2 THEN 'a' END", "NULL"},
+		{"SELECT CASE 3 WHEN 1 THEN 'one' WHEN 3 THEN 'three' ELSE 'other' END", "three"},
+		{"SELECT CASE 9 WHEN 1 THEN 'one' ELSE 'other' END", "other"},
+		{"SELECT CASE NULL WHEN NULL THEN 'null-eq' ELSE 'no' END", "no"}, // NULL never equals
+	}
+	for _, tt := range tests {
+		res := mustExec(t, db, tt.q)
+		if got := res.Rows[0][0].String(); got != tt.want {
+			t.Errorf("%s = %q, want %q", tt.q, got, tt.want)
+		}
+	}
+	// CASE over rows: conditional ORDER BY, the blind-injection shape.
+	res := mustExec(t, db, `SELECT name FROM users WHERE age IS NOT NULL
+		ORDER BY CASE WHEN age > 35 THEN 0 ELSE 1 END, name`)
+	if res.Rows[0][0].S != "bob" {
+		t.Errorf("conditional order rows = %v", res.Rows)
+	}
+}

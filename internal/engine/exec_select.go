@@ -1,0 +1,742 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/septic-db/septic/internal/sqlparser"
+)
+
+// execSelect runs a SELECT under the caller-held read lock. parent is the
+// enclosing scope for correlated subqueries (nil at top level).
+func (db *DB) execSelect(s *sqlparser.SelectStmt, parent *scope) (*Result, error) {
+	res, err := db.execSelectBranch(s, parent)
+	if err != nil {
+		return nil, err
+	}
+	// UNION chain: evaluate each branch and merge.
+	for u := s.Union; u != nil; u = u.Next.Union {
+		branch, err := db.execSelectBranch(u.Next, parent)
+		if err != nil {
+			return nil, err
+		}
+		if len(branch.Columns) != len(res.Columns) {
+			return nil, fmt.Errorf("UNION branches have %d and %d columns",
+				len(res.Columns), len(branch.Columns))
+		}
+		res.Rows = append(res.Rows, branch.Rows...)
+		if !u.All {
+			res.Rows = dedupeRows(res.Rows)
+		}
+	}
+	return res, nil
+}
+
+// execSelectBranch runs one SELECT without its UNION tail.
+func (db *DB) execSelectBranch(s *sqlparser.SelectStmt, parent *scope) (*Result, error) {
+	ev := &evaluator{db: db}
+
+	// Point-lookup fast path: a unique-indexed equality resolves the row
+	// set without scanning, and fully consumes the WHERE clause.
+	if t, rows, ok := db.pointLookup(s); ok && !hasAggregates(s) {
+		sc := newScope(parent)
+		name := s.From[0].Alias
+		if name == "" {
+			name = s.From[0].Name
+		}
+		cols := make([]string, len(t.Columns))
+		for i, c := range t.Columns {
+			cols[i] = c.Name
+		}
+		sc.addSource(name, cols)
+		return db.projectRows(s, &rowSource{scope: sc, rows: rows}, rows, ev)
+	}
+
+	src, err := db.buildRowSource(s.From, parent, ev)
+	if err != nil {
+		return nil, err
+	}
+
+	// WHERE filter.
+	filtered := src.rows
+	if s.Where != nil {
+		filtered = filtered[:0:0]
+		for _, row := range src.rows {
+			src.scope.row = row
+			v, err := ev.eval(s.Where, src.scope)
+			if err != nil {
+				return nil, err
+			}
+			if !v.IsNull() && v.AsBool() {
+				filtered = append(filtered, row)
+			}
+		}
+	}
+
+	if hasAggregates(s) {
+		return db.execAggregate(s, src.scope, filtered, ev)
+	}
+	return db.projectRows(s, src, filtered, ev)
+}
+
+// projectRows runs the post-WHERE pipeline: projection, DISTINCT,
+// ORDER BY and LIMIT.
+func (db *DB) projectRows(s *sqlparser.SelectStmt, src *rowSource, filtered [][]Value, ev *evaluator) (*Result, error) {
+	cols := projectionNames(s.Fields, src.scope)
+	out := make([][]Value, 0, len(filtered))
+	keys := make([][]Value, 0, len(filtered))
+	for _, row := range filtered {
+		src.scope.row = row
+		projected, err := projectRow(s.Fields, src.scope, ev)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, projected)
+		if len(s.OrderBy) > 0 {
+			k, err := orderKeys(s.OrderBy, s.Fields, projected, src.scope, ev)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, k)
+		}
+	}
+	if s.Distinct {
+		out, keys = dedupeWithKeys(out, keys)
+	}
+	if len(s.OrderBy) > 0 {
+		sortRows(out, keys, s.OrderBy)
+	}
+	out, err := applyLimit(out, s.Limit, ev)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: cols, Rows: out}, nil
+}
+
+// rowSource is the joined FROM product with its column scope.
+type rowSource struct {
+	scope *scope
+	rows  [][]Value
+}
+
+// buildRowSource materializes the FROM clause: cross/inner/left joins of
+// tables and derived tables.
+func (db *DB) buildRowSource(from []sqlparser.TableRef, parent *scope, ev *evaluator) (*rowSource, error) {
+	sc := newScope(parent)
+	if len(from) == 0 {
+		// SELECT without FROM: one empty row.
+		return &rowSource{scope: sc, rows: [][]Value{{}}}, nil
+	}
+	var rows [][]Value
+	for i, ref := range from {
+		name, cols, tblRows, err := db.resolveTableRef(ref, parent)
+		if err != nil {
+			return nil, err
+		}
+		sc.addSource(name, cols)
+		if i == 0 {
+			rows = tblRows
+			continue
+		}
+		joined := make([][]Value, 0, len(rows))
+		width := len(cols)
+		for _, left := range rows {
+			matched := false
+			for _, right := range tblRows {
+				combined := make([]Value, 0, len(left)+width)
+				combined = append(combined, left...)
+				combined = append(combined, right...)
+				if ref.On != nil {
+					sc.row = combined
+					v, err := ev.eval(ref.On, sc)
+					if err != nil {
+						return nil, err
+					}
+					if v.IsNull() || !v.AsBool() {
+						continue
+					}
+				}
+				matched = true
+				joined = append(joined, combined)
+			}
+			if !matched && ref.Join == "LEFT" {
+				combined := make([]Value, 0, len(left)+width)
+				combined = append(combined, left...)
+				for j := 0; j < width; j++ {
+					combined = append(combined, Null())
+				}
+				joined = append(joined, combined)
+			}
+		}
+		rows = joined
+	}
+	return &rowSource{scope: sc, rows: rows}, nil
+}
+
+// resolveTableRef returns the scope name, column names and rows of one
+// FROM entry.
+func (db *DB) resolveTableRef(ref sqlparser.TableRef, parent *scope) (string, []string, [][]Value, error) {
+	if ref.Subquery != nil {
+		res, err := db.execSelect(ref.Subquery, parent)
+		if err != nil {
+			return "", nil, nil, err
+		}
+		name := ref.Alias
+		if name == "" {
+			name = "derived"
+		}
+		return name, res.Columns, res.Rows, nil
+	}
+	t := db.tables[strings.ToLower(ref.Name)]
+	if t == nil {
+		return "", nil, nil, fmt.Errorf("%w: %s", ErrNoSuchTable, ref.Name)
+	}
+	name := ref.Alias
+	if name == "" {
+		name = ref.Name
+	}
+	cols := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		cols[i] = c.Name
+	}
+	// Copy row headers so executor-side sorting never aliases table data.
+	rows := make([][]Value, len(t.Rows))
+	copy(rows, t.Rows)
+	return name, cols, rows, nil
+}
+
+// projectionNames computes the result column names.
+func projectionNames(fields []sqlparser.SelectField, sc *scope) []string {
+	var names []string
+	for _, f := range fields {
+		switch {
+		case f.Star:
+			for ti := range sc.tables {
+				names = append(names, sc.colNames[ti]...)
+			}
+		case f.TableStar != "":
+			for ti, t := range sc.tables {
+				if strings.EqualFold(t, f.TableStar) {
+					names = append(names, sc.colNames[ti]...)
+				}
+			}
+		case f.Alias != "":
+			names = append(names, f.Alias)
+		default:
+			if col, ok := f.Expr.(*sqlparser.ColumnRef); ok {
+				names = append(names, col.Name)
+			} else {
+				names = append(names, sqlparser.Format(&sqlparser.SelectStmt{
+					Fields: []sqlparser.SelectField{{Expr: f.Expr}},
+				})[len("SELECT "):])
+			}
+		}
+	}
+	return names
+}
+
+// projectRow evaluates the SELECT list against the scope's current row.
+func projectRow(fields []sqlparser.SelectField, sc *scope, ev *evaluator) ([]Value, error) {
+	var out []Value
+	for _, f := range fields {
+		switch {
+		case f.Star:
+			out = append(out, sc.row...)
+		case f.TableStar != "":
+			for ti, t := range sc.tables {
+				if strings.EqualFold(t, f.TableStar) {
+					start := sc.offsets[ti]
+					out = append(out, sc.row[start:start+len(sc.colNames[ti])]...)
+				}
+			}
+		default:
+			v, err := ev.eval(f.Expr, sc)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// orderKeys computes the sort key values for one row. ORDER BY may use an
+// ordinal (column position, a classic injection surface: "ORDER BY 5"),
+// an output alias, or any expression over the source row.
+func orderKeys(orderBy []sqlparser.OrderItem, fields []sqlparser.SelectField,
+	projected []Value, sc *scope, ev *evaluator) ([]Value, error) {
+	keys := make([]Value, 0, len(orderBy))
+	for _, o := range orderBy {
+		if lit, ok := o.Expr.(*sqlparser.Literal); ok && lit.Kind == sqlparser.LiteralInt {
+			idx := int(lit.Int)
+			if idx < 1 || idx > len(projected) {
+				return nil, fmt.Errorf("ORDER BY position %d out of range", idx)
+			}
+			keys = append(keys, projected[idx-1])
+			continue
+		}
+		if col, ok := o.Expr.(*sqlparser.ColumnRef); ok && col.Table == "" {
+			if idx := aliasIndex(fields, col.Name); idx >= 0 && idx < len(projected) {
+				keys = append(keys, projected[idx])
+				continue
+			}
+		}
+		v, err := ev.eval(o.Expr, sc)
+		if err != nil {
+			return nil, err
+		}
+		keys = append(keys, v)
+	}
+	return keys, nil
+}
+
+func aliasIndex(fields []sqlparser.SelectField, name string) int {
+	for i, f := range fields {
+		if f.Alias != "" && strings.EqualFold(f.Alias, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// sortRows sorts out by keys under the ORDER BY directions (stable, so
+// ties preserve insertion order like MySQL's filesort on equal keys).
+func sortRows(out [][]Value, keys [][]Value, orderBy []sqlparser.OrderItem) {
+	idx := make([]int, len(out))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ka, kb := keys[idx[a]], keys[idx[b]]
+		for i := range orderBy {
+			va, vb := ka[i], kb[i]
+			// NULLs sort first ascending, last descending (MySQL).
+			switch {
+			case va.IsNull() && vb.IsNull():
+				continue
+			case va.IsNull():
+				return !orderBy[i].Desc
+			case vb.IsNull():
+				return orderBy[i].Desc
+			}
+			c, _ := Compare(va, vb)
+			if c == 0 {
+				continue
+			}
+			if orderBy[i].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	sortedOut := make([][]Value, len(out))
+	for i, j := range idx {
+		sortedOut[i] = out[j]
+	}
+	copy(out, sortedOut)
+}
+
+// applyLimit slices out according to LIMIT/OFFSET.
+func applyLimit(rows [][]Value, limit *sqlparser.Limit, ev *evaluator) ([][]Value, error) {
+	if limit == nil {
+		return rows, nil
+	}
+	offset := 0
+	if limit.Offset != nil {
+		v, err := ev.eval(limit.Offset, newScope(nil))
+		if err != nil {
+			return nil, err
+		}
+		offset = int(v.AsInt())
+	}
+	count, err := ev.eval(limit.Count, newScope(nil))
+	if err != nil {
+		return nil, err
+	}
+	n := int(count.AsInt())
+	if offset < 0 {
+		offset = 0
+	}
+	if offset >= len(rows) {
+		return nil, nil
+	}
+	rows = rows[offset:]
+	if n >= 0 && n < len(rows) {
+		rows = rows[:n]
+	}
+	return rows, nil
+}
+
+// dedupeRows removes duplicate rows, keeping first occurrences.
+func dedupeRows(rows [][]Value) [][]Value {
+	out, _ := dedupeWithKeys(rows, nil)
+	return out
+}
+
+func dedupeWithKeys(rows [][]Value, keys [][]Value) ([][]Value, [][]Value) {
+	seen := make(map[string]bool, len(rows))
+	outRows := rows[:0:0]
+	var outKeys [][]Value
+	if keys != nil {
+		outKeys = keys[:0:0]
+	}
+	for i, r := range rows {
+		var b strings.Builder
+		for _, v := range r {
+			b.WriteString(fmt.Sprintf("%d:%s\x00", v.Kind, v.String()))
+		}
+		sig := b.String()
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		outRows = append(outRows, r)
+		if keys != nil {
+			outKeys = append(outKeys, keys[i])
+		}
+	}
+	return outRows, outKeys
+}
+
+// hasAggregates reports whether the SELECT needs the grouping executor.
+func hasAggregates(s *sqlparser.SelectStmt) bool {
+	if len(s.GroupBy) > 0 || s.Having != nil {
+		return true
+	}
+	found := false
+	var walkExpr func(e sqlparser.Expr)
+	walkExpr = func(e sqlparser.Expr) {
+		switch x := e.(type) {
+		case *sqlparser.FuncCall:
+			if isAggregateName(x.Name) {
+				found = true
+			}
+			for _, a := range x.Args {
+				walkExpr(a)
+			}
+		case *sqlparser.BinaryExpr:
+			walkExpr(x.Left)
+			walkExpr(x.Right)
+		case *sqlparser.UnaryExpr:
+			walkExpr(x.Operand)
+		}
+	}
+	for _, f := range s.Fields {
+		if f.Expr != nil {
+			walkExpr(f.Expr)
+		}
+	}
+	return found
+}
+
+// execAggregate implements GROUP BY / aggregate projection.
+func (db *DB) execAggregate(s *sqlparser.SelectStmt, sc *scope, rows [][]Value, ev *evaluator) (*Result, error) {
+	type group struct {
+		key  string
+		rows [][]Value
+	}
+	var groups []*group
+	index := make(map[string]*group)
+	if len(s.GroupBy) == 0 {
+		g := &group{key: ""}
+		g.rows = rows
+		groups = append(groups, g)
+	} else {
+		for _, row := range rows {
+			sc.row = row
+			var b strings.Builder
+			for _, e := range s.GroupBy {
+				v, err := ev.eval(e, sc)
+				if err != nil {
+					return nil, err
+				}
+				b.WriteString(fmt.Sprintf("%d:%s\x00", v.Kind, v.String()))
+			}
+			key := b.String()
+			g, ok := index[key]
+			if !ok {
+				g = &group{key: key}
+				index[key] = g
+				groups = append(groups, g)
+			}
+			g.rows = append(g.rows, row)
+		}
+	}
+
+	agg := &aggregator{db: db, ev: ev, sc: sc}
+	cols := projectionNames(s.Fields, sc)
+	out := make([][]Value, 0, len(groups))
+	keys := make([][]Value, 0, len(groups))
+	for _, g := range groups {
+		// An empty ungrouped aggregate still yields one row (COUNT(*)=0).
+		if len(g.rows) == 0 && len(s.GroupBy) > 0 {
+			continue
+		}
+		if s.Having != nil {
+			v, err := agg.eval(s.Having, g.rows)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() || !v.AsBool() {
+				continue
+			}
+		}
+		projected := make([]Value, 0, len(s.Fields))
+		for _, f := range s.Fields {
+			if f.Star || f.TableStar != "" {
+				return nil, fmt.Errorf("cannot mix * with aggregates")
+			}
+			v, err := agg.eval(f.Expr, g.rows)
+			if err != nil {
+				return nil, err
+			}
+			projected = append(projected, v)
+		}
+		out = append(out, projected)
+		if len(s.OrderBy) > 0 {
+			rowKeys := make([]Value, 0, len(s.OrderBy))
+			for _, o := range s.OrderBy {
+				if lit, ok := o.Expr.(*sqlparser.Literal); ok && lit.Kind == sqlparser.LiteralInt {
+					idx := int(lit.Int)
+					if idx < 1 || idx > len(projected) {
+						return nil, fmt.Errorf("ORDER BY position %d out of range", idx)
+					}
+					rowKeys = append(rowKeys, projected[idx-1])
+					continue
+				}
+				if col, ok := o.Expr.(*sqlparser.ColumnRef); ok {
+					if idx := aliasIndex(s.Fields, col.Name); idx >= 0 {
+						rowKeys = append(rowKeys, projected[idx])
+						continue
+					}
+				}
+				v, err := agg.eval(o.Expr, g.rows)
+				if err != nil {
+					return nil, err
+				}
+				rowKeys = append(rowKeys, v)
+			}
+			keys = append(keys, rowKeys)
+		}
+	}
+	if len(s.OrderBy) > 0 {
+		sortRows(out, keys, s.OrderBy)
+	}
+	var err error
+	out, err = applyLimit(out, s.Limit, ev)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: cols, Rows: out}, nil
+}
+
+// aggregator evaluates expressions over a group of rows: aggregate calls
+// consume the whole group; everything else is evaluated on the first row
+// (MySQL's permissive ONLY_FULL_GROUP_BY-off behaviour).
+type aggregator struct {
+	db *DB
+	ev *evaluator
+	sc *scope
+}
+
+func (a *aggregator) eval(e sqlparser.Expr, rows [][]Value) (Value, error) {
+	switch x := e.(type) {
+	case *sqlparser.FuncCall:
+		if isAggregateName(x.Name) {
+			return a.aggregate(x, rows)
+		}
+		args := make([]Value, 0, len(x.Args))
+		for _, arg := range x.Args {
+			v, err := a.eval(arg, rows)
+			if err != nil {
+				return Value{}, err
+			}
+			args = append(args, v)
+		}
+		return a.ev.callScalar(x.Name, args)
+	case *sqlparser.BinaryExpr:
+		switch x.Op {
+		case "AND", "OR", "XOR":
+			left, err := a.eval(x.Left, rows)
+			if err != nil {
+				return Value{}, err
+			}
+			right, err := a.eval(x.Right, rows)
+			if err != nil {
+				return Value{}, err
+			}
+			switch x.Op {
+			case "AND":
+				if (!left.IsNull() && !left.AsBool()) || (!right.IsNull() && !right.AsBool()) {
+					return Bool(false), nil
+				}
+				if left.IsNull() || right.IsNull() {
+					return Null(), nil
+				}
+				return Bool(true), nil
+			case "OR":
+				if (!left.IsNull() && left.AsBool()) || (!right.IsNull() && right.AsBool()) {
+					return Bool(true), nil
+				}
+				if left.IsNull() || right.IsNull() {
+					return Null(), nil
+				}
+				return Bool(false), nil
+			default:
+				if left.IsNull() || right.IsNull() {
+					return Null(), nil
+				}
+				return Bool(left.AsBool() != right.AsBool()), nil
+			}
+		}
+		left, err := a.eval(x.Left, rows)
+		if err != nil {
+			return Value{}, err
+		}
+		right, err := a.eval(x.Right, rows)
+		if err != nil {
+			return Value{}, err
+		}
+		switch x.Op {
+		case "=", "<>", "<", "<=", ">", ">=":
+			cmp, ok := Compare(left, right)
+			if !ok {
+				return Null(), nil
+			}
+			var res bool
+			switch x.Op {
+			case "=":
+				res = cmp == 0
+			case "<>":
+				res = cmp != 0
+			case "<":
+				res = cmp < 0
+			case "<=":
+				res = cmp <= 0
+			case ">":
+				res = cmp > 0
+			case ">=":
+				res = cmp >= 0
+			}
+			return Bool(res), nil
+		default:
+			if left.IsNull() || right.IsNull() {
+				return Null(), nil
+			}
+			return arith(x.Op, left, right)
+		}
+	case *sqlparser.UnaryExpr:
+		v, err := a.eval(x.Operand, rows)
+		if err != nil {
+			return Value{}, err
+		}
+		if x.Op == "NOT" {
+			if v.IsNull() {
+				return Null(), nil
+			}
+			return Bool(!v.AsBool()), nil
+		}
+		if v.Kind == KindInt {
+			return Int(-v.I), nil
+		}
+		return Float(-v.AsFloat()), nil
+	default:
+		if len(rows) == 0 {
+			return Null(), nil
+		}
+		a.sc.row = rows[0]
+		return a.ev.eval(e, a.sc)
+	}
+}
+
+func (a *aggregator) aggregate(x *sqlparser.FuncCall, rows [][]Value) (Value, error) {
+	if x.Name == "COUNT" && x.Star {
+		return Int(int64(len(rows))), nil
+	}
+	if len(x.Args) != 1 {
+		return Value{}, fmt.Errorf("%s expects one argument", x.Name)
+	}
+	values := make([]Value, 0, len(rows))
+	seen := make(map[string]bool)
+	for _, row := range rows {
+		a.sc.row = row
+		v, err := a.ev.eval(x.Args[0], a.sc)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		if x.Distinct {
+			sig := fmt.Sprintf("%d:%s", v.Kind, v.String())
+			if seen[sig] {
+				continue
+			}
+			seen[sig] = true
+		}
+		values = append(values, v)
+	}
+	switch x.Name {
+	case "COUNT":
+		return Int(int64(len(values))), nil
+	case "SUM":
+		if len(values) == 0 {
+			return Null(), nil
+		}
+		allInt := true
+		var fi int64
+		var ff float64
+		for _, v := range values {
+			if v.Kind != KindInt {
+				allInt = false
+			}
+			fi += v.AsInt()
+			ff += v.AsFloat()
+		}
+		if allInt {
+			return Int(fi), nil
+		}
+		return Float(ff), nil
+	case "AVG":
+		if len(values) == 0 {
+			return Null(), nil
+		}
+		var sum float64
+		for _, v := range values {
+			sum += v.AsFloat()
+		}
+		return Float(sum / float64(len(values))), nil
+	case "MIN":
+		if len(values) == 0 {
+			return Null(), nil
+		}
+		best := values[0]
+		for _, v := range values[1:] {
+			if c, ok := Compare(v, best); ok && c < 0 {
+				best = v
+			}
+		}
+		return best, nil
+	case "MAX":
+		if len(values) == 0 {
+			return Null(), nil
+		}
+		best := values[0]
+		for _, v := range values[1:] {
+			if c, ok := Compare(v, best); ok && c > 0 {
+				best = v
+			}
+		}
+		return best, nil
+	case "GROUP_CONCAT":
+		parts := make([]string, 0, len(values))
+		for _, v := range values {
+			parts = append(parts, v.String())
+		}
+		return Str(strings.Join(parts, ",")), nil
+	default:
+		return Value{}, fmt.Errorf("unknown aggregate %s", x.Name)
+	}
+}

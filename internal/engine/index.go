@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"strings"
+
+	"github.com/septic-db/septic/internal/sqlparser"
+)
+
+// Unique hash indexes.
+//
+// Every PRIMARY KEY / UNIQUE column gets a hash index mapping the
+// column-coerced value to its row position. The index serves two hot
+// paths:
+//
+//   - uniqueness checks on INSERT/UPDATE, which would otherwise scan the
+//     table per write (quadratic over workload replays);
+//   - single-table point SELECTs of the form "WHERE col = literal",
+//     which resolve without a scan.
+//
+// Concurrency contract: indexes are created at CREATE TABLE and
+// maintained eagerly by every DML operation, all of which run under the
+// DB write lock; DELETE rebuilds them (row positions shift). Readers
+// (SELECT, under the read lock) only ever look maps up — they never
+// build or mutate, so no additional synchronization is needed.
+
+// indexKey normalizes a value for index lookup. Stored values are
+// already coerced to the column type, and lookups coerce the probe the
+// same way, so MySQL's weak typing ("id = '42'" matching 42) works
+// through the index exactly as it does through a scan.
+func indexKey(v Value) string {
+	return v.String()
+}
+
+// rebuildIndexes (re)creates the hash index of every unique column.
+// Called at table creation and after operations that shift row
+// positions. Runs under the DB write lock.
+func (t *Table) rebuildIndexes() {
+	t.indexes = make(map[int]map[string]int)
+	for ci, col := range t.Columns {
+		if !col.Unique {
+			continue
+		}
+		idx := make(map[string]int, len(t.Rows))
+		for ri, row := range t.Rows {
+			if row[ci].IsNull() {
+				continue // SQL UNIQUE permits many NULLs
+			}
+			idx[indexKey(row[ci])] = ri
+		}
+		t.indexes[ci] = idx
+	}
+}
+
+// indexInsert registers a newly appended row (position len(Rows)-1).
+func (t *Table) indexInsert(row []Value) {
+	for ci, idx := range t.indexes {
+		if row[ci].IsNull() {
+			continue
+		}
+		idx[indexKey(row[ci])] = len(t.Rows) - 1
+	}
+}
+
+// indexUpdate moves an updated row's index entries.
+func (t *Table) indexUpdate(ri int, old, updated []Value) {
+	for ci, idx := range t.indexes {
+		if sameValue(old[ci], updated[ci]) {
+			continue
+		}
+		if !old[ci].IsNull() {
+			delete(idx, indexKey(old[ci]))
+		}
+		if !updated[ci].IsNull() {
+			idx[indexKey(updated[ci])] = ri
+		}
+	}
+}
+
+// lookupUnique finds the row position holding value in unique column ci.
+// The second result distinguishes "not found" from "no index" — callers
+// fall back to a scan when no index exists.
+func (t *Table) lookupUnique(ci int, value Value) (int, bool) {
+	idx, ok := t.indexes[ci]
+	if !ok {
+		return -1, false
+	}
+	coerced, err := t.Columns[ci].coerce(value)
+	if err != nil || coerced.IsNull() {
+		return -1, true
+	}
+	ri, found := idx[indexKey(coerced)]
+	if !found {
+		return -1, true
+	}
+	return ri, true
+}
+
+// pointLookup recognizes "SELECT ... FROM onetable WHERE col = literal"
+// where col has a unique index, and resolves the row without a scan. The
+// boolean reports whether the fast path applied; rows may be empty.
+func (db *DB) pointLookup(s *sqlparser.SelectStmt) (*Table, [][]Value, bool) {
+	if len(s.From) != 1 || s.From[0].Subquery != nil || s.Where == nil {
+		return nil, nil, false
+	}
+	eq, ok := s.Where.(*sqlparser.BinaryExpr)
+	if !ok || eq.Op != "=" {
+		return nil, nil, false
+	}
+	col, lit := splitEq(eq)
+	if col == nil || lit == nil {
+		return nil, nil, false
+	}
+	t := db.tables[strings.ToLower(s.From[0].Name)]
+	if t == nil {
+		return nil, nil, false
+	}
+	// A qualified reference must name this table (or its alias).
+	if col.Table != "" {
+		alias := s.From[0].Alias
+		if alias == "" {
+			alias = s.From[0].Name
+		}
+		if !strings.EqualFold(col.Table, alias) {
+			return nil, nil, false
+		}
+	}
+	ci := t.colIndex(col.Name)
+	if ci < 0 || !t.Columns[ci].Unique {
+		return nil, nil, false
+	}
+	ri, indexed := t.lookupUnique(ci, literalValue(lit))
+	if !indexed {
+		return nil, nil, false
+	}
+	if ri < 0 {
+		return t, nil, true
+	}
+	return t, [][]Value{t.Rows[ri]}, true
+}
+
+// splitEq extracts (column, literal) from "col = lit" or "lit = col".
+func splitEq(eq *sqlparser.BinaryExpr) (*sqlparser.ColumnRef, *sqlparser.Literal) {
+	if col, ok := eq.Left.(*sqlparser.ColumnRef); ok {
+		if lit, ok := eq.Right.(*sqlparser.Literal); ok {
+			return col, lit
+		}
+	}
+	if col, ok := eq.Right.(*sqlparser.ColumnRef); ok {
+		if lit, ok := eq.Left.(*sqlparser.Literal); ok {
+			return col, lit
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,168 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestPointLookupMatchesScan(t *testing.T) {
+	db := testDB(t)
+	// Indexed (id is PRIMARY KEY) vs scanned (name is not unique): the
+	// same logical query must agree.
+	byID := mustExec(t, db, "SELECT name FROM users WHERE id = 2")
+	if len(byID.Rows) != 1 || byID.Rows[0][0].S != "bob" {
+		t.Fatalf("rows = %v", byID.Rows)
+	}
+	// Literal on the left, column on the right: same fast path.
+	flipped := mustExec(t, db, "SELECT name FROM users WHERE 2 = id")
+	if len(flipped.Rows) != 1 || flipped.Rows[0][0].S != "bob" {
+		t.Fatalf("flipped rows = %v", flipped.Rows)
+	}
+	// Missing key: empty, not an error.
+	missing := mustExec(t, db, "SELECT name FROM users WHERE id = 999")
+	if len(missing.Rows) != 0 {
+		t.Fatalf("missing rows = %v", missing.Rows)
+	}
+}
+
+func TestPointLookupWeakTyping(t *testing.T) {
+	db := testDB(t)
+	res := mustExec(t, db, "SELECT name FROM users WHERE id = '2'")
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "bob" {
+		t.Fatalf("string probe through index failed: %v", res.Rows)
+	}
+	res = mustExec(t, db, "SELECT name FROM users WHERE id = 2.0")
+	if len(res.Rows) != 1 {
+		t.Fatalf("float probe through index failed: %v", res.Rows)
+	}
+}
+
+func TestIndexMaintainedAcrossUpdate(t *testing.T) {
+	db := testDB(t)
+	mustExec(t, db, "UPDATE users SET id = 100 WHERE id = 2")
+	if res := mustExec(t, db, "SELECT name FROM users WHERE id = 100"); len(res.Rows) != 1 {
+		t.Fatalf("moved key not found: %v", res.Rows)
+	}
+	if res := mustExec(t, db, "SELECT name FROM users WHERE id = 2"); len(res.Rows) != 0 {
+		t.Fatalf("old key still resolves: %v", res.Rows)
+	}
+	// The freed key is reusable.
+	mustExec(t, db, "INSERT INTO users (id, name) VALUES (2, 'newbob')")
+	if res := mustExec(t, db, "SELECT name FROM users WHERE id = 2"); res.Rows[0][0].S != "newbob" {
+		t.Fatalf("reused key: %v", res.Rows)
+	}
+}
+
+func TestIndexRebuiltAfterDelete(t *testing.T) {
+	db := testDB(t)
+	mustExec(t, db, "DELETE FROM users WHERE id = 1")
+	// Positions shifted; every remaining key must still resolve to the
+	// right row.
+	for id, want := range map[int]string{2: "bob", 3: "cal", 4: "dee"} {
+		res := mustExec(t, db, fmt.Sprintf("SELECT name FROM users WHERE id = %d", id))
+		if len(res.Rows) != 1 || res.Rows[0][0].S != want {
+			t.Fatalf("id %d -> %v, want %s", id, res.Rows, want)
+		}
+	}
+	if res := mustExec(t, db, "SELECT name FROM users WHERE id = 1"); len(res.Rows) != 0 {
+		t.Fatalf("deleted key still resolves: %v", res.Rows)
+	}
+}
+
+func TestUniqueDuplicateViaIndexAfterChurn(t *testing.T) {
+	db := testDB(t)
+	mustExec(t, db, "DELETE FROM users WHERE id = 3")
+	mustExec(t, db, "INSERT INTO users (id, name) VALUES (50, 'x')")
+	mustExec(t, db, "UPDATE users SET id = 60 WHERE id = 50")
+	_, err := db.Exec("INSERT INTO users (id, name) VALUES (60, 'dup')")
+	if !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("err = %v, want ErrDuplicate", err)
+	}
+	// And the freed ids are insertable.
+	mustExec(t, db, "INSERT INTO users (id, name) VALUES (3, 'back'), (50, 'again')")
+}
+
+func TestUniqueColumnAllowsMultipleNulls(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE u (email TEXT UNIQUE, n INT)")
+	mustExec(t, db, "INSERT INTO u (email, n) VALUES (NULL, 1), (NULL, 2)")
+	res := mustExec(t, db, "SELECT COUNT(*) FROM u WHERE email IS NULL")
+	if res.Rows[0][0].I != 2 {
+		t.Errorf("nulls = %v, want 2", res.Rows[0][0])
+	}
+	// But real values stay unique.
+	mustExec(t, db, "INSERT INTO u (email, n) VALUES ('a@x', 3)")
+	if _, err := db.Exec("INSERT INTO u (email, n) VALUES ('a@x', 4)"); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPointLookupRespectsAliases(t *testing.T) {
+	db := testDB(t)
+	res := mustExec(t, db, "SELECT u.name FROM users u WHERE u.id = 3")
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "cal" {
+		t.Fatalf("aliased point lookup: %v", res.Rows)
+	}
+	// A qualifier naming a different table must not take the fast path
+	// (and, being invalid, must error like a scan would).
+	if _, err := db.Exec("SELECT name FROM users WHERE other.id = 3"); err == nil {
+		t.Error("wrong qualifier should fail")
+	}
+}
+
+func TestPointLookupSkipsAggregates(t *testing.T) {
+	db := testDB(t)
+	res := mustExec(t, db, "SELECT COUNT(*) FROM users WHERE id = 1")
+	if res.Rows[0][0].I != 1 {
+		t.Fatalf("aggregate over point predicate: %v", res.Rows)
+	}
+	res = mustExec(t, db, "SELECT COUNT(*) FROM users WHERE id = 999")
+	if res.Rows[0][0].I != 0 {
+		t.Fatalf("aggregate over missing key: %v", res.Rows)
+	}
+}
+
+func TestPointLookupProjectionAndLimit(t *testing.T) {
+	db := testDB(t)
+	res := mustExec(t, db, "SELECT name, age FROM users WHERE id = 1 LIMIT 5")
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "ann" || res.Rows[0][1].I != 31 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	res = mustExec(t, db, "SELECT * FROM users WHERE id = 1")
+	if len(res.Rows[0]) != 6 {
+		t.Fatalf("star projection: %v", res.Rows)
+	}
+}
+
+func TestNonUniqueColumnUsesScan(t *testing.T) {
+	db := testDB(t)
+	// city is not unique: must return both lisbon rows (a broken fast
+	// path would return at most one).
+	res := mustExec(t, db, "SELECT name FROM users WHERE city = 'lisbon' ORDER BY name")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+// TestIndexScanAgreementProperty: for a battery of ids, the indexed
+// point lookup and a forced scan (via an OR-true clause that disables
+// the fast path) agree exactly.
+func TestIndexScanAgreementProperty(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE p (id INT PRIMARY KEY, v TEXT)")
+	for i := 0; i < 200; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO p (id, v) VALUES (%d, 'v%d')", i*3, i))
+	}
+	mustExec(t, db, "DELETE FROM p WHERE id % 2 = 0")
+	for probe := 0; probe < 600; probe += 7 {
+		fast := mustExec(t, db, fmt.Sprintf("SELECT v FROM p WHERE id = %d", probe))
+		slow := mustExec(t, db, fmt.Sprintf("SELECT v FROM p WHERE id = %d AND 1 = 1", probe))
+		if len(fast.Rows) != len(slow.Rows) {
+			t.Fatalf("id %d: fast %d rows, scan %d rows", probe, len(fast.Rows), len(slow.Rows))
+		}
+		if len(fast.Rows) == 1 && fast.Rows[0][0].S != slow.Rows[0][0].S {
+			t.Fatalf("id %d: fast %v, scan %v", probe, fast.Rows, slow.Rows)
+		}
+	}
+}

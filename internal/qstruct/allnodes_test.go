@@ -1,0 +1,194 @@
+package qstruct
+
+import (
+	"testing"
+
+	"github.com/septic-db/septic/internal/sqlparser"
+)
+
+// categoriesOf collects the categories present in a stack.
+func categoriesOf(qs Stack) map[Category]int {
+	out := make(map[Category]int)
+	for _, n := range qs {
+		out[n.Cat]++
+	}
+	return out
+}
+
+// TestBuildStackCoversAllCategories drives one query per node category
+// so every ELEM/DATA TYPE the comparison can encounter is constructed
+// and printable.
+func TestBuildStackCoversAllCategories(t *testing.T) {
+	cases := []struct {
+		query string
+		want  []Category
+	}{
+		{
+			"SELECT DISTINCT a, b + 1 FROM t JOIN u ON t.id = u.tid " +
+				"WHERE c BETWEEN 1 AND 2.5 AND d IS NOT NULL AND e IN ('x', NULL, TRUE) " +
+				"GROUP BY f HAVING COUNT(*) > 0 ORDER BY g DESC LIMIT 10 OFFSET 5",
+			[]Category{
+				CatDistinct, CatSelectField, CatFromTable, CatJoin, CatField,
+				CatFunc, CatCond, CatGroup, CatHaving, CatOrder, CatLimit,
+				CatInt, CatReal, CatString, CatBool, CatNull,
+			},
+		},
+		{
+			"SELECT id FROM a UNION ALL SELECT id FROM b",
+			[]Category{CatUnion},
+		},
+		{
+			"SELECT (SELECT MAX(x) FROM u) FROM t WHERE EXISTS (SELECT 1 FROM w) AND id IN (SELECT k FROM v)",
+			[]Category{CatSubBegin, CatSubEnd},
+		},
+		{
+			"SELECT n FROM (SELECT name AS n FROM users) AS d",
+			[]Category{CatSubBegin, CatSubEnd},
+		},
+		{
+			"INSERT INTO t (a) SELECT b FROM u",
+			[]Category{CatInsertTable, CatInsertField, CatSubBegin, CatSubEnd},
+		},
+		{
+			"INSERT INTO t (a, b) VALUES (1, 'x')",
+			[]Category{CatInsertTable, CatInsertField, CatRowBegin, CatInt, CatString},
+		},
+		{
+			"UPDATE t SET a = 1 WHERE b = 2 ORDER BY c LIMIT 3",
+			[]Category{CatUpdateTable, CatSetField, CatOrder, CatLimit},
+		},
+		{
+			"DELETE FROM t WHERE a = 1 ORDER BY b LIMIT 2",
+			[]Category{CatDeleteTable, CatOrder, CatLimit},
+		},
+		{
+			"CREATE TABLE t (a INT)",
+			[]Category{CatDDL},
+		},
+		{
+			"DROP TABLE t",
+			[]Category{CatDDL},
+		},
+		{
+			"SHOW TABLES",
+			[]Category{CatDDL},
+		},
+		{
+			"DESCRIBE t",
+			[]Category{CatDDL},
+		},
+		{
+			"SELECT a FROM t WHERE b = ?",
+			[]Category{CatPlaceholder},
+		},
+		{
+			"SELECT NOT a, -b FROM t WHERE NOT (x = 1)",
+			[]Category{CatCond, CatFunc},
+		},
+		{
+			"SELECT t.* FROM t",
+			[]Category{CatSelectField},
+		},
+		{
+			"SELECT a FROM t ORDER BY CASE WHEN b = 1 THEN a ELSE c END",
+			[]Category{CatOrder, CatFunc, CatField},
+		},
+		{
+			"SELECT CASE x WHEN 1 THEN 'one' ELSE 'other' END FROM t",
+			[]Category{CatFunc, CatString},
+		},
+		{
+			"SELECT a FROM t WHERE b NOT LIKE 'x%' AND c NOT BETWEEN 1 AND 2 AND d NOT IN (1)",
+			[]Category{CatFunc, CatCond},
+		},
+	}
+	for _, tc := range cases {
+		stmt, err := sqlparser.Parse(tc.query)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.query, err)
+		}
+		qs := BuildStack(stmt)
+		if len(qs) == 0 {
+			t.Fatalf("empty stack for %q", tc.query)
+		}
+		cats := categoriesOf(qs)
+		for _, want := range tc.want {
+			if cats[want] == 0 {
+				t.Errorf("%q: category %s missing from stack:\n%s", tc.query, want, qs)
+			}
+		}
+		// Every stack self-matches and prints.
+		if v := Compare(qs, ModelOf(qs)); !v.Match {
+			t.Errorf("%q: self-match failed: %+v", tc.query, v)
+		}
+		if qs.String() == "" {
+			t.Errorf("%q: empty rendering", tc.query)
+		}
+	}
+}
+
+func TestCategoryStringsAllNamed(t *testing.T) {
+	for c := CatSelectField; c <= CatPlaceholder; c++ {
+		s := c.String()
+		if s == "" || len(s) > 2 && s[:2] == "Ca" { // "Category(n)" fallback
+			t.Errorf("category %d has no display name: %q", int(c), s)
+		}
+	}
+	if CatInvalid.String() != "INVALID" {
+		t.Errorf("CatInvalid.String() = %q", CatInvalid.String())
+	}
+	if Category(999).String() != "Category(999)" {
+		t.Errorf("unknown category fallback = %q", Category(999).String())
+	}
+}
+
+func TestCompareStepStrings(t *testing.T) {
+	if StepNone.String() != "none" || StepStructural.String() != "structural" ||
+		StepSyntactical.String() != "syntactical" {
+		t.Error("step names drifted")
+	}
+	if CompareStep(9).String() != "CompareStep(9)" {
+		t.Errorf("fallback = %q", CompareStep(9).String())
+	}
+}
+
+func TestDataNodes(t *testing.T) {
+	qs := buildQS(t, "SELECT * FROM t WHERE a = 'x' AND b = 7")
+	idx := qs.DataNodes()
+	if len(idx) != 2 {
+		t.Fatalf("data nodes = %v", idx)
+	}
+	for _, i := range idx {
+		if !qs[i].Cat.IsData() {
+			t.Errorf("index %d is %s, not a data node", i, qs[i].Cat)
+		}
+	}
+}
+
+func TestNodeString(t *testing.T) {
+	n := Node{Cat: CatField, Data: "reservID"}
+	if n.String() != "FIELD_ITEM reservID" {
+		t.Errorf("Node.String() = %q", n.String())
+	}
+}
+
+func TestModelString(t *testing.T) {
+	qm := ModelOf(buildQS(t, "SELECT a FROM t WHERE b = 1"))
+	s := qm.String()
+	if s == "" || !containsLine(s, "INT_ITEM ⊥") {
+		t.Errorf("Model.String() = %q", s)
+	}
+}
+
+func containsLine(haystack, line string) bool {
+	start := 0
+	for i := 0; i <= len(haystack); i++ {
+		if i == len(haystack) || haystack[i] == '\n' {
+			if haystack[start:i] == line {
+				return true
+			}
+			start = i + 1
+		}
+	}
+	return false
+}

@@ -1,0 +1,502 @@
+// Package qstruct implements SEPTIC's query representation: the query
+// structure (QS) extracted from a validated statement, and the query model
+// (QM) learned from it.
+//
+// The representation mirrors the stack of items MySQL builds while
+// validating a query, as shown in Figs. 2–4 of the paper: each node is
+// either an element node ⟨ELEM TYPE, ELEM DATA⟩ — a clause marker, field,
+// function or operator — or a data node ⟨DATA TYPE, DATA⟩ carrying a
+// literal value that (potentially) came from user input. A query model is
+// the same stack with every data node's DATA replaced by the special
+// value ⊥.
+package qstruct
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+
+	"github.com/septic-db/septic/internal/sqlparser"
+)
+
+// Category is the ELEM/DATA TYPE of a stack node. The names follow the
+// MySQL item categories used in the paper (FIELD_ITEM, FUNC_ITEM,
+// COND_ITEM, INT_ITEM, STRING_ITEM, SELECT_FIELD, FROM_TABLE, ...).
+type Category int
+
+// Node categories. Enums start at 1 so the zero value is invalid.
+const (
+	CatInvalid Category = iota
+
+	// Element categories (structure; never attacker data).
+	CatSelectField // SELECT_FIELD: one projection of a SELECT list
+	CatFromTable   // FROM_TABLE: a table in FROM
+	CatJoin        // JOIN_ITEM: join type marker
+	CatField       // FIELD_ITEM: column reference
+	CatFunc        // FUNC_ITEM: operator or function
+	CatCond        // COND_ITEM: AND / OR / XOR / NOT
+	CatOrder       // ORDER_ITEM
+	CatGroup       // GROUP_ITEM
+	CatHaving      // HAVING_ITEM
+	CatLimit       // LIMIT_ITEM
+	CatDistinct    // DISTINCT_ITEM
+	CatUnion       // UNION_ITEM
+	CatSubBegin    // SUBSELECT_BEGIN
+	CatSubEnd      // SUBSELECT_END
+	CatInsertTable // INSERT_TABLE
+	CatInsertField // INSERT_FIELD: a column of an INSERT column list
+	CatRowBegin    // ROW_ITEM: start of one VALUES tuple
+	CatUpdateTable // UPDATE_TABLE
+	CatSetField    // SET_FIELD: assigned column of an UPDATE
+	CatDeleteTable // DELETE_TABLE
+	CatDDL         // DDL_ITEM: CREATE/DROP/SHOW/DESCRIBE marker
+
+	// Data categories (literal values; the QM blanks their data to ⊥).
+	CatInt         // INT_ITEM
+	CatReal        // REAL_ITEM
+	CatString      // STRING_ITEM
+	CatBool        // BOOL_ITEM
+	CatNull        // NULL_ITEM
+	CatPlaceholder // PARAM_ITEM: '?' marker
+)
+
+var categoryNames = map[Category]string{
+	CatInvalid:     "INVALID",
+	CatSelectField: "SELECT_FIELD",
+	CatFromTable:   "FROM_TABLE",
+	CatJoin:        "JOIN_ITEM",
+	CatField:       "FIELD_ITEM",
+	CatFunc:        "FUNC_ITEM",
+	CatCond:        "COND_ITEM",
+	CatOrder:       "ORDER_ITEM",
+	CatGroup:       "GROUP_ITEM",
+	CatHaving:      "HAVING_ITEM",
+	CatLimit:       "LIMIT_ITEM",
+	CatDistinct:    "DISTINCT_ITEM",
+	CatUnion:       "UNION_ITEM",
+	CatSubBegin:    "SUBSELECT_BEGIN",
+	CatSubEnd:      "SUBSELECT_END",
+	CatInsertTable: "INSERT_TABLE",
+	CatInsertField: "INSERT_FIELD",
+	CatRowBegin:    "ROW_ITEM",
+	CatUpdateTable: "UPDATE_TABLE",
+	CatSetField:    "SET_FIELD",
+	CatDeleteTable: "DELETE_TABLE",
+	CatDDL:         "DDL_ITEM",
+	CatInt:         "INT_ITEM",
+	CatReal:        "REAL_ITEM",
+	CatString:      "STRING_ITEM",
+	CatBool:        "BOOL_ITEM",
+	CatNull:        "NULL_ITEM",
+	CatPlaceholder: "PARAM_ITEM",
+}
+
+// String returns the paper-style category name.
+func (c Category) String() string {
+	if s, ok := categoryNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("Category(%d)", int(c))
+}
+
+// IsData reports whether nodes of this category carry literal data that a
+// query model must blank out (the ⟨DATA TYPE, DATA⟩ nodes of the paper).
+func (c Category) IsData() bool {
+	switch c {
+	case CatInt, CatReal, CatString, CatBool, CatNull, CatPlaceholder:
+		return true
+	default:
+		return false
+	}
+}
+
+// Bottom is the special value a query model stores in place of literal
+// data (the paper's ⊥).
+const Bottom = "⊥"
+
+// Node is one entry of a query structure or query model stack.
+type Node struct {
+	Cat Category `json:"cat"`
+	// Data is the element data (field name, function name, operator,
+	// table name) for element nodes, or the literal value rendered as a
+	// string for data nodes. In a query model, data nodes hold Bottom.
+	Data string `json:"data"`
+}
+
+// String renders the node the way the paper's figures do.
+func (n Node) String() string {
+	return fmt.Sprintf("%s %s", n.Cat, n.Data)
+}
+
+// Stack is a query structure: the flattened item stack of one statement.
+// Index 0 is the bottom of the stack (the first clause pushed, e.g.
+// FROM_TABLE for a SELECT), matching the bottom-to-top construction in
+// the paper's Fig. 2.
+type Stack []Node
+
+// String renders the stack top-down, one node per line, as in Figs. 2–4.
+func (s Stack) String() string {
+	var b strings.Builder
+	for i := len(s) - 1; i >= 0; i-- {
+		b.WriteString(s[i].String())
+		if i > 0 {
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// Clone returns a deep copy of the stack.
+func (s Stack) Clone() Stack {
+	out := make(Stack, len(s))
+	copy(out, s)
+	return out
+}
+
+// DataNodes returns the indices of the data nodes in the stack.
+func (s Stack) DataNodes() []int {
+	var idx []int
+	for i, n := range s {
+		if n.Cat.IsData() {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// StringData returns the values of all STRING_ITEM nodes, in stack order.
+// The stored-injection plugins inspect these: they are the literal values
+// an INSERT or UPDATE is about to write into the database.
+func (s Stack) StringData() []string {
+	var out []string
+	for _, n := range s {
+		if n.Cat == CatString {
+			out = append(out, n.Data)
+		}
+	}
+	return out
+}
+
+// Model is a learned query model: a stack whose data nodes are blanked.
+type Model struct {
+	Nodes Stack `json:"nodes"`
+}
+
+// ModelOf derives the query model from a query structure by replacing the
+// DATA of every data node with ⊥ (paper §II-C1).
+func ModelOf(qs Stack) Model {
+	nodes := qs.Clone()
+	for i := range nodes {
+		if nodes[i].Cat.IsData() {
+			nodes[i].Data = Bottom
+		}
+	}
+	return Model{Nodes: nodes}
+}
+
+// String renders the model top-down like a stack.
+func (m Model) String() string { return m.Nodes.String() }
+
+// Fingerprint returns a stable 64-bit hash of the model, used for
+// persistence integrity checks and ablation benchmarks.
+func (m Model) Fingerprint() uint64 {
+	h := fnv.New64a()
+	for _, n := range m.Nodes {
+		_, _ = fmt.Fprintf(h, "%d\x00%s\x00", n.Cat, n.Data)
+	}
+	return h.Sum64()
+}
+
+// BuildStack flattens a validated statement into its query structure.
+func BuildStack(stmt sqlparser.Statement) Stack {
+	b := &stackBuilder{}
+	b.statement(stmt)
+	return b.nodes
+}
+
+type stackBuilder struct {
+	nodes Stack
+}
+
+func (b *stackBuilder) push(cat Category, data string) {
+	b.nodes = append(b.nodes, Node{Cat: cat, Data: data})
+}
+
+func (b *stackBuilder) statement(stmt sqlparser.Statement) {
+	switch s := stmt.(type) {
+	case *sqlparser.SelectStmt:
+		b.selectStmt(s)
+	case *sqlparser.InsertStmt:
+		b.insertStmt(s)
+	case *sqlparser.UpdateStmt:
+		b.updateStmt(s)
+	case *sqlparser.DeleteStmt:
+		b.deleteStmt(s)
+	case *sqlparser.CreateTableStmt:
+		b.push(CatDDL, "CREATE TABLE "+s.Table)
+	case *sqlparser.DropTableStmt:
+		b.push(CatDDL, "DROP TABLE "+s.Table)
+	case *sqlparser.ShowTablesStmt:
+		b.push(CatDDL, "SHOW TABLES")
+	case *sqlparser.DescribeStmt:
+		b.push(CatDDL, "DESCRIBE "+s.Table)
+	case *sqlparser.ExplainStmt:
+		b.push(CatDDL, "EXPLAIN")
+		b.selectStmt(s.Select)
+	}
+}
+
+func (b *stackBuilder) selectStmt(s *sqlparser.SelectStmt) {
+	// Bottom-up, as in Fig. 2: FROM tables first, then the SELECT list,
+	// then WHERE, GROUP BY, HAVING, ORDER BY, LIMIT, UNION.
+	for _, t := range s.From {
+		if t.Join != "" && t.Join != "CROSS" {
+			b.push(CatJoin, t.Join+" JOIN")
+		}
+		if t.Subquery != nil {
+			b.push(CatSubBegin, "derived")
+			b.selectStmt(t.Subquery)
+			b.push(CatSubEnd, "derived")
+		} else {
+			b.push(CatFromTable, t.Name)
+		}
+		if t.On != nil {
+			b.expr(t.On)
+		}
+	}
+	if s.Distinct {
+		b.push(CatDistinct, "DISTINCT")
+	}
+	for _, f := range s.Fields {
+		switch {
+		case f.Star:
+			b.push(CatSelectField, "*")
+		case f.TableStar != "":
+			b.push(CatSelectField, f.TableStar+".*")
+		default:
+			if col, ok := f.Expr.(*sqlparser.ColumnRef); ok {
+				b.push(CatSelectField, columnName(col))
+			} else {
+				// Computed projection: mark the slot, then push the
+				// expression items so structure changes are visible.
+				b.push(CatSelectField, "expr")
+				b.expr(f.Expr)
+			}
+		}
+	}
+	if s.Where != nil {
+		b.expr(s.Where)
+	}
+	for _, g := range s.GroupBy {
+		b.push(CatGroup, "GROUP BY")
+		b.expr(g)
+	}
+	if s.Having != nil {
+		b.push(CatHaving, "HAVING")
+		b.expr(s.Having)
+	}
+	for _, o := range s.OrderBy {
+		dir := "ASC"
+		if o.Desc {
+			dir = "DESC"
+		}
+		b.push(CatOrder, dir)
+		b.expr(o.Expr)
+	}
+	if s.Limit != nil {
+		b.push(CatLimit, "LIMIT")
+		b.expr(s.Limit.Count)
+		if s.Limit.Offset != nil {
+			b.push(CatLimit, "OFFSET")
+			b.expr(s.Limit.Offset)
+		}
+	}
+	if s.Union != nil {
+		kind := "UNION"
+		if s.Union.All {
+			kind = "UNION ALL"
+		}
+		b.push(CatUnion, kind)
+		b.selectStmt(s.Union.Next)
+	}
+}
+
+func (b *stackBuilder) insertStmt(s *sqlparser.InsertStmt) {
+	b.push(CatInsertTable, s.Table)
+	for _, c := range s.Columns {
+		b.push(CatInsertField, c)
+	}
+	if s.Select != nil {
+		b.push(CatSubBegin, "insert-select")
+		b.selectStmt(s.Select)
+		b.push(CatSubEnd, "insert-select")
+		return
+	}
+	for _, row := range s.Rows {
+		b.push(CatRowBegin, "VALUES")
+		for _, e := range row {
+			b.expr(e)
+		}
+	}
+}
+
+func (b *stackBuilder) updateStmt(s *sqlparser.UpdateStmt) {
+	b.push(CatUpdateTable, s.Table)
+	for _, a := range s.Sets {
+		b.push(CatSetField, a.Column)
+		b.expr(a.Value)
+	}
+	if s.Where != nil {
+		b.expr(s.Where)
+	}
+	b.orderLimit(s.OrderBy, s.Limit)
+}
+
+func (b *stackBuilder) deleteStmt(s *sqlparser.DeleteStmt) {
+	b.push(CatDeleteTable, s.Table)
+	if s.Where != nil {
+		b.expr(s.Where)
+	}
+	b.orderLimit(s.OrderBy, s.Limit)
+}
+
+func (b *stackBuilder) orderLimit(orderBy []sqlparser.OrderItem, limit *sqlparser.Limit) {
+	for _, o := range orderBy {
+		dir := "ASC"
+		if o.Desc {
+			dir = "DESC"
+		}
+		b.push(CatOrder, dir)
+		b.expr(o.Expr)
+	}
+	if limit != nil {
+		b.push(CatLimit, "LIMIT")
+		b.expr(limit.Count)
+		if limit.Offset != nil {
+			b.push(CatLimit, "OFFSET")
+			b.expr(limit.Offset)
+		}
+	}
+}
+
+// expr pushes an expression in post-order (operands before operator),
+// matching the bottom-up item order of the paper's figures: for
+// "reservID = 'ID34FG'" the stack gains FIELD_ITEM reservID,
+// STRING_ITEM ID34FG, FUNC_ITEM =.
+func (b *stackBuilder) expr(e sqlparser.Expr) {
+	switch x := e.(type) {
+	case *sqlparser.Literal:
+		b.literal(x)
+	case *sqlparser.ColumnRef:
+		b.push(CatField, columnName(x))
+	case *sqlparser.BinaryExpr:
+		b.expr(x.Left)
+		b.expr(x.Right)
+		switch x.Op {
+		case "AND", "OR", "XOR":
+			b.push(CatCond, x.Op)
+		default:
+			b.push(CatFunc, x.Op)
+		}
+	case *sqlparser.UnaryExpr:
+		b.expr(x.Operand)
+		if x.Op == "NOT" {
+			b.push(CatCond, "NOT")
+		} else {
+			b.push(CatFunc, x.Op)
+		}
+	case *sqlparser.FuncCall:
+		for _, a := range x.Args {
+			b.expr(a)
+		}
+		name := x.Name
+		if x.Star {
+			name += "(*)"
+		}
+		b.push(CatFunc, name)
+	case *sqlparser.InExpr:
+		b.expr(x.Left)
+		if x.Subquery != nil {
+			b.push(CatSubBegin, "in-subquery")
+			b.selectStmt(x.Subquery)
+			b.push(CatSubEnd, "in-subquery")
+		} else {
+			for _, e := range x.List {
+				b.expr(e)
+			}
+		}
+		op := "IN"
+		if x.Not {
+			op = "NOT IN"
+		}
+		b.push(CatFunc, op)
+	case *sqlparser.BetweenExpr:
+		b.expr(x.Expr)
+		b.expr(x.Low)
+		b.expr(x.High)
+		op := "BETWEEN"
+		if x.Not {
+			op = "NOT BETWEEN"
+		}
+		b.push(CatFunc, op)
+	case *sqlparser.IsNullExpr:
+		b.expr(x.Expr)
+		op := "IS NULL"
+		if x.Not {
+			op = "IS NOT NULL"
+		}
+		b.push(CatFunc, op)
+	case *sqlparser.SubqueryExpr:
+		b.push(CatSubBegin, "scalar")
+		b.selectStmt(x.Select)
+		b.push(CatSubEnd, "scalar")
+	case *sqlparser.ExistsExpr:
+		b.push(CatSubBegin, "exists")
+		b.selectStmt(x.Select)
+		b.push(CatSubEnd, "exists")
+		op := "EXISTS"
+		if x.Not {
+			op = "NOT EXISTS"
+		}
+		b.push(CatFunc, op)
+	case *sqlparser.Placeholder:
+		b.push(CatPlaceholder, "?")
+	case *sqlparser.CaseExpr:
+		if x.Operand != nil {
+			b.expr(x.Operand)
+		}
+		for _, w := range x.Whens {
+			b.expr(w.Cond)
+			b.expr(w.Result)
+			b.push(CatFunc, "WHEN")
+		}
+		if x.Else != nil {
+			b.expr(x.Else)
+			b.push(CatFunc, "ELSE")
+		}
+		b.push(CatFunc, "CASE")
+	}
+}
+
+func (b *stackBuilder) literal(l *sqlparser.Literal) {
+	switch l.Kind {
+	case sqlparser.LiteralInt:
+		b.push(CatInt, strconv.FormatInt(l.Int, 10))
+	case sqlparser.LiteralFloat:
+		b.push(CatReal, strconv.FormatFloat(l.Float, 'g', -1, 64))
+	case sqlparser.LiteralString:
+		b.push(CatString, l.Str)
+	case sqlparser.LiteralBool:
+		b.push(CatBool, strconv.FormatBool(l.Bool))
+	case sqlparser.LiteralNull:
+		b.push(CatNull, "NULL")
+	}
+}
+
+func columnName(c *sqlparser.ColumnRef) string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}

@@ -1,0 +1,89 @@
+package qstruct
+
+import (
+	"strings"
+
+	"github.com/septic-db/septic/internal/sqlparser"
+)
+
+// Skeleton derives the coarse, injection-stable identity of a statement:
+// the statement kind plus the names that an attacker cannot alter by
+// injecting into a data value — target tables, INSERT/UPDATE column
+// lists, and the SELECT projection list.
+//
+// SEPTIC's internal query identifier is a hash of this skeleton
+// (paper §II-C2: "the second identifier is produced by SEPTIC based on
+// the QM in order to ensure uniqueness"). It must be computed from parts
+// of the query an injection leaves intact: if the identifier covered the
+// full structure, an attacked query would hash to an unknown ID and be
+// treated as a *new* query instead of a mismatch against the learned
+// model. Hashing only the skeleton guarantees the attacked query finds
+// the victim query's model and fails the comparison instead.
+func Skeleton(stmt sqlparser.Statement) string {
+	var b strings.Builder
+	writeSkeleton(&b, stmt)
+	return b.String()
+}
+
+func writeSkeleton(b *strings.Builder, stmt sqlparser.Statement) {
+	switch s := stmt.(type) {
+	case *sqlparser.SelectStmt:
+		b.WriteString("SELECT|")
+		for _, f := range s.Fields {
+			switch {
+			case f.Star:
+				b.WriteString("*")
+			case f.TableStar != "":
+				b.WriteString(f.TableStar + ".*")
+			case f.Alias != "":
+				b.WriteString(f.Alias)
+			default:
+				if col, ok := f.Expr.(*sqlparser.ColumnRef); ok {
+					b.WriteString(col.Name)
+				} else {
+					b.WriteString("expr")
+				}
+			}
+			b.WriteString(",")
+		}
+		b.WriteString("|")
+		for _, t := range s.From {
+			if t.Subquery != nil {
+				b.WriteString("(derived)")
+			} else {
+				b.WriteString(t.Name)
+			}
+			b.WriteString(",")
+		}
+	case *sqlparser.InsertStmt:
+		b.WriteString("INSERT|")
+		b.WriteString(s.Table)
+		b.WriteString("|")
+		b.WriteString(strings.Join(s.Columns, ","))
+	case *sqlparser.UpdateStmt:
+		b.WriteString("UPDATE|")
+		b.WriteString(s.Table)
+		b.WriteString("|")
+		for _, a := range s.Sets {
+			b.WriteString(a.Column)
+			b.WriteString(",")
+		}
+	case *sqlparser.DeleteStmt:
+		b.WriteString("DELETE|")
+		b.WriteString(s.Table)
+	case *sqlparser.CreateTableStmt:
+		b.WriteString("CREATE|")
+		b.WriteString(s.Table)
+	case *sqlparser.DropTableStmt:
+		b.WriteString("DROP|")
+		b.WriteString(s.Table)
+	case *sqlparser.ShowTablesStmt:
+		b.WriteString("SHOW TABLES")
+	case *sqlparser.DescribeStmt:
+		b.WriteString("DESCRIBE|")
+		b.WriteString(s.Table)
+	case *sqlparser.ExplainStmt:
+		b.WriteString("EXPLAIN|")
+		writeSkeleton(b, s.Select)
+	}
+}

@@ -1,0 +1,130 @@
+package qstruct
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/septic-db/septic/internal/sqlparser"
+)
+
+func skeletonOf(t *testing.T, q string) string {
+	t.Helper()
+	stmt, err := sqlparser.Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	return Skeleton(stmt)
+}
+
+// TestSkeletonStableUnderDataInjection is the property the internal query
+// identifier depends on: injecting into a data value must not change the
+// skeleton, so the attacked query still finds the victim query's model.
+func TestSkeletonStableUnderDataInjection(t *testing.T) {
+	pairs := [][2]string{
+		{
+			"SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234",
+			"SELECT * FROM tickets WHERE reservID = 'ID34FG'-- ' AND creditCard = 0",
+		},
+		{
+			"SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234",
+			"SELECT * FROM tickets WHERE reservID = 'ID34FG' AND 1=1-- ' AND creditCard = 0",
+		},
+		{
+			"SELECT name FROM products WHERE id = 7",
+			"SELECT name FROM products WHERE id = 7 OR 1=1",
+		},
+		{
+			"UPDATE users SET bio = 'hi' WHERE id = 3",
+			"UPDATE users SET bio = 'hi' WHERE id = 3 OR 1=1",
+		},
+		{
+			"DELETE FROM logs WHERE ts < 10",
+			"DELETE FROM logs WHERE ts < 10 OR 1=1",
+		},
+	}
+	for _, p := range pairs {
+		if a, b := skeletonOf(t, p[0]), skeletonOf(t, p[1]); a != b {
+			t.Errorf("skeleton changed under injection:\n  %q -> %q\n  %q -> %q",
+				p[0], a, p[1], b)
+		}
+	}
+}
+
+func TestSkeletonDistinguishesQueries(t *testing.T) {
+	queries := []string{
+		"SELECT * FROM tickets WHERE reservID = 'x'",
+		"SELECT * FROM users WHERE reservID = 'x'",
+		"SELECT id FROM tickets WHERE reservID = 'x'",
+		"INSERT INTO tickets (a) VALUES (1)",
+		"INSERT INTO tickets (b) VALUES (1)",
+		"UPDATE tickets SET a = 1",
+		"DELETE FROM tickets",
+		"SHOW TABLES",
+		"DESCRIBE tickets",
+		"CREATE TABLE tickets (id INT)",
+		"DROP TABLE tickets",
+	}
+	seen := make(map[string]string, len(queries))
+	for _, q := range queries {
+		sk := skeletonOf(t, q)
+		if prev, dup := seen[sk]; dup {
+			t.Errorf("skeleton collision: %q and %q both -> %q", prev, q, sk)
+		}
+		seen[sk] = q
+	}
+}
+
+// TestSkeletonIgnoresLiteralValues: arbitrary benign int/string values
+// never alter the skeleton.
+func TestSkeletonIgnoresLiteralValues(t *testing.T) {
+	base := skeletonOf(t, "SELECT * FROM t WHERE a = 'seed' AND b = 0")
+	f := func(s string, n int64) bool {
+		// Keep the value benign: non-ASCII confusables would decode into
+		// live quotes inside the DBMS — that is the attack case, covered
+		// elsewhere, not a benign literal.
+		s = asciiOnly(s)
+		q := "SELECT * FROM t WHERE a = '" + sqlparser.EscapeString(s) + "' AND b = " + itoa(n)
+		stmt, err := sqlparser.Parse(q)
+		if err != nil {
+			// Some generated strings survive escaping but still break the
+			// grammar only if our escaping is wrong — treat as failure.
+			return false
+		}
+		return Skeleton(stmt) == base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func asciiOnly(s string) string {
+	out := make([]byte, 0, len(s))
+	for _, r := range s {
+		if r < 0x80 {
+			out = append(out, byte(r))
+		} else {
+			out = append(out, 'x')
+		}
+	}
+	return string(out)
+}
+
+func itoa(n int64) string {
+	if n < 0 {
+		// Negative literals fold into INT_ITEM; keep the query shape by
+		// using the absolute value.
+		n = -n
+	}
+	const digits = "0123456789"
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = digits[n%10]
+		n /= 10
+	}
+	return string(buf[i:])
+}

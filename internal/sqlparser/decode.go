@@ -1,0 +1,82 @@
+package sqlparser
+
+import (
+	"strings"
+	"unicode/utf8"
+)
+
+// DecodeCharset reproduces the character-set conversion MySQL applies to a
+// received query *before* parsing it. This conversion is the root of the
+// semantic-mismatch problem the paper demonstrates: application-side
+// sanitization functions (mysql_real_escape_string and friends) operate on
+// the raw bytes the application sees, while the DBMS parses the query only
+// after folding "confusable" code points into their ASCII equivalents.
+//
+// The canonical example from the paper (§II-D) is U+02BC MODIFIER LETTER
+// APOSTROPHE: mysql_real_escape_string does not escape it (it is none of
+// ', ", \, NUL, \n, \r, Ctrl-Z), but MySQL's charset conversion turns it
+// into a plain ASCII quote, making the injected quote "live" inside the
+// DBMS even though the application believed the input was sanitized.
+//
+// The fold table below models the behaviour of MySQL conversions from
+// multi-byte client charsets into latin1/ascii column charsets, where
+// "best fit" mappings collapse typographic punctuation onto ASCII.
+func DecodeCharset(query string) string {
+	// Fast path: pure ASCII never needs folding.
+	if isASCII(query) {
+		return query
+	}
+	var b strings.Builder
+	b.Grow(len(query))
+	for _, r := range query {
+		if folded, ok := charsetFold[r]; ok {
+			b.WriteString(folded)
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// isASCII reports whether s contains only single-byte code points.
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= utf8.RuneSelf {
+			return false
+		}
+	}
+	return true
+}
+
+// charsetFold maps confusable code points to the ASCII characters MySQL's
+// best-fit charset conversions produce for them. Only characters with a
+// security-relevant ASCII best-fit mapping are folded; all other non-ASCII
+// input is preserved verbatim (as a DBMS storing UTF-8 text would).
+var charsetFold = map[rune]string{
+	'ʼ': "'",  // MODIFIER LETTER APOSTROPHE — the paper's example
+	'ʹ': "'",  // MODIFIER LETTER PRIME
+	'‘': "'",  // LEFT SINGLE QUOTATION MARK
+	'’': "'",  // RIGHT SINGLE QUOTATION MARK
+	'‛': "'",  // SINGLE HIGH-REVERSED-9 QUOTATION MARK
+	'′': "'",  // PRIME
+	'＇': "'",  // FULLWIDTH APOSTROPHE
+	'“': "\"", // LEFT DOUBLE QUOTATION MARK
+	'”': "\"", // RIGHT DOUBLE QUOTATION MARK
+	'″': "\"", // DOUBLE PRIME
+	'＂': "\"", // FULLWIDTH QUOTATION MARK
+	'＜': "<",  // FULLWIDTH LESS-THAN SIGN
+	'＞': ">",  // FULLWIDTH GREATER-THAN SIGN
+	'＝': "=",  // FULLWIDTH EQUALS SIGN
+	'－': "-",  // FULLWIDTH HYPHEN-MINUS
+	'＼': "\\", // FULLWIDTH REVERSE SOLIDUS
+	'；': ";",  // FULLWIDTH SEMICOLON
+	'％': "%",  // FULLWIDTH PERCENT SIGN
+	' ': " ",  // NO-BREAK SPACE
+}
+
+// FoldsToQuote reports whether r is one of the code points that MySQL's
+// charset conversion collapses onto an ASCII single quote. Exposed so the
+// attack corpus and tests can enumerate the mismatch surface.
+func FoldsToQuote(r rune) bool {
+	return charsetFold[r] == "'"
+}

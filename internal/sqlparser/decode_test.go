@@ -1,0 +1,91 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecodeCharsetASCIIUnchanged(t *testing.T) {
+	in := "SELECT * FROM t WHERE a = 'x'"
+	if got := DecodeCharset(in); got != in {
+		t.Errorf("ASCII input changed: %q", got)
+	}
+}
+
+func TestDecodeCharsetFoldsModifierApostrophe(t *testing.T) {
+	// The paper's U+02BC example (§II-D): the modifier apostrophe decodes
+	// to a plain quote inside the DBMS.
+	in := "ID34FGʼ-- "
+	want := "ID34FG'-- "
+	if got := DecodeCharset(in); got != want {
+		t.Errorf("DecodeCharset(%q) = %q, want %q", in, got, want)
+	}
+}
+
+func TestDecodeCharsetFoldTable(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"right single quote", "O’Brien", "O'Brien"},
+		{"left single quote", "‘x", "'x"},
+		{"prime", "5′", "5'"},
+		{"fullwidth apostrophe", "＇", "'"},
+		{"fullwidth less-than", "＜", "<"},
+		{"fullwidth greater-than", "＞", ">"},
+		{"double quotes", "“q”", `"q"`},
+		{"fullwidth equals", "a＝b", "a=b"},
+		{"fullwidth semicolon", "a；", "a;"},
+		{"no-break space", "a b", "a b"},
+		{"plain utf8 preserved", "héllo wörld", "héllo wörld"},
+		{"cjk preserved", "数据库", "数据库"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := DecodeCharset(tt.in); got != tt.want {
+				t.Errorf("DecodeCharset(%q) = %q, want %q", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFoldsToQuote(t *testing.T) {
+	for _, r := range []rune{'ʼ', '’', '‘', '′', '＇'} {
+		if !FoldsToQuote(r) {
+			t.Errorf("FoldsToQuote(%U) = false, want true", r)
+		}
+	}
+	for _, r := range []rune{'\'', 'a', '“', '数'} {
+		if FoldsToQuote(r) {
+			t.Errorf("FoldsToQuote(%U) = true, want false", r)
+		}
+	}
+}
+
+// TestDecodeCharsetIdempotent: folding twice equals folding once.
+func TestDecodeCharsetIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		once := DecodeCharset(s)
+		return DecodeCharset(once) == once
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSemanticMismatchEscapeGap documents the core of the paper: the
+// escape function does not touch the confusable quote, but the DBMS-side
+// decode turns it into a live quote.
+func TestSemanticMismatchEscapeGap(t *testing.T) {
+	payload := "ID34FGʼ AND 1=1-- "
+	escaped := EscapeString(payload)
+	if escaped != payload {
+		t.Fatalf("mysql_real_escape_string-alike must not alter %q, got %q", payload, escaped)
+	}
+	decoded := DecodeCharset(escaped)
+	if !strings.Contains(decoded, "'") {
+		t.Fatalf("DBMS decode should produce a live quote, got %q", decoded)
+	}
+}

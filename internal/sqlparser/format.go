@@ -1,0 +1,396 @@
+package sqlparser
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Format renders a statement back to SQL text. The output is canonical
+// (upper-case keywords, single spaces, quoted strings re-escaped) and is
+// used by the logger, the shell and the examples; it is not used for
+// detection, which operates on the query structure.
+func Format(stmt Statement) string {
+	var b strings.Builder
+	formatStatement(&b, stmt)
+	return b.String()
+}
+
+func formatStatement(b *strings.Builder, stmt Statement) {
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		formatSelect(b, s)
+	case *InsertStmt:
+		formatInsert(b, s)
+	case *UpdateStmt:
+		formatUpdate(b, s)
+	case *DeleteStmt:
+		formatDelete(b, s)
+	case *CreateTableStmt:
+		formatCreateTable(b, s)
+	case *DropTableStmt:
+		b.WriteString("DROP TABLE ")
+		if s.IfExists {
+			b.WriteString("IF EXISTS ")
+		}
+		b.WriteString(s.Table)
+	case *ShowTablesStmt:
+		b.WriteString("SHOW TABLES")
+	case *DescribeStmt:
+		b.WriteString("DESCRIBE ")
+		b.WriteString(s.Table)
+	case *ExplainStmt:
+		b.WriteString("EXPLAIN ")
+		formatSelect(b, s.Select)
+	}
+}
+
+func formatSelect(b *strings.Builder, s *SelectStmt) {
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, f := range s.Fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch {
+		case f.Star:
+			b.WriteString("*")
+		case f.TableStar != "":
+			b.WriteString(f.TableStar)
+			b.WriteString(".*")
+		default:
+			formatExpr(b, f.Expr)
+			if f.Alias != "" {
+				b.WriteString(" AS ")
+				b.WriteString(f.Alias)
+			}
+		}
+	}
+	if len(s.From) > 0 {
+		b.WriteString(" FROM ")
+		for i, t := range s.From {
+			if i > 0 {
+				if t.Join == "" || t.Join == "CROSS" {
+					b.WriteString(", ")
+				} else {
+					b.WriteString(" ")
+					b.WriteString(t.Join)
+					b.WriteString(" JOIN ")
+				}
+			}
+			if t.Subquery != nil {
+				b.WriteString("(")
+				formatSelect(b, t.Subquery)
+				b.WriteString(")")
+			} else {
+				b.WriteString(t.Name)
+			}
+			if t.Alias != "" {
+				b.WriteString(" AS ")
+				b.WriteString(t.Alias)
+			}
+			if t.On != nil {
+				b.WriteString(" ON ")
+				formatExpr(b, t.On)
+			}
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		formatExpr(b, s.Where)
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, e := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			formatExpr(b, e)
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING ")
+		formatExpr(b, s.Having)
+	}
+	formatOrderLimit(b, s.OrderBy, s.Limit)
+	if s.Union != nil {
+		b.WriteString(" UNION ")
+		if s.Union.All {
+			b.WriteString("ALL ")
+		}
+		formatSelect(b, s.Union.Next)
+	}
+}
+
+func formatOrderLimit(b *strings.Builder, orderBy []OrderItem, limit *Limit) {
+	if len(orderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range orderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			formatExpr(b, o.Expr)
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if limit != nil {
+		b.WriteString(" LIMIT ")
+		formatExpr(b, limit.Count)
+		if limit.Offset != nil {
+			b.WriteString(" OFFSET ")
+			formatExpr(b, limit.Offset)
+		}
+	}
+}
+
+func formatInsert(b *strings.Builder, s *InsertStmt) {
+	b.WriteString("INSERT INTO ")
+	b.WriteString(s.Table)
+	if len(s.Columns) > 0 {
+		b.WriteString(" (")
+		b.WriteString(strings.Join(s.Columns, ", "))
+		b.WriteString(")")
+	}
+	if s.Select != nil {
+		b.WriteString(" ")
+		formatSelect(b, s.Select)
+		return
+	}
+	b.WriteString(" VALUES ")
+	for i, row := range s.Rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("(")
+		for j, e := range row {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			formatExpr(b, e)
+		}
+		b.WriteString(")")
+	}
+}
+
+func formatUpdate(b *strings.Builder, s *UpdateStmt) {
+	b.WriteString("UPDATE ")
+	b.WriteString(s.Table)
+	b.WriteString(" SET ")
+	for i, a := range s.Sets {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.Column)
+		b.WriteString(" = ")
+		formatExpr(b, a.Value)
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		formatExpr(b, s.Where)
+	}
+	formatOrderLimit(b, s.OrderBy, s.Limit)
+}
+
+func formatDelete(b *strings.Builder, s *DeleteStmt) {
+	b.WriteString("DELETE FROM ")
+	b.WriteString(s.Table)
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		formatExpr(b, s.Where)
+	}
+	formatOrderLimit(b, s.OrderBy, s.Limit)
+}
+
+func formatCreateTable(b *strings.Builder, s *CreateTableStmt) {
+	b.WriteString("CREATE TABLE ")
+	if s.IfNotExists {
+		b.WriteString("IF NOT EXISTS ")
+	}
+	b.WriteString(s.Table)
+	b.WriteString(" (")
+	for i, c := range s.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Name)
+		b.WriteString(" ")
+		b.WriteString(c.Type)
+		if c.PrimaryKey {
+			b.WriteString(" PRIMARY KEY")
+		}
+		if c.AutoIncrement {
+			b.WriteString(" AUTO_INCREMENT")
+		}
+		if c.Unique {
+			b.WriteString(" UNIQUE")
+		}
+		if c.NotNull {
+			b.WriteString(" NOT NULL")
+		}
+		if c.Default != nil {
+			b.WriteString(" DEFAULT ")
+			formatExpr(b, c.Default)
+		}
+	}
+	b.WriteString(")")
+}
+
+func formatExpr(b *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case *Literal:
+		formatLiteral(b, x)
+	case *ColumnRef:
+		if x.Table != "" {
+			b.WriteString(x.Table)
+			b.WriteString(".")
+		}
+		b.WriteString(x.Name)
+	case *BinaryExpr:
+		b.WriteString("(")
+		formatExpr(b, x.Left)
+		b.WriteString(" ")
+		b.WriteString(x.Op)
+		b.WriteString(" ")
+		formatExpr(b, x.Right)
+		b.WriteString(")")
+	case *UnaryExpr:
+		b.WriteString(x.Op)
+		b.WriteString(" ")
+		formatExpr(b, x.Operand)
+	case *FuncCall:
+		b.WriteString(x.Name)
+		b.WriteString("(")
+		if x.Star {
+			b.WriteString("*")
+		}
+		if x.Distinct {
+			b.WriteString("DISTINCT ")
+		}
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			formatExpr(b, a)
+		}
+		b.WriteString(")")
+	case *InExpr:
+		formatExpr(b, x.Left)
+		if x.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" IN (")
+		if x.Subquery != nil {
+			formatSelect(b, x.Subquery)
+		} else {
+			for i, e := range x.List {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				formatExpr(b, e)
+			}
+		}
+		b.WriteString(")")
+	case *BetweenExpr:
+		formatExpr(b, x.Expr)
+		if x.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" BETWEEN ")
+		formatExpr(b, x.Low)
+		b.WriteString(" AND ")
+		formatExpr(b, x.High)
+	case *IsNullExpr:
+		formatExpr(b, x.Expr)
+		b.WriteString(" IS ")
+		if x.Not {
+			b.WriteString("NOT ")
+		}
+		b.WriteString("NULL")
+	case *SubqueryExpr:
+		b.WriteString("(")
+		formatSelect(b, x.Select)
+		b.WriteString(")")
+	case *ExistsExpr:
+		if x.Not {
+			b.WriteString("NOT ")
+		}
+		b.WriteString("EXISTS (")
+		formatSelect(b, x.Select)
+		b.WriteString(")")
+	case *Placeholder:
+		b.WriteString("?")
+	case *CaseExpr:
+		b.WriteString("CASE")
+		if x.Operand != nil {
+			b.WriteString(" ")
+			formatExpr(b, x.Operand)
+		}
+		for _, w := range x.Whens {
+			b.WriteString(" WHEN ")
+			formatExpr(b, w.Cond)
+			b.WriteString(" THEN ")
+			formatExpr(b, w.Result)
+		}
+		if x.Else != nil {
+			b.WriteString(" ELSE ")
+			formatExpr(b, x.Else)
+		}
+		b.WriteString(" END")
+	}
+}
+
+func formatLiteral(b *strings.Builder, l *Literal) {
+	switch l.Kind {
+	case LiteralInt:
+		b.WriteString(strconv.FormatInt(l.Int, 10))
+	case LiteralFloat:
+		b.WriteString(strconv.FormatFloat(l.Float, 'g', -1, 64))
+	case LiteralString:
+		b.WriteString("'")
+		b.WriteString(EscapeString(l.Str))
+		b.WriteString("'")
+	case LiteralBool:
+		if l.Bool {
+			b.WriteString("TRUE")
+		} else {
+			b.WriteString("FALSE")
+		}
+	case LiteralNull:
+		b.WriteString("NULL")
+	}
+}
+
+// EscapeString escapes a string value for inclusion in a single-quoted SQL
+// literal, following mysql_real_escape_string's byte-level escape set.
+// Note the set deliberately matches the PHP function — including what it
+// does NOT escape (multi-byte confusables such as U+02BC), because that
+// gap is precisely the semantic mismatch the paper exploits.
+func EscapeString(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch c {
+		case '\'':
+			b.WriteString(`\'`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case 0:
+			b.WriteString(`\0`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case 0x1a:
+			b.WriteString(`\Z`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,375 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexer tokenizes a decoded SQL query string.
+//
+// The lexer mirrors MySQL's scanner in the behaviours that matter for
+// injection analysis: backslash escape processing inside string literals,
+// quote doubling (” -> '), the three comment syntaxes (/* */, -- with a
+// following space or end of line, and #), and case-insensitive keywords.
+type Lexer struct {
+	input string
+	pos   int
+	// comments accumulates the bodies of comments seen so far, in order.
+	comments []string
+}
+
+// NewLexer returns a lexer over the given (already charset-decoded) input.
+func NewLexer(input string) *Lexer {
+	return &Lexer{input: input}
+}
+
+// Comments returns the bodies of all comments consumed so far. SEPTIC's ID
+// generator reads the first comment of a query to extract the optional
+// external identifier the application supplied.
+func (l *Lexer) Comments() []string {
+	out := make([]string, len(l.comments))
+	copy(out, l.comments)
+	return out
+}
+
+// SyntaxError describes a lexical or grammatical error with its position.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("syntax error at byte %d: %s", e.Pos, e.Msg)
+}
+
+func (l *Lexer) errorf(pos int, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Next returns the next token, skipping whitespace and accumulating
+// comments as side information (comments also surface as TokenComment so
+// the parser can attach them to statements).
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpace()
+	if l.pos >= len(l.input) {
+		return Token{Kind: TokenEOF, Pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.input[l.pos]
+
+	switch {
+	case c == '/' && l.peekAt(1) == '*':
+		body, err := l.scanBlockComment()
+		if err != nil {
+			return Token{}, err
+		}
+		l.comments = append(l.comments, body)
+		return Token{Kind: TokenComment, Text: body, Pos: start}, nil
+	case c == '-' && l.peekAt(1) == '-' && l.isLineCommentStart():
+		body := l.scanLineComment(2)
+		l.comments = append(l.comments, body)
+		return Token{Kind: TokenComment, Text: body, Pos: start}, nil
+	case c == '#':
+		body := l.scanLineComment(1)
+		l.comments = append(l.comments, body)
+		return Token{Kind: TokenComment, Text: body, Pos: start}, nil
+	case c == '\'' || c == '"':
+		s, err := l.scanString(c)
+		if err != nil {
+			return Token{}, err
+		}
+		return Token{Kind: TokenString, Text: s, Pos: start}, nil
+	case c == '`':
+		s, err := l.scanBacktickIdent()
+		if err != nil {
+			return Token{}, err
+		}
+		return Token{Kind: TokenIdent, Text: s, Pos: start}, nil
+	case c == '0' && (l.peekAt(1) == 'x' || l.peekAt(1) == 'X') && isHexDigit(l.peekAt(2)):
+		return l.scanHexLiteral()
+	case isDigit(c) || (c == '.' && isDigit(l.peekAt(1))):
+		return l.scanNumber()
+	case isIdentStart(c):
+		return l.scanIdentOrKeyword(), nil
+	case c == ',':
+		l.pos++
+		return Token{Kind: TokenComma, Text: ",", Pos: start}, nil
+	case c == '.':
+		l.pos++
+		return Token{Kind: TokenDot, Text: ".", Pos: start}, nil
+	case c == '(':
+		l.pos++
+		return Token{Kind: TokenLParen, Text: "(", Pos: start}, nil
+	case c == ')':
+		l.pos++
+		return Token{Kind: TokenRParen, Text: ")", Pos: start}, nil
+	case c == ';':
+		l.pos++
+		return Token{Kind: TokenSemicolon, Text: ";", Pos: start}, nil
+	case c == '?':
+		l.pos++
+		return Token{Kind: TokenPlaceholder, Text: "?", Pos: start}, nil
+	case strings.IndexByte(operatorStarts, c) >= 0:
+		return l.scanOperator()
+	default:
+		return Token{}, l.errorf(start, "unexpected character %q", rune(c))
+	}
+}
+
+func (l *Lexer) peekAt(off int) byte {
+	if l.pos+off >= len(l.input) {
+		return 0
+	}
+	return l.input[l.pos+off]
+}
+
+// isLineCommentStart reports whether the "--" at the cursor starts a
+// comment. MySQL requires "--" to be followed by whitespace or end of
+// input (unlike standard SQL), which is why the classic payloads end in
+// "-- " with a trailing space.
+func (l *Lexer) isLineCommentStart() bool {
+	next := l.peekAt(2)
+	return next == 0 || next == ' ' || next == '\t' || next == '\n' || next == '\r'
+}
+
+func (l *Lexer) skipSpace() {
+	for l.pos < len(l.input) {
+		switch l.input[l.pos] {
+		case ' ', '\t', '\n', '\r':
+			l.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (l *Lexer) scanBlockComment() (string, error) {
+	start := l.pos
+	l.pos += 2 // consume "/*"
+	end := strings.Index(l.input[l.pos:], "*/")
+	if end < 0 {
+		return "", l.errorf(start, "unterminated block comment")
+	}
+	body := l.input[l.pos : l.pos+end]
+	l.pos += end + 2
+	return strings.TrimSpace(body), nil
+}
+
+func (l *Lexer) scanLineComment(markerLen int) string {
+	l.pos += markerLen
+	start := l.pos
+	for l.pos < len(l.input) && l.input[l.pos] != '\n' {
+		l.pos++
+	}
+	return strings.TrimSpace(l.input[start:l.pos])
+}
+
+// scanString consumes a quoted string literal, processing backslash
+// escapes and quote doubling the way MySQL's scanner does. The returned
+// text is the decoded value: this is where a stored "\'" collapses to a
+// plain quote, enabling second-order injection when the value is later
+// concatenated into another query.
+func (l *Lexer) scanString(quote byte) (string, error) {
+	start := l.pos
+	l.pos++ // consume opening quote
+	var b strings.Builder
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		switch {
+		case c == '\\' && l.pos+1 < len(l.input):
+			// MySQL escape sequences (NO_BACKSLASH_ESCAPES off, the default).
+			next := l.input[l.pos+1]
+			if next == '%' || next == '_' {
+				// \% and \_ pass through WITH the backslash: they are
+				// LIKE-pattern escapes, resolved by LIKE itself, not by
+				// the scanner (MySQL manual, string literals).
+				b.WriteByte('\\')
+				b.WriteByte(next)
+			} else {
+				b.WriteByte(unescapeByte(next))
+			}
+			l.pos += 2
+		case c == quote && l.peekAt(1) == quote:
+			// Doubled quote is a literal quote.
+			b.WriteByte(quote)
+			l.pos += 2
+		case c == quote:
+			l.pos++
+			return b.String(), nil
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	return "", l.errorf(start, "unterminated string literal")
+}
+
+// unescapeByte maps the byte after a backslash to its decoded value,
+// following MySQL's escape table.
+func unescapeByte(c byte) byte {
+	switch c {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case '0':
+		return 0
+	case 'b':
+		return '\b'
+	case 'Z':
+		return 0x1a
+	default:
+		// \' \" \\ \% \_ and anything else: the escaped byte itself.
+		return c
+	}
+}
+
+func (l *Lexer) scanBacktickIdent() (string, error) {
+	start := l.pos
+	l.pos++ // consume opening backtick
+	idStart := l.pos
+	for l.pos < len(l.input) && l.input[l.pos] != '`' {
+		l.pos++
+	}
+	if l.pos >= len(l.input) {
+		return "", l.errorf(start, "unterminated quoted identifier")
+	}
+	name := l.input[idStart:l.pos]
+	l.pos++ // consume closing backtick
+	return name, nil
+}
+
+// scanHexLiteral consumes a MySQL hexadecimal literal (0x6162...),
+// which the server treats as a binary STRING — the property attackers
+// exploit to smuggle string values without quote characters. Odd-length
+// literals are left-padded with a zero nibble, as MySQL does.
+func (l *Lexer) scanHexLiteral() (Token, error) {
+	start := l.pos
+	l.pos += 2 // consume "0x"
+	digitStart := l.pos
+	for l.pos < len(l.input) && isHexDigit(l.input[l.pos]) {
+		l.pos++
+	}
+	digits := l.input[digitStart:l.pos]
+	if len(digits)%2 == 1 {
+		digits = "0" + digits
+	}
+	decoded := make([]byte, 0, len(digits)/2)
+	for i := 0; i < len(digits); i += 2 {
+		hi, _ := hexNibble(digits[i])
+		lo, _ := hexNibble(digits[i+1])
+		decoded = append(decoded, hi<<4|lo)
+	}
+	return Token{Kind: TokenString, Text: string(decoded), Pos: start}, nil
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func hexNibble(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	default:
+		return 0, false
+	}
+}
+
+func (l *Lexer) scanNumber() (Token, error) {
+	start := l.pos
+	sawDot := false
+	sawExp := false
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		switch {
+		case isDigit(c):
+			l.pos++
+		case c == '.' && !sawDot && !sawExp:
+			sawDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !sawExp && l.pos > start && isDigit(l.input[l.pos-1]):
+			if next := l.peekAt(1); isDigit(next) || ((next == '+' || next == '-') && isDigit(l.peekAt(2))) {
+				sawExp = true
+				l.pos++
+				if next := l.peekAt(0); next == '+' || next == '-' {
+					l.pos++
+				}
+			} else {
+				return l.numberToken(start, sawDot, sawExp), nil
+			}
+		default:
+			return l.numberToken(start, sawDot, sawExp), nil
+		}
+	}
+	return l.numberToken(start, sawDot, sawExp), nil
+}
+
+func (l *Lexer) numberToken(start int, sawDot, sawExp bool) Token {
+	text := l.input[start:l.pos]
+	kind := TokenInt
+	if sawDot || sawExp {
+		kind = TokenFloat
+	}
+	return Token{Kind: kind, Text: text, Pos: start}
+}
+
+func (l *Lexer) scanIdentOrKeyword() Token {
+	start := l.pos
+	for l.pos < len(l.input) && isIdentPart(l.input[l.pos]) {
+		l.pos++
+	}
+	text := l.input[start:l.pos]
+	if canonical, ok := keywords[strings.ToUpper(text)]; ok {
+		return Token{Kind: TokenKeyword, Text: canonical, Pos: start}
+	}
+	return Token{Kind: TokenIdent, Text: text, Pos: start}
+}
+
+func (l *Lexer) scanOperator() (Token, error) {
+	start := l.pos
+	two := ""
+	if l.pos+2 <= len(l.input) {
+		two = l.input[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=", "&&", "||", "<<", ">>", ":=":
+		l.pos += 2
+		return Token{Kind: TokenOperator, Text: two, Pos: start}, nil
+	}
+	c := l.input[l.pos]
+	l.pos++
+	return Token{Kind: TokenOperator, Text: string(c), Pos: start}, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+// Tokenize runs the lexer over input and returns all tokens up to and
+// including EOF. Comment tokens are included in the stream.
+func Tokenize(input string) ([]Token, error) {
+	lx := NewLexer(input)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokenEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,1401 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parser is a recursive-descent parser over the token stream produced by
+// Lexer. It implements the subset of MySQL's grammar needed by the engine
+// and by SEPTIC's query-structure extraction: SELECT (joins, subqueries,
+// UNION, GROUP BY/HAVING/ORDER BY/LIMIT), INSERT, UPDATE, DELETE,
+// CREATE/DROP TABLE, SHOW TABLES and DESCRIBE.
+type Parser struct {
+	lexer *Lexer
+	tok   Token
+	// pending comments seen since the previous statement boundary.
+	comments []string
+}
+
+// Parse decodes, lexes and parses a single SQL statement. It fails if more
+// than one statement is present — matching the single-statement API of
+// mysql_query, which is why classic piggy-backed injections ("; DROP
+// TABLE ...") fail against MySQL and are not SEPTIC's main concern.
+func Parse(query string) (Statement, error) {
+	stmts, err := ParseAll(query)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("expected a single statement, got %d", len(stmts))
+	}
+	return stmts[0], nil
+}
+
+// ParseAll decodes, lexes and parses a semicolon-separated script.
+func ParseAll(query string) ([]Statement, error) {
+	decoded := DecodeCharset(query)
+	p := &Parser{lexer: NewLexer(decoded)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var stmts []Statement
+	for p.tok.Kind != TokenEOF {
+		stmt, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, stmt)
+		for p.tok.Kind == TokenSemicolon {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(stmts) == 0 {
+		return nil, p.errorf("empty statement")
+	}
+	return stmts, nil
+}
+
+// advance moves to the next non-comment token, collecting comment bodies.
+func (p *Parser) advance() error {
+	for {
+		t, err := p.lexer.Next()
+		if err != nil {
+			return err
+		}
+		if t.Kind == TokenComment {
+			p.comments = append(p.comments, t.Text)
+			continue
+		}
+		p.tok = t
+		return nil
+	}
+}
+
+func (p *Parser) errorf(format string, args ...any) error {
+	return &SyntaxError{Pos: p.tok.Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// takeComments returns and clears the pending comments.
+func (p *Parser) takeComments() []string {
+	c := p.comments
+	p.comments = nil
+	return c
+}
+
+func (p *Parser) atKeyword(kw string) bool {
+	return p.tok.Kind == TokenKeyword && p.tok.Text == kw
+}
+
+// acceptKeyword consumes kw if present and reports whether it did.
+func (p *Parser) acceptKeyword(kw string) (bool, error) {
+	if !p.atKeyword(kw) {
+		return false, nil
+	}
+	return true, p.advance()
+}
+
+func (p *Parser) expectKeyword(kw string) error {
+	if !p.atKeyword(kw) {
+		return p.errorf("expected %s, found %s %q", kw, p.tok.Kind, p.tok.Text)
+	}
+	return p.advance()
+}
+
+func (p *Parser) expect(kind TokenKind) (Token, error) {
+	if p.tok.Kind != kind {
+		return Token{}, p.errorf("expected %s, found %s %q", kind, p.tok.Kind, p.tok.Text)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+// expectIdent accepts an identifier, also tolerating non-reserved keywords
+// used as names (MySQL allows e.g. a column called "key" when quoted; we
+// are more permissive for type-name keywords).
+func (p *Parser) expectIdent() (string, error) {
+	if p.tok.Kind == TokenIdent {
+		name := p.tok.Text
+		return name, p.advance()
+	}
+	if p.tok.Kind == TokenKeyword {
+		switch p.tok.Text {
+		case "KEY", "DATETIME", "TEXT", "ALL", "SET", "SHOW", "TABLES":
+			name := p.tok.Text
+			return strings.ToLower(name), p.advance()
+		}
+	}
+	return "", p.errorf("expected identifier, found %s %q", p.tok.Kind, p.tok.Text)
+}
+
+func (p *Parser) parseStatement() (Statement, error) {
+	if p.tok.Kind != TokenKeyword {
+		return nil, p.errorf("expected statement keyword, found %s %q", p.tok.Kind, p.tok.Text)
+	}
+	switch p.tok.Text {
+	case "SELECT":
+		return p.parseSelect()
+	case "INSERT":
+		return p.parseInsert()
+	case "UPDATE":
+		return p.parseUpdate()
+	case "DELETE":
+		return p.parseDelete()
+	case "CREATE":
+		return p.parseCreateTable()
+	case "DROP":
+		return p.parseDropTable()
+	case "SHOW":
+		return p.parseShowTables()
+	case "DESCRIBE":
+		return p.parseDescribe()
+	case "EXPLAIN":
+		return p.parseExplain()
+	default:
+		return nil, p.errorf("unsupported statement %q", p.tok.Text)
+	}
+}
+
+func (p *Parser) parseSelect() (*SelectStmt, error) {
+	comments := p.takeComments()
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{commentHolder: commentHolder{Comments: comments}}
+
+	if ok, err := p.acceptKeyword("DISTINCT"); err != nil {
+		return nil, err
+	} else if ok {
+		stmt.Distinct = true
+	} else if _, err := p.acceptKeyword("ALL"); err != nil {
+		return nil, err
+	}
+
+	fields, err := p.parseSelectFields()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Fields = fields
+
+	if ok, err := p.acceptKeyword("FROM"); err != nil {
+		return nil, err
+	} else if ok {
+		from, err := p.parseTableRefs()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = from
+	}
+
+	if ok, err := p.acceptKeyword("WHERE"); err != nil {
+		return nil, err
+	} else if ok {
+		where, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = where
+	}
+
+	if p.atKeyword("GROUP") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if p.tok.Kind != TokenComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if ok, err := p.acceptKeyword("HAVING"); err != nil {
+		return nil, err
+	} else if ok {
+		having, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = having
+	}
+
+	orderBy, err := p.parseOrderBy()
+	if err != nil {
+		return nil, err
+	}
+	stmt.OrderBy = orderBy
+
+	limit, err := p.parseLimit()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Limit = limit
+
+	if p.atKeyword("UNION") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		all, err := p.acceptKeyword("ALL")
+		if err != nil {
+			return nil, err
+		}
+		if !all {
+			if _, err := p.acceptKeyword("DISTINCT"); err != nil {
+				return nil, err
+			}
+		}
+		next, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Union = &UnionClause{All: all, Next: next}
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseSelectFields() ([]SelectField, error) {
+	var fields []SelectField
+	for {
+		f, err := p.parseSelectField()
+		if err != nil {
+			return nil, err
+		}
+		fields = append(fields, f)
+		if p.tok.Kind != TokenComma {
+			return fields, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *Parser) parseSelectField() (SelectField, error) {
+	if p.tok.Kind == TokenOperator && p.tok.Text == "*" {
+		if err := p.advance(); err != nil {
+			return SelectField{}, err
+		}
+		return SelectField{Star: true}, nil
+	}
+	// Lookahead for "ident.*".
+	if p.tok.Kind == TokenIdent {
+		name := p.tok.Text
+		save := *p.lexer
+		saveTok := p.tok
+		if err := p.advance(); err != nil {
+			return SelectField{}, err
+		}
+		if p.tok.Kind == TokenDot {
+			if err := p.advance(); err != nil {
+				return SelectField{}, err
+			}
+			if p.tok.Kind == TokenOperator && p.tok.Text == "*" {
+				if err := p.advance(); err != nil {
+					return SelectField{}, err
+				}
+				return SelectField{TableStar: name}, nil
+			}
+			// Not a ".*": rewind and parse as a normal expression.
+			*p.lexer = save
+			p.tok = saveTok
+		} else {
+			*p.lexer = save
+			p.tok = saveTok
+		}
+	}
+	expr, err := p.parseExpr()
+	if err != nil {
+		return SelectField{}, err
+	}
+	field := SelectField{Expr: expr}
+	if ok, err := p.acceptKeyword("AS"); err != nil {
+		return SelectField{}, err
+	} else if ok {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return SelectField{}, err
+		}
+		field.Alias = alias
+	} else if p.tok.Kind == TokenIdent {
+		field.Alias = p.tok.Text
+		if err := p.advance(); err != nil {
+			return SelectField{}, err
+		}
+	}
+	return field, nil
+}
+
+func (p *Parser) parseTableRefs() ([]TableRef, error) {
+	first, err := p.parseTableRef("")
+	if err != nil {
+		return nil, err
+	}
+	refs := []TableRef{first}
+	for {
+		switch {
+		case p.tok.Kind == TokenComma:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			ref, err := p.parseTableRef("CROSS")
+			if err != nil {
+				return nil, err
+			}
+			refs = append(refs, ref)
+		case p.atKeyword("JOIN"), p.atKeyword("INNER"), p.atKeyword("LEFT"),
+			p.atKeyword("RIGHT"), p.atKeyword("CROSS"):
+			joinType, err := p.parseJoinType()
+			if err != nil {
+				return nil, err
+			}
+			ref, err := p.parseTableRef(joinType)
+			if err != nil {
+				return nil, err
+			}
+			if joinType != "CROSS" {
+				if err := p.expectKeyword("ON"); err != nil {
+					return nil, err
+				}
+				on, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				ref.On = on
+			}
+			refs = append(refs, ref)
+		default:
+			return refs, nil
+		}
+	}
+}
+
+func (p *Parser) parseJoinType() (string, error) {
+	joinType := "INNER"
+	switch p.tok.Text {
+	case "LEFT", "RIGHT", "CROSS":
+		joinType = p.tok.Text
+		if err := p.advance(); err != nil {
+			return "", err
+		}
+		if _, err := p.acceptKeyword("OUTER"); err != nil {
+			return "", err
+		}
+	case "INNER":
+		if err := p.advance(); err != nil {
+			return "", err
+		}
+	}
+	return joinType, p.expectKeyword("JOIN")
+}
+
+func (p *Parser) parseTableRef(join string) (TableRef, error) {
+	if p.tok.Kind == TokenLParen {
+		if err := p.advance(); err != nil {
+			return TableRef{}, err
+		}
+		sub, err := p.parseSelect()
+		if err != nil {
+			return TableRef{}, err
+		}
+		if _, err := p.expect(TokenRParen); err != nil {
+			return TableRef{}, err
+		}
+		ref := TableRef{Join: join, Subquery: sub}
+		if ok, err := p.acceptKeyword("AS"); err != nil {
+			return TableRef{}, err
+		} else if ok || p.tok.Kind == TokenIdent {
+			alias, err := p.expectIdent()
+			if err != nil {
+				return TableRef{}, err
+			}
+			ref.Alias = alias
+		}
+		return ref, nil
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Name: name, Join: join}
+	if ok, err := p.acceptKeyword("AS"); err != nil {
+		return TableRef{}, err
+	} else if ok {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Alias = alias
+	} else if p.tok.Kind == TokenIdent {
+		ref.Alias = p.tok.Text
+		if err := p.advance(); err != nil {
+			return TableRef{}, err
+		}
+	}
+	return ref, nil
+}
+
+func (p *Parser) parseOrderBy() ([]OrderItem, error) {
+	if !p.atKeyword("ORDER") {
+		return nil, nil
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("BY"); err != nil {
+		return nil, err
+	}
+	var items []OrderItem
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		item := OrderItem{Expr: e}
+		if ok, err := p.acceptKeyword("DESC"); err != nil {
+			return nil, err
+		} else if ok {
+			item.Desc = true
+		} else if _, err := p.acceptKeyword("ASC"); err != nil {
+			return nil, err
+		}
+		items = append(items, item)
+		if p.tok.Kind != TokenComma {
+			return items, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *Parser) parseLimit() (*Limit, error) {
+	if !p.atKeyword("LIMIT") {
+		return nil, nil
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	first, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	limit := &Limit{Count: first}
+	switch {
+	case p.tok.Kind == TokenComma:
+		// LIMIT offset, count
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		count, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		limit.Offset = first
+		limit.Count = count
+	case p.atKeyword("OFFSET"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		off, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		limit.Offset = off
+	}
+	return limit, nil
+}
+
+func (p *Parser) parseInsert() (*InsertStmt, error) {
+	comments := p.takeComments()
+	if err := p.expectKeyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &InsertStmt{commentHolder: commentHolder{Comments: comments}, Table: table}
+
+	if p.tok.Kind == TokenLParen {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Columns = append(stmt.Columns, col)
+			if p.tok.Kind != TokenComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TokenRParen); err != nil {
+			return nil, err
+		}
+	}
+
+	if p.atKeyword("SELECT") {
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Select = sel
+		return stmt, nil
+	}
+
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(TokenLParen); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.tok.Kind != TokenComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TokenRParen); err != nil {
+			return nil, err
+		}
+		stmt.Rows = append(stmt.Rows, row)
+		if p.tok.Kind != TokenComma {
+			return stmt, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *Parser) parseUpdate() (*UpdateStmt, error) {
+	comments := p.takeComments()
+	if err := p.expectKeyword("UPDATE"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	stmt := &UpdateStmt{commentHolder: commentHolder{Comments: comments}, Table: table}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.Kind != TokenOperator || p.tok.Text != "=" {
+			return nil, p.errorf("expected '=' in SET clause, found %q", p.tok.Text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Sets = append(stmt.Sets, Assignment{Column: col, Value: val})
+		if p.tok.Kind != TokenComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if ok, err := p.acceptKeyword("WHERE"); err != nil {
+		return nil, err
+	} else if ok {
+		where, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = where
+	}
+	orderBy, err := p.parseOrderBy()
+	if err != nil {
+		return nil, err
+	}
+	stmt.OrderBy = orderBy
+	limit, err := p.parseLimit()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Limit = limit
+	return stmt, nil
+}
+
+func (p *Parser) parseDelete() (*DeleteStmt, error) {
+	comments := p.takeComments()
+	if err := p.expectKeyword("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &DeleteStmt{commentHolder: commentHolder{Comments: comments}, Table: table}
+	if ok, err := p.acceptKeyword("WHERE"); err != nil {
+		return nil, err
+	} else if ok {
+		where, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = where
+	}
+	orderBy, err := p.parseOrderBy()
+	if err != nil {
+		return nil, err
+	}
+	stmt.OrderBy = orderBy
+	limit, err := p.parseLimit()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Limit = limit
+	return stmt, nil
+}
+
+func (p *Parser) parseCreateTable() (*CreateTableStmt, error) {
+	comments := p.takeComments()
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	stmt := &CreateTableStmt{commentHolder: commentHolder{Comments: comments}}
+	if p.atKeyword("IF") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("NOT"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("EXISTS"); err != nil {
+			return nil, err
+		}
+		stmt.IfNotExists = true
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Table = table
+	if _, err := p.expect(TokenLParen); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.parseColumnDef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Columns = append(stmt.Columns, col)
+		if p.tok.Kind != TokenComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokenRParen); err != nil {
+		return nil, err
+	}
+	return stmt, nil
+}
+
+// canonicalColumnTypes maps SQL type keywords to the engine's canonical
+// type names.
+var canonicalColumnTypes = map[string]string{
+	"INT": "INT", "INTEGER": "INT", "BIGINT": "INT",
+	"FLOAT": "FLOAT", "DOUBLE": "FLOAT", "REAL": "FLOAT",
+	"TEXT": "TEXT", "VARCHAR": "TEXT", "CHAR": "TEXT",
+	"BOOL": "BOOL", "BOOLEAN": "BOOL",
+	"DATETIME": "DATETIME",
+}
+
+func (p *Parser) parseColumnDef() (ColumnDef, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return ColumnDef{}, err
+	}
+	if p.tok.Kind != TokenKeyword {
+		return ColumnDef{}, p.errorf("expected column type, found %s %q", p.tok.Kind, p.tok.Text)
+	}
+	canonical, ok := canonicalColumnTypes[p.tok.Text]
+	if !ok {
+		return ColumnDef{}, p.errorf("unsupported column type %q", p.tok.Text)
+	}
+	if err := p.advance(); err != nil {
+		return ColumnDef{}, err
+	}
+	// Optional length: VARCHAR(255), INT(11) — parsed and ignored.
+	if p.tok.Kind == TokenLParen {
+		if err := p.advance(); err != nil {
+			return ColumnDef{}, err
+		}
+		if _, err := p.expect(TokenInt); err != nil {
+			return ColumnDef{}, err
+		}
+		if _, err := p.expect(TokenRParen); err != nil {
+			return ColumnDef{}, err
+		}
+	}
+	def := ColumnDef{Name: name, Type: canonical}
+	for {
+		switch {
+		case p.atKeyword("PRIMARY"):
+			if err := p.advance(); err != nil {
+				return ColumnDef{}, err
+			}
+			if err := p.expectKeyword("KEY"); err != nil {
+				return ColumnDef{}, err
+			}
+			def.PrimaryKey = true
+		case p.atKeyword("AUTO_INCREMENT"):
+			if err := p.advance(); err != nil {
+				return ColumnDef{}, err
+			}
+			def.AutoIncrement = true
+		case p.atKeyword("UNIQUE"):
+			if err := p.advance(); err != nil {
+				return ColumnDef{}, err
+			}
+			def.Unique = true
+		case p.atKeyword("NOT"):
+			if err := p.advance(); err != nil {
+				return ColumnDef{}, err
+			}
+			if err := p.expectKeyword("NULL"); err != nil {
+				return ColumnDef{}, err
+			}
+			def.NotNull = true
+		case p.atKeyword("NULL"):
+			if err := p.advance(); err != nil {
+				return ColumnDef{}, err
+			}
+		case p.atKeyword("DEFAULT"):
+			if err := p.advance(); err != nil {
+				return ColumnDef{}, err
+			}
+			dflt, err := p.parsePrimary()
+			if err != nil {
+				return ColumnDef{}, err
+			}
+			def.Default = dflt
+		default:
+			return def, nil
+		}
+	}
+}
+
+func (p *Parser) parseDropTable() (*DropTableStmt, error) {
+	comments := p.takeComments()
+	if err := p.expectKeyword("DROP"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	stmt := &DropTableStmt{commentHolder: commentHolder{Comments: comments}}
+	if p.atKeyword("IF") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("EXISTS"); err != nil {
+			return nil, err
+		}
+		stmt.IfExists = true
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Table = table
+	return stmt, nil
+}
+
+func (p *Parser) parseShowTables() (*ShowTablesStmt, error) {
+	comments := p.takeComments()
+	if err := p.expectKeyword("SHOW"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLES"); err != nil {
+		return nil, err
+	}
+	return &ShowTablesStmt{commentHolder: commentHolder{Comments: comments}}, nil
+}
+
+func (p *Parser) parseDescribe() (*DescribeStmt, error) {
+	comments := p.takeComments()
+	if err := p.expectKeyword("DESCRIBE"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &DescribeStmt{commentHolder: commentHolder{Comments: comments}, Table: table}, nil
+}
+
+func (p *Parser) parseExplain() (*ExplainStmt, error) {
+	comments := p.takeComments()
+	if err := p.expectKeyword("EXPLAIN"); err != nil {
+		return nil, err
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	return &ExplainStmt{commentHolder: commentHolder{Comments: comments}, Select: sel}, nil
+}
+
+// Expression parsing: precedence climbing.
+//
+//	OR/XOR < AND < NOT < comparison/IN/LIKE/BETWEEN/IS < additive <
+//	multiplicative < unary < primary
+
+func (p *Parser) parseExpr() (Expr, error) {
+	return p.parseOr()
+}
+
+func (p *Parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.atKeyword("OR"), p.tok.Kind == TokenOperator && p.tok.Text == "||":
+			op = "OR"
+		case p.atKeyword("XOR"):
+			op = "XOR"
+		default:
+			return left, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("AND") || (p.tok.Kind == TokenOperator && p.tok.Text == "&&") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseNot() (Expr, error) {
+	if p.atKeyword("NOT") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		operand, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", Operand: operand}, nil
+	}
+	return p.parseComparison()
+}
+
+// comparisonOps maps operator spellings to canonical forms.
+var comparisonOps = map[string]string{
+	"=": "=", "<>": "<>", "!=": "<>",
+	"<": "<", "<=": "<=", ">": ">", ">=": ">=",
+}
+
+func (p *Parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.tok.Kind == TokenOperator && comparisonOps[p.tok.Text] != "":
+			op := comparisonOps[p.tok.Text]
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: op, Left: left, Right: right}
+		case p.atKeyword("LIKE"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: "LIKE", Left: left, Right: right}
+		case p.atKeyword("IS"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			not, err := p.acceptKeyword("NOT")
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("NULL"); err != nil {
+				return nil, err
+			}
+			left = &IsNullExpr{Not: not, Expr: left}
+		case p.atKeyword("IN"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			in, err := p.parseInTail(left, false)
+			if err != nil {
+				return nil, err
+			}
+			left = in
+		case p.atKeyword("NOT"):
+			// expr NOT IN / NOT LIKE / NOT BETWEEN
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			switch {
+			case p.atKeyword("IN"):
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				in, err := p.parseInTail(left, true)
+				if err != nil {
+					return nil, err
+				}
+				left = in
+			case p.atKeyword("LIKE"):
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				right, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				left = &UnaryExpr{Op: "NOT", Operand: &BinaryExpr{Op: "LIKE", Left: left, Right: right}}
+			case p.atKeyword("BETWEEN"):
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				between, err := p.parseBetweenTail(left, true)
+				if err != nil {
+					return nil, err
+				}
+				left = between
+			default:
+				return nil, p.errorf("expected IN, LIKE or BETWEEN after NOT")
+			}
+		case p.atKeyword("BETWEEN"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			between, err := p.parseBetweenTail(left, false)
+			if err != nil {
+				return nil, err
+			}
+			left = between
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *Parser) parseInTail(left Expr, not bool) (Expr, error) {
+	if _, err := p.expect(TokenLParen); err != nil {
+		return nil, err
+	}
+	if p.atKeyword("SELECT") {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokenRParen); err != nil {
+			return nil, err
+		}
+		return &InExpr{Not: not, Left: left, Subquery: sub}, nil
+	}
+	var list []Expr
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, e)
+		if p.tok.Kind != TokenComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokenRParen); err != nil {
+		return nil, err
+	}
+	return &InExpr{Not: not, Left: left, List: list}, nil
+}
+
+func (p *Parser) parseBetweenTail(left Expr, not bool) (Expr, error) {
+	low, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AND"); err != nil {
+		return nil, err
+	}
+	high, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	return &BetweenExpr{Not: not, Expr: left, Low: low, High: high}, nil
+}
+
+func (p *Parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokenOperator && (p.tok.Text == "+" || p.tok.Text == "-") {
+		op := p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokenOperator && (p.tok.Text == "*" || p.tok.Text == "/" || p.tok.Text == "%") {
+		op := p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.tok.Kind == TokenOperator && (p.tok.Text == "-" || p.tok.Text == "+") {
+		op := p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		operand, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold unary minus into integer/float literals the way MySQL's
+		// parser does, so "-1" is a single INT_ITEM in the QS.
+		if op == "-" {
+			if lit, ok := operand.(*Literal); ok {
+				switch lit.Kind {
+				case LiteralInt:
+					return &Literal{Kind: LiteralInt, Int: -lit.Int}, nil
+				case LiteralFloat:
+					return &Literal{Kind: LiteralFloat, Float: -lit.Float}, nil
+				}
+			}
+		}
+		if op == "+" {
+			return operand, nil
+		}
+		return &UnaryExpr{Op: op, Operand: operand}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	switch p.tok.Kind {
+	case TokenInt:
+		n, err := strconv.ParseInt(p.tok.Text, 10, 64)
+		if err != nil {
+			// Out-of-range integer literal: MySQL widens to double.
+			f, ferr := strconv.ParseFloat(p.tok.Text, 64)
+			if ferr != nil {
+				return nil, p.errorf("invalid numeric literal %q", p.tok.Text)
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return &Literal{Kind: LiteralFloat, Float: f}, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Literal{Kind: LiteralInt, Int: n}, nil
+	case TokenFloat:
+		f, err := strconv.ParseFloat(p.tok.Text, 64)
+		if err != nil {
+			return nil, p.errorf("invalid float literal %q", p.tok.Text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Literal{Kind: LiteralFloat, Float: f}, nil
+	case TokenString:
+		s := p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Literal{Kind: LiteralString, Str: s}, nil
+	case TokenPlaceholder:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Placeholder{}, nil
+	case TokenLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.atKeyword("SELECT") {
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokenRParen); err != nil {
+				return nil, err
+			}
+			return &SubqueryExpr{Select: sub}, nil
+		}
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokenRParen); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case TokenKeyword:
+		switch p.tok.Text {
+		case "NULL":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return &Literal{Kind: LiteralNull}, nil
+		case "TRUE":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return &Literal{Kind: LiteralBool, Bool: true}, nil
+		case "FALSE":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return &Literal{Kind: LiteralBool, Bool: false}, nil
+		case "EXISTS":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokenLParen); err != nil {
+				return nil, err
+			}
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokenRParen); err != nil {
+				return nil, err
+			}
+			return &ExistsExpr{Select: sub}, nil
+		case "NOT":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			operand, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			return &UnaryExpr{Op: "NOT", Operand: operand}, nil
+		case "CASE":
+			return p.parseCase()
+		case "IF", "LEFT", "RIGHT":
+			// Keywords that double as function names: IF(c,a,b),
+			// LEFT(s,n), RIGHT(s,n).
+			name := p.tok.Text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.Kind != TokenLParen {
+				return nil, p.errorf("expected '(' after %s", name)
+			}
+			return p.parseFuncCall(name)
+		}
+		return nil, p.errorf("unexpected keyword %q in expression", p.tok.Text)
+	case TokenIdent:
+		name := p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch p.tok.Kind {
+		case TokenLParen:
+			return p.parseFuncCall(name)
+		case TokenDot:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Table: name, Name: col}, nil
+		default:
+			return &ColumnRef{Name: name}, nil
+		}
+	default:
+		return nil, p.errorf("unexpected %s %q in expression", p.tok.Kind, p.tok.Text)
+	}
+}
+
+// parseCase parses both CASE forms (operand and searched).
+func (p *Parser) parseCase() (Expr, error) {
+	if err := p.expectKeyword("CASE"); err != nil {
+		return nil, err
+	}
+	c := &CaseExpr{}
+	if !p.atKeyword("WHEN") {
+		operand, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Operand = operand
+	}
+	for p.atKeyword("WHEN") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		result, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, WhenClause{Cond: cond, Result: result})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errorf("CASE needs at least one WHEN arm")
+	}
+	if ok, err := p.acceptKeyword("ELSE"); err != nil {
+		return nil, err
+	} else if ok {
+		elseExpr, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = elseExpr
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (p *Parser) parseFuncCall(name string) (Expr, error) {
+	if err := p.advance(); err != nil { // consume '('
+		return nil, err
+	}
+	call := &FuncCall{Name: strings.ToUpper(name)}
+	if p.tok.Kind == TokenRParen {
+		return call, p.advance()
+	}
+	if p.tok.Kind == TokenOperator && p.tok.Text == "*" {
+		call.Star = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		_, err := p.expect(TokenRParen)
+		return call, err
+	}
+	if ok, err := p.acceptKeyword("DISTINCT"); err != nil {
+		return nil, err
+	} else if ok {
+		call.Distinct = true
+	}
+	for {
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, arg)
+		if p.tok.Kind != TokenComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	_, err := p.expect(TokenRParen)
+	return call, err
+}

@@ -1,0 +1,454 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, q string) Statement {
+	t.Helper()
+	stmt, err := Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	return stmt
+}
+
+func TestParseSelectBasic(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234")
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		t.Fatalf("got %T, want *SelectStmt", stmt)
+	}
+	if len(sel.Fields) != 1 || !sel.Fields[0].Star {
+		t.Errorf("fields = %+v, want [*]", sel.Fields)
+	}
+	if len(sel.From) != 1 || sel.From[0].Name != "tickets" {
+		t.Errorf("from = %+v, want tickets", sel.From)
+	}
+	and, ok := sel.Where.(*BinaryExpr)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("where = %+v, want AND", sel.Where)
+	}
+	left, ok := and.Left.(*BinaryExpr)
+	if !ok || left.Op != "=" {
+		t.Fatalf("where.left = %+v, want =", and.Left)
+	}
+	if col, ok := left.Left.(*ColumnRef); !ok || col.Name != "reservID" {
+		t.Errorf("where.left.left = %+v, want reservID", left.Left)
+	}
+	if lit, ok := left.Right.(*Literal); !ok || lit.Kind != LiteralString || lit.Str != "ID34FG" {
+		t.Errorf("where.left.right = %+v, want 'ID34FG'", left.Right)
+	}
+}
+
+func TestParseSelectFieldList(t *testing.T) {
+	stmt := mustParse(t, "SELECT id, name AS n, t.email, COUNT(*) total FROM users t")
+	sel := stmt.(*SelectStmt)
+	if len(sel.Fields) != 4 {
+		t.Fatalf("got %d fields, want 4", len(sel.Fields))
+	}
+	if sel.Fields[1].Alias != "n" {
+		t.Errorf("field 1 alias = %q, want n", sel.Fields[1].Alias)
+	}
+	if col := sel.Fields[2].Expr.(*ColumnRef); col.Table != "t" || col.Name != "email" {
+		t.Errorf("field 2 = %+v, want t.email", col)
+	}
+	fc, ok := sel.Fields[3].Expr.(*FuncCall)
+	if !ok || fc.Name != "COUNT" || !fc.Star {
+		t.Errorf("field 3 = %+v, want COUNT(*)", sel.Fields[3].Expr)
+	}
+	if sel.Fields[3].Alias != "total" {
+		t.Errorf("field 3 alias = %q, want total (implicit AS)", sel.Fields[3].Alias)
+	}
+}
+
+func TestParseSelectTableStar(t *testing.T) {
+	stmt := mustParse(t, "SELECT u.*, id FROM users u")
+	sel := stmt.(*SelectStmt)
+	if sel.Fields[0].TableStar != "u" {
+		t.Errorf("field 0 = %+v, want u.*", sel.Fields[0])
+	}
+}
+
+func TestParseOperatorPrecedence(t *testing.T) {
+	stmt := mustParse(t, "SELECT 1 WHERE a = 1 OR b = 2 AND c = 3")
+	sel := stmt.(*SelectStmt)
+	or, ok := sel.Where.(*BinaryExpr)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("top op = %+v, want OR (AND binds tighter)", sel.Where)
+	}
+	and, ok := or.Right.(*BinaryExpr)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("or.right = %+v, want AND", or.Right)
+	}
+}
+
+func TestParseArithmeticPrecedence(t *testing.T) {
+	stmt := mustParse(t, "SELECT 1 + 2 * 3")
+	sel := stmt.(*SelectStmt)
+	add := sel.Fields[0].Expr.(*BinaryExpr)
+	if add.Op != "+" {
+		t.Fatalf("top = %q, want +", add.Op)
+	}
+	mul, ok := add.Right.(*BinaryExpr)
+	if !ok || mul.Op != "*" {
+		t.Fatalf("right = %+v, want *", add.Right)
+	}
+}
+
+func TestParseParenthesesOverridePrecedence(t *testing.T) {
+	stmt := mustParse(t, "SELECT (1 + 2) * 3")
+	sel := stmt.(*SelectStmt)
+	mul := sel.Fields[0].Expr.(*BinaryExpr)
+	if mul.Op != "*" {
+		t.Fatalf("top = %q, want *", mul.Op)
+	}
+	if add, ok := mul.Left.(*BinaryExpr); !ok || add.Op != "+" {
+		t.Fatalf("left = %+v, want +", mul.Left)
+	}
+}
+
+func TestParseUnaryMinusFoldsIntoLiteral(t *testing.T) {
+	stmt := mustParse(t, "SELECT -5, -2.5, -x")
+	sel := stmt.(*SelectStmt)
+	if lit := sel.Fields[0].Expr.(*Literal); lit.Kind != LiteralInt || lit.Int != -5 {
+		t.Errorf("field 0 = %+v, want -5 literal", sel.Fields[0].Expr)
+	}
+	if lit := sel.Fields[1].Expr.(*Literal); lit.Kind != LiteralFloat || lit.Float != -2.5 {
+		t.Errorf("field 1 = %+v, want -2.5 literal", sel.Fields[1].Expr)
+	}
+	if _, ok := sel.Fields[2].Expr.(*UnaryExpr); !ok {
+		t.Errorf("field 2 = %+v, want unary expr", sel.Fields[2].Expr)
+	}
+}
+
+func TestParseInLikeBetweenIsNull(t *testing.T) {
+	stmt := mustParse(t, `SELECT 1 FROM t WHERE a IN (1, 2, 3) AND b NOT IN ('x')
+		AND c LIKE '%q%' AND d NOT LIKE 'z' AND e BETWEEN 1 AND 10
+		AND f NOT BETWEEN 2 AND 3 AND g IS NULL AND h IS NOT NULL`)
+	sel := stmt.(*SelectStmt)
+	var (
+		ins, likes, betweens, isnulls int
+	)
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *BinaryExpr:
+			if x.Op == "LIKE" {
+				likes++
+			}
+			walk(x.Left)
+			walk(x.Right)
+		case *UnaryExpr:
+			walk(x.Operand)
+		case *InExpr:
+			ins++
+		case *BetweenExpr:
+			betweens++
+		case *IsNullExpr:
+			isnulls++
+		}
+	}
+	walk(sel.Where)
+	if ins != 2 || likes != 2 || betweens != 2 || isnulls != 2 {
+		t.Errorf("in=%d like=%d between=%d isnull=%d, want 2 each", ins, likes, betweens, isnulls)
+	}
+}
+
+func TestParseSubqueries(t *testing.T) {
+	stmt := mustParse(t, `SELECT * FROM orders WHERE uid IN (SELECT id FROM users WHERE vip = 1)
+		AND total > (SELECT AVG(total) FROM orders) AND EXISTS (SELECT 1 FROM audit)`)
+	sel := stmt.(*SelectStmt)
+	var inSub, scalarSub, existsSub int
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *BinaryExpr:
+			walk(x.Left)
+			walk(x.Right)
+		case *InExpr:
+			if x.Subquery != nil {
+				inSub++
+			}
+		case *SubqueryExpr:
+			scalarSub++
+		case *ExistsExpr:
+			existsSub++
+		}
+	}
+	walk(sel.Where)
+	if inSub != 1 || scalarSub != 1 || existsSub != 1 {
+		t.Errorf("inSub=%d scalarSub=%d existsSub=%d, want 1 each", inSub, scalarSub, existsSub)
+	}
+}
+
+func TestParseDerivedTable(t *testing.T) {
+	stmt := mustParse(t, "SELECT n FROM (SELECT name n FROM users) AS sub")
+	sel := stmt.(*SelectStmt)
+	if sel.From[0].Subquery == nil || sel.From[0].Alias != "sub" {
+		t.Fatalf("from = %+v, want derived table aliased sub", sel.From[0])
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	stmt := mustParse(t, `SELECT * FROM a JOIN b ON a.id = b.aid
+		LEFT JOIN c ON b.id = c.bid, d`)
+	sel := stmt.(*SelectStmt)
+	if len(sel.From) != 4 {
+		t.Fatalf("got %d table refs, want 4", len(sel.From))
+	}
+	if sel.From[1].Join != "INNER" || sel.From[1].On == nil {
+		t.Errorf("ref 1 = %+v, want INNER join with ON", sel.From[1])
+	}
+	if sel.From[2].Join != "LEFT" {
+		t.Errorf("ref 2 join = %q, want LEFT", sel.From[2].Join)
+	}
+	if sel.From[3].Join != "CROSS" {
+		t.Errorf("ref 3 join = %q, want CROSS (comma)", sel.From[3].Join)
+	}
+}
+
+func TestParseGroupByHavingOrderByLimit(t *testing.T) {
+	stmt := mustParse(t, `SELECT city, COUNT(*) FROM users GROUP BY city
+		HAVING COUNT(*) > 2 ORDER BY city DESC, id LIMIT 10 OFFSET 5`)
+	sel := stmt.(*SelectStmt)
+	if len(sel.GroupBy) != 1 || sel.Having == nil {
+		t.Errorf("group by/having missing: %+v / %+v", sel.GroupBy, sel.Having)
+	}
+	if len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Errorf("order by = %+v", sel.OrderBy)
+	}
+	if sel.Limit == nil || sel.Limit.Offset == nil {
+		t.Fatalf("limit = %+v, want count+offset", sel.Limit)
+	}
+}
+
+func TestParseLimitCommaForm(t *testing.T) {
+	stmt := mustParse(t, "SELECT 1 FROM t LIMIT 5, 10")
+	sel := stmt.(*SelectStmt)
+	if lit := sel.Limit.Count.(*Literal); lit.Int != 10 {
+		t.Errorf("count = %+v, want 10", sel.Limit.Count)
+	}
+	if lit := sel.Limit.Offset.(*Literal); lit.Int != 5 {
+		t.Errorf("offset = %+v, want 5", sel.Limit.Offset)
+	}
+}
+
+func TestParseUnion(t *testing.T) {
+	stmt := mustParse(t, "SELECT id FROM a UNION ALL SELECT id FROM b UNION SELECT id FROM c")
+	sel := stmt.(*SelectStmt)
+	if sel.Union == nil || !sel.Union.All {
+		t.Fatalf("first union = %+v, want ALL", sel.Union)
+	}
+	second := sel.Union.Next
+	if second.Union == nil || second.Union.All {
+		t.Fatalf("second union = %+v, want DISTINCT", second.Union)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	stmt := mustParse(t, "INSERT INTO users (name, age) VALUES ('ann', 31), ('bob', 42)")
+	ins := stmt.(*InsertStmt)
+	if ins.Table != "users" || len(ins.Columns) != 2 || len(ins.Rows) != 2 {
+		t.Fatalf("insert = %+v", ins)
+	}
+	if lit := ins.Rows[1][0].(*Literal); lit.Str != "bob" {
+		t.Errorf("rows[1][0] = %+v, want bob", ins.Rows[1][0])
+	}
+}
+
+func TestParseInsertSelect(t *testing.T) {
+	stmt := mustParse(t, "INSERT INTO archive (id) SELECT id FROM users WHERE old = 1")
+	ins := stmt.(*InsertStmt)
+	if ins.Select == nil {
+		t.Fatal("want INSERT ... SELECT")
+	}
+}
+
+func TestParseUpdate(t *testing.T) {
+	stmt := mustParse(t, "UPDATE users SET name = 'x', age = age + 1 WHERE id = 7 LIMIT 1")
+	up := stmt.(*UpdateStmt)
+	if up.Table != "users" || len(up.Sets) != 2 || up.Where == nil || up.Limit == nil {
+		t.Fatalf("update = %+v", up)
+	}
+	if up.Sets[0].Column != "name" {
+		t.Errorf("set 0 = %+v", up.Sets[0])
+	}
+}
+
+func TestParseDelete(t *testing.T) {
+	stmt := mustParse(t, "DELETE FROM logs WHERE ts < 100 ORDER BY ts LIMIT 50")
+	del := stmt.(*DeleteStmt)
+	if del.Table != "logs" || del.Where == nil || len(del.OrderBy) != 1 || del.Limit == nil {
+		t.Fatalf("delete = %+v", del)
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	stmt := mustParse(t, `CREATE TABLE IF NOT EXISTS users (
+		id INT PRIMARY KEY AUTO_INCREMENT,
+		name VARCHAR(255) NOT NULL,
+		email TEXT UNIQUE,
+		age INT DEFAULT 0,
+		score DOUBLE,
+		active BOOL,
+		created DATETIME)`)
+	ct := stmt.(*CreateTableStmt)
+	if !ct.IfNotExists || ct.Table != "users" || len(ct.Columns) != 7 {
+		t.Fatalf("create = %+v", ct)
+	}
+	id := ct.Columns[0]
+	if !id.PrimaryKey || !id.AutoIncrement || id.Type != "INT" {
+		t.Errorf("id column = %+v", id)
+	}
+	if ct.Columns[1].Type != "TEXT" || !ct.Columns[1].NotNull {
+		t.Errorf("name column = %+v", ct.Columns[1])
+	}
+	if ct.Columns[3].Default == nil {
+		t.Errorf("age column default missing: %+v", ct.Columns[3])
+	}
+}
+
+func TestParseDropShowDescribe(t *testing.T) {
+	if s := mustParse(t, "DROP TABLE IF EXISTS users").(*DropTableStmt); !s.IfExists || s.Table != "users" {
+		t.Errorf("drop = %+v", s)
+	}
+	if _, ok := mustParse(t, "SHOW TABLES").(*ShowTablesStmt); !ok {
+		t.Error("SHOW TABLES failed")
+	}
+	if s := mustParse(t, "DESCRIBE users").(*DescribeStmt); s.Table != "users" {
+		t.Errorf("describe = %+v", s)
+	}
+}
+
+func TestParseAttachesComments(t *testing.T) {
+	stmt := mustParse(t, "/* app:login:42 */ SELECT 1")
+	got := stmt.StatementComments()
+	if len(got) != 1 || got[0] != "app:login:42" {
+		t.Errorf("comments = %v, want [app:login:42]", got)
+	}
+}
+
+func TestParseAllMultipleStatements(t *testing.T) {
+	stmts, err := ParseAll("SELECT 1; SELECT 2; DELETE FROM t")
+	if err != nil {
+		t.Fatalf("ParseAll: %v", err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("got %d statements, want 3", len(stmts))
+	}
+}
+
+func TestParseRejectsMultipleStatements(t *testing.T) {
+	// mysql_query semantics: piggy-backed statements are a parse error
+	// for the single-statement API.
+	_, err := Parse("SELECT 1; DROP TABLE users")
+	if err == nil {
+		t.Fatal("Parse must reject piggy-backed statements")
+	}
+}
+
+func TestParseDecodesCharsetBeforeLexing(t *testing.T) {
+	// The U+02BC quote becomes a live quote at parse time: the string
+	// literal ends early and "-- " comments out the remainder, exactly
+	// as in the paper's second-order example.
+	stmt := mustParse(t, "SELECT * FROM tickets WHERE reservID = 'ID34FGʼ-- ' AND creditCard = 0")
+	sel := stmt.(*SelectStmt)
+	eq, ok := sel.Where.(*BinaryExpr)
+	if !ok || eq.Op != "=" {
+		t.Fatalf("where = %+v, want plain equality (rest commented out)", sel.Where)
+	}
+	lit, ok := eq.Right.(*Literal)
+	if !ok || lit.Str != "ID34FG" {
+		t.Fatalf("right = %+v, want truncated string ID34FG", eq.Right)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"   ",
+		"SELEC 1",
+		"SELECT FROM",
+		"SELECT * FROM",
+		"INSERT users VALUES (1)",
+		"UPDATE SET a = 1",
+		"DELETE users",
+		"CREATE TABLE t",
+		"CREATE TABLE t (a BLOB)",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t WHERE a = ",
+		"SELECT (1",
+		"SELECT 'unterminated",
+		"SELECT * FROM t WHERE a NOT 5",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", q)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234",
+		"SELECT DISTINCT id, name AS n FROM users WHERE age > 18 ORDER BY name DESC LIMIT 10",
+		"INSERT INTO users (name, age) VALUES ('ann', 31)",
+		"UPDATE users SET age = 32 WHERE name = 'ann'",
+		"DELETE FROM logs WHERE ts < 100",
+		"SELECT a FROM t WHERE b IN (1, 2) AND c LIKE '%x%'",
+		"SELECT id FROM a UNION ALL SELECT id FROM b",
+		"SELECT x FROM t WHERE y BETWEEN 1 AND 2 OR z IS NOT NULL",
+		"SELECT COUNT(*) FROM t GROUP BY city HAVING COUNT(*) > 1",
+		"CREATE TABLE t (id INT PRIMARY KEY, s TEXT)",
+		"SELECT * FROM a JOIN b ON a.id = b.aid",
+		"SELECT u.*, id FROM users AS u",
+		"SELECT COUNT(DISTINCT x) FROM t",
+		"SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u)",
+		"SELECT a FROM t WHERE x IN (SELECT y FROM u)",
+		"SELECT a FROM t WHERE x NOT IN (1, 2)",
+		"SELECT n FROM (SELECT a AS n FROM t) AS d",
+		"SELECT * FROM a LEFT JOIN b ON a.id = b.aid",
+		"INSERT INTO t VALUES (1, 'x'), (2, 'y')",
+		"INSERT INTO archive (id) SELECT id FROM t WHERE old = 1",
+		"UPDATE t SET a = a + 1 WHERE b = 2 ORDER BY c LIMIT 3",
+		"DELETE FROM t WHERE a = 1 ORDER BY b DESC LIMIT 2",
+		"DROP TABLE IF EXISTS t",
+		"SHOW TABLES",
+		"DESCRIBE t",
+		"CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, n TEXT UNIQUE NOT NULL, v INT DEFAULT 0)",
+		"SELECT - x FROM t",
+		"SELECT NOT a FROM t",
+		"SELECT NULL, TRUE, FALSE",
+		"SELECT a FROM t LIMIT 5 OFFSET 2",
+		"SELECT 1 XOR 0",
+		"SELECT a FROM t WHERE s LIKE '%it''s%'",
+		"EXPLAIN SELECT a FROM t WHERE b = 1",
+		"SELECT CASE WHEN a > 1 THEN 'hi' ELSE 'lo' END FROM t",
+		"SELECT CASE a WHEN 1 THEN 'one' WHEN 2 THEN 'two' END FROM t",
+		"SELECT x FROM t ORDER BY CASE WHEN y = 1 THEN a ELSE b END",
+	}
+	for _, q := range queries {
+		stmt1, err := Parse(q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		text := Format(stmt1)
+		stmt2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q): %v", text, q, err)
+		}
+		if Format(stmt2) != text {
+			t.Errorf("format not stable: %q -> %q", text, Format(stmt2))
+		}
+	}
+}
+
+func TestFormatEscapesStrings(t *testing.T) {
+	stmt := mustParse(t, `SELECT 'a\'b'`)
+	text := Format(stmt)
+	if !strings.Contains(text, `\'`) {
+		t.Errorf("Format should re-escape quote: %q", text)
+	}
+}

@@ -1,0 +1,113 @@
+// Package sqlparser implements a MySQL-flavoured SQL lexer and parser.
+//
+// The parser is the first half of the "DBMS substrate" this repository
+// builds to host SEPTIC: it reproduces the parse/validate stage of MySQL,
+// including the parse-time character decodings that give rise to the
+// semantic-mismatch vulnerabilities the paper demonstrates (see
+// DESIGN.md §4). Queries are decoded, tokenized and parsed into an AST;
+// package qstruct then flattens the AST into the stack-of-items
+// representation (query structure) that SEPTIC compares against learned
+// query models.
+package sqlparser
+
+import "fmt"
+
+// TokenKind identifies the lexical class of a token.
+type TokenKind int
+
+// Token kinds. Enums start at 1 so the zero value is invalid.
+const (
+	TokenInvalid TokenKind = iota // zero value, never produced by the lexer
+	TokenIdent
+	TokenKeyword
+	TokenString
+	TokenInt
+	TokenFloat
+	TokenOperator
+	TokenComma
+	TokenDot
+	TokenLParen
+	TokenRParen
+	TokenSemicolon
+	TokenComment
+	TokenPlaceholder // '?' parameter marker
+	TokenEOF
+)
+
+var tokenKindNames = map[TokenKind]string{
+	TokenInvalid:     "invalid",
+	TokenIdent:       "identifier",
+	TokenKeyword:     "keyword",
+	TokenString:      "string",
+	TokenInt:         "integer",
+	TokenFloat:       "float",
+	TokenOperator:    "operator",
+	TokenComma:       "comma",
+	TokenDot:         "dot",
+	TokenLParen:      "left parenthesis",
+	TokenRParen:      "right parenthesis",
+	TokenSemicolon:   "semicolon",
+	TokenComment:     "comment",
+	TokenPlaceholder: "placeholder",
+	TokenEOF:         "end of input",
+}
+
+// String returns a human-readable name for the token kind.
+func (k TokenKind) String() string {
+	if s, ok := tokenKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+// Token is a single lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	// Text is the token's decoded text. For TokenString it is the string
+	// value after escape processing; for TokenComment it is the comment
+	// body without the delimiters; for keywords it is upper-cased.
+	Text string
+	// Pos is the byte offset of the token's first byte in the decoded
+	// query text.
+	Pos int
+}
+
+// String implements fmt.Stringer for debugging output.
+func (t Token) String() string {
+	return fmt.Sprintf("%s(%q)@%d", t.Kind, t.Text, t.Pos)
+}
+
+// keywords is the set of reserved words recognised by the lexer. The map
+// value is always the canonical upper-case spelling.
+var keywords = map[string]string{
+	"SELECT": "SELECT", "FROM": "FROM", "WHERE": "WHERE",
+	"AND": "AND", "OR": "OR", "NOT": "NOT", "XOR": "XOR",
+	"INSERT": "INSERT", "INTO": "INTO", "VALUES": "VALUES",
+	"UPDATE": "UPDATE", "SET": "SET",
+	"DELETE": "DELETE",
+	"CREATE": "CREATE", "TABLE": "TABLE", "DROP": "DROP",
+	"IF": "IF", "EXISTS": "EXISTS",
+	"PRIMARY": "PRIMARY", "KEY": "KEY", "AUTO_INCREMENT": "AUTO_INCREMENT",
+	"INT": "INT", "INTEGER": "INTEGER", "BIGINT": "BIGINT",
+	"FLOAT": "FLOAT", "DOUBLE": "DOUBLE", "REAL": "REAL",
+	"TEXT": "TEXT", "VARCHAR": "VARCHAR", "CHAR": "CHAR",
+	"BOOL": "BOOL", "BOOLEAN": "BOOLEAN", "DATETIME": "DATETIME",
+	"ORDER": "ORDER", "GROUP": "GROUP", "BY": "BY", "HAVING": "HAVING",
+	"ASC": "ASC", "DESC": "DESC",
+	"LIMIT": "LIMIT", "OFFSET": "OFFSET",
+	"AS": "AS", "DISTINCT": "DISTINCT", "ALL": "ALL",
+	"UNION": "UNION",
+	"JOIN":  "JOIN", "INNER": "INNER", "LEFT": "LEFT", "RIGHT": "RIGHT",
+	"OUTER": "OUTER", "CROSS": "CROSS", "ON": "ON",
+	"IN": "IN", "IS": "IS", "NULL": "NULL", "LIKE": "LIKE",
+	"BETWEEN": "BETWEEN",
+	"TRUE":    "TRUE", "FALSE": "FALSE",
+	"BEGIN": "BEGIN", "COMMIT": "COMMIT", "ROLLBACK": "ROLLBACK",
+	"SHOW": "SHOW", "TABLES": "TABLES", "DESCRIBE": "DESCRIBE",
+	"EXPLAIN": "EXPLAIN",
+	"CASE":    "CASE", "WHEN": "WHEN", "THEN": "THEN", "ELSE": "ELSE", "END": "END",
+	"DEFAULT": "DEFAULT", "UNIQUE": "UNIQUE",
+}
+
+// operatorStarts lists the runes that can begin an operator token.
+const operatorStarts = "=<>!+-*/%&|^~"

@@ -1,0 +1,122 @@
+package sqlparser
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestWalkExprsVisitsEverything(t *testing.T) {
+	stmt := mustParse(t, `SELECT a + 1, COUNT(*) FROM t
+		WHERE b IN (1, 2) AND c BETWEEN 3 AND 4 AND d IS NULL
+		AND EXISTS (SELECT 1 FROM u WHERE u.x = t.y)
+		GROUP BY e HAVING COUNT(*) > 5 ORDER BY f DESC LIMIT 7 OFFSET 8`)
+	var kinds = map[string]int{}
+	WalkExprs(stmt, func(e Expr) {
+		switch e.(type) {
+		case *Literal:
+			kinds["literal"]++
+		case *ColumnRef:
+			kinds["column"]++
+		case *BinaryExpr:
+			kinds["binary"]++
+		case *FuncCall:
+			kinds["func"]++
+		case *InExpr:
+			kinds["in"]++
+		case *BetweenExpr:
+			kinds["between"]++
+		case *IsNullExpr:
+			kinds["isnull"]++
+		case *ExistsExpr:
+			kinds["exists"]++
+		}
+	})
+	for _, want := range []string{"literal", "column", "binary", "func", "in", "between", "isnull", "exists"} {
+		if kinds[want] == 0 {
+			t.Errorf("WalkExprs missed %s nodes (%v)", want, kinds)
+		}
+	}
+	// The LIMIT/OFFSET literals must be visited (7 and 8).
+	if kinds["literal"] < 8 {
+		t.Errorf("literal count = %d, want >= 8", kinds["literal"])
+	}
+}
+
+func TestRewriteExprsReplacesInAllClauses(t *testing.T) {
+	stmt := mustParse(t, `UPDATE t SET a = ?, b = ? WHERE c = ? ORDER BY d LIMIT ?`)
+	n := 0
+	err := RewriteExprs(stmt, func(e Expr) (Expr, error) {
+		if _, ok := e.(*Placeholder); ok {
+			n++
+			return &Literal{Kind: LiteralInt, Int: int64(n)}, nil
+		}
+		return e, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("replaced %d placeholders, want 4", n)
+	}
+	text := Format(stmt)
+	for _, want := range []string{"a = 1", "b = 2", "(c = 3)", "LIMIT 4"} {
+		if !contains(text, want) {
+			t.Errorf("formatted %q missing %q", text, want)
+		}
+	}
+}
+
+func TestRewriteExprsInInsertRows(t *testing.T) {
+	stmt := mustParse(t, "INSERT INTO t (a, b) VALUES (?, ?), (?, 4)")
+	n := 0
+	err := RewriteExprs(stmt, func(e Expr) (Expr, error) {
+		if _, ok := e.(*Placeholder); ok {
+			n++
+		}
+		return e, nil
+	})
+	if err != nil || n != 3 {
+		t.Fatalf("n = %d err = %v, want 3 placeholders", n, err)
+	}
+}
+
+func TestRewriteExprsPropagatesError(t *testing.T) {
+	stmt := mustParse(t, "SELECT a, b FROM t")
+	boom := errors.New("boom")
+	err := RewriteExprs(stmt, func(e Expr) (Expr, error) {
+		if col, ok := e.(*ColumnRef); ok && col.Name == "b" {
+			return nil, boom
+		}
+		return e, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRewriteExprsDescendsSubqueries(t *testing.T) {
+	stmt := mustParse(t, `SELECT (SELECT ? FROM u) FROM t WHERE id IN (SELECT v FROM w WHERE k = ?)`)
+	n := 0
+	err := RewriteExprs(stmt, func(e Expr) (Expr, error) {
+		if _, ok := e.(*Placeholder); ok {
+			n++
+		}
+		return e, nil
+	})
+	if err != nil || n != 2 {
+		t.Fatalf("n = %d err = %v, want 2", n, err)
+	}
+}
+
+func contains(haystack, needle string) bool {
+	return len(haystack) >= len(needle) && indexOf(haystack, needle) >= 0
+}
+
+func indexOf(haystack, needle string) int {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if haystack[i:i+len(needle)] == needle {
+			return i
+		}
+	}
+	return -1
+}

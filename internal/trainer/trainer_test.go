@@ -1,0 +1,176 @@
+package trainer_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/septic-db/septic/internal/core"
+	"github.com/septic-db/septic/internal/engine"
+	"github.com/septic-db/septic/internal/trainer"
+	"github.com/septic-db/septic/internal/webapp"
+	"github.com/septic-db/septic/internal/webapp/apps"
+)
+
+type Form = trainer.Form
+
+// Crawl aliases keep the test bodies concise.
+var Crawl = trainer.Crawl
+
+// deployTraining builds a SEPTIC-protected app in training mode.
+func deployTraining(t *testing.T, schema []string, build func(webapp.Executor) *webapp.App) (*webapp.App, *core.Septic) {
+	t.Helper()
+	guard := core.New(core.Config{Mode: core.ModeTraining})
+	db := engine.New(engine.WithQueryHook(guard))
+	for _, q := range schema {
+		if _, err := db.Exec(q); err != nil {
+			t.Fatalf("schema: %v", err)
+		}
+	}
+	return build(db), guard
+}
+
+func TestCrawlTrainsWaspMon(t *testing.T) {
+	app, guard := deployTraining(t, apps.WaspMonSchema(), apps.NewWaspMon)
+	report, err := Crawl(app, apps.WaspMonForms(), 3, 1)
+	if err != nil {
+		t.Fatalf("Crawl: %v", err)
+	}
+	if report.Forms != len(apps.WaspMonForms()) {
+		t.Errorf("forms = %d", report.Forms)
+	}
+	if report.Requests != report.Forms*3 {
+		t.Errorf("requests = %d, want %d", report.Requests, report.Forms*3)
+	}
+	if guard.Store().Len() == 0 {
+		t.Fatal("no models learned")
+	}
+
+	// The crawl must cover every query the benign workload later issues:
+	// prevention mode with incremental learning OFF must pass it all.
+	guard.SetConfig(core.Config{
+		Mode: core.ModePrevention, DetectSQLI: true, DetectStored: true,
+		IncrementalLearning: false,
+	})
+	for _, req := range apps.WaspMonWorkload() {
+		if resp := app.Serve(req.Clone()); resp.Status != 200 {
+			t.Errorf("workload %s failed after crawl training: %v", req, resp.Err)
+		}
+	}
+
+	// And attacks are still blocked.
+	resp := app.Serve(webapp.Request{Path: "/device/view", Params: map[string]string{
+		"name": "nothingʼ OR ʼ1ʼ=ʼ1",
+	}})
+	if !resp.Blocked {
+		t.Error("attack not blocked after crawl training")
+	}
+}
+
+func TestCrawlTrainsAllApps(t *testing.T) {
+	cases := []struct {
+		name   string
+		schema []string
+		build  func(webapp.Executor) *webapp.App
+		forms  []Form
+	}{
+		{"addressbook", apps.AddressBookSchema(), apps.NewAddressBook, apps.AddressBookForms()},
+		{"refbase", apps.RefbaseSchema(), apps.NewRefbase, apps.RefbaseForms()},
+		{"zerocms", apps.ZeroCMSSchema(), apps.NewZeroCMS, apps.ZeroCMSForms()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			app, guard := deployTraining(t, tc.schema, tc.build)
+			if _, err := Crawl(app, tc.forms, 2, 7); err != nil {
+				t.Fatalf("Crawl: %v", err)
+			}
+			if guard.Store().Len() == 0 {
+				t.Error("no models learned")
+			}
+		})
+	}
+}
+
+func TestCrawlDeterministic(t *testing.T) {
+	run := func() int {
+		app, guard := deployTraining(t, apps.WaspMonSchema(), apps.NewWaspMon)
+		if _, err := Crawl(app, apps.WaspMonForms(), 2, 42); err != nil {
+			t.Fatalf("Crawl: %v", err)
+		}
+		return guard.Store().Len()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed produced %d vs %d models", a, b)
+	}
+}
+
+func TestCrawlReportsFailures(t *testing.T) {
+	app, _ := deployTraining(t, apps.WaspMonSchema(), apps.NewWaspMon)
+	bad := []Form{{Path: "/missing-page"}}
+	report, err := Crawl(app, bad, 1, 1)
+	if err == nil {
+		t.Fatal("crawl of a missing page must fail")
+	}
+	if len(report.Failures) != 1 || !strings.Contains(report.Failures[0], "/missing-page") {
+		t.Errorf("failures = %v", report.Failures)
+	}
+}
+
+// TestBenignValuesAreBenign: generated inputs must never contain SQL or
+// markup metacharacters — a crawler that teaches SEPTIC attack shapes
+// would poison the model store.
+func TestBenignValuesAreBenign(t *testing.T) {
+	app, guard := deployTraining(t, apps.WaspMonSchema(), apps.NewWaspMon)
+	if _, err := Crawl(app, apps.WaspMonForms(), 5, 99); err != nil {
+		t.Fatalf("Crawl: %v", err)
+	}
+	// No attack shapes: switching to prevention and re-crawling must not
+	// block anything.
+	guard.SetConfig(core.Config{
+		Mode: core.ModePrevention, DetectSQLI: true, DetectStored: true,
+		IncrementalLearning: false,
+	})
+	report, err := Crawl(app, apps.WaspMonForms(), 5, 123)
+	if err != nil {
+		t.Fatalf("re-crawl in prevention: %v (failures %v)", err, report.Failures)
+	}
+	if got := guard.Stats().AttacksFound; got != 0 {
+		t.Errorf("crawler inputs triggered %d detections", got)
+	}
+}
+
+func TestCrawlVariantsFloor(t *testing.T) {
+	app, _ := deployTraining(t, apps.WaspMonSchema(), apps.NewWaspMon)
+	report, err := Crawl(app, []Form{{Path: "/devices"}}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Requests != 1 {
+		t.Errorf("requests = %d, want 1 (variants floor)", report.Requests)
+	}
+}
+
+// errExec is an Executor that always fails, for failure injection.
+type errExec struct{}
+
+func (errExec) Exec(string) (*engine.Result, error) {
+	return nil, errors.New("boom")
+}
+
+func (errExec) ExecArgs(string, ...engine.Value) (*engine.Result, error) {
+	return nil, errors.New("boom")
+}
+
+func TestCrawlSurfacesHandlerErrors(t *testing.T) {
+	app := webapp.NewApp("broken", errExec{})
+	app.Handle("/p", func(c *webapp.Ctx) {
+		_, _ = c.Query("SELECT 1")
+	})
+	report, err := Crawl(app, []Form{{Path: "/p"}}, 2, 1)
+	if err == nil {
+		t.Fatal("want error from failing backend")
+	}
+	if len(report.Failures) != 2 {
+		t.Errorf("failures = %d, want 2", len(report.Failures))
+	}
+}

@@ -1,0 +1,149 @@
+package waf
+
+import "regexp"
+
+// Severity levels carry the CRS anomaly points.
+type Severity int
+
+// Severities (anomaly score contributions, CRS defaults).
+const (
+	SeverityNotice   Severity = 2
+	SeverityWarning  Severity = 3
+	SeverityError    Severity = 4
+	SeverityCritical Severity = 5
+)
+
+// ParanoiaLevel selects how aggressive the rule set is; higher levels
+// add rules that trade false positives for coverage (CRS semantics).
+type ParanoiaLevel int
+
+// Paranoia levels.
+const (
+	Paranoia1 ParanoiaLevel = 1
+	Paranoia2 ParanoiaLevel = 2
+)
+
+// Rule is one detection rule applied to request arguments.
+type Rule struct {
+	// ID follows the CRS numbering blocks: 942xxx SQLi, 941xxx XSS,
+	// 930xxx LFI, 931xxx RFI, 932xxx RCE.
+	ID       int
+	Msg      string
+	Severity Severity
+	Paranoia ParanoiaLevel
+	Pattern  *regexp.Regexp
+}
+
+// CoreRuleSet returns the miniature OWASP CRS. The rules are faithful
+// reductions of their CRS counterparts: anchored on the ASCII
+// metacharacters attacks need — which is precisely why payloads whose
+// metacharacters only materialize inside the DBMS sail through.
+func CoreRuleSet() []Rule {
+	return []Rule{
+		// --- SQL injection (942xxx) ---
+		{
+			ID: 942100, Msg: "SQL injection: quote breaking out of string context",
+			Severity: SeverityCritical, Paranoia: Paranoia1,
+			// A quote followed by SQL connective or comment.
+			Pattern: regexp.MustCompile(`['"]\s*(or|and|union|;|--|#)`),
+		},
+		{
+			ID: 942130, Msg: "SQL injection: tautology",
+			Severity: SeverityCritical, Paranoia: Paranoia1,
+			// OR/AND n=n with optional ASCII quotes.
+			Pattern: regexp.MustCompile(`\b(or|and)\b\s*['"]?([0-9]+)['"]?\s*=\s*['"]?([0-9]+)`),
+		},
+		{
+			ID: 942190, Msg: "SQL injection: UNION-based extraction",
+			Severity: SeverityCritical, Paranoia: Paranoia1,
+			Pattern: regexp.MustCompile(`\bunion\b(\s+all)?\s+select\b`),
+		},
+		{
+			ID: 942140, Msg: "SQL injection: stacked query",
+			Severity: SeverityCritical, Paranoia: Paranoia1,
+			Pattern: regexp.MustCompile(`;\s*(select|insert|update|delete|drop|create)\b`),
+		},
+		{
+			ID: 942150, Msg: "SQL injection: comment termination",
+			Severity: SeverityWarning, Paranoia: Paranoia1,
+			// Trailing comment after a quote (classic payload tail).
+			Pattern: regexp.MustCompile(`['"].*(--\s|#)`),
+		},
+		{
+			ID: 942160, Msg: "SQL injection: probing functions",
+			Severity: SeverityCritical, Paranoia: Paranoia1,
+			Pattern: regexp.MustCompile(`\b(sleep|benchmark|extractvalue|updatexml|load_file)\s*\(`),
+		},
+		{
+			ID: 942200, Msg: "SQL injection: information schema access",
+			Severity: SeverityCritical, Paranoia: Paranoia1,
+			Pattern: regexp.MustCompile(`\binformation_schema\b|\bmysql\.user\b`),
+		},
+		{
+			ID: 942101, Msg: "SQL injection: bare boolean condition (PL2)",
+			Severity: SeverityCritical, Paranoia: Paranoia2,
+			// Aggressive: OR/AND followed by any comparison. Critical like
+			// the real PL2 SQLi rules — and FP-prone, which is why CRS
+			// gates it behind paranoia 2.
+			Pattern: regexp.MustCompile(`\b(or|and)\b\s+\S+\s*=\s*\S+`),
+		},
+
+		// --- XSS (941xxx) ---
+		{
+			ID: 941100, Msg: "XSS: script tag",
+			Severity: SeverityCritical, Paranoia: Paranoia1,
+			Pattern: regexp.MustCompile(`<\s*script`),
+		},
+		{
+			ID: 941120, Msg: "XSS: event handler attribute",
+			Severity: SeverityCritical, Paranoia: Paranoia1,
+			Pattern: regexp.MustCompile(`\bon[a-z]+\s*=`),
+		},
+		{
+			ID: 941130, Msg: "XSS: script URI scheme",
+			Severity: SeverityCritical, Paranoia: Paranoia1,
+			Pattern: regexp.MustCompile(`(javascript|vbscript)\s*:`),
+		},
+		{
+			ID: 941160, Msg: "XSS: active HTML element",
+			Severity: SeverityCritical, Paranoia: Paranoia1,
+			Pattern: regexp.MustCompile(`<\s*(iframe|object|embed|applet|meta|base)\b`),
+		},
+
+		// --- LFI (930xxx) ---
+		{
+			ID: 930100, Msg: "LFI: path traversal",
+			Severity: SeverityCritical, Paranoia: Paranoia1,
+			Pattern: regexp.MustCompile(`\.\./|\.\.\\`),
+		},
+		{
+			ID: 930120, Msg: "LFI: OS file access",
+			Severity: SeverityCritical, Paranoia: Paranoia1,
+			Pattern: regexp.MustCompile(`/etc/(passwd|shadow)|boot\.ini|win\.ini`),
+		},
+
+		// --- RFI (931xxx) ---
+		{
+			ID: 931100, Msg: "RFI: URL with include-style payload",
+			Severity: SeverityCritical, Paranoia: Paranoia1,
+			Pattern: regexp.MustCompile(`(https?|ftp)://[^\s]+\.(php|inc|phtml|asp|jsp)`),
+		},
+		{
+			ID: 931110, Msg: "RFI: PHP stream wrapper",
+			Severity: SeverityCritical, Paranoia: Paranoia1,
+			Pattern: regexp.MustCompile(`\b(php|data|expect|zip|phar)://`),
+		},
+
+		// --- RCE (932xxx) ---
+		{
+			ID: 932100, Msg: "RCE: unix command chain",
+			Severity: SeverityCritical, Paranoia: Paranoia1,
+			Pattern: regexp.MustCompile(`[;|&]\s*(ls|cat|rm|wget|curl|nc|bash|sh|id|whoami|uname|ping|chmod)\b`),
+		},
+		{
+			ID: 932110, Msg: "RCE: command substitution",
+			Severity: SeverityCritical, Paranoia: Paranoia1,
+			Pattern: regexp.MustCompile("\\$\\(|`[a-z/ .-]+`"),
+		},
+	}
+}

@@ -1,0 +1,130 @@
+// Package waf implements a ModSecurity-style web application firewall
+// with a miniature OWASP Core Rule Set: the protection component of the
+// demonstration's phase B.
+//
+// The WAF inspects HTTP request parameters — the bytes the *client*
+// sent — through a transformation pipeline and regex rules with CRS-style
+// anomaly scoring. Like the real thing, it sits in front of the
+// application, upstream of both the PHP sanitizers and the DBMS; it
+// therefore shares the semantic mismatch blind spot the paper
+// demonstrates: it never sees MySQL's charset decoding (confusable
+// quotes look like inert multi-byte characters) and it never sees
+// queries the application builds from data already in the database
+// (second-order attacks arrive in requests that look perfectly benign).
+package waf
+
+import "strings"
+
+// Transform is one step of a ModSecurity transformation pipeline.
+type Transform func(string) string
+
+// URLDecode is ModSecurity's urlDecode: one permissive percent-decoding
+// pass, '+' to space.
+func URLDecode(s string) string {
+	if !strings.ContainsAny(s, "%+") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '+':
+			b.WriteByte(' ')
+		case s[i] == '%' && i+2 < len(s):
+			hi, ok1 := unhex(s[i+1])
+			lo, ok2 := unhex(s[i+2])
+			if ok1 && ok2 {
+				b.WriteByte(hi<<4 | lo)
+				i += 2
+				continue
+			}
+			b.WriteByte(s[i])
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+func unhex(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	default:
+		return 0, false
+	}
+}
+
+// Lowercase is ModSecurity's lowercase transform.
+func Lowercase(s string) string { return strings.ToLower(s) }
+
+// CompressWhitespace collapses runs of whitespace to single spaces.
+func CompressWhitespace(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	inSpace := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v' {
+			if !inSpace {
+				b.WriteByte(' ')
+				inSpace = true
+			}
+			continue
+		}
+		inSpace = false
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+// HTMLEntityDecode decodes the named and numeric entities attackers use
+// to smuggle markup (&lt; &#60; &#x3c; ...).
+func HTMLEntityDecode(s string) string {
+	if !strings.Contains(s, "&") {
+		return s
+	}
+	replacer := strings.NewReplacer(
+		"&lt;", "<", "&LT;", "<",
+		"&gt;", ">", "&GT;", ">",
+		"&quot;", `"`,
+		"&#039;", "'", "&#39;", "'", "&apos;", "'",
+		"&#60;", "<", "&#x3c;", "<", "&#x3C;", "<",
+		"&#62;", ">", "&#x3e;", ">", "&#x3E;", ">",
+		"&amp;", "&",
+	)
+	return replacer.Replace(s)
+}
+
+// RemoveComments strips SQL comment markers, defeating the classic
+// "UN/**/ION" obfuscation.
+func RemoveComments(s string) string {
+	for {
+		start := strings.Index(s, "/*")
+		if start < 0 {
+			return s
+		}
+		end := strings.Index(s[start+2:], "*/")
+		if end < 0 {
+			return s[:start]
+		}
+		s = s[:start] + s[start+2+end+2:]
+	}
+}
+
+// applyTransforms runs the pipeline in order.
+func applyTransforms(s string, transforms []Transform) string {
+	for _, t := range transforms {
+		s = t(s)
+	}
+	return s
+}
+
+// standardPipeline is the CRS default request-argument pipeline.
+func standardPipeline() []Transform {
+	return []Transform{URLDecode, HTMLEntityDecode, Lowercase, RemoveComments, CompressWhitespace}
+}

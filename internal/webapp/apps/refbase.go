@@ -1,0 +1,148 @@
+package apps
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/septic-db/septic/internal/webapp"
+)
+
+// RefbaseSchema returns DDL and seed data for the refbase model (the
+// bibliography manager of the §II-F performance study).
+func RefbaseSchema() []string {
+	return []string{
+		`CREATE TABLE IF NOT EXISTS refs (
+			id INT PRIMARY KEY AUTO_INCREMENT,
+			author TEXT NOT NULL,
+			title TEXT NOT NULL,
+			year INT,
+			journal TEXT,
+			cites INT DEFAULT 0)`,
+		`INSERT INTO refs (author, title, year, journal, cites) VALUES
+			('Medeiros', 'Hacking the DBMS to prevent injection attacks', 2016, 'CODASPY', 42),
+			('Halfond', 'AMNESIA: analysis and monitoring', 2005, 'ASE', 310),
+			('Boyd', 'SQLrand: preventing SQL injection attacks', 2004, 'ACNS', 250),
+			('Su', 'The essence of command injection attacks', 2006, 'POPL', 400),
+			('Buehrer', 'Using parse tree validation', 2005, 'SEM', 190)`,
+	}
+}
+
+// NewRefbase builds the bibliography application.
+func NewRefbase(db webapp.Executor) *webapp.App {
+	app := webapp.NewApp("refbase", db)
+
+	app.Handle("/refs", func(c *webapp.Ctx) {
+		res, err := c.Query("/* rb:list */ SELECT id, author, title, year FROM refs ORDER BY year DESC")
+		if err != nil {
+			return
+		}
+		for _, row := range res.Rows {
+			c.Writef("[%s] %s: %s (%s)\n", row[0], row[1], row[2], row[3])
+		}
+	})
+
+	app.Handle("/search/author", func(c *webapp.Ctx) {
+		author := webapp.MySQLRealEscapeString(c.Param("author"))
+		res, err := c.Query("/* rb:by-author */ SELECT title, year FROM refs WHERE author = '" + author + "' ORDER BY year")
+		if err != nil {
+			return
+		}
+		c.Writef("%d hits\n", len(res.Rows))
+	})
+
+	app.Handle("/search/title", func(c *webapp.Ctx) {
+		q := webapp.MySQLRealEscapeString(c.Param("q"))
+		res, err := c.Query("/* rb:by-title */ SELECT author, title FROM refs WHERE title LIKE '%" + q + "%'")
+		if err != nil {
+			return
+		}
+		c.Writef("%d hits\n", len(res.Rows))
+	})
+
+	// Search by year range: numeric context, escaped but unquoted.
+	app.Handle("/search/year", func(c *webapp.Ctx) {
+		from := webapp.MySQLRealEscapeString(c.Param("from"))
+		to := webapp.MySQLRealEscapeString(c.Param("to"))
+		res, err := c.Query(fmt.Sprintf(
+			"/* rb:by-year */ SELECT author, title, year FROM refs WHERE year BETWEEN %s AND %s ORDER BY year", from, to))
+		if err != nil {
+			return
+		}
+		c.Writef("%d hits\n", len(res.Rows))
+	})
+
+	app.Handle("/ref/add", func(c *webapp.Ctx) {
+		author := webapp.MySQLRealEscapeString(c.Param("author"))
+		title := webapp.MySQLRealEscapeString(c.Param("title"))
+		year := c.Param("year")
+		if !webapp.IsNumeric(year) {
+			c.Fail(400, errors.New("numeric year required"))
+			return
+		}
+		journal := webapp.MySQLRealEscapeString(c.Param("journal"))
+		_, err := c.Query(fmt.Sprintf(
+			"/* rb:add */ INSERT INTO refs (author, title, year, journal) VALUES ('%s', '%s', %s, '%s')",
+			author, title, year, journal))
+		if err != nil {
+			return
+		}
+		c.Write("reference added\n")
+	})
+
+	app.Handle("/ref/cite", func(c *webapp.Ctx) {
+		id := c.Param("id")
+		if !webapp.IsNumeric(id) {
+			c.Fail(400, errors.New("numeric id required"))
+			return
+		}
+		if _, err := c.Query("/* rb:cite */ UPDATE refs SET cites = cites + 1 WHERE id = " + id); err != nil {
+			return
+		}
+		c.Write("cited\n")
+	})
+
+	app.Handle("/stats", func(c *webapp.Ctx) {
+		res, err := c.Query("/* rb:stats */ SELECT COUNT(*), MIN(year), MAX(year), AVG(cites) FROM refs")
+		if err != nil {
+			return
+		}
+		row := res.Rows[0]
+		c.Writef("refs=%s span=%s-%s avg-cites=%s\n", row[0], row[1], row[2], row[3])
+	})
+
+	return app
+}
+
+// RefbaseTraining covers every page with benign inputs.
+func RefbaseTraining() []webapp.Request {
+	return []webapp.Request{
+		{Path: "/refs", Params: map[string]string{}},
+		{Path: "/search/author", Params: map[string]string{"author": "Medeiros"}},
+		{Path: "/search/title", Params: map[string]string{"q": "injection"}},
+		{Path: "/search/year", Params: map[string]string{"from": "2004", "to": "2016"}},
+		{Path: "/ref/add", Params: map[string]string{"author": "Son", "title": "Diglossia", "year": "2013", "journal": "CCS"}},
+		{Path: "/ref/cite", Params: map[string]string{"id": "1"}},
+		{Path: "/stats", Params: map[string]string{}},
+	}
+}
+
+// RefbaseWorkload is the measurement workload: 14 requests, as in the
+// paper's BenchLab recording for refbase.
+func RefbaseWorkload() []webapp.Request {
+	return []webapp.Request{
+		{Path: "/refs", Params: map[string]string{}},
+		{Path: "/search/author", Params: map[string]string{"author": "Halfond"}},
+		{Path: "/search/title", Params: map[string]string{"q": "SQL"}},
+		{Path: "/search/year", Params: map[string]string{"from": "2000", "to": "2010"}},
+		{Path: "/stats", Params: map[string]string{}},
+		{Path: "/ref/cite", Params: map[string]string{"id": "2"}},
+		{Path: "/refs", Params: map[string]string{}},
+		{Path: "/search/author", Params: map[string]string{"author": "Su"}},
+		{Path: "/search/title", Params: map[string]string{"q": "attack"}},
+		{Path: "/ref/add", Params: map[string]string{"author": "Xu", "title": "Taint analysis", "year": "2005", "journal": "TR"}},
+		{Path: "/search/year", Params: map[string]string{"from": "2005", "to": "2006"}},
+		{Path: "/ref/cite", Params: map[string]string{"id": "3"}},
+		{Path: "/stats", Params: map[string]string{}},
+		{Path: "/refs", Params: map[string]string{}},
+	}
+}

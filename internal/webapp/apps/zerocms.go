@@ -1,0 +1,222 @@
+package apps
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/septic-db/septic/internal/webapp"
+)
+
+// ZeroCMSSchema returns DDL and seed data for the ZeroCMS model (the
+// content-management system of the §II-F performance study — its
+// workload is the largest of the three, with queries of several types).
+func ZeroCMSSchema() []string {
+	return []string{
+		`CREATE TABLE IF NOT EXISTS cms_users (
+			id INT PRIMARY KEY AUTO_INCREMENT,
+			username TEXT NOT NULL,
+			password TEXT NOT NULL,
+			role TEXT DEFAULT 'reader')`,
+		`CREATE TABLE IF NOT EXISTS articles (
+			id INT PRIMARY KEY AUTO_INCREMENT,
+			title TEXT NOT NULL,
+			body TEXT,
+			author_id INT,
+			views INT DEFAULT 0)`,
+		`CREATE TABLE IF NOT EXISTS cms_comments (
+			id INT PRIMARY KEY AUTO_INCREMENT,
+			article_id INT NOT NULL,
+			author TEXT,
+			body TEXT)`,
+		`INSERT INTO cms_users (username, password, role) VALUES
+			('admin', 'c2VjcmV0', 'admin'),
+			('editor', 'ZWRpdG9y', 'editor'),
+			('reader', 'cmVhZGVy', 'reader')`,
+		`INSERT INTO articles (title, body, author_id) VALUES
+			('Welcome', 'First post of the CMS.', 1),
+			('Security notes', 'Always sanitize inputs (or so they say).', 2),
+			('Energy savings', 'Monitor your devices.', 2)`,
+		`INSERT INTO cms_comments (article_id, author, body) VALUES
+			(1, 'reader', 'nice site'),
+			(2, 'reader', 'very informative')`,
+	}
+}
+
+// NewZeroCMS builds the CMS application.
+func NewZeroCMS(db webapp.Executor) *webapp.App {
+	app := webapp.NewApp("zerocms", db)
+
+	app.Handle("/articles", func(c *webapp.Ctx) {
+		res, err := c.Query("/* cms:list */ SELECT id, title, views FROM articles ORDER BY id DESC")
+		if err != nil {
+			return
+		}
+		for _, row := range res.Rows {
+			c.Writef("[%s] %s (%s views)\n", row[0], webapp.HTMLSpecialChars(row[1].String()), row[2])
+		}
+	})
+
+	// Article view: numeric context + a piggybacked view counter UPDATE.
+	app.Handle("/article", func(c *webapp.Ctx) {
+		id := webapp.MySQLRealEscapeString(c.Param("id"))
+		res, err := c.Query("/* cms:article */ SELECT title, body FROM articles WHERE id = " + id)
+		if err != nil {
+			return
+		}
+		if len(res.Rows) == 0 {
+			c.Write("not found\n")
+			return
+		}
+		c.Writef("%s\n%s\n", res.Rows[0][0], res.Rows[0][1])
+		if _, err := c.Query("/* cms:views */ UPDATE articles SET views = views + 1 WHERE id = " + id); err != nil {
+			return
+		}
+		cres, err := c.Query("/* cms:comments */ SELECT author, body FROM cms_comments WHERE article_id = " + id + " ORDER BY id")
+		if err != nil {
+			return
+		}
+		for _, row := range cres.Rows {
+			// Comments echoed verbatim: the stored-XSS output path.
+			c.Writef("%s: %s\n", row[0], row[1])
+		}
+	})
+
+	// Login: the classic authentication query, string context both sides.
+	app.Handle("/login", func(c *webapp.Ctx) {
+		user := webapp.MySQLRealEscapeString(c.Param("user"))
+		pass := webapp.MySQLRealEscapeString(c.Param("pass"))
+		res, err := c.Query(fmt.Sprintf(
+			"/* cms:login */ SELECT id, role FROM cms_users WHERE username = '%s' AND password = '%s'", user, pass))
+		if err != nil {
+			return
+		}
+		if len(res.Rows) == 1 {
+			c.Writef("welcome, role=%s\n", res.Rows[0][1])
+		} else {
+			c.Write("login failed\n")
+		}
+	})
+
+	// Comment add: quotes escaped, markup passes — stored XSS sink.
+	app.Handle("/comment/add", func(c *webapp.Ctx) {
+		article := c.Param("article")
+		if !webapp.IsNumeric(article) {
+			c.Fail(400, errors.New("numeric article id required"))
+			return
+		}
+		author := webapp.MySQLRealEscapeString(c.Param("author"))
+		body := webapp.MySQLRealEscapeString(c.Param("body"))
+		_, err := c.Query(fmt.Sprintf(
+			"/* cms:comment-add */ INSERT INTO cms_comments (article_id, author, body) VALUES (%s, '%s', '%s')",
+			article, author, body))
+		if err != nil {
+			return
+		}
+		c.Write("comment added\n")
+	})
+
+	app.Handle("/search", func(c *webapp.Ctx) {
+		q := webapp.MySQLRealEscapeString(c.Param("q"))
+		res, err := c.Query("/* cms:search */ SELECT id, title FROM articles WHERE title LIKE '%" + q + "%' OR body LIKE '%" + q + "%'")
+		if err != nil {
+			return
+		}
+		c.Writef("%d results\n", len(res.Rows))
+	})
+
+	app.Handle("/article/add", func(c *webapp.Ctx) {
+		title := webapp.MySQLRealEscapeString(c.Param("title"))
+		body := webapp.MySQLRealEscapeString(c.Param("body"))
+		author := c.Param("author")
+		if !webapp.IsNumeric(author) {
+			c.Fail(400, errors.New("numeric author id required"))
+			return
+		}
+		_, err := c.Query(fmt.Sprintf(
+			"/* cms:article-add */ INSERT INTO articles (title, body, author_id) VALUES ('%s', '%s', %s)",
+			title, body, author))
+		if err != nil {
+			return
+		}
+		c.Write("article published\n")
+	})
+
+	app.Handle("/article/delete", func(c *webapp.Ctx) {
+		id := c.Param("id")
+		if !webapp.IsNumeric(id) {
+			c.Fail(400, errors.New("numeric id required"))
+			return
+		}
+		if _, err := c.Query("/* cms:article-delete */ DELETE FROM articles WHERE id = " + id); err != nil {
+			return
+		}
+		if _, err := c.Query("/* cms:comment-gc */ DELETE FROM cms_comments WHERE article_id = " + id); err != nil {
+			return
+		}
+		c.Write("article removed\n")
+	})
+
+	app.Handle("/profile/update", func(c *webapp.Ctx) {
+		id := c.Param("id")
+		if !webapp.IsNumeric(id) {
+			c.Fail(400, errors.New("numeric id required"))
+			return
+		}
+		pass := webapp.MySQLRealEscapeString(c.Param("pass"))
+		if _, err := c.Query(fmt.Sprintf(
+			"/* cms:pass */ UPDATE cms_users SET password = '%s' WHERE id = %s", pass, id)); err != nil {
+			return
+		}
+		c.Write("password changed\n")
+	})
+
+	return app
+}
+
+// ZeroCMSTraining covers every page with benign inputs.
+func ZeroCMSTraining() []webapp.Request {
+	return []webapp.Request{
+		{Path: "/articles", Params: map[string]string{}},
+		{Path: "/article", Params: map[string]string{"id": "1"}},
+		{Path: "/login", Params: map[string]string{"user": "reader", "pass": "cmVhZGVy"}},
+		{Path: "/comment/add", Params: map[string]string{"article": "1", "author": "reader", "body": "thanks"}},
+		{Path: "/search", Params: map[string]string{"q": "welcome"}},
+		{Path: "/article/add", Params: map[string]string{"title": "Draft", "body": "text", "author": "2"}},
+		{Path: "/article/delete", Params: map[string]string{"id": "4"}},
+		{Path: "/profile/update", Params: map[string]string{"id": "3", "pass": "bmV3"}},
+	}
+}
+
+// ZeroCMSWorkload is the measurement workload: 26 requests with queries
+// of several types (SELECT, UPDATE, INSERT, DELETE), as in the paper's
+// BenchLab recording for ZeroCMS.
+func ZeroCMSWorkload() []webapp.Request {
+	return []webapp.Request{
+		{Path: "/articles", Params: map[string]string{}},
+		{Path: "/article", Params: map[string]string{"id": "1"}},
+		{Path: "/article", Params: map[string]string{"id": "2"}},
+		{Path: "/login", Params: map[string]string{"user": "reader", "pass": "cmVhZGVy"}},
+		{Path: "/search", Params: map[string]string{"q": "energy"}},
+		{Path: "/article", Params: map[string]string{"id": "3"}},
+		{Path: "/comment/add", Params: map[string]string{"article": "3", "author": "reader", "body": "useful"}},
+		{Path: "/articles", Params: map[string]string{}},
+		{Path: "/article", Params: map[string]string{"id": "3"}},
+		{Path: "/search", Params: map[string]string{"q": "security"}},
+		{Path: "/article", Params: map[string]string{"id": "2"}},
+		{Path: "/comment/add", Params: map[string]string{"article": "2", "author": "reader", "body": "agree"}},
+		{Path: "/login", Params: map[string]string{"user": "editor", "pass": "ZWRpdG9y"}},
+		{Path: "/article/add", Params: map[string]string{"title": "Tips", "body": "Save power.", "author": "2"}},
+		{Path: "/articles", Params: map[string]string{}},
+		{Path: "/article", Params: map[string]string{"id": "4"}},
+		{Path: "/search", Params: map[string]string{"q": "tips"}},
+		{Path: "/comment/add", Params: map[string]string{"article": "4", "author": "reader", "body": "nice"}},
+		{Path: "/article", Params: map[string]string{"id": "4"}},
+		{Path: "/profile/update", Params: map[string]string{"id": "3", "pass": "YW5vdGhlcg"}},
+		{Path: "/login", Params: map[string]string{"user": "reader", "pass": "YW5vdGhlcg"}},
+		{Path: "/articles", Params: map[string]string{}},
+		{Path: "/article/delete", Params: map[string]string{"id": "4"}},
+		{Path: "/articles", Params: map[string]string{}},
+		{Path: "/search", Params: map[string]string{"q": "welcome"}},
+		{Path: "/article", Params: map[string]string{"id": "1"}},
+	}
+}

@@ -1,0 +1,72 @@
+package webapp
+
+import (
+	"net/http"
+)
+
+// HTTPHandler adapts an App to net/http, so the demo applications can be
+// served to a real browser the way the paper's deployment serves them
+// through Apache. GET query parameters and POST form fields merge into
+// the request's params (PHP superglobal behaviour); responses map status
+// and body straight through, with SEPTIC blocks surfacing as 403 pages.
+func HTTPHandler(app *App) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if err := r.ParseForm(); err != nil {
+			http.Error(w, "bad request", http.StatusBadRequest)
+			return
+		}
+		params := make(map[string]string, len(r.Form))
+		for name, values := range r.Form {
+			if len(values) > 0 {
+				params[name] = values[0]
+			}
+		}
+		resp := app.Serve(Request{Path: r.URL.Path, Params: params})
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		switch resp.Status {
+		case 200:
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte(resp.Body))
+		case 403:
+			w.WriteHeader(http.StatusForbidden)
+			_, _ = w.Write([]byte("Forbidden: the database blocked this request (SEPTIC)\n"))
+		case 404:
+			http.NotFound(w, r)
+		case 400:
+			http.Error(w, errText(resp), http.StatusBadRequest)
+		default:
+			http.Error(w, errText(resp), http.StatusInternalServerError)
+		}
+	})
+}
+
+func errText(resp *Response) string {
+	if resp.Err != nil {
+		return resp.Err.Error()
+	}
+	return http.StatusText(resp.Status)
+}
+
+// WAFMiddleware wraps an http.Handler behind a request filter, the way
+// ModSecurity wraps Apache virtual hosts. The check function returns
+// true to block (respond 403) and false to pass through.
+func WAFMiddleware(check func(Request) bool, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if err := r.ParseForm(); err != nil {
+			http.Error(w, "bad request", http.StatusBadRequest)
+			return
+		}
+		params := make(map[string]string, len(r.Form))
+		for name, values := range r.Form {
+			if len(values) > 0 {
+				params[name] = values[0]
+			}
+		}
+		if check(Request{Path: r.URL.Path, Params: params}) {
+			w.WriteHeader(http.StatusForbidden)
+			_, _ = w.Write([]byte("Forbidden (ModSecurity)\n"))
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

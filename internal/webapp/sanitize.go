@@ -1,0 +1,153 @@
+package webapp
+
+import (
+	"strings"
+)
+
+// This file reproduces the PHP sanitization functions the paper's
+// applications rely on, with their exact byte-level semantics — because
+// the demonstration hinges on what these functions do NOT do. They
+// operate on the bytes the *application* sees, before the DBMS performs
+// charset decoding; multi-byte confusables such as U+02BC therefore pass
+// through untouched and become live quotes only inside the DBMS
+// (DESIGN.md §4).
+
+// MySQLRealEscapeString reproduces PHP's mysql_real_escape_string: it
+// backslash-escapes ', ", \, NUL, \n, \r and Ctrl-Z — and nothing else.
+func MySQLRealEscapeString(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch c {
+		case '\'':
+			b.WriteString(`\'`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case 0:
+			b.WriteString(`\0`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case 0x1a:
+			b.WriteString(`\Z`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// AddSlashes reproduces PHP's addslashes: escapes ', ", \ and NUL.
+func AddSlashes(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch c {
+		case '\'', '"', '\\':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case 0:
+			b.WriteString(`\0`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// HTMLSpecialChars reproduces PHP's htmlspecialchars with ENT_QUOTES:
+// output-encoding for HTML contexts.
+func HTMLSpecialChars(s string) string {
+	r := strings.NewReplacer(
+		"&", "&amp;",
+		"<", "&lt;",
+		">", "&gt;",
+		`"`, "&quot;",
+		"'", "&#039;",
+	)
+	return r.Replace(s)
+}
+
+// StripTags reproduces PHP's strip_tags: removes everything between '<'
+// and the matching '>', dropping an unterminated tag entirely.
+func StripTags(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	inTag := false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '<':
+			inTag = true
+		case s[i] == '>' && inTag:
+			inTag = false
+		case !inTag:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// IsNumeric reproduces PHP's is_numeric: decimal or float syntax with
+// optional leading sign and surrounding spaces disallowed (PHP 8
+// semantics, trailing whitespace tolerated).
+func IsNumeric(s string) bool {
+	t := strings.TrimRight(s, " \t\n\r")
+	t = strings.TrimLeft(t, " \t\n\r")
+	if t == "" {
+		return false
+	}
+	i := 0
+	if t[i] == '+' || t[i] == '-' {
+		i++
+	}
+	digits, dot, exp := 0, false, false
+	for ; i < len(t); i++ {
+		c := t[i]
+		switch {
+		case c >= '0' && c <= '9':
+			digits++
+		case c == '.' && !dot && !exp:
+			dot = true
+		case (c == 'e' || c == 'E') && digits > 0 && !exp:
+			exp = true
+			if i+1 < len(t) && (t[i+1] == '+' || t[i+1] == '-') {
+				i++
+			}
+			digits = 0 // require digits after the exponent
+		default:
+			return false
+		}
+	}
+	return digits > 0
+}
+
+// IntVal reproduces PHP's intval: parse the longest leading integer,
+// 0 when there is none.
+func IntVal(s string) int64 {
+	s = strings.TrimLeft(s, " \t\n\r")
+	i := 0
+	if i < len(s) && (s[i] == '+' || s[i] == '-') {
+		i++
+	}
+	start := i
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		i++
+	}
+	if i == start {
+		return 0
+	}
+	var n int64
+	neg := s[0] == '-'
+	for _, c := range s[start:i] {
+		n = n*10 + int64(c-'0')
+	}
+	if neg {
+		return -n
+	}
+	return n
+}

@@ -1,0 +1,137 @@
+package webapp
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMySQLRealEscapeString(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"plain", "plain"},
+		{"a'b", `a\'b`},
+		{`a"b`, `a\"b`},
+		{`a\b`, `a\\b`},
+		{"a\x00b", `a\0b`},
+		{"a\nb", `a\nb`},
+		{"a\rb", `a\rb`},
+		{"a\x1ab", `a\Zb`},
+		{"", ""},
+	}
+	for _, tt := range tests {
+		if got := MySQLRealEscapeString(tt.in); got != tt.want {
+			t.Errorf("MySQLRealEscapeString(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+// TestMySQLRealEscapeStringSemanticGap pins the behaviour the paper's
+// attacks exploit: the function does not touch multi-byte confusables.
+func TestMySQLRealEscapeStringSemanticGap(t *testing.T) {
+	payloads := []string{
+		"ID34FGʼ-- ",         // U+02BC modifier apostrophe
+		"O’Brien",            // U+2019 right single quote
+		"xʼ OR 1=1-- ",       // mismatch tautology
+		"1 OR 1=1",           // numeric context: nothing to escape
+		"<script>x</script>", // markup: not its job
+	}
+	for _, p := range payloads {
+		if got := MySQLRealEscapeString(p); got != p {
+			t.Errorf("escape altered %q -> %q; the semantic gap requires pass-through", p, got)
+		}
+	}
+}
+
+func TestAddSlashes(t *testing.T) {
+	if got := AddSlashes(`it's a "test" \`); got != `it\'s a \"test\" \\` {
+		t.Errorf("AddSlashes = %q", got)
+	}
+}
+
+func TestHTMLSpecialChars(t *testing.T) {
+	in := `<script>alert("x & y')</script>`
+	out := HTMLSpecialChars(in)
+	if strings.ContainsAny(out, "<>\"'") {
+		t.Errorf("unescaped characters remain: %q", out)
+	}
+	if !strings.Contains(out, "&lt;script&gt;") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestStripTags(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"<b>bold</b>", "bold"},
+		{"a <script>x</script> b", "a x b"},
+		{"no tags", "no tags"},
+		{"broken <tag", "broken "},
+		{"<><>", ""},
+	}
+	for _, tt := range tests {
+		if got := StripTags(tt.in); got != tt.want {
+			t.Errorf("StripTags(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestIsNumeric(t *testing.T) {
+	yes := []string{"0", "42", "-7", "+3", "3.14", ".5", "1e9", "2E-3", " 42", "42 "}
+	for _, s := range yes {
+		if !IsNumeric(s) {
+			t.Errorf("IsNumeric(%q) = false, want true", s)
+		}
+	}
+	no := []string{"", "abc", "1 OR 1=1", "12abc", "1;2", "0x1A", "1.2.3", "e9", "--5", "1e", "'1'"}
+	for _, s := range no {
+		if IsNumeric(s) {
+			t.Errorf("IsNumeric(%q) = true, want false", s)
+		}
+	}
+}
+
+func TestIntVal(t *testing.T) {
+	tests := []struct {
+		in   string
+		want int64
+	}{
+		{"42", 42}, {"-7", -7}, {"+3", 3}, {"12abc", 12},
+		{"abc", 0}, {"", 0}, {" 5", 5}, {"3.9", 3},
+	}
+	for _, tt := range tests {
+		if got := IntVal(tt.in); got != tt.want {
+			t.Errorf("IntVal(%q) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+// TestEscapeNeverBreaksStringContext: for ASCII inputs, embedding the
+// escaped value in single quotes must always parse back to the original —
+// the guarantee developers believe they have (and the one confusables
+// break, which is exactly the semantic mismatch).
+func TestEscapeNeverBreaksStringContextASCII(t *testing.T) {
+	f := func(raw string) bool {
+		ascii := make([]byte, 0, len(raw))
+		for _, r := range raw {
+			if r < 0x80 {
+				ascii = append(ascii, byte(r))
+			}
+		}
+		s := string(ascii)
+		quoted := "'" + MySQLRealEscapeString(s) + "'"
+		// The quoted literal must contain no unescaped quote that would
+		// terminate the string early.
+		depth := 0
+		for i := 1; i < len(quoted)-1; i++ {
+			switch quoted[i] {
+			case '\\':
+				i++
+			case '\'':
+				depth++
+			}
+		}
+		return depth == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+package webapp
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/septic-db/septic/internal/core"
+	"github.com/septic-db/septic/internal/engine"
+)
+
+func newApp(t *testing.T) (*App, *engine.DB) {
+	t.Helper()
+	db := engine.New()
+	if _, err := db.Exec("CREATE TABLE notes (id INT PRIMARY KEY AUTO_INCREMENT, body TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	app := NewApp("test", db)
+	app.Handle("/add", func(c *Ctx) {
+		body := MySQLRealEscapeString(c.Param("body"))
+		if _, err := c.Query("INSERT INTO notes (body) VALUES ('" + body + "')"); err != nil {
+			return
+		}
+		c.Write("ok")
+	})
+	app.Handle("/list", func(c *Ctx) {
+		res, err := c.Query("SELECT body FROM notes ORDER BY id")
+		if err != nil {
+			return
+		}
+		for _, row := range res.Rows {
+			c.Write(row[0].String())
+			c.Write("\n")
+		}
+	})
+	return app, db
+}
+
+func TestServeRoutesAndRecordsQueries(t *testing.T) {
+	app, _ := newApp(t)
+	resp := app.Serve(Request{Path: "/add", Params: map[string]string{"body": "hello"}})
+	if resp.Status != 200 || resp.Body != "ok" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if len(resp.Queries) != 1 {
+		t.Errorf("queries = %v", resp.Queries)
+	}
+	resp = app.Serve(Request{Path: "/list", Params: nil})
+	if resp.Body != "hello\n" {
+		t.Errorf("body = %q", resp.Body)
+	}
+}
+
+func TestServeUnknownPath(t *testing.T) {
+	app, _ := newApp(t)
+	resp := app.Serve(Request{Path: "/missing"})
+	if resp.Status != 404 {
+		t.Errorf("status = %d, want 404", resp.Status)
+	}
+}
+
+func TestServeDatabaseError(t *testing.T) {
+	app, db := newApp(t)
+	if _, err := db.Exec("DROP TABLE notes"); err != nil {
+		t.Fatal(err)
+	}
+	resp := app.Serve(Request{Path: "/list"})
+	if resp.Status != 500 || resp.Err == nil {
+		t.Errorf("resp = %+v", resp)
+	}
+}
+
+func TestServeBlockedQuery(t *testing.T) {
+	guard := core.New(core.Config{Mode: core.ModeTraining})
+	db := engine.New(engine.WithQueryHook(guard))
+	if _, err := db.Exec("CREATE TABLE notes (id INT PRIMARY KEY AUTO_INCREMENT, body TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	app := NewApp("test", db)
+	app.Handle("/view", func(c *Ctx) {
+		id := MySQLRealEscapeString(c.Param("id"))
+		if _, err := c.Query("SELECT body FROM notes WHERE id = " + id); err != nil {
+			return
+		}
+		c.Write("ok")
+	})
+	// Train, then switch to prevention.
+	if resp := app.Serve(Request{Path: "/view", Params: map[string]string{"id": "1"}}); resp.Status != 200 {
+		t.Fatalf("training request failed: %+v", resp)
+	}
+	guard.SetConfig(core.Config{Mode: core.ModePrevention, DetectSQLI: true})
+
+	resp := app.Serve(Request{Path: "/view", Params: map[string]string{"id": "1 OR 1=1"}})
+	if resp.Status != 403 || !resp.Blocked {
+		t.Fatalf("attack response = %+v, want 403 blocked", resp)
+	}
+	if !errors.Is(resp.Err, engine.ErrQueryBlocked) {
+		t.Errorf("err = %v", resp.Err)
+	}
+}
+
+func TestRequestCloneIndependent(t *testing.T) {
+	r := Request{Path: "/p", Params: map[string]string{"a": "1"}}
+	c := r.Clone()
+	c.Params["a"] = "2"
+	if r.Params["a"] != "1" {
+		t.Error("Clone shares the params map")
+	}
+}
+
+func TestRequestString(t *testing.T) {
+	r := Request{Path: "/p", Params: map[string]string{"b": "2", "a": "1"}}
+	if got := r.String(); got != "/p?a=1&b=2" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := (Request{Path: "/p"}).String(); got != "/p" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestPathsSorted(t *testing.T) {
+	app, _ := newApp(t)
+	paths := app.Paths()
+	if len(paths) != 2 || paths[0] != "/add" || paths[1] != "/list" {
+		t.Errorf("paths = %v", paths)
+	}
+}

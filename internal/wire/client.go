@@ -1,0 +1,92 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/septic-db/septic/internal/engine"
+)
+
+// ErrServerBlocked is returned by the client when the server reports
+// that SEPTIC dropped the query. It wraps engine.ErrQueryBlocked so
+// errors.Is works across the wire boundary.
+var ErrServerBlocked = fmt.Errorf("%w (reported by server)", engine.ErrQueryBlocked)
+
+// Client is a connector to a wire server. It is safe for concurrent use;
+// requests on one connection are serialized, as in the MySQL protocol.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to a server address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Exec runs one SQL statement on the server.
+func (c *Client) Exec(query string) (*engine.Result, error) {
+	return c.exec(&Request{Query: query})
+}
+
+// ExecArgs runs a parameterized statement, binding args server-side.
+func (c *Client) ExecArgs(query string, args ...engine.Value) (*engine.Result, error) {
+	wargs := make([]WireValue, len(args))
+	for i, a := range args {
+		wargs[i] = ToWire(a)
+	}
+	return c.exec(&Request{Query: query, Args: wargs})
+}
+
+func (c *Client) exec(req *Request) (*engine.Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil, errors.New("client closed")
+	}
+	if err := writeFrame(c.conn, req); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := readFrame(c.conn, &resp); err != nil {
+		return nil, fmt.Errorf("read response: %w", err)
+	}
+	if resp.Error != "" {
+		if resp.Blocked {
+			return nil, fmt.Errorf("%w: %s", ErrServerBlocked, resp.Error)
+		}
+		return nil, errors.New(resp.Error)
+	}
+	res := &engine.Result{
+		Columns:      resp.Columns,
+		Affected:     resp.Affected,
+		LastInsertID: resp.LastInsertID,
+	}
+	res.Rows = make([][]engine.Value, len(resp.Rows))
+	for i, row := range resp.Rows {
+		vals := make([]engine.Value, len(row))
+		for j, w := range row {
+			vals[j] = FromWire(w)
+		}
+		res.Rows[i] = vals
+	}
+	return res, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}

@@ -1,0 +1,103 @@
+// Package wire implements the client/server protocol of the DBMS: a
+// synchronous, length-prefixed JSON protocol over TCP standing in for the
+// MySQL wire protocol.
+//
+// The protocol exists to demonstrate two SEPTIC features from §II-B:
+// "no client configuration" — clients connect exactly as they would to an
+// unprotected server, because SEPTIC lives inside the DBMS — and "client
+// diversity" — several clients of different kinds may be connected to a
+// single protected server.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/septic-db/septic/internal/engine"
+)
+
+// maxFrame bounds a single protocol frame (16 MiB, like MySQL's default
+// max_allowed_packet).
+const maxFrame = 16 << 20
+
+// Request is one client->server message.
+type Request struct {
+	// Query is the SQL text.
+	Query string `json:"query"`
+	// Args, when non-empty, bind '?' placeholders server-side
+	// (prepared-statement style execution).
+	Args []WireValue `json:"args,omitempty"`
+}
+
+// Response is one server->client message.
+type Response struct {
+	Columns      []string      `json:"columns,omitempty"`
+	Rows         [][]WireValue `json:"rows,omitempty"`
+	Affected     int64         `json:"affected,omitempty"`
+	LastInsertID int64         `json:"last_insert_id,omitempty"`
+	// Error is the failure message, empty on success.
+	Error string `json:"error,omitempty"`
+	// Blocked reports that SEPTIC dropped the query.
+	Blocked bool `json:"blocked,omitempty"`
+}
+
+// WireValue is the serialized form of engine.Value.
+type WireValue struct {
+	Kind int     `json:"k"`
+	I    int64   `json:"i,omitempty"`
+	F    float64 `json:"f,omitempty"`
+	S    string  `json:"s,omitempty"`
+	B    bool    `json:"b,omitempty"`
+}
+
+// ToWire converts an engine value.
+func ToWire(v engine.Value) WireValue {
+	return WireValue{Kind: int(v.Kind), I: v.I, F: v.F, S: v.S, B: v.B}
+}
+
+// FromWire converts back to an engine value.
+func FromWire(w WireValue) engine.Value {
+	return engine.Value{Kind: engine.Kind(w.Kind), I: w.I, F: w.F, S: w.S, B: w.B}
+}
+
+// writeFrame sends one length-prefixed JSON message.
+func writeFrame(w io.Writer, msg any) error {
+	payload, err := json.Marshal(msg)
+	if err != nil {
+		return fmt.Errorf("encode frame: %w", err)
+	}
+	if len(payload) > maxFrame {
+		return fmt.Errorf("frame of %d bytes exceeds limit", len(payload))
+	}
+	var header [4]byte
+	binary.BigEndian.PutUint32(header[:], uint32(len(payload)))
+	if _, err := w.Write(header[:]); err != nil {
+		return fmt.Errorf("write frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("write frame payload: %w", err)
+	}
+	return nil
+}
+
+// readFrame receives one length-prefixed JSON message into msg.
+func readFrame(r io.Reader, msg any) error {
+	var header [4]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return err // io.EOF passes through for clean shutdown detection
+	}
+	n := binary.BigEndian.Uint32(header[:])
+	if n > maxFrame {
+		return fmt.Errorf("frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return fmt.Errorf("read frame payload: %w", err)
+	}
+	if err := json.Unmarshal(payload, msg); err != nil {
+		return fmt.Errorf("decode frame: %w", err)
+	}
+	return nil
+}

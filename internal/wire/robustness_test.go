@@ -1,0 +1,170 @@
+package wire
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/septic-db/septic/internal/core"
+)
+
+// rawDial opens a plain TCP connection to the server for protocol-level
+// failure injection.
+func rawDial(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	return conn
+}
+
+func TestServerDropsGarbageFrames(t *testing.T) {
+	addr, _, db := startServer(t, core.Config{Mode: core.ModeTraining})
+	if _, err := db.Exec("CREATE TABLE t (a INT)"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Send a frame whose payload is not JSON: the server must drop the
+	// session without crashing.
+	conn := rawDial(t, addr)
+	payload := []byte("this is not json")
+	var header [4]byte
+	binary.BigEndian.PutUint32(header[:], uint32(len(payload)))
+	if _, err := conn.Write(header[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	// The connection should be closed by the server.
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("server answered a garbage frame instead of dropping the session")
+	}
+
+	// And the server still serves new clients.
+	c := dial(t, addr)
+	if _, err := c.Exec("SELECT * FROM t"); err != nil {
+		t.Errorf("server unhealthy after garbage frame: %v", err)
+	}
+}
+
+func TestServerRejectsOversizedFrameHeader(t *testing.T) {
+	addr, _, _ := startServer(t, core.Config{Mode: core.ModeTraining})
+	conn := rawDial(t, addr)
+	var header [4]byte
+	binary.BigEndian.PutUint32(header[:], 1<<30) // 1 GiB claim
+	if _, err := conn.Write(header[:]); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("server accepted an oversized frame header")
+	}
+}
+
+func TestServerSurvivesMidFrameDisconnect(t *testing.T) {
+	addr, _, _ := startServer(t, core.Config{Mode: core.ModeTraining})
+	conn := rawDial(t, addr)
+	var header [4]byte
+	binary.BigEndian.PutUint32(header[:], 100)
+	if _, err := conn.Write(header[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("partial")); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.Close() // hang up mid-frame
+
+	// New clients still work.
+	c := dial(t, addr)
+	if _, err := c.Exec("SHOW TABLES"); err != nil {
+		t.Errorf("server unhealthy after mid-frame disconnect: %v", err)
+	}
+}
+
+func TestClientRejectsOversizedResponseClaim(t *testing.T) {
+	// A malicious "server" claiming a giant frame must not make the
+	// client allocate it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		// Read the request frame, then answer with a huge length claim.
+		var header [4]byte
+		if _, err := readFullConn(conn, header[:]); err != nil {
+			return
+		}
+		payload := make([]byte, binary.BigEndian.Uint32(header[:]))
+		if _, err := readFullConn(conn, payload); err != nil {
+			return
+		}
+		binary.BigEndian.PutUint32(header[:], 1<<31-1)
+		_, _ = conn.Write(header[:])
+	}()
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec("SELECT 1"); err == nil {
+		t.Error("client accepted an oversized response claim")
+	}
+}
+
+func readFullConn(conn net.Conn, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := conn.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func TestEmptyQueryOverWire(t *testing.T) {
+	addr, _, _ := startServer(t, core.Config{Mode: core.ModeTraining})
+	c := dial(t, addr)
+	if _, err := c.Exec(""); err == nil {
+		t.Error("empty query must return an error, not crash the session")
+	}
+	// Session still usable after the error.
+	if _, err := c.Exec("SHOW TABLES"); err != nil {
+		t.Errorf("session broken after error: %v", err)
+	}
+}
+
+func TestLargeResultSetOverWire(t *testing.T) {
+	addr, _, db := startServer(t, core.Config{Mode: core.ModeTraining})
+	if _, err := db.Exec("CREATE TABLE big (id INT PRIMARY KEY AUTO_INCREMENT, v TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := db.Exec("INSERT INTO big (v) VALUES ('0123456789012345678901234567890123456789')"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := dial(t, addr)
+	res, err := c.Exec("SELECT id, v FROM big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 50 {
+		t.Errorf("rows = %d, want 50", len(res.Rows))
+	}
+}

@@ -1,0 +1,154 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/septic-db/septic/internal/engine"
+)
+
+// Server serves the wire protocol for one database instance. SEPTIC, if
+// installed, is already inside the engine — the server is protection-
+// agnostic, exactly like a stock MySQL front end.
+type Server struct {
+	db *engine.DB
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer wraps a database in a protocol server.
+func NewServer(db *engine.DB) *Server {
+	return &Server{db: db, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen binds addr ("127.0.0.1:0" for an ephemeral test port) and
+// starts accepting connections in a background goroutine. It returns the
+// bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = ln.Close()
+		return "", errors.New("server already closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn handles one client session: a synchronous request/response
+// loop until the client disconnects.
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	for {
+		var req Request
+		if err := readFrame(conn, &req); err != nil {
+			return // EOF or protocol error: drop the session
+		}
+		resp := s.handle(&req)
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// handle executes one request against the engine.
+func (s *Server) handle(req *Request) *Response {
+	var (
+		res *engine.Result
+		err error
+	)
+	if len(req.Args) > 0 {
+		args := make([]engine.Value, len(req.Args))
+		for i, a := range req.Args {
+			args[i] = FromWire(a)
+		}
+		res, err = s.db.ExecArgs(req.Query, args...)
+	} else {
+		res, err = s.db.Exec(req.Query)
+	}
+	if err != nil {
+		return &Response{
+			Error:   err.Error(),
+			Blocked: errors.Is(err, engine.ErrQueryBlocked),
+		}
+	}
+	resp := &Response{
+		Columns:      res.Columns,
+		Affected:     res.Affected,
+		LastInsertID: res.LastInsertID,
+	}
+	resp.Rows = make([][]WireValue, len(res.Rows))
+	for i, row := range res.Rows {
+		wr := make([]WireValue, len(row))
+		for j, v := range row {
+			wr[j] = ToWire(v)
+		}
+		resp.Rows[i] = wr
+	}
+	return resp
+}
+
+// Close stops accepting, drops live connections and waits for the
+// serving goroutines to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.listener
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}

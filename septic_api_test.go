@@ -1,0 +1,92 @@
+package septic_test
+
+import (
+	"errors"
+	"testing"
+
+	septic "github.com/septic-db/septic"
+)
+
+// TestPublicAPIQuickstart exercises the doc-comment quick start.
+func TestPublicAPIQuickstart(t *testing.T) {
+	db, guard := septic.New(septic.DefaultConfig())
+	if _, err := db.Exec("CREATE TABLE t (id INT, name TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO t (id, name) VALUES (1, 'ann')"); err != nil {
+		t.Fatal(err)
+	}
+
+	guard.SetMode(septic.ModeTraining)
+	if _, err := db.Exec("SELECT name FROM t WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+
+	guard.SetConfig(septic.Config{Mode: septic.ModePrevention, DetectSQLI: true})
+	res, err := db.Exec("SELECT name FROM t WHERE id = 1")
+	if err != nil {
+		t.Fatalf("benign query blocked: %v", err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "ann" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+
+	_, err = db.Exec("SELECT name FROM t WHERE id = 1 OR 1=1-- ")
+	if !errors.Is(err, septic.ErrQueryBlocked) {
+		t.Fatalf("err = %v, want ErrQueryBlocked", err)
+	}
+	if guard.Stats().AttacksBlocked != 1 {
+		t.Errorf("stats = %+v", guard.Stats())
+	}
+}
+
+func TestPublicAPIUnprotectedBaseline(t *testing.T) {
+	db := septic.NewUnprotected()
+	if _, err := db.Exec("CREATE TABLE t (id INT)"); err != nil {
+		t.Fatal(err)
+	}
+	// No hook: the injection executes (that is the point of the baseline).
+	if _, err := db.Exec("SELECT id FROM t WHERE id = 1 OR 1=1-- "); err != nil {
+		t.Errorf("unprotected engine must execute: %v", err)
+	}
+}
+
+func TestPublicAPIAttachLater(t *testing.T) {
+	db := septic.NewUnprotected()
+	if _, err := db.Exec("CREATE TABLE t (id INT)"); err != nil {
+		t.Fatal(err)
+	}
+	_, guard := septic.New(septic.Config{Mode: septic.ModeTraining})
+	septic.Attach(db, guard)
+	if _, err := db.Exec("SELECT id FROM t WHERE id = 5"); err != nil {
+		t.Fatal(err)
+	}
+	if guard.Store().Len() != 1 {
+		t.Errorf("models = %d, want 1", guard.Store().Len())
+	}
+}
+
+func TestPublicAPIExecArgs(t *testing.T) {
+	db, _ := septic.New(septic.DefaultConfig())
+	mustExec(t, db, "CREATE TABLE t (id INT, name TEXT, score FLOAT, ok BOOL, note TEXT)")
+	if _, err := db.ExecArgs("INSERT INTO t (id, name, score, ok, note) VALUES (?, ?, ?, ?, ?)",
+		septic.Int(1), septic.Str("x"), septic.Float(2.5), septic.Bool(true), septic.Null()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.ExecArgs("SELECT name FROM t WHERE id = ?", septic.Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "x" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func mustExec(t *testing.T, db *septic.DB, q string) *septic.Result {
+	t.Helper()
+	res, err := db.Exec(q)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", q, err)
+	}
+	return res
+}
