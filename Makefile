@@ -4,7 +4,7 @@ GO ?= go
 
 .PHONY: all build vet test race cover bench demo fig5 accuracy sweep clean
 
-all: build vet test
+all: build vet test race
 
 build:
 	$(GO) build ./...

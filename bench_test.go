@@ -26,6 +26,7 @@ import (
 	"github.com/septic-db/septic/internal/sqlparser"
 	"github.com/septic-db/septic/internal/waf"
 	"github.com/septic-db/septic/internal/webapp"
+	"github.com/septic-db/septic/internal/wire"
 )
 
 // --- Fig. 5: workload latency under each SEPTIC configuration ---------
@@ -314,6 +315,167 @@ func BenchmarkDetectionPlacement(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if err := guard.BeforeExecute(hctx); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Parallel sessions: hook hot path under GOMAXPROCS scaling ----------
+
+// hookDeployment builds a two-table deployment trained on the parallel
+// workload and switched to prevention mode with the given detections.
+func hookDeployment(b *testing.B, cfg benchlab.SepticConfig) (*engine.DB, []string) {
+	b.Helper()
+	guard := core.New(core.Config{Mode: core.ModeTraining})
+	db := engine.New(engine.WithQueryHook(guard))
+	schema := []string{
+		"CREATE TABLE tickets (id INT PRIMARY KEY AUTO_INCREMENT, reservID TEXT, creditCard INT)",
+		"CREATE TABLE devices (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT, maxWatts INT)",
+	}
+	for _, q := range schema {
+		if _, err := db.Exec(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	workload := []string{
+		"SELECT * FROM tickets WHERE reservID = 'ZZ91AB' AND creditCard = 42",
+		"SELECT id, name FROM devices WHERE maxWatts > 100",
+	}
+	for _, q := range workload {
+		if _, err := db.Exec(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	c := core.Config{Mode: core.ModePrevention, IncrementalLearning: true}
+	switch cfg {
+	case benchlab.ConfigYN:
+		c.DetectSQLI = true
+	case benchlab.ConfigNY:
+		c.DetectStored = true
+	case benchlab.ConfigYY:
+		c.DetectSQLI, c.DetectStored = true, true
+	}
+	guard.SetConfig(c)
+	return db, workload
+}
+
+// BenchmarkHookParallel measures known-benign query throughput from many
+// concurrent sessions, per SEPTIC configuration. Run with -cpu=1,2,4 to
+// see GOMAXPROCS scaling: the contention-free hot path should scale near
+// linearly on a multi-core host, where the old single-mutex design was
+// flat or worse.
+func BenchmarkHookParallel(b *testing.B) {
+	for _, cfg := range benchlab.Configs() {
+		cfg := cfg
+		b.Run(cfg.String(), func(b *testing.B) {
+			db, workload := hookDeployment(b, cfg)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					q := workload[i%len(workload)]
+					i++
+					if _, err := db.Exec(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkEngineParallel isolates the engine's own concurrency (no
+// hook): parallel point reads of one table, and reads of one table while
+// a writer hammers another — the case the per-table locks unblock.
+func BenchmarkEngineParallel(b *testing.B) {
+	setup := func(b *testing.B) *engine.DB {
+		b.Helper()
+		db := engine.New()
+		for _, q := range []string{
+			"CREATE TABLE r (id INT PRIMARY KEY, v TEXT)",
+			"CREATE TABLE w (id INT PRIMARY KEY AUTO_INCREMENT, v TEXT)",
+		} {
+			if _, err := db.Exec(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for i := 0; i < 100; i++ {
+			if _, err := db.Exec(fmt.Sprintf("INSERT INTO r (id, v) VALUES (%d, 'v')", i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return db
+	}
+	b.Run("read-only", func(b *testing.B) {
+		db := setup(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := db.Exec("SELECT v FROM r WHERE id = 42"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+	b.Run("read-vs-write", func(b *testing.B) {
+		db := setup(b)
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := db.Exec("INSERT INTO w (v) VALUES ('x')"); err != nil {
+					return
+				}
+			}
+		}()
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := db.Exec("SELECT v FROM r WHERE id = 42"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.StopTimer()
+		close(stop)
+		<-done
+	})
+}
+
+// BenchmarkWireParallel drives the protocol server from concurrent
+// client connections (one session per worker goroutine), the paper's
+// many-diverse-clients deployment end to end.
+func BenchmarkWireParallel(b *testing.B) {
+	db, _ := hookDeployment(b, benchlab.ConfigYY)
+	srv := wire.NewServer(db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	const q = "SELECT * FROM tickets WHERE reservID = 'ZZ91AB' AND creditCard = 42"
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		c, err := wire.Dial(addr)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer c.Close()
+		for pb.Next() {
+			if _, err := c.Exec(q); err != nil {
+				b.Error(err)
+				return
 			}
 		}
 	})

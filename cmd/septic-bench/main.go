@@ -10,6 +10,10 @@
 //	septic-bench sweep     — extra scalability sweep: overhead vs number
 //	                         of concurrent browsers (the shape of the
 //	                         paper's 1→20-browser ramp).
+//	septic-bench parallel  — parallel replay: aggregate throughput as
+//	                         client machines are added (1→8), baseline
+//	                         vs the YY configuration, demonstrating the
+//	                         contention-free hot path under load.
 //	septic-bench table1    — Table I regenerated behaviourally: which
 //	                         actions each operation mode takes.
 package main
@@ -18,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"github.com/septic-db/septic/internal/benchlab"
@@ -49,11 +54,16 @@ func run() error {
 	sweepFlags := flag.NewFlagSet("sweep", flag.ExitOnError)
 	sweepLoops := sweepFlags.Int("loops", 3, "workload replays per browser")
 
+	parFlags := flag.NewFlagSet("parallel", flag.ExitOnError)
+	parBrowsers := parFlags.Int("browsers", 2, "browsers per machine")
+	parLoops := parFlags.Int("loops", 20, "workload replays per browser")
+	parMax := parFlags.Int("maxmachines", 8, "largest machine count (doubling from 1)")
+
 	accFlags := flag.NewFlagSet("accuracy", flag.ExitOnError)
 	paranoia := accFlags.Int("paranoia", 1, "WAF paranoia level (1 or 2)")
 
 	if len(os.Args) < 2 {
-		return fmt.Errorf("usage: septic-bench fig5|accuracy|sweep|table1 [flags]")
+		return fmt.Errorf("usage: septic-bench fig5|accuracy|sweep|parallel|table1 [flags]")
 	}
 	switch os.Args[1] {
 	case "table1":
@@ -80,6 +90,11 @@ func run() error {
 			return err
 		}
 		return runSweep(*sweepLoops)
+	case "parallel":
+		if err := parFlags.Parse(os.Args[2:]); err != nil {
+			return err
+		}
+		return runParallel(*parBrowsers, *parLoops, *parMax)
 	default:
 		return fmt.Errorf("unknown subcommand %q", os.Args[1])
 	}
@@ -171,6 +186,39 @@ func mark(b bool) string {
 		return "x"
 	}
 	return ""
+}
+
+// runParallel replays the largest workload from a growing number of
+// client machines and reports aggregate throughput, baseline vs YY. On
+// a multi-core host both series should scale with machines until cores
+// saturate; the YY/base ratio staying flat shows SEPTIC adds no
+// contention of its own.
+func runParallel(browsersPer, loops, maxMachines int) error {
+	if browsersPer < 1 || loops < 1 || maxMachines < 1 {
+		return fmt.Errorf("parallel: -browsers, -loops and -maxmachines must all be >= 1")
+	}
+	spec := benchlab.PaperSpecs()[2] // ZeroCMS: the largest workload
+	fmt.Printf("parallel replay — %s workload, %d browsers/machine, %d loops (GOMAXPROCS=%d)\n\n",
+		spec.Name, browsersPer, loops, runtime.GOMAXPROCS(0))
+	fmt.Printf("%10s %14s %14s %10s\n", "machines", "base req/s", "YY req/s", "YY/base")
+	for n := 1; n <= maxMachines; n *= 2 {
+		p := benchlab.Params{Machines: n, BrowsersPerMachine: browsersPer, Loops: loops,
+			WebTierWork: benchlab.DefaultWebTierWork}
+		base, err := benchlab.RunParallel(spec, benchlab.ConfigBaseline, p)
+		if err != nil {
+			return err
+		}
+		yy, err := benchlab.RunParallel(spec, benchlab.ConfigYY, p)
+		if err != nil {
+			return err
+		}
+		if base.Errors > 0 || yy.Errors > 0 {
+			return fmt.Errorf("machines=%d: %d/%d request errors", n, base.Errors, yy.Errors)
+		}
+		fmt.Printf("%10d %14.0f %14.0f %9.2f%%\n",
+			n, base.PerSecond(), yy.PerSecond(), 100*yy.PerSecond()/base.PerSecond())
+	}
+	return nil
 }
 
 func runSweep(loops int) error {

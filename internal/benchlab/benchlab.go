@@ -21,6 +21,7 @@ import (
 	"net/url"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/septic-db/septic/internal/core"
@@ -212,10 +213,10 @@ func webTier(body string, rounds int) {
 // webTierSink defeats dead-code elimination of the web-tier work.
 var webTierSink byte
 
-// Run measures one application under one configuration: it builds a
-// fresh deployment, trains SEPTIC (when installed), then replays the
-// workload from Machines×BrowsersPerMachine concurrent browsers.
-func Run(spec AppSpec, cfg SepticConfig, p Params) (*Sample, error) {
+// deploy builds one application deployment for the given configuration:
+// schema applied, SEPTIC trained (when installed) and switched to the
+// measured configuration.
+func deploy(spec AppSpec, cfg SepticConfig) (*webapp.App, error) {
 	var (
 		db    *engine.DB
 		guard *core.Septic
@@ -241,6 +242,17 @@ func Run(spec AppSpec, cfg SepticConfig, p Params) (*Sample, error) {
 	}
 	if guard != nil {
 		guard.SetConfig(coreConfig(cfg))
+	}
+	return app, nil
+}
+
+// Run measures one application under one configuration: it builds a
+// fresh deployment, trains SEPTIC (when installed), then replays the
+// workload from Machines×BrowsersPerMachine concurrent browsers.
+func Run(spec AppSpec, cfg SepticConfig, p Params) (*Sample, error) {
+	app, err := deploy(spec, cfg)
+	if err != nil {
+		return nil, err
 	}
 
 	issue := func(req webapp.Request) (int, string) {
@@ -304,6 +316,65 @@ func Run(spec AppSpec, cfg SepticConfig, p Params) (*Sample, error) {
 	}
 	wg.Wait()
 	return sample, nil
+}
+
+// Throughput is the result of one parallel replay: aggregate requests
+// over wall-clock time, the load-test view of the Fig. 5 deployment.
+type Throughput struct {
+	Config   SepticConfig
+	Machines int
+	Browsers int
+	Requests int
+	Errors   int
+	Elapsed  time.Duration
+}
+
+// PerSecond returns the aggregate request rate.
+func (t *Throughput) PerSecond() float64 {
+	if t.Elapsed <= 0 {
+		return 0
+	}
+	return float64(t.Requests) / t.Elapsed.Seconds()
+}
+
+// RunParallel is the parallel replay mode: K = Machines client machines,
+// each running BrowsersPerMachine browser goroutines, replay the
+// workload concurrently against one deployment, and the aggregate
+// throughput is measured. Where Run answers Fig. 5's latency-overhead
+// question, RunParallel answers the scaling question behind it: does the
+// SEPTIC-enabled server keep serving as client machines are added? With
+// the contention-free hot path, throughput should grow with machines
+// until the host's cores saturate.
+func RunParallel(spec AppSpec, cfg SepticConfig, p Params) (*Throughput, error) {
+	app, err := deploy(spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	browsers := p.Machines * p.BrowsersPerMachine
+	out := &Throughput{Config: cfg, Machines: p.Machines, Browsers: browsers}
+	var errs atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for b := 0; b < browsers; b++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for loop := 0; loop < p.Loops; loop++ {
+				for _, req := range spec.Workload {
+					resp := app.Serve(req.Clone())
+					webTier(resp.Body, p.WebTierWork)
+					if resp.Status != 200 {
+						errs.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	out.Elapsed = time.Since(start)
+	out.Requests = browsers * p.Loops * len(spec.Workload)
+	out.Errors = int(errs.Load())
+	return out, nil
 }
 
 // Overhead is one Fig. 5 data point: a configuration's mean latency

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"github.com/septic-db/septic/internal/engine"
 	"github.com/septic-db/septic/internal/qstruct"
@@ -18,7 +18,7 @@ const (
 	// executes everything; no detection runs.
 	ModeTraining
 	// ModeDetection finds and logs attacks but still executes the
-	// queries (Table I row "Detention": log, no drop, exec).
+	// queries (Table I row "Detection": log, no drop, exec).
 	ModeDetection
 	// ModePrevention finds, logs and blocks attacks: the query is
 	// dropped and never executed.
@@ -75,16 +75,25 @@ type Stats struct {
 // Septic is the mechanism: it wires the QS&QM manager, ID generator,
 // attack detector and logger together and implements engine.QueryHook so
 // it can be installed inside the DBMS (engine.WithQueryHook). A single
-// Septic may serve many concurrent sessions.
+// Septic may serve many concurrent sessions: the hot path reads the
+// configuration through an atomic snapshot pointer and bumps lock-free
+// counters, so concurrent sessions executing known-benign queries never
+// serialize on a Septic-level lock.
 type Septic struct {
 	idgen    *IDGenerator
 	store    *Store
 	detector *Detector
 	logger   *Logger
 
-	mu    sync.RWMutex
-	cfg   Config
-	stats Stats
+	// cfg is the current configuration, published as an immutable
+	// snapshot: readers Load once per query and see a consistent Config;
+	// writers install a fresh copy (SetMode/SetConfig).
+	cfg atomic.Pointer[Config]
+
+	queriesSeen    atomic.Int64
+	modelsLearned  atomic.Int64
+	attacksFound   atomic.Int64
+	attacksBlocked atomic.Int64
 }
 
 // Interface compliance: Septic is an engine hook.
@@ -120,8 +129,8 @@ func New(cfg Config, opts ...SepticOption) *Septic {
 		store:    NewStore(),
 		detector: NewDetector(DefaultPlugins()),
 		logger:   NewLogger(),
-		cfg:      cfg,
 	}
+	s.cfg.Store(&cfg)
 	for _, o := range opts {
 		o(s)
 	}
@@ -130,32 +139,32 @@ func New(cfg Config, opts ...SepticOption) *Septic {
 
 // Mode returns the current operation mode.
 func (s *Septic) Mode() Mode {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.cfg.Mode
+	return s.cfg.Load().Mode
 }
 
 // Config returns the current configuration.
 func (s *Septic) Config() Config {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.cfg
+	return *s.cfg.Load()
 }
 
 // SetMode switches the operation mode (the demo "restarts MySQL" for
-// this; here it is atomic).
+// this; here it is atomic). Other configuration fields are preserved
+// even against a racing SetConfig.
 func (s *Septic) SetMode(m Mode) {
-	s.mu.Lock()
-	s.cfg.Mode = m
-	s.mu.Unlock()
+	for {
+		old := s.cfg.Load()
+		next := *old
+		next.Mode = m
+		if s.cfg.CompareAndSwap(old, &next) {
+			break
+		}
+	}
 	s.logger.Log(Event{Kind: EventModeChanged, Detail: "mode set to " + m.String()})
 }
 
 // SetConfig replaces the whole configuration.
 func (s *Septic) SetConfig(cfg Config) {
-	s.mu.Lock()
-	s.cfg = cfg
-	s.mu.Unlock()
+	s.cfg.Store(&cfg)
 	s.logger.Log(Event{Kind: EventModeChanged, Detail: fmt.Sprintf(
 		"config set: mode=%s sqli=%t stored=%t", cfg.Mode, cfg.DetectSQLI, cfg.DetectStored)})
 }
@@ -168,9 +177,12 @@ func (s *Septic) Logger() *Logger { return s.logger }
 
 // Stats returns a snapshot of the work counters.
 func (s *Septic) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.stats
+	return Stats{
+		QueriesSeen:    s.queriesSeen.Load(),
+		ModelsLearned:  s.modelsLearned.Load(),
+		AttacksFound:   s.attacksFound.Load(),
+		AttacksBlocked: s.attacksBlocked.Load(),
+	}
 }
 
 // BeforeExecute implements engine.QueryHook: the in-DBMS hook point.
@@ -181,10 +193,8 @@ func (s *Septic) Stats() Stats {
 // computation and a store lookup, which is what makes the paper's NN
 // configuration nearly free (§II-F: 0.5% overhead).
 func (s *Septic) BeforeExecute(ctx *engine.HookContext) error {
-	s.mu.Lock()
-	cfg := s.cfg
-	s.stats.QueriesSeen++
-	s.mu.Unlock()
+	cfg := *s.cfg.Load()
+	s.queriesSeen.Add(1)
 
 	id := s.idgen.ID(ctx.Stmt, ctx.Comments)
 
@@ -230,22 +240,18 @@ func (s *Septic) learn(id, query string, qs qstruct.Stack, kind EventKind) {
 	if !s.store.Put(id, qm, kind == EventNewQuery) {
 		return
 	}
-	s.mu.Lock()
-	s.stats.ModelsLearned++
-	s.mu.Unlock()
+	s.modelsLearned.Add(1)
 	s.logger.Log(Event{Kind: kind, QueryID: id, Query: query,
 		Detail: fmt.Sprintf("model learned (%d nodes)", len(qm.Nodes))})
 }
 
 // report logs the attack and, in prevention mode, blocks the query.
 func (s *Septic) report(cfg Config, id, query string, det Detection) error {
-	s.mu.Lock()
-	s.stats.AttacksFound++
+	s.attacksFound.Add(1)
 	blocked := cfg.Mode == ModePrevention
 	if blocked {
-		s.stats.AttacksBlocked++
+		s.attacksBlocked.Add(1)
 	}
-	s.mu.Unlock()
 
 	kind := EventAttackDetected
 	if blocked {

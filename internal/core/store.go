@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"sort"
 	"sync"
@@ -30,17 +31,34 @@ import (
 //     benign query", and PendingReview is exactly that work list — plus
 //     a hit counter for usage-based triage.
 //
-// The store is safe for concurrent use by many sessions.
+// The store is safe for concurrent use by many sessions, and built so
+// the hot path (Get on a known identifier) never contends across
+// sessions: identifiers are partitioned into shards, each with its own
+// RWMutex, and the per-identifier model sets are copy-on-write — Get
+// returns the shared immutable slice without copying, and Put publishes
+// a freshly built slice instead of appending in place.
 type Store struct {
+	shards [storeShardCount]storeShard
+}
+
+// storeShardCount partitions identifiers so unrelated sessions rarely
+// touch the same lock. A modest power of two: the per-shard critical
+// sections are a map lookup, so the win is cacheline, not hold time.
+const storeShardCount = 16
+
+// storeShard is one lock domain of the identifier space.
+type storeShard struct {
 	mu     sync.RWMutex
 	models map[string]*modelSet
 }
 
 // modelSet is the per-identifier record.
 type modelSet struct {
+	// models is copy-on-write: the slice and its backing array are never
+	// mutated after publication, so readers may hold it lock-free.
 	models []qstruct.Model
-	// hits counts lookups; mutated atomically under the read lock.
-	hits int64
+	// hits counts lookups.
+	hits atomic.Int64
 	// incremental marks identifiers first seen outside training mode.
 	incremental bool
 }
@@ -57,22 +75,35 @@ type Usage struct {
 
 // NewStore creates an empty model store.
 func NewStore() *Store {
-	return &Store{models: make(map[string]*modelSet)}
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].models = make(map[string]*modelSet)
+	}
+	return s
 }
 
-// Get returns the models learned for id (a copy) and counts the hit.
+// shard returns the lock domain owning id.
+func (s *Store) shard(id string) *storeShard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(id))
+	return &s.shards[h.Sum32()%storeShardCount]
+}
+
+// Get returns the models learned for id and counts the hit. The slice is
+// shared and immutable: callers must not modify it. Successive Puts never
+// change a slice a previous Get returned.
 func (s *Store) Get(id string) ([]qstruct.Model, bool) {
-	s.mu.RLock()
-	set, ok := s.models[id]
+	sh := s.shard(id)
+	sh.mu.RLock()
+	set, ok := sh.models[id]
 	if !ok {
-		s.mu.RUnlock()
+		sh.mu.RUnlock()
 		return nil, false
 	}
-	atomic.AddInt64(&set.hits, 1)
-	out := make([]qstruct.Model, len(set.models))
-	copy(out, set.models)
-	s.mu.RUnlock()
-	return out, true
+	models := set.models
+	sh.mu.RUnlock()
+	set.hits.Add(1)
+	return models, true
 }
 
 // Put stores a model for id, recording whether it was learned
@@ -82,19 +113,25 @@ func (s *Store) Get(id string) ([]qstruct.Model, bool) {
 // only once").
 func (s *Store) Put(id string, m qstruct.Model, incremental bool) bool {
 	fp := m.Fingerprint()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	set, ok := s.models[id]
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	set, ok := sh.models[id]
 	if !ok {
 		set = &modelSet{incremental: incremental}
-		s.models[id] = set
+		sh.models[id] = set
 	}
 	for _, existing := range set.models {
 		if existing.Fingerprint() == fp {
 			return false
 		}
 	}
-	set.models = append(set.models, m)
+	// Copy-on-write: publish a new slice so concurrent readers keep a
+	// consistent view of the one they already fetched.
+	next := make([]qstruct.Model, len(set.models)+1)
+	copy(next, set.models)
+	next[len(set.models)] = m
+	set.models = next
 	if incremental {
 		set.incremental = true
 	}
@@ -104,17 +141,19 @@ func (s *Store) Put(id string, m qstruct.Model, incremental bool) bool {
 // Delete removes every model learned for id (administrator review
 // rejecting a poisoned identifier).
 func (s *Store) Delete(id string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.models, id)
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.models, id)
 }
 
 // Approve clears an identifier's incremental flag: the administrator
 // reviewed the query and deemed it benign.
 func (s *Store) Approve(id string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	set, ok := s.models[id]
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	set, ok := sh.models[id]
 	if !ok {
 		return false
 	}
@@ -125,13 +164,16 @@ func (s *Store) Approve(id string) bool {
 // PendingReview lists the identifiers learned incrementally and not yet
 // approved — the administrator's §II-E work list — sorted.
 func (s *Store) PendingReview() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []string
-	for id, set := range s.models {
-		if set.incremental {
-			out = append(out, id)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id, set := range sh.models {
+			if set.incremental {
+				out = append(out, id)
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -140,16 +182,19 @@ func (s *Store) PendingReview() []string {
 // UsageReport returns per-identifier usage, sorted by descending hits
 // then id — the triage view for the administrator.
 func (s *Store) UsageReport() []Usage {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]Usage, 0, len(s.models))
-	for id, set := range s.models {
-		out = append(out, Usage{
-			ID:          id,
-			Models:      len(set.models),
-			Hits:        atomic.LoadInt64(&set.hits),
-			Incremental: set.incremental,
-		})
+	var out []Usage
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id, set := range sh.models {
+			out = append(out, Usage{
+				ID:          id,
+				Models:      len(set.models),
+				Hits:        set.hits.Load(),
+				Incremental: set.incremental,
+			})
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Hits != out[j].Hits {
@@ -162,30 +207,41 @@ func (s *Store) UsageReport() []Usage {
 
 // Len returns the number of known query identifiers.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.models)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.models)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // ModelCount returns the total number of learned models across all
 // identifiers (≥ Len when variants exist).
 func (s *Store) ModelCount() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	n := 0
-	for _, set := range s.models {
-		n += len(set.models)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, set := range sh.models {
+			n += len(set.models)
+		}
+		sh.mu.RUnlock()
 	}
 	return n
 }
 
 // IDs returns the learned query identifiers, sorted.
 func (s *Store) IDs() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.models))
-	for id := range s.models {
-		out = append(out, id)
+	var out []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id := range sh.models {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -209,26 +265,32 @@ const storeVersion = 3
 
 // Save writes the learned models to path atomically (write to temp file,
 // then rename), with per-model fingerprints for integrity checking.
+// Fingerprints are cached in the models themselves, so a Save is pure
+// serialization — no re-hashing.
 func (s *Store) Save(path string) error {
-	s.mu.RLock()
 	file := storeFile{
 		Version: storeVersion,
-		Sets:    make(map[string]persistedSet, len(s.models)),
+		Sets:    make(map[string]persistedSet),
 	}
-	for id, set := range s.models {
-		p := persistedSet{
-			Models:      make([]qstruct.Model, len(set.models)),
-			Sums:        make([]uint64, len(set.models)),
-			Hits:        atomic.LoadInt64(&set.hits),
-			Incremental: set.incremental,
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id, set := range sh.models {
+			p := persistedSet{
+				// The model slice is immutable, so it can be serialized
+				// as-is without a defensive copy.
+				Models:      set.models,
+				Sums:        make([]uint64, len(set.models)),
+				Hits:        set.hits.Load(),
+				Incremental: set.incremental,
+			}
+			for i, m := range set.models {
+				p.Sums[i] = m.Fingerprint()
+			}
+			file.Sets[id] = p
 		}
-		copy(p.Models, set.models)
-		for i, m := range set.models {
-			p.Sums[i] = m.Fingerprint()
-		}
-		file.Sets[id] = p
+		sh.mu.RUnlock()
 	}
-	s.mu.RUnlock()
 
 	data, err := json.MarshalIndent(&file, "", "  ")
 	if err != nil {
@@ -268,14 +330,29 @@ func (s *Store) Load(path string) error {
 		}
 		models := make([]qstruct.Model, len(p.Models))
 		copy(models, p.Models)
-		loaded[id] = &modelSet{
+		set := &modelSet{
 			models:      models,
-			hits:        p.Hits,
 			incremental: p.Incremental,
 		}
+		set.hits.Store(p.Hits)
+		loaded[id] = set
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.models = loaded
+	// Swap shard by shard: each identifier lands in its own shard, and
+	// identifiers absent from the file are cleared.
+	var fresh [storeShardCount]map[string]*modelSet
+	for i := range fresh {
+		fresh[i] = make(map[string]*modelSet)
+	}
+	for id, set := range loaded {
+		h := fnv.New32a()
+		_, _ = h.Write([]byte(id))
+		fresh[h.Sum32()%storeShardCount][id] = set
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.models = fresh[i]
+		sh.mu.Unlock()
+	}
 	return nil
 }

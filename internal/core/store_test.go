@@ -50,14 +50,24 @@ func TestStoreHoldsModelSetsPerID(t *testing.T) {
 	}
 }
 
-func TestStoreGetReturnsCopy(t *testing.T) {
+func TestStoreGetIsCopyOnWrite(t *testing.T) {
 	s := NewStore()
 	s.Put("id", modelFor(t, "SELECT 1"), false)
-	models, _ := s.Get("id")
-	models[0] = qstruct.Model{}
-	fresh, _ := s.Get("id")
-	if len(fresh[0].Nodes) == 0 {
-		t.Error("Get exposed internal storage")
+	before, _ := s.Get("id")
+	if len(before) != 1 {
+		t.Fatalf("len(before) = %d, want 1", len(before))
+	}
+	// A later Put publishes a new slice; the one already fetched must
+	// keep its contents (readers hold it lock-free).
+	if !s.Put("id", modelFor(t, "SELECT 1 ORDER BY 1"), false) {
+		t.Fatal("variant should be added")
+	}
+	if len(before) != 1 || len(before[0].Nodes) == 0 {
+		t.Error("Put mutated a slice a previous Get returned")
+	}
+	after, _ := s.Get("id")
+	if len(after) != 2 {
+		t.Errorf("len(after) = %d, want 2", len(after))
 	}
 }
 

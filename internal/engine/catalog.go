@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 
 	"github.com/septic-db/septic/internal/sqlparser"
 )
@@ -84,16 +85,23 @@ type Column struct {
 	Default       *Value
 }
 
-// Table is an in-memory table: a schema plus a row store. Access is
-// serialized by the owning DB's lock.
+// Table is an in-memory table: a schema plus a row store. The schema
+// (Name, Columns) is immutable after CREATE TABLE; rows, indexes and the
+// AUTO_INCREMENT counter are guarded by the table's own lock, acquired
+// per statement by the engine's lock plan (lockplan.go) — so statements
+// touching different tables run fully in parallel.
 type Table struct {
 	Name    string
 	Columns []Column
-	Rows    [][]Value
+
+	// mu guards Rows, nextAuto and indexes. DML takes it exclusively,
+	// reads share it; acquisition order across tables is by sorted name.
+	mu   sync.RWMutex
+	Rows [][]Value
 	// nextAuto is the next AUTO_INCREMENT value to hand out.
 	nextAuto int64
 	// indexes holds the unique hash indexes, keyed by column position.
-	// Maintained under the DB write lock; see index.go.
+	// Maintained under the table write lock; see index.go.
 	indexes map[int]map[string]int
 }
 

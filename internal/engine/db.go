@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/septic-db/septic/internal/sqlparser"
@@ -50,7 +51,7 @@ type Option func(*DB)
 // WithQueryHook installs the security hook (SEPTIC). Passing nil leaves
 // the engine unprotected, like a stock MySQL.
 func WithQueryHook(h QueryHook) Option {
-	return func(db *DB) { db.hook = h }
+	return func(db *DB) { db.hook.Store(&h) }
 }
 
 // WithClock injects the time source used by NOW(); defaults to time.Now.
@@ -61,12 +62,24 @@ func WithClock(clock func() time.Time) Option {
 
 // DB is an in-memory database instance. It is safe for concurrent use by
 // multiple goroutines ("client diversity": many sessions, one server).
+//
+// Locking is two-level (see lockplan.go): the catalog RWMutex guards the
+// tables map — DDL exclusively, everything else shared — and each Table
+// has its own RWMutex, so writes to one table never block reads of
+// another. The hook and the activity counters are atomic: the hot path
+// takes no engine-level write lock.
 type DB struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
-	hook   QueryHook
-	clock  func() time.Time
-	stats  Stats
+	catalog sync.RWMutex
+	tables  map[string]*Table
+
+	// hook holds the installed QueryHook (possibly a nil interface);
+	// a nil pointer means WithQueryHook was never called.
+	hook  atomic.Pointer[QueryHook]
+	clock func() time.Time
+
+	executed atomic.Int64
+	blocked  atomic.Int64
+	failed   atomic.Int64
 }
 
 // New creates an empty database.
@@ -84,16 +97,16 @@ func New(opts ...Option) *DB {
 // SetHook replaces the query hook at runtime (used when the demo flips
 // SEPTIC between modes and "restarts MySQL").
 func (db *DB) SetHook(h QueryHook) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.hook = h
+	db.hook.Store(&h)
 }
 
 // Stats returns a snapshot of the engine counters.
 func (db *DB) Stats() Stats {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.stats
+	return Stats{
+		Executed: db.executed.Load(),
+		Blocked:  db.blocked.Load(),
+		Failed:   db.failed.Load(),
+	}
 }
 
 // Result is the outcome of one statement.
@@ -168,36 +181,31 @@ func (db *DB) exec(query string, args []Value) (*Result, error) {
 		db.countFailed()
 		return nil, err
 	}
-	db.mu.Lock()
-	db.stats.Executed++
-	db.mu.Unlock()
+	db.executed.Add(1)
 	return res, nil
 }
 
 func (db *DB) currentHook() QueryHook {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.hook
+	if p := db.hook.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 func (db *DB) countFailed() {
-	db.mu.Lock()
-	db.stats.Failed++
-	db.mu.Unlock()
+	db.failed.Add(1)
 }
 
 func (db *DB) countBlocked() {
-	db.mu.Lock()
-	db.stats.Blocked++
-	db.mu.Unlock()
+	db.blocked.Add(1)
 }
 
 // validate checks the statement against the catalog: referenced tables
 // must exist and INSERT column lists must match the schema. This is the
 // "validated by the DBMS" half of the paper's hook contract.
 func (db *DB) validate(stmt sqlparser.Statement) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.catalog.RLock()
+	defer db.catalog.RUnlock()
 	switch s := stmt.(type) {
 	case *sqlparser.SelectStmt:
 		return db.validateSelect(s)
@@ -280,44 +288,44 @@ func (db *DB) validateSelect(s *sqlparser.SelectStmt) error {
 	return nil
 }
 
-// execute dispatches to the per-statement executors.
+// execute acquires the statement's lock plan and dispatches to the
+// per-statement executors. DDL serializes on the catalog write lock;
+// everything else shares the catalog and locks only the tables it
+// touches (lockplan.go), so sessions on disjoint tables never contend.
 func (db *DB) execute(stmt sqlparser.Statement) (*Result, error) {
 	switch s := stmt.(type) {
-	case *sqlparser.SelectStmt:
-		db.mu.RLock()
-		defer db.mu.RUnlock()
-		return db.execSelect(s, nil)
-	case *sqlparser.InsertStmt:
-		db.mu.Lock()
-		defer db.mu.Unlock()
-		return db.execInsert(s)
-	case *sqlparser.UpdateStmt:
-		db.mu.Lock()
-		defer db.mu.Unlock()
-		return db.execUpdate(s)
-	case *sqlparser.DeleteStmt:
-		db.mu.Lock()
-		defer db.mu.Unlock()
-		return db.execDelete(s)
 	case *sqlparser.CreateTableStmt:
-		db.mu.Lock()
-		defer db.mu.Unlock()
+		db.catalog.Lock()
+		defer db.catalog.Unlock()
 		return db.execCreateTable(s)
 	case *sqlparser.DropTableStmt:
-		db.mu.Lock()
-		defer db.mu.Unlock()
+		db.catalog.Lock()
+		defer db.catalog.Unlock()
 		return db.execDropTable(s)
 	case *sqlparser.ShowTablesStmt:
-		db.mu.RLock()
-		defer db.mu.RUnlock()
+		db.catalog.RLock()
+		defer db.catalog.RUnlock()
 		return db.execShowTables()
+	}
+
+	reads, writes := stmtTables(stmt)
+	db.catalog.RLock()
+	defer db.catalog.RUnlock()
+	unlock := db.lockTables(reads, writes)
+	defer unlock()
+
+	switch s := stmt.(type) {
+	case *sqlparser.SelectStmt:
+		return db.execSelect(s, nil)
+	case *sqlparser.InsertStmt:
+		return db.execInsert(s)
+	case *sqlparser.UpdateStmt:
+		return db.execUpdate(s)
+	case *sqlparser.DeleteStmt:
+		return db.execDelete(s)
 	case *sqlparser.DescribeStmt:
-		db.mu.RLock()
-		defer db.mu.RUnlock()
 		return db.execDescribe(s)
 	case *sqlparser.ExplainStmt:
-		db.mu.RLock()
-		defer db.mu.RUnlock()
 		return db.execExplain(s)
 	default:
 		return nil, fmt.Errorf("unsupported statement %T", stmt)

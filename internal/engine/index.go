@@ -19,9 +19,10 @@ import (
 //
 // Concurrency contract: indexes are created at CREATE TABLE and
 // maintained eagerly by every DML operation, all of which run under the
-// DB write lock; DELETE rebuilds them (row positions shift). Readers
-// (SELECT, under the read lock) only ever look maps up — they never
-// build or mutate, so no additional synchronization is needed.
+// owning table's write lock; DELETE rebuilds them (row positions shift).
+// Readers (SELECT, under the table read lock) only ever look maps up —
+// they never build or mutate, so no additional synchronization is
+// needed.
 
 // indexKey normalizes a value for index lookup. Stored values are
 // already coerced to the column type, and lookups coerce the probe the

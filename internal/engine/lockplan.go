@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/septic-db/septic/internal/sqlparser"
+)
+
+// Lock planning.
+//
+// The engine's concurrency is two-level: a catalog RWMutex guards the
+// name → *Table map (DDL takes it exclusively; every other statement
+// shares it), and each Table carries its own RWMutex guarding rows,
+// indexes and the AUTO_INCREMENT counter. Before executing, a statement
+// is walked once to collect every table it can touch — including tables
+// reached only through subqueries in any clause — and the per-table
+// locks are acquired in sorted name order (write before read for a
+// table in both sets). The global order makes deadlock impossible; the
+// split makes writes to one table invisible to readers of another.
+
+// stmtTables collects the lowercase names of the tables a statement
+// reads and writes. A table in both sets appears only in writes.
+func stmtTables(stmt sqlparser.Statement) (reads, writes map[string]bool) {
+	c := &tableCollector{reads: map[string]bool{}, writes: map[string]bool{}}
+	switch s := stmt.(type) {
+	case *sqlparser.SelectStmt:
+		c.fromNames(s)
+	case *sqlparser.InsertStmt:
+		c.write(s.Table)
+		if s.Select != nil {
+			c.fromNames(s.Select)
+		}
+	case *sqlparser.UpdateStmt:
+		c.write(s.Table)
+	case *sqlparser.DeleteStmt:
+		c.write(s.Table)
+	case *sqlparser.DescribeStmt:
+		c.read(s.Table)
+	case *sqlparser.ExplainStmt:
+		c.fromNames(s.Select)
+		c.walkSubqueries(s.Select)
+		return c.finish()
+	}
+	c.walkSubqueries(stmt)
+	return c.finish()
+}
+
+type tableCollector struct {
+	reads, writes map[string]bool
+}
+
+func (c *tableCollector) read(name string)  { c.reads[strings.ToLower(name)] = true }
+func (c *tableCollector) write(name string) { c.writes[strings.ToLower(name)] = true }
+
+// finish removes written tables from the read set: a write lock already
+// grants reads.
+func (c *tableCollector) finish() (map[string]bool, map[string]bool) {
+	for name := range c.writes {
+		delete(c.reads, name)
+	}
+	return c.reads, c.writes
+}
+
+// fromNames gathers the FROM tables of a select, descending into derived
+// tables and UNION branches. Subqueries in expression position are found
+// separately by walkSubqueries.
+func (c *tableCollector) fromNames(s *sqlparser.SelectStmt) {
+	for _, ref := range s.From {
+		if ref.Subquery != nil {
+			c.fromNames(ref.Subquery)
+			continue
+		}
+		c.read(ref.Name)
+	}
+	if s.Union != nil {
+		c.fromNames(s.Union.Next)
+	}
+}
+
+// walkSubqueries visits every expression of the statement — WalkExprs
+// descends into subqueries in all clauses at every nesting level — and
+// records the FROM tables of each subquery it finds.
+func (c *tableCollector) walkSubqueries(stmt sqlparser.Statement) {
+	sqlparser.WalkExprs(stmt, func(e sqlparser.Expr) {
+		switch x := e.(type) {
+		case *sqlparser.SubqueryExpr:
+			c.fromNames(x.Select)
+		case *sqlparser.ExistsExpr:
+			c.fromNames(x.Select)
+		case *sqlparser.InExpr:
+			if x.Subquery != nil {
+				c.fromNames(x.Subquery)
+			}
+		}
+	})
+}
+
+// lockTables acquires the per-table locks for one statement in global
+// (sorted-name) order and returns the matching unlock. Tables named by
+// the statement but absent from the catalog are skipped — execution
+// reports ErrNoSuchTable itself. Callers must hold the catalog read
+// lock across the acquire and the whole execution, which keeps DDL out
+// while any table lock is held.
+func (db *DB) lockTables(reads, writes map[string]bool) func() {
+	names := make([]string, 0, len(reads)+len(writes))
+	for name := range reads {
+		names = append(names, name)
+	}
+	for name := range writes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	unlocks := make([]func(), 0, len(names))
+	for _, name := range names {
+		t, ok := db.tables[name]
+		if !ok {
+			continue
+		}
+		if writes[name] {
+			t.mu.Lock()
+			unlocks = append(unlocks, t.mu.Unlock)
+		} else {
+			t.mu.RLock()
+			unlocks = append(unlocks, t.mu.RUnlock)
+		}
+	}
+	return func() {
+		for i := len(unlocks) - 1; i >= 0; i-- {
+			unlocks[i]()
+		}
+	}
+}

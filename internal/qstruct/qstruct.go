@@ -12,6 +12,7 @@
 package qstruct
 
 import (
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"strconv"
@@ -181,6 +182,10 @@ func (s Stack) StringData() []string {
 // Model is a learned query model: a stack whose data nodes are blanked.
 type Model struct {
 	Nodes Stack `json:"nodes"`
+	// fp caches Fingerprint, computed once at ModelOf/Unmarshal time.
+	// Models live in read-mostly shared sets, so the cache must be filled
+	// before a model is published — Fingerprint itself never mutates.
+	fp uint64
 }
 
 // ModelOf derives the query model from a query structure by replacing the
@@ -192,17 +197,40 @@ func ModelOf(qs Stack) Model {
 			nodes[i].Data = Bottom
 		}
 	}
-	return Model{Nodes: nodes}
+	return Model{Nodes: nodes, fp: fingerprintOf(nodes)}
 }
 
 // String renders the model top-down like a stack.
 func (m Model) String() string { return m.Nodes.String() }
 
 // Fingerprint returns a stable 64-bit hash of the model, used for
-// persistence integrity checks and ablation benchmarks.
+// persistence integrity checks and ablation benchmarks. Models built by
+// ModelOf or decoded from JSON answer from a precomputed cache.
 func (m Model) Fingerprint() uint64 {
+	if m.fp != 0 {
+		return m.fp
+	}
+	return fingerprintOf(m.Nodes)
+}
+
+// UnmarshalJSON decodes the persisted form and seals the fingerprint
+// cache, so loaded models are as cheap to re-fingerprint (Store.Save,
+// Store.Put dedup) as freshly learned ones.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var aux struct {
+		Nodes Stack `json:"nodes"`
+	}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	m.Nodes = aux.Nodes
+	m.fp = fingerprintOf(aux.Nodes)
+	return nil
+}
+
+func fingerprintOf(nodes Stack) uint64 {
 	h := fnv.New64a()
-	for _, n := range m.Nodes {
+	for _, n := range nodes {
 		_, _ = fmt.Fprintf(h, "%d\x00%s\x00", n.Cat, n.Data)
 	}
 	return h.Sum64()
