@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench demo fig5 accuracy sweep clean
+.PHONY: all build vet test race cover bench bench-hook bench-engine demo fig5 accuracy sweep parallel clean
 
 all: build vet test race
 
@@ -21,8 +21,20 @@ race:
 cover:
 	$(GO) test -cover ./...
 
+# COUNT > 1 gives benchstat-comparable samples, e.g.:
+#   make bench-hook COUNT=10 > new.txt && benchstat old.txt new.txt
+COUNT ?= 1
+
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem -count=$(COUNT) ./...
+
+# The verdict-cache hot path: cached hit vs full miss vs churn.
+bench-hook:
+	$(GO) test -run='^$$' -bench='BenchmarkHook|BenchmarkDetectionPlacement' -benchmem -count=$(COUNT) .
+
+# The engine execution path (parse cache + lock plan + executor).
+bench-engine:
+	$(GO) test -run='^$$' -bench='BenchmarkEngineExec|BenchmarkParse|BenchmarkQSBuild' -benchmem -count=$(COUNT) .
 
 # Reproduce the paper's results.
 demo:
@@ -36,6 +48,9 @@ accuracy:
 
 sweep:
 	$(GO) run ./cmd/septic-bench sweep -loops 4
+
+parallel:
+	$(GO) run ./cmd/septic-bench parallel
 
 clean:
 	$(GO) clean ./...

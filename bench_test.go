@@ -15,6 +15,7 @@ package septic_test
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"github.com/septic-db/septic/internal/attacks"
@@ -294,7 +295,12 @@ func BenchmarkDetectionPlacement(b *testing.B) {
 		}
 	})
 	b.Run("septic-hook", func(b *testing.B) {
-		guard := core.New(core.Config{Mode: core.ModeTraining})
+		// Verdict cache off: this ablation compares the per-query
+		// DETECTION cost across placements, so the hook must run its
+		// full pipeline every iteration (see BenchmarkHookCached for the
+		// memoized path).
+		guard := core.New(core.Config{Mode: core.ModeTraining},
+			core.WithVerdictCacheCapacity(0))
 		db := engine.New(engine.WithQueryHook(guard))
 		if _, err := db.Exec("CREATE TABLE devices (id INT, name TEXT, location TEXT, maxWatts INT)"); err != nil {
 			b.Fatal(err)
@@ -313,6 +319,93 @@ func BenchmarkDetectionPlacement(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
+			if err := guard.BeforeExecute(hctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Verdict cache: the repeated known-benign hot path ------------------
+
+// cachedHookGuard builds a trained YY-prevention guard (with the given
+// verdict-cache capacity and per-query event sampling off, the benchmark
+// logger configuration) plus the hook context of its benign query.
+func cachedHookGuard(b *testing.B, capacity int) (*core.Septic, *engine.HookContext) {
+	b.Helper()
+	guard := core.New(core.Config{Mode: core.ModeTraining},
+		core.WithVerdictCacheCapacity(capacity),
+		core.WithLogger(core.NewLogger(core.WithCheckedSampling(0))))
+	query := "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234"
+	stmt, err := sqlparser.Parse(query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hctx := &engine.HookContext{Raw: query, Decoded: query, Stmt: stmt}
+	if err := guard.BeforeExecute(hctx); err != nil { // learn the model
+		b.Fatal(err)
+	}
+	guard.SetConfig(core.Config{
+		Mode: core.ModePrevention, DetectSQLI: true, DetectStored: true, IncrementalLearning: true,
+	})
+	if err := guard.BeforeExecute(hctx); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	return guard, hctx
+}
+
+// BenchmarkHookCached measures a byte-identical repeat of a known-benign
+// query through the hook with the verdict cache on: the memoized path
+// skips ID generation, the store lookup and both detections. The target
+// is 0 allocs/op and a ≥5× ns/op win over BenchmarkHookMiss.
+func BenchmarkHookCached(b *testing.B) {
+	guard, hctx := cachedHookGuard(b, core.DefaultVerdictCacheCapacity)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := guard.BeforeExecute(hctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if guard.CacheStats().Hits == 0 {
+		b.Fatal("cache never hit")
+	}
+}
+
+// BenchmarkHookMiss is the same repeat with caching disabled: every
+// iteration runs the full pipeline. The cached/miss ratio is the verdict
+// cache's payoff.
+func BenchmarkHookMiss(b *testing.B) {
+	guard, hctx := cachedHookGuard(b, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := guard.BeforeExecute(hctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHookCachedChurn stresses the cache's worst realistic case:
+// parallel sessions repeating benign queries while the model store keeps
+// learning (every store mutation orphans all cached verdicts). Measures
+// how quickly the cache re-converges after invalidation storms.
+func BenchmarkHookCachedChurn(b *testing.B) {
+	guard, hctx := cachedHookGuard(b, core.DefaultVerdictCacheCapacity)
+	churn := qstruct.ModelOf(qstruct.BuildStack(hctx.Stmt))
+	var churnID int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if i%512 == 511 {
+				// Simulated incremental learning: a fresh identifier
+				// bumps the store generation and invalidates everything.
+				id := atomic.AddInt64(&churnID, 1)
+				guard.Store().Put(fmt.Sprintf("churn-%d", id), churn, true)
+			}
+			i++
 			if err := guard.BeforeExecute(hctx); err != nil {
 				b.Fatal(err)
 			}

@@ -200,7 +200,7 @@ func runParallel(browsersPer, loops, maxMachines int) error {
 	spec := benchlab.PaperSpecs()[2] // ZeroCMS: the largest workload
 	fmt.Printf("parallel replay — %s workload, %d browsers/machine, %d loops (GOMAXPROCS=%d)\n\n",
 		spec.Name, browsersPer, loops, runtime.GOMAXPROCS(0))
-	fmt.Printf("%10s %14s %14s %10s\n", "machines", "base req/s", "YY req/s", "YY/base")
+	fmt.Printf("%10s %14s %14s %10s %10s\n", "machines", "base req/s", "YY req/s", "YY/base", "cache hit")
 	for n := 1; n <= maxMachines; n *= 2 {
 		p := benchlab.Params{Machines: n, BrowsersPerMachine: browsersPer, Loops: loops,
 			WebTierWork: benchlab.DefaultWebTierWork}
@@ -215,8 +215,9 @@ func runParallel(browsersPer, loops, maxMachines int) error {
 		if base.Errors > 0 || yy.Errors > 0 {
 			return fmt.Errorf("machines=%d: %d/%d request errors", n, base.Errors, yy.Errors)
 		}
-		fmt.Printf("%10d %14.0f %14.0f %9.2f%%\n",
-			n, base.PerSecond(), yy.PerSecond(), 100*yy.PerSecond()/base.PerSecond())
+		fmt.Printf("%10d %14.0f %14.0f %9.2f%% %9.1f%%\n",
+			n, base.PerSecond(), yy.PerSecond(), 100*yy.PerSecond()/base.PerSecond(),
+			100*yy.CacheHitRate())
 	}
 	return nil
 }

@@ -215,8 +215,8 @@ var webTierSink byte
 
 // deploy builds one application deployment for the given configuration:
 // schema applied, SEPTIC trained (when installed) and switched to the
-// measured configuration.
-func deploy(spec AppSpec, cfg SepticConfig) (*webapp.App, error) {
+// measured configuration. The returned guard is nil for the baseline.
+func deploy(spec AppSpec, cfg SepticConfig) (*webapp.App, *core.Septic, error) {
 	var (
 		db    *engine.DB
 		guard *core.Septic
@@ -229,7 +229,7 @@ func deploy(spec AppSpec, cfg SepticConfig) (*webapp.App, error) {
 	}
 	for _, q := range spec.Schema {
 		if _, err := db.Exec(q); err != nil {
-			return nil, fmt.Errorf("schema: %w", err)
+			return nil, nil, fmt.Errorf("schema: %w", err)
 		}
 	}
 	app := spec.Build(db)
@@ -237,20 +237,20 @@ func deploy(spec AppSpec, cfg SepticConfig) (*webapp.App, error) {
 	// sides measure a populated database).
 	for _, req := range spec.Training {
 		if resp := app.Serve(req.Clone()); resp.Status != 200 {
-			return nil, fmt.Errorf("training %s: %v", req, resp.Err)
+			return nil, nil, fmt.Errorf("training %s: %v", req, resp.Err)
 		}
 	}
 	if guard != nil {
 		guard.SetConfig(coreConfig(cfg))
 	}
-	return app, nil
+	return app, guard, nil
 }
 
 // Run measures one application under one configuration: it builds a
 // fresh deployment, trains SEPTIC (when installed), then replays the
 // workload from Machines×BrowsersPerMachine concurrent browsers.
 func Run(spec AppSpec, cfg SepticConfig, p Params) (*Sample, error) {
-	app, err := deploy(spec, cfg)
+	app, _, err := deploy(spec, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -327,6 +327,19 @@ type Throughput struct {
 	Requests int
 	Errors   int
 	Elapsed  time.Duration
+	// Cache reports SEPTIC's verdict-cache counters for the replay
+	// (zero-valued for the baseline, which has no guard installed).
+	Cache core.CacheStats
+}
+
+// CacheHitRate returns the fraction of verdict-cache lookups served from
+// cache, in [0,1]; 0 when no lookups happened.
+func (t *Throughput) CacheHitRate() float64 {
+	total := t.Cache.Hits + t.Cache.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(t.Cache.Hits) / float64(total)
 }
 
 // PerSecond returns the aggregate request rate.
@@ -346,7 +359,7 @@ func (t *Throughput) PerSecond() float64 {
 // the contention-free hot path, throughput should grow with machines
 // until the host's cores saturate.
 func RunParallel(spec AppSpec, cfg SepticConfig, p Params) (*Throughput, error) {
-	app, err := deploy(spec, cfg)
+	app, guard, err := deploy(spec, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -374,6 +387,9 @@ func RunParallel(spec AppSpec, cfg SepticConfig, p Params) (*Throughput, error) 
 	out.Elapsed = time.Since(start)
 	out.Requests = browsers * p.Loops * len(spec.Workload)
 	out.Errors = int(errs.Load())
+	if guard != nil {
+		out.Cache = guard.CacheStats()
+	}
 	return out, nil
 }
 

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/septic-db/septic/internal/engine"
+	"github.com/septic-db/septic/internal/raceflag"
+	"github.com/septic-db/septic/internal/sqlparser"
+)
+
+// hookCtxFor parses q into the HookContext shape the engine hands to the
+// hook.
+func hookCtxFor(t testing.TB, q string) *engine.HookContext {
+	t.Helper()
+	stmt, err := sqlparser.Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	return &engine.HookContext{
+		Raw:      q,
+		Decoded:  sqlparser.DecodeCharset(q),
+		Stmt:     stmt,
+		Comments: stmt.StatementComments(),
+	}
+}
+
+// TestCachedHitAllocationFree is the tentpole's regression guard: a
+// repeated known-benign query served from the verdict cache must not
+// allocate at all. Checked-event sampling is off, as in the benchmark
+// configuration — counters still tick, but no Event is built.
+func TestCachedHitAllocationFree(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race instrumentation adds allocations")
+	}
+	sep := New(Config{Mode: ModeTraining},
+		WithLogger(NewLogger(WithCheckedSampling(0))))
+	hctx := hookCtxFor(t, "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234")
+	if err := sep.BeforeExecute(hctx); err != nil { // learn the model
+		t.Fatalf("training: %v", err)
+	}
+	sep.SetConfig(DefaultConfig())
+	if err := sep.BeforeExecute(hctx); err != nil { // miss: populate cache
+		t.Fatalf("warm-up: %v", err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := sep.BeforeExecute(hctx); err != nil {
+			t.Fatalf("cached hit: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("cached-hit hook path allocates %.1f objects/op, want 0", allocs)
+	}
+	if sep.CacheStats().Hits == 0 {
+		t.Fatal("cache never hit — the guard measured the wrong path")
+	}
+}
+
+// execAllocCeiling is the allocation budget for a protected repeated
+// point SELECT through the full engine path (parse cache + verdict
+// cache + lock plan + execution). Measured 16 allocs/op after the
+// allocation diet (down from 32 at the seed) — all of them result
+// materialization in the select executor. The ceiling leaves slack for
+// toolchain variation while still catching a regression toward the old
+// cost.
+const execAllocCeiling = 20
+
+// TestExecPointSelectAllocCeiling guards the end-to-end path: the
+// remaining allocations should be the result materialization, not
+// parsing or detection.
+func TestExecPointSelectAllocCeiling(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race instrumentation adds allocations")
+	}
+	sep := New(Config{Mode: ModeTraining},
+		WithLogger(NewLogger(WithCheckedSampling(0))))
+	db := engine.New(engine.WithQueryHook(sep))
+	setup := []string{
+		"CREATE TABLE tickets (id INT PRIMARY KEY AUTO_INCREMENT, reservID TEXT, creditCard INT)",
+		"INSERT INTO tickets (reservID, creditCard) VALUES ('ID34FG', 1234)",
+	}
+	for _, q := range setup {
+		if _, err := db.Exec(q); err != nil {
+			t.Fatalf("setup %q: %v", q, err)
+		}
+	}
+	q := "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234"
+	if _, err := db.Exec(q); err != nil { // learn
+		t.Fatalf("training: %v", err)
+	}
+	sep.SetConfig(DefaultConfig())
+	if _, err := db.Exec(q); err != nil { // warm both caches
+		t.Fatalf("warm-up: %v", err)
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, err := db.Exec(q); err != nil {
+			t.Fatalf("exec: %v", err)
+		}
+	})
+	if allocs > execAllocCeiling {
+		t.Errorf("protected point SELECT allocates %.1f objects/op, want <= %d",
+			allocs, execAllocCeiling)
+	}
+}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"hash/fnv"
 	"strconv"
 	"strings"
 
@@ -50,11 +49,15 @@ func (g *IDGenerator) ID(stmt sqlparser.Statement, comments []string) string {
 	return internal
 }
 
-// internal hashes the statement skeleton to a fixed-width hex token.
+// internal hashes the statement skeleton to a fixed-width hex token. The
+// skeleton is streamed into the hash (qstruct.SkeletonHash), so the only
+// allocation is the identifier string itself; the token bytes are
+// identical to the former materialize-then-hash path, keeping persisted
+// model stores valid.
 func (g *IDGenerator) internal(stmt sqlparser.Statement) string {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(qstruct.Skeleton(stmt)))
-	return "q" + strconv.FormatUint(h.Sum64(), 16)
+	var buf [17]byte // 'q' + up to 16 hex digits
+	buf[0] = 'q'
+	return string(strconv.AppendUint(buf[:1], qstruct.SkeletonHash(stmt), 16))
 }
 
 // ExternalID extracts the application-supplied external identifier from

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/septic-db/septic/internal/qstruct"
@@ -144,15 +145,37 @@ type LogCounters struct {
 
 // Logger is SEPTIC's event register: a bounded in-memory buffer plus an
 // optional stream for live display. It is safe for concurrent use.
+//
+// Locking: mu guards only the in-memory state (sequence and buffer);
+// counters are atomics and need no lock. Stream writes happen under a
+// separate streamMu so slow I/O (a blocked pipe, a fsyncing audit file)
+// never stalls concurrent sessions that only need to append to the
+// buffer. The two locks are coupled hand-over-hand — streamMu is taken
+// before mu is released — so the streams still observe events in
+// sequence order.
 type Logger struct {
-	mu         sync.Mutex
-	seq        int64
-	events     []Event
-	capacity   int
-	counts     LogCounters
-	clock      func() time.Time
+	mu       sync.Mutex
+	seq      int64
+	events   []Event
+	capacity int
+
+	streamMu   sync.Mutex
 	stream     io.Writer
 	jsonStream io.Writer
+
+	clock func() time.Time
+
+	// checkedEvery samples EventQueryChecked admission: 1 logs every
+	// event (default), 0 logs none, n logs every n-th. Counters stay
+	// exact regardless — sampling only thins the buffer and streams.
+	checkedEvery atomic.Int64
+	checkedTick  atomic.Int64
+
+	modelsLearned  atomic.Int64
+	newQueries     atomic.Int64
+	queriesChecked atomic.Int64
+	detected       atomic.Int64
+	blocked        atomic.Int64
 }
 
 // LoggerOption configures a Logger.
@@ -179,19 +202,89 @@ func WithJSONStream(w io.Writer) LoggerOption {
 	return func(l *Logger) { l.jsonStream = w }
 }
 
+// WithCheckedSampling sets the EventQueryChecked admission rate: 1 logs
+// every passed check (default), 0 logs none, n logs every n-th. Only the
+// per-query "checked and passed" chatter is sampled; attacks, learned
+// models and mode changes are always logged, and the QueriesChecked
+// counter stays exact at any rate.
+func WithCheckedSampling(n int) LoggerOption {
+	return func(l *Logger) { l.checkedEvery.Store(int64(n)) }
+}
+
 // NewLogger builds an event register.
 func NewLogger(opts ...LoggerOption) *Logger {
 	l := &Logger{capacity: 4096, clock: time.Now}
+	l.checkedEvery.Store(1)
 	for _, o := range opts {
 		o(l)
 	}
 	return l
 }
 
-// Log appends an event, stamping sequence and time.
+// SetCheckedSampling adjusts the EventQueryChecked admission rate at
+// runtime (see WithCheckedSampling).
+func (l *Logger) SetCheckedSampling(n int) {
+	l.checkedEvery.Store(int64(n))
+}
+
+// admitChecked decides whether this EventQueryChecked is buffered and
+// streamed under the current sampling rate.
+func (l *Logger) admitChecked() bool {
+	every := l.checkedEvery.Load()
+	switch {
+	case every == 1:
+		return true
+	case every <= 0:
+		return false
+	}
+	return l.checkedTick.Add(1)%every == 0
+}
+
+// Log counts an event, and — unless it is an EventQueryChecked thinned
+// out by sampling — stamps, buffers and streams it.
 func (l *Logger) Log(e Event) {
+	l.count(e.Kind)
+	if e.Kind == EventQueryChecked && !l.admitChecked() {
+		return
+	}
+	l.emit(e)
+}
+
+// LogQueryChecked is the allocation-free fast path for the hook's
+// hottest event: the counter bump is an atomic add, and when sampling
+// drops the event nothing else happens — no Event is built at all.
+func (l *Logger) LogQueryChecked(id, query string) {
+	l.queriesChecked.Add(1)
+	if !l.admitChecked() {
+		return
+	}
+	l.emit(Event{Kind: EventQueryChecked, QueryID: id, Query: query})
+}
+
+// count bumps the aggregate counter for kind.
+func (l *Logger) count(kind EventKind) {
+	switch kind {
+	case EventModelLearned:
+		l.modelsLearned.Add(1)
+	case EventNewQuery:
+		l.newQueries.Add(1)
+	case EventQueryChecked:
+		l.queriesChecked.Add(1)
+	case EventAttackDetected:
+		l.detected.Add(1)
+	case EventAttackBlocked:
+		l.blocked.Add(1)
+	}
+}
+
+// emit stamps the event, appends it to the bounded buffer, and mirrors
+// it to the streams. Only the stamp and append run under mu; formatting
+// and stream I/O happen under streamMu so a slow stream consumer cannot
+// stall sessions appending events concurrently. streamMu is acquired
+// before mu is released (lock coupling) so stream output preserves
+// sequence order.
+func (l *Logger) emit(e Event) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	l.seq++
 	e.Seq = l.seq
 	e.Time = l.clock()
@@ -201,18 +294,13 @@ func (l *Logger) Log(e Event) {
 		l.events = append(l.events[:0], l.events[half:]...)
 	}
 	l.events = append(l.events, e)
-	switch e.Kind {
-	case EventModelLearned:
-		l.counts.ModelsLearned++
-	case EventNewQuery:
-		l.counts.NewQueries++
-	case EventQueryChecked:
-		l.counts.QueriesChecked++
-	case EventAttackDetected:
-		l.counts.Detected++
-	case EventAttackBlocked:
-		l.counts.Blocked++
+	if l.stream == nil && l.jsonStream == nil {
+		l.mu.Unlock()
+		return
 	}
+	l.streamMu.Lock()
+	l.mu.Unlock()
+	defer l.streamMu.Unlock()
 	if l.stream != nil {
 		_, _ = fmt.Fprintln(l.stream, e.String())
 	}
@@ -265,11 +353,16 @@ func (l *Logger) Events() []Event {
 	return out
 }
 
-// Counters returns a snapshot of the aggregate counts.
+// Counters returns a snapshot of the aggregate counts. Counts are exact
+// even when EventQueryChecked sampling discards buffer entries.
 func (l *Logger) Counters() LogCounters {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.counts
+	return LogCounters{
+		ModelsLearned:  l.modelsLearned.Load(),
+		NewQueries:     l.newQueries.Load(),
+		QueriesChecked: l.queriesChecked.Load(),
+		Detected:       l.detected.Load(),
+		Blocked:        l.blocked.Load(),
+	}
 }
 
 // Attacks returns only the attack events (the demo's phase-E filter).

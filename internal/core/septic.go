@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"github.com/septic-db/septic/internal/engine"
@@ -70,6 +71,8 @@ type Stats struct {
 	ModelsLearned  int64
 	AttacksFound   int64
 	AttacksBlocked int64
+	// Cache reports verdict-cache effectiveness.
+	Cache CacheStats
 }
 
 // Septic is the mechanism: it wires the QS&QM manager, ID generator,
@@ -89,6 +92,19 @@ type Septic struct {
 	// snapshot: readers Load once per query and see a consistent Config;
 	// writers install a fresh copy (SetMode/SetConfig).
 	cfg atomic.Pointer[Config]
+
+	// cfgGen counts configuration changes. Writers publish the new
+	// snapshot first, THEN bump; the verdict cache stamps entries with the
+	// generation read BEFORE computing, so any verdict that could have
+	// been computed under the old configuration is stale once the counter
+	// moves. Together with Store.Generation this makes cached verdicts
+	// self-invalidating: no flush hook, no missed invalidation.
+	cfgGen atomic.Uint64
+
+	// verdicts memoizes benign outcomes by exact decoded query text
+	// (built in New from verdictCap).
+	verdicts   *verdictCache
+	verdictCap int
 
 	queriesSeen    atomic.Int64
 	modelsLearned  atomic.Int64
@@ -122,18 +138,27 @@ func WithIDGenerator(g *IDGenerator) SepticOption {
 	return func(s *Septic) { s.idgen = g }
 }
 
+// WithVerdictCacheCapacity bounds the verdict cache to n entries; n = 0
+// disables verdict caching entirely (every query runs the full
+// pipeline — the ablation configuration for benchmarks).
+func WithVerdictCacheCapacity(n int) SepticOption {
+	return func(s *Septic) { s.verdictCap = n }
+}
+
 // New builds a SEPTIC instance with the given configuration.
 func New(cfg Config, opts ...SepticOption) *Septic {
 	s := &Septic{
-		idgen:    NewIDGenerator(),
-		store:    NewStore(),
-		detector: NewDetector(DefaultPlugins()),
-		logger:   NewLogger(),
+		idgen:      NewIDGenerator(),
+		store:      NewStore(),
+		detector:   NewDetector(DefaultPlugins()),
+		logger:     NewLogger(),
+		verdictCap: DefaultVerdictCacheCapacity,
 	}
 	s.cfg.Store(&cfg)
 	for _, o := range opts {
 		o(s)
 	}
+	s.verdicts = newVerdictCache(s.verdictCap)
 	return s
 }
 
@@ -159,12 +184,17 @@ func (s *Septic) SetMode(m Mode) {
 			break
 		}
 	}
+	// Bump AFTER publishing: a reader that still observes the old
+	// generation computed against at-most-old configuration, and its
+	// cached verdict dies with the bump.
+	s.cfgGen.Add(1)
 	s.logger.Log(Event{Kind: EventModeChanged, Detail: "mode set to " + m.String()})
 }
 
 // SetConfig replaces the whole configuration.
 func (s *Septic) SetConfig(cfg Config) {
 	s.cfg.Store(&cfg)
+	s.cfgGen.Add(1)
 	s.logger.Log(Event{Kind: EventModeChanged, Detail: fmt.Sprintf(
 		"config set: mode=%s sqli=%t stored=%t", cfg.Mode, cfg.DetectSQLI, cfg.DetectStored)})
 }
@@ -182,7 +212,25 @@ func (s *Septic) Stats() Stats {
 		ModelsLearned:  s.modelsLearned.Load(),
 		AttacksFound:   s.attacksFound.Load(),
 		AttacksBlocked: s.attacksBlocked.Load(),
+		Cache:          s.verdicts.stats(),
 	}
+}
+
+// CacheStats returns the verdict-cache counters alone.
+func (s *Septic) CacheStats() CacheStats {
+	return s.verdicts.stats()
+}
+
+// stackPool recycles query-structure node slices across hook
+// invocations. The detector only reads the stack and ModelOf clones it,
+// so a stack can be returned to the pool as soon as the hook decides;
+// nothing retains the backing array (Node fields are values and strings,
+// which do not alias it).
+var stackPool = sync.Pool{
+	New: func() any {
+		s := make(qstruct.Stack, 0, 64)
+		return &s
+	},
 }
 
 // BeforeExecute implements engine.QueryHook: the in-DBMS hook point.
@@ -192,43 +240,90 @@ func (s *Septic) Stats() Stats {
 // detection): with both detections off the hook reduces to an ID
 // computation and a store lookup, which is what makes the paper's NN
 // configuration nearly free (§II-F: 0.5% overhead).
+//
+// Benign outcomes are additionally memoized by exact decoded query text
+// in the verdict cache: a byte-identical repeat of a query already found
+// benign under the current configuration and model store skips ID
+// generation, the store lookup and detection entirely. The memo is keyed
+// on ctx.Decoded, which is sound because the parser derives the AST from
+// exactly that text (identical decoded text ⇒ identical AST ⇒ identical
+// verdict while configuration and models are unchanged), and generation
+// stamps guarantee the "unchanged" part: any SetMode/SetConfig or store
+// mutation bumps a counter and orphans every older entry. Attacks are
+// never cached — each occurrence is detected, logged and blocked afresh.
 func (s *Septic) BeforeExecute(ctx *engine.HookContext) error {
+	// Generation stamps are read BEFORE any verdict work. If a
+	// configuration or store mutation lands while this query is being
+	// checked, the stamps are already behind the bumped counters and the
+	// verdict cached below self-invalidates on its first lookup.
+	cfgGen := s.cfgGen.Load()
+	storeGen := s.store.Generation()
 	cfg := *s.cfg.Load()
 	s.queriesSeen.Add(1)
+
+	if cfg.Mode != ModeTraining {
+		if v, ok := s.verdicts.lookup(ctx.Decoded, cfgGen, storeGen); ok {
+			if v.set != nil {
+				v.set.hits.Add(1) // keep the admin usage report exact
+			}
+			if v.checked {
+				s.logger.LogQueryChecked(v.id, ctx.Decoded)
+			}
+			return nil
+		}
+	}
 
 	id := s.idgen.ID(ctx.Stmt, ctx.Comments)
 
 	if cfg.Mode == ModeTraining {
+		// Training never consults or feeds the cache: every execution
+		// must reach the store so variants keep being learned.
 		s.learn(id, ctx.Decoded, qstruct.BuildStack(ctx.Stmt), EventModelLearned)
 		return nil
 	}
 
-	models, known := s.store.Get(id)
+	models, set, known := s.store.getSet(id)
 	if !known {
 		if cfg.IncrementalLearning {
 			// Incremental training (§II-E): learn and execute; the
 			// administrator later reviews whether the new model came
-			// from a benign query.
+			// from a benign query. Not cached — the Put just bumped the
+			// store generation, so the entry would be stillborn anyway,
+			// and the next repeat takes the known-identifier path.
 			s.learn(id, ctx.Decoded, qstruct.BuildStack(ctx.Stmt), EventNewQuery)
+			return nil
 		}
+		// Unknown identifier with learning off: executes unchecked by
+		// design; memoize so repeats skip the ID recomputation.
+		s.verdicts.insert(ctx.Decoded, &verdict{id: id, cfgGen: cfgGen, storeGen: storeGen})
 		return nil
 	}
 
 	if !cfg.DetectSQLI && !cfg.DetectStored {
-		return nil // NN: nothing to check
+		// NN: nothing to check.
+		s.verdicts.insert(ctx.Decoded, &verdict{id: id, set: set, cfgGen: cfgGen, storeGen: storeGen})
+		return nil
 	}
-	qs := qstruct.BuildStack(ctx.Stmt)
+	sp := stackPool.Get().(*qstruct.Stack)
+	qs := qstruct.BuildStackInto((*sp)[:0], ctx.Stmt)
 	if cfg.DetectSQLI {
 		if det, attack := s.detector.DetectSQLI(qs, models); attack {
+			*sp = qs
+			stackPool.Put(sp)
 			return s.report(cfg, id, ctx.Decoded, det)
 		}
 	}
 	if cfg.DetectStored {
 		if det, attack := s.detector.DetectStored(ctx.Stmt, qs); attack {
+			*sp = qs
+			stackPool.Put(sp)
 			return s.report(cfg, id, ctx.Decoded, det)
 		}
 	}
-	s.logger.Log(Event{Kind: EventQueryChecked, QueryID: id, Query: ctx.Decoded})
+	*sp = qs
+	stackPool.Put(sp)
+	s.logger.LogQueryChecked(id, ctx.Decoded)
+	s.verdicts.insert(ctx.Decoded, &verdict{id: id, checked: true, set: set, cfgGen: cfgGen, storeGen: storeGen})
 	return nil
 }
 

@@ -39,6 +39,14 @@ import (
 // a freshly built slice instead of appending in place.
 type Store struct {
 	shards [storeShardCount]storeShard
+
+	// gen counts mutations (Put of a new model, Delete, Load). The verdict
+	// cache stamps entries with the generation observed *before* computing
+	// a verdict; a bump means learned knowledge changed, so any entry with
+	// an older stamp is stale. Writers mutate first, then bump — a reader
+	// that loaded the pre-bump generation computed against at-most-old
+	// state and its entry is correctly invalidated by the bump.
+	gen atomic.Uint64
 }
 
 // storeShardCount partitions identifiers so unrelated sessions rarely
@@ -89,21 +97,36 @@ func (s *Store) shard(id string) *storeShard {
 	return &s.shards[h.Sum32()%storeShardCount]
 }
 
+// Generation returns the store's mutation counter. It changes whenever
+// learned knowledge changes (new model stored, identifier deleted, store
+// reloaded) and never otherwise.
+func (s *Store) Generation() uint64 {
+	return s.gen.Load()
+}
+
 // Get returns the models learned for id and counts the hit. The slice is
 // shared and immutable: callers must not modify it. Successive Puts never
 // change a slice a previous Get returned.
 func (s *Store) Get(id string) ([]qstruct.Model, bool) {
+	models, _, ok := s.getSet(id)
+	return models, ok
+}
+
+// getSet is Get plus the identifier's internal record, which the verdict
+// cache retains so repeated hits keep the usage counters exact without
+// re-walking the map.
+func (s *Store) getSet(id string) ([]qstruct.Model, *modelSet, bool) {
 	sh := s.shard(id)
 	sh.mu.RLock()
 	set, ok := sh.models[id]
 	if !ok {
 		sh.mu.RUnlock()
-		return nil, false
+		return nil, nil, false
 	}
 	models := set.models
 	sh.mu.RUnlock()
 	set.hits.Add(1)
-	return models, true
+	return models, set, true
 }
 
 // Put stores a model for id, recording whether it was learned
@@ -135,6 +158,10 @@ func (s *Store) Put(id string, m qstruct.Model, incremental bool) bool {
 	if incremental {
 		set.incremental = true
 	}
+	// Bump after publishing (still under the shard lock): a verdict cached
+	// against the pre-bump generation is invalidated, and any reader that
+	// already sees the new generation also sees the new model slice.
+	s.gen.Add(1)
 	return true
 }
 
@@ -144,7 +171,11 @@ func (s *Store) Delete(id string) {
 	sh := s.shard(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if _, ok := sh.models[id]; !ok {
+		return
+	}
 	delete(sh.models, id)
+	s.gen.Add(1)
 }
 
 // Approve clears an identifier's incremental flag: the administrator
@@ -354,5 +385,6 @@ func (s *Store) Load(path string) error {
 		sh.models = fresh[i]
 		sh.mu.Unlock()
 	}
+	s.gen.Add(1)
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/septic-db/septic/internal/sqlparser"
+	"github.com/septic-db/septic/internal/txtcache"
 )
 
 // HookContext is what the engine hands to the registered QueryHook for
@@ -22,7 +23,9 @@ type HookContext struct {
 	// Decoded is the query text after charset decoding — what the parser
 	// actually consumed. Raw != Decoded signals confusable folding.
 	Decoded string
-	// Stmt is the validated statement.
+	// Stmt is the validated statement. It may be shared with the engine's
+	// parse cache and with other sessions executing the same query text:
+	// hooks must treat it as read-only.
 	Stmt sqlparser.Statement
 	// Comments are the comment bodies found in the query, in order. The
 	// first one may carry the application-supplied external identifier.
@@ -60,6 +63,17 @@ func WithClock(clock func() time.Time) Option {
 	return func(db *DB) { db.clock = clock }
 }
 
+// DefaultParseCacheCapacity bounds the statement cache when the
+// deployment does not choose its own size. An application's set of
+// distinct statement texts is small; 4096 entries hold it with headroom.
+const DefaultParseCacheCapacity = 4096
+
+// WithParseCacheCapacity bounds the parsed-statement cache to n entries;
+// n = 0 disables statement caching (every Exec re-parses).
+func WithParseCacheCapacity(n int) Option {
+	return func(db *DB) { db.parseCap = n }
+}
+
 // DB is an in-memory database instance. It is safe for concurrent use by
 // multiple goroutines ("client diversity": many sessions, one server).
 //
@@ -77,20 +91,38 @@ type DB struct {
 	hook  atomic.Pointer[QueryHook]
 	clock func() time.Time
 
+	// parsed caches parse results by raw query text, so a repeated
+	// statement skips lexing and parsing entirely. Cached ASTs are
+	// shared — the no-args execution path and the hook only read them;
+	// ExecArgs clones before binding (see exec).
+	parsed   *txtcache.Cache[*parsedQuery]
+	parseCap int
+
 	executed atomic.Int64
 	blocked  atomic.Int64
 	failed   atomic.Int64
 }
 
+// parsedQuery is one memoized parse: the statement, the decoded text the
+// parser consumed, and the extracted comments. All three are immutable
+// after insertion.
+type parsedQuery struct {
+	stmt     sqlparser.Statement
+	decoded  string
+	comments []string
+}
+
 // New creates an empty database.
 func New(opts ...Option) *DB {
 	db := &DB{
-		tables: make(map[string]*Table),
-		clock:  time.Now,
+		tables:   make(map[string]*Table),
+		clock:    time.Now,
+		parseCap: DefaultParseCacheCapacity,
 	}
 	for _, o := range opts {
 		o(db)
 	}
+	db.parsed = txtcache.New[*parsedQuery](db.parseCap)
 	return db
 }
 
@@ -137,13 +169,28 @@ func (db *DB) ExecArgs(query string, args ...Value) (*Result, error) {
 }
 
 func (db *DB) exec(query string, args []Value) (*Result, error) {
-	decoded := sqlparser.DecodeCharset(query)
-	stmt, err := sqlparser.Parse(query)
-	if err != nil {
-		db.countFailed()
-		return nil, fmt.Errorf("parse: %w", err)
+	// Parse cache: a byte-identical repeat of a statement text reuses the
+	// memoized AST, decoded text and comments. The cached AST is shared
+	// between sessions, which is safe because every execution path only
+	// reads it — the one mutator is bindArgs, and the args path works on
+	// a deep clone. Parse errors are not cached: a failing text re-parses
+	// (and re-fails) each time, keeping the cache free of junk keys.
+	pq, cached := db.parsed.Get(query)
+	if !cached {
+		decoded := sqlparser.DecodeCharset(query)
+		stmt, err := sqlparser.Parse(query)
+		if err != nil {
+			db.countFailed()
+			return nil, fmt.Errorf("parse: %w", err)
+		}
+		pq = &parsedQuery{stmt: stmt, decoded: decoded, comments: stmt.StatementComments()}
+		db.parsed.Put(query, pq)
 	}
+	stmt := pq.stmt
 	if args != nil {
+		// Clone before binding: binding rewrites placeholder nodes in
+		// place, and the cached AST must stay pristine for other sessions.
+		stmt = sqlparser.Clone(stmt)
 		if err := bindArgs(stmt, args); err != nil {
 			db.countFailed()
 			return nil, err
@@ -160,9 +207,9 @@ func (db *DB) exec(query string, args []Value) (*Result, error) {
 	if hook := db.currentHook(); hook != nil {
 		hctx := &HookContext{
 			Raw:      query,
-			Decoded:  decoded,
+			Decoded:  pq.decoded,
 			Stmt:     stmt,
-			Comments: stmt.StatementComments(),
+			Comments: pq.comments,
 		}
 		if err := hook.BeforeExecute(hctx); err != nil {
 			// Only a deliberate security drop counts as blocked; a hook
@@ -308,11 +355,13 @@ func (db *DB) execute(stmt sqlparser.Statement) (*Result, error) {
 		return db.execShowTables()
 	}
 
-	reads, writes := stmtTables(stmt)
+	var ls lockSet
+	ls.init()
+	collectTables(&ls, stmt)
 	db.catalog.RLock()
 	defer db.catalog.RUnlock()
-	unlock := db.lockTables(reads, writes)
-	defer unlock()
+	db.lockTables(&ls)
+	defer db.unlockTables(&ls)
 
 	switch s := stmt.(type) {
 	case *sqlparser.SelectStmt:

@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"sort"
 	"strings"
 
 	"github.com/septic-db/septic/internal/sqlparser"
@@ -19,115 +18,141 @@ import (
 // table in both sets). The global order makes deadlock impossible; the
 // split makes writes to one table invisible to readers of another.
 
-// stmtTables collects the lowercase names of the tables a statement
-// reads and writes. A table in both sets appears only in writes.
-func stmtTables(stmt sqlparser.Statement) (reads, writes map[string]bool) {
-	c := &tableCollector{reads: map[string]bool{}, writes: map[string]bool{}}
+// lockSet is one statement's table-lock plan: deduplicated lowercase
+// table names with a write flag each, sorted before acquisition. The
+// inline buffers cover typical statements (≤4 tables) so planning a
+// point query allocates nothing; wider statements spill to the heap
+// transparently via append.
+type lockSet struct {
+	names  []string
+	writes []bool
+
+	nameBuf  [4]string
+	writeBuf [4]bool
+}
+
+func (ls *lockSet) init() {
+	ls.names = ls.nameBuf[:0]
+	ls.writes = ls.writeBuf[:0]
+}
+
+// add records that the statement touches name. A table both read and
+// written keeps the write flag: a write lock already grants reads.
+func (ls *lockSet) add(name string, write bool) {
+	name = strings.ToLower(name)
+	for i, n := range ls.names {
+		if n == name {
+			ls.writes[i] = ls.writes[i] || write
+			return
+		}
+	}
+	ls.names = append(ls.names, name)
+	ls.writes = append(ls.writes, write)
+}
+
+// sort orders the plan by table name — the global acquisition order that
+// makes deadlock impossible. Insertion sort: the sets are tiny.
+func (ls *lockSet) sort() {
+	for i := 1; i < len(ls.names); i++ {
+		for j := i; j > 0 && ls.names[j] < ls.names[j-1]; j-- {
+			ls.names[j], ls.names[j-1] = ls.names[j-1], ls.names[j]
+			ls.writes[j], ls.writes[j-1] = ls.writes[j-1], ls.writes[j]
+		}
+	}
+}
+
+// collectTables fills ls with every table the statement can touch,
+// including tables reached only through subqueries in any clause.
+func collectTables(ls *lockSet, stmt sqlparser.Statement) {
 	switch s := stmt.(type) {
 	case *sqlparser.SelectStmt:
-		c.fromNames(s)
+		ls.fromNames(s)
 	case *sqlparser.InsertStmt:
-		c.write(s.Table)
+		ls.add(s.Table, true)
 		if s.Select != nil {
-			c.fromNames(s.Select)
+			ls.fromNames(s.Select)
 		}
 	case *sqlparser.UpdateStmt:
-		c.write(s.Table)
+		ls.add(s.Table, true)
 	case *sqlparser.DeleteStmt:
-		c.write(s.Table)
+		ls.add(s.Table, true)
 	case *sqlparser.DescribeStmt:
-		c.read(s.Table)
+		ls.add(s.Table, false)
 	case *sqlparser.ExplainStmt:
-		c.fromNames(s.Select)
-		c.walkSubqueries(s.Select)
-		return c.finish()
+		ls.fromNames(s.Select)
+		ls.walkSubqueries(s.Select)
+		ls.sort()
+		return
 	}
-	c.walkSubqueries(stmt)
-	return c.finish()
-}
-
-type tableCollector struct {
-	reads, writes map[string]bool
-}
-
-func (c *tableCollector) read(name string)  { c.reads[strings.ToLower(name)] = true }
-func (c *tableCollector) write(name string) { c.writes[strings.ToLower(name)] = true }
-
-// finish removes written tables from the read set: a write lock already
-// grants reads.
-func (c *tableCollector) finish() (map[string]bool, map[string]bool) {
-	for name := range c.writes {
-		delete(c.reads, name)
-	}
-	return c.reads, c.writes
+	ls.walkSubqueries(stmt)
+	ls.sort()
 }
 
 // fromNames gathers the FROM tables of a select, descending into derived
 // tables and UNION branches. Subqueries in expression position are found
 // separately by walkSubqueries.
-func (c *tableCollector) fromNames(s *sqlparser.SelectStmt) {
+func (ls *lockSet) fromNames(s *sqlparser.SelectStmt) {
 	for _, ref := range s.From {
 		if ref.Subquery != nil {
-			c.fromNames(ref.Subquery)
+			ls.fromNames(ref.Subquery)
 			continue
 		}
-		c.read(ref.Name)
+		ls.add(ref.Name, false)
 	}
 	if s.Union != nil {
-		c.fromNames(s.Union.Next)
+		ls.fromNames(s.Union.Next)
 	}
 }
 
 // walkSubqueries visits every expression of the statement — WalkExprs
 // descends into subqueries in all clauses at every nesting level — and
 // records the FROM tables of each subquery it finds.
-func (c *tableCollector) walkSubqueries(stmt sqlparser.Statement) {
+func (ls *lockSet) walkSubqueries(stmt sqlparser.Statement) {
 	sqlparser.WalkExprs(stmt, func(e sqlparser.Expr) {
 		switch x := e.(type) {
 		case *sqlparser.SubqueryExpr:
-			c.fromNames(x.Select)
+			ls.fromNames(x.Select)
 		case *sqlparser.ExistsExpr:
-			c.fromNames(x.Select)
+			ls.fromNames(x.Select)
 		case *sqlparser.InExpr:
 			if x.Subquery != nil {
-				c.fromNames(x.Subquery)
+				ls.fromNames(x.Subquery)
 			}
 		}
 	})
 }
 
-// lockTables acquires the per-table locks for one statement in global
-// (sorted-name) order and returns the matching unlock. Tables named by
-// the statement but absent from the catalog are skipped — execution
-// reports ErrNoSuchTable itself. Callers must hold the catalog read
-// lock across the acquire and the whole execution, which keeps DDL out
-// while any table lock is held.
-func (db *DB) lockTables(reads, writes map[string]bool) func() {
-	names := make([]string, 0, len(reads)+len(writes))
-	for name := range reads {
-		names = append(names, name)
-	}
-	for name := range writes {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	unlocks := make([]func(), 0, len(names))
-	for _, name := range names {
+// lockTables acquires the plan's per-table locks in global (sorted-name)
+// order. Tables named by the statement but absent from the catalog are
+// skipped — execution reports ErrNoSuchTable itself. Callers must hold
+// the catalog read lock from before lockTables until after unlockTables,
+// which keeps DDL out while any table lock is held (and keeps the name →
+// *Table map stable so unlockTables resolves the same tables).
+func (db *DB) lockTables(ls *lockSet) {
+	for i, name := range ls.names {
 		t, ok := db.tables[name]
 		if !ok {
 			continue
 		}
-		if writes[name] {
+		if ls.writes[i] {
 			t.mu.Lock()
-			unlocks = append(unlocks, t.mu.Unlock)
 		} else {
 			t.mu.RLock()
-			unlocks = append(unlocks, t.mu.RUnlock)
 		}
 	}
-	return func() {
-		for i := len(unlocks) - 1; i >= 0; i-- {
-			unlocks[i]()
+}
+
+// unlockTables releases the plan's locks in reverse order.
+func (db *DB) unlockTables(ls *lockSet) {
+	for i := len(ls.names) - 1; i >= 0; i-- {
+		t, ok := db.tables[ls.names[i]]
+		if !ok {
+			continue
+		}
+		if ls.writes[i] {
+			t.mu.Unlock()
+		} else {
+			t.mu.RUnlock()
 		}
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"hash/fnv"
 	"strconv"
 	"strings"
+	"sync"
 
 	"github.com/septic-db/septic/internal/sqlparser"
 )
@@ -237,11 +238,35 @@ func fingerprintOf(nodes Stack) uint64 {
 }
 
 // BuildStack flattens a validated statement into its query structure.
+// Construction runs in a pooled scratch buffer and the result is copied
+// out at exactly the built size: one right-sized allocation per call
+// instead of a geometric append-growth chain.
 func BuildStack(stmt sqlparser.Statement) Stack {
-	b := &stackBuilder{}
+	sp := scratchPool.Get().(*Stack)
+	scratch := BuildStackInto(*sp, stmt)
+	out := make(Stack, len(scratch))
+	copy(out, scratch)
+	*sp = scratch[:0]
+	scratchPool.Put(sp)
+	return out
+}
+
+// BuildStackInto flattens stmt into buf[:0], growing the buffer only when
+// the statement outgrows it, and returns the filled stack. Hot paths that
+// use the stack transiently (the detection pipeline) pass a pooled buffer
+// so steady-state QS construction allocates nothing; the returned stack
+// aliases buf and must not outlive the caller's ownership of it.
+func BuildStackInto(buf Stack, stmt sqlparser.Statement) Stack {
+	b := stackBuilder{nodes: buf[:0]}
 	b.statement(stmt)
 	return b.nodes
 }
+
+// scratchPool recycles BuildStack's construction buffers.
+var scratchPool = sync.Pool{New: func() any {
+	s := make(Stack, 0, 64)
+	return &s
+}}
 
 type stackBuilder struct {
 	nodes Stack

@@ -1,6 +1,7 @@
 package qstruct
 
 import (
+	"io"
 	"strings"
 
 	"github.com/septic-db/septic/internal/sqlparser"
@@ -25,7 +26,44 @@ func Skeleton(stmt sqlparser.Statement) string {
 	return b.String()
 }
 
-func writeSkeleton(b *strings.Builder, stmt sqlparser.Statement) {
+// SkeletonHash returns the FNV-1a hash of the statement's skeleton,
+// streamed directly into the hash state instead of materializing the
+// skeleton string first. It is byte-for-byte equivalent to hashing
+// Skeleton(stmt) with hash/fnv's New64a — identifiers (and therefore
+// persisted model stores) are stable across the two paths — but the hot
+// path allocates nothing.
+func SkeletonHash(stmt sqlparser.Statement) uint64 {
+	h := skeletonHasher(fnv64Offset)
+	writeSkeleton(&h, stmt)
+	return uint64(h)
+}
+
+// FNV-1a 64-bit parameters, matching hash/fnv.
+const (
+	fnv64Offset = 14695981039346656037
+	fnv64Prime  = 1099511628211
+)
+
+// skeletonHasher is an io.StringWriter adapter over the raw FNV-1a state:
+// writeSkeleton streams skeleton fragments into it and the hash updates
+// in place, with no buffer and no heap allocation.
+type skeletonHasher uint64
+
+// WriteString implements io.StringWriter over the FNV-1a state.
+func (h *skeletonHasher) WriteString(s string) (int, error) {
+	v := uint64(*h)
+	for i := 0; i < len(s); i++ {
+		v ^= uint64(s[i])
+		v *= fnv64Prime
+	}
+	*h = skeletonHasher(v)
+	return len(s), nil
+}
+
+// writeSkeleton streams the skeleton to any string writer. It is generic
+// (instantiated for *strings.Builder and *skeletonHasher) so the hashing
+// path avoids an interface conversion and keeps the hasher off the heap.
+func writeSkeleton[W io.StringWriter](b W, stmt sqlparser.Statement) {
 	switch s := stmt.(type) {
 	case *sqlparser.SelectStmt:
 		b.WriteString("SELECT|")
@@ -34,7 +72,8 @@ func writeSkeleton(b *strings.Builder, stmt sqlparser.Statement) {
 			case f.Star:
 				b.WriteString("*")
 			case f.TableStar != "":
-				b.WriteString(f.TableStar + ".*")
+				b.WriteString(f.TableStar)
+				b.WriteString(".*")
 			case f.Alias != "":
 				b.WriteString(f.Alias)
 			default:
@@ -59,7 +98,12 @@ func writeSkeleton(b *strings.Builder, stmt sqlparser.Statement) {
 		b.WriteString("INSERT|")
 		b.WriteString(s.Table)
 		b.WriteString("|")
-		b.WriteString(strings.Join(s.Columns, ","))
+		for i, c := range s.Columns {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(c)
+		}
 	case *sqlparser.UpdateStmt:
 		b.WriteString("UPDATE|")
 		b.WriteString(s.Table)

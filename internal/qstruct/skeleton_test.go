@@ -1,6 +1,7 @@
 package qstruct
 
 import (
+	"hash/fnv"
 	"testing"
 	"testing/quick"
 
@@ -94,6 +95,67 @@ func TestSkeletonIgnoresLiteralValues(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSkeletonHashMatchesMaterializedHash: the streaming hash must be
+// byte-for-byte equivalent to hashing the materialized skeleton string
+// with hash/fnv — query identifiers (and persisted model stores keyed by
+// them) depend on the two paths never diverging.
+func TestSkeletonHashMatchesMaterializedHash(t *testing.T) {
+	queries := []string{
+		"SELECT * FROM tickets WHERE reservID = 'x'",
+		"SELECT id, name, t.* FROM tickets t WHERE a = 1 ORDER BY id",
+		"SELECT a AS renamed, COUNT(*) FROM t GROUP BY a",
+		"SELECT a FROM (SELECT a FROM u) d",
+		"INSERT INTO tickets (a, b, c) VALUES (1, 2, 3)",
+		"INSERT INTO tickets (a) VALUES (1)",
+		"UPDATE tickets SET a = 1, b = 2 WHERE id = 3",
+		"DELETE FROM tickets WHERE id = 9",
+		"CREATE TABLE tickets (id INT)",
+		"DROP TABLE tickets",
+		"SHOW TABLES",
+		"DESCRIBE tickets",
+		"EXPLAIN SELECT * FROM tickets WHERE id = 1",
+	}
+	for _, q := range queries {
+		stmt, err := sqlparser.Parse(q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(Skeleton(stmt)))
+		if want, got := h.Sum64(), SkeletonHash(stmt); got != want {
+			t.Errorf("SkeletonHash(%q) = %#x, materialized hash = %#x", q, got, want)
+		}
+	}
+}
+
+// TestBuildStackIntoMatchesBuildStack: the buffer-reusing construction
+// path produces the same stack as the allocating one.
+func TestBuildStackIntoMatchesBuildStack(t *testing.T) {
+	queries := []string{
+		"SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234",
+		"INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')",
+		"UPDATE t SET a = CASE WHEN b > 1 THEN 2 ELSE 3 END WHERE id IN (1, 2)",
+	}
+	buf := make(Stack, 0, 4) // deliberately small: forces growth
+	for _, q := range queries {
+		stmt, err := sqlparser.Parse(q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		want := BuildStack(stmt)
+		got := BuildStackInto(buf, stmt)
+		if len(got) != len(want) {
+			t.Fatalf("BuildStackInto(%q): %d nodes, want %d", q, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("BuildStackInto(%q) node %d = %v, want %v", q, i, got[i], want[i])
+			}
+		}
+		buf = got[:0] // reuse across iterations, as the hot path does
 	}
 }
 

@@ -1,0 +1,5 @@
+// Package raceflag reports whether the race detector instrumented this
+// build. Allocation-regression tests consult it: race instrumentation
+// adds allocations of its own, so testing.AllocsPerRun guards only hold
+// in uninstrumented builds.
+package raceflag

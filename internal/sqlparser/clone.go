@@ -1,0 +1,174 @@
+package sqlparser
+
+// Clone returns a deep copy of a parsed statement: every statement node,
+// expression node and container slice is duplicated, so rewrites of the
+// copy (engine.ExecArgs binding '?' placeholders in place) can never be
+// observed through the original. Strings and comment slices are shared —
+// both are immutable by convention throughout the package.
+//
+// Clone exists for the engine's parse cache: a cached AST is handed to
+// every session that repeats the same query text, which is sound only
+// because nothing mutates it; the one mutating path (argument binding)
+// clones first.
+func Clone(stmt Statement) Statement {
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		return cloneSelect(s)
+	case *InsertStmt:
+		c := *s
+		c.Columns = append([]string(nil), s.Columns...)
+		if s.Rows != nil {
+			c.Rows = make([][]Expr, len(s.Rows))
+			for i, row := range s.Rows {
+				c.Rows[i] = cloneExprs(row)
+			}
+		}
+		c.Select = cloneSelect(s.Select)
+		return &c
+	case *UpdateStmt:
+		c := *s
+		if s.Sets != nil {
+			c.Sets = make([]Assignment, len(s.Sets))
+			for i, a := range s.Sets {
+				c.Sets[i] = Assignment{Column: a.Column, Value: cloneExpr(a.Value)}
+			}
+		}
+		c.Where = cloneExpr(s.Where)
+		c.OrderBy = cloneOrderItems(s.OrderBy)
+		c.Limit = cloneLimit(s.Limit)
+		return &c
+	case *DeleteStmt:
+		c := *s
+		c.Where = cloneExpr(s.Where)
+		c.OrderBy = cloneOrderItems(s.OrderBy)
+		c.Limit = cloneLimit(s.Limit)
+		return &c
+	case *CreateTableStmt:
+		c := *s
+		if s.Columns != nil {
+			c.Columns = make([]ColumnDef, len(s.Columns))
+			for i, col := range s.Columns {
+				c.Columns[i] = col
+				c.Columns[i].Default = cloneExpr(col.Default)
+			}
+		}
+		return &c
+	case *DropTableStmt:
+		c := *s
+		return &c
+	case *ShowTablesStmt:
+		c := *s
+		return &c
+	case *DescribeStmt:
+		c := *s
+		return &c
+	case *ExplainStmt:
+		c := *s
+		c.Select = cloneSelect(s.Select)
+		return &c
+	default:
+		return stmt
+	}
+}
+
+func cloneSelect(s *SelectStmt) *SelectStmt {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	if s.Fields != nil {
+		c.Fields = make([]SelectField, len(s.Fields))
+		for i, f := range s.Fields {
+			c.Fields[i] = f
+			c.Fields[i].Expr = cloneExpr(f.Expr)
+		}
+	}
+	if s.From != nil {
+		c.From = make([]TableRef, len(s.From))
+		for i, t := range s.From {
+			c.From[i] = t
+			c.From[i].On = cloneExpr(t.On)
+			c.From[i].Subquery = cloneSelect(t.Subquery)
+		}
+	}
+	c.Where = cloneExpr(s.Where)
+	c.GroupBy = cloneExprs(s.GroupBy)
+	c.Having = cloneExpr(s.Having)
+	c.OrderBy = cloneOrderItems(s.OrderBy)
+	c.Limit = cloneLimit(s.Limit)
+	if s.Union != nil {
+		c.Union = &UnionClause{All: s.Union.All, Next: cloneSelect(s.Union.Next)}
+	}
+	return &c
+}
+
+func cloneExprs(list []Expr) []Expr {
+	if list == nil {
+		return nil
+	}
+	out := make([]Expr, len(list))
+	for i, e := range list {
+		out[i] = cloneExpr(e)
+	}
+	return out
+}
+
+func cloneOrderItems(list []OrderItem) []OrderItem {
+	if list == nil {
+		return nil
+	}
+	out := make([]OrderItem, len(list))
+	for i, o := range list {
+		out[i] = OrderItem{Expr: cloneExpr(o.Expr), Desc: o.Desc}
+	}
+	return out
+}
+
+func cloneLimit(l *Limit) *Limit {
+	if l == nil {
+		return nil
+	}
+	return &Limit{Count: cloneExpr(l.Count), Offset: cloneExpr(l.Offset)}
+}
+
+func cloneExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *Literal:
+		c := *x
+		return &c
+	case *ColumnRef:
+		c := *x
+		return &c
+	case *BinaryExpr:
+		return &BinaryExpr{Op: x.Op, Left: cloneExpr(x.Left), Right: cloneExpr(x.Right)}
+	case *UnaryExpr:
+		return &UnaryExpr{Op: x.Op, Operand: cloneExpr(x.Operand)}
+	case *FuncCall:
+		return &FuncCall{Name: x.Name, Star: x.Star, Distinct: x.Distinct, Args: cloneExprs(x.Args)}
+	case *InExpr:
+		return &InExpr{Not: x.Not, Left: cloneExpr(x.Left), List: cloneExprs(x.List), Subquery: cloneSelect(x.Subquery)}
+	case *BetweenExpr:
+		return &BetweenExpr{Not: x.Not, Expr: cloneExpr(x.Expr), Low: cloneExpr(x.Low), High: cloneExpr(x.High)}
+	case *IsNullExpr:
+		return &IsNullExpr{Not: x.Not, Expr: cloneExpr(x.Expr)}
+	case *SubqueryExpr:
+		return &SubqueryExpr{Select: cloneSelect(x.Select)}
+	case *ExistsExpr:
+		return &ExistsExpr{Not: x.Not, Select: cloneSelect(x.Select)}
+	case *Placeholder:
+		return &Placeholder{}
+	case *CaseExpr:
+		c := &CaseExpr{Operand: cloneExpr(x.Operand), Else: cloneExpr(x.Else)}
+		if x.Whens != nil {
+			c.Whens = make([]WhenClause, len(x.Whens))
+			for i, w := range x.Whens {
+				c.Whens[i] = WhenClause{Cond: cloneExpr(w.Cond), Result: cloneExpr(w.Result)}
+			}
+		}
+		return c
+	default:
+		return e
+	}
+}

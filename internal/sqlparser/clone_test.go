@@ -1,0 +1,84 @@
+package sqlparser
+
+import (
+	"testing"
+)
+
+// cloneCorpus exercises every statement and expression node Clone handles.
+var cloneCorpus = []string{
+	"SELECT * FROM t",
+	"SELECT DISTINCT a, b AS x, t.*, UPPER(c) FROM t WHERE a = 1 AND b <> 'x'",
+	"SELECT a FROM t1 JOIN t2 ON t1.id = t2.id WHERE a IN (1, 2, 3) " +
+		"GROUP BY a HAVING COUNT(*) > 1 ORDER BY a DESC LIMIT 5 OFFSET 2",
+	"SELECT a FROM (SELECT a FROM u) d WHERE EXISTS (SELECT 1 FROM v) " +
+		"AND a BETWEEN 1 AND 9 AND b IS NOT NULL",
+	"SELECT a FROM t WHERE a = (SELECT MAX(a) FROM t) UNION ALL SELECT a FROM u",
+	"SELECT CASE a WHEN 1 THEN 'one' ELSE 'many' END FROM t",
+	"SELECT a FROM t WHERE a IN (SELECT b FROM u) AND NOT (b LIKE '%x%')",
+	"SELECT a FROM t WHERE id = ? AND name = ?",
+	"INSERT INTO t (a, b) VALUES (1, 'x'), (2, ?)",
+	"INSERT INTO t (a) SELECT a FROM u WHERE a > 3",
+	"UPDATE t SET a = ?, b = b + 1 WHERE id = ? ORDER BY a LIMIT 1",
+	"DELETE FROM t WHERE a = ? ORDER BY a DESC LIMIT 2",
+	"CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT NOT NULL)",
+	"DROP TABLE IF EXISTS t",
+	"SHOW TABLES",
+	"DESCRIBE t",
+	"EXPLAIN SELECT a FROM t WHERE id = 7",
+	"/* ext-id */ SELECT a FROM t WHERE id = 1",
+}
+
+func TestCloneFormatsIdentically(t *testing.T) {
+	for _, q := range cloneCorpus {
+		stmt, err := Parse(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		clone := Clone(stmt)
+		if got, want := Format(clone), Format(stmt); got != want {
+			t.Errorf("Clone(%q) formats as %q, want %q", q, got, want)
+		}
+		if len(clone.StatementComments()) != len(stmt.StatementComments()) {
+			t.Errorf("Clone(%q) dropped comments", q)
+		}
+	}
+}
+
+// TestCloneIsolatesMutation: rewriting every placeholder (and literal) in
+// the clone leaves the original untouched — the property the engine's
+// parse cache depends on for ExecArgs.
+func TestCloneIsolatesMutation(t *testing.T) {
+	for _, q := range cloneCorpus {
+		stmt, err := Parse(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		before := Format(stmt)
+		clone := Clone(stmt)
+		err = RewriteExprs(clone, func(e Expr) (Expr, error) {
+			switch e.(type) {
+			case *Placeholder, *Literal:
+				return &Literal{Kind: LiteralString, Str: "MUTATED"}, nil
+			}
+			return e, nil
+		})
+		if err != nil {
+			t.Fatalf("rewrite %q: %v", q, err)
+		}
+		if got := Format(stmt); got != before {
+			t.Errorf("mutating the clone changed the original:\n  %q\nbecame\n  %q", before, got)
+		}
+	}
+}
+
+func TestCloneNilSubtrees(t *testing.T) {
+	if cloneSelect(nil) != nil {
+		t.Error("cloneSelect(nil) != nil")
+	}
+	if cloneExpr(nil) != nil {
+		t.Error("cloneExpr(nil) != nil")
+	}
+	if cloneLimit(nil) != nil {
+		t.Error("cloneLimit(nil) != nil")
+	}
+}

@@ -15,13 +15,130 @@ func RewriteExprs(stmt Statement, fn RewriteFunc) error {
 }
 
 // WalkExprs calls visit for every expression in the statement, in source
-// order.
+// order. Unlike RewriteExprs it never writes to the tree — not even a
+// store of an identical pointer — so it is safe to run concurrently on a
+// statement shared between sessions (the engine's parse cache hands the
+// same AST to every session executing the same text).
 func WalkExprs(stmt Statement, visit func(Expr)) {
-	// A rewrite that never replaces anything and never fails.
-	_ = RewriteExprs(stmt, func(e Expr) (Expr, error) {
-		visit(e)
-		return e, nil
-	})
+	w := walker{visit: visit}
+	w.statement(stmt)
+}
+
+// walker is the read-only twin of rewriter: same post-order traversal,
+// no assignments.
+type walker struct {
+	visit func(Expr)
+}
+
+func (w *walker) statement(stmt Statement) {
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		w.selectStmt(s)
+	case *InsertStmt:
+		for _, row := range s.Rows {
+			for _, e := range row {
+				w.expr(e)
+			}
+		}
+		if s.Select != nil {
+			w.selectStmt(s.Select)
+		}
+	case *UpdateStmt:
+		for i := range s.Sets {
+			w.expr(s.Sets[i].Value)
+		}
+		w.expr(s.Where)
+		w.orderLimit(s.OrderBy, s.Limit)
+	case *DeleteStmt:
+		w.expr(s.Where)
+		w.orderLimit(s.OrderBy, s.Limit)
+	}
+}
+
+func (w *walker) selectStmt(s *SelectStmt) {
+	for i := range s.Fields {
+		if s.Fields[i].Expr != nil {
+			w.expr(s.Fields[i].Expr)
+		}
+	}
+	for i := range s.From {
+		if s.From[i].Subquery != nil {
+			w.selectStmt(s.From[i].Subquery)
+		}
+		if s.From[i].On != nil {
+			w.expr(s.From[i].On)
+		}
+	}
+	w.expr(s.Where)
+	for _, e := range s.GroupBy {
+		w.expr(e)
+	}
+	w.expr(s.Having)
+	w.orderLimit(s.OrderBy, s.Limit)
+	if s.Union != nil {
+		w.selectStmt(s.Union.Next)
+	}
+}
+
+func (w *walker) orderLimit(orderBy []OrderItem, limit *Limit) {
+	for i := range orderBy {
+		w.expr(orderBy[i].Expr)
+	}
+	if limit != nil {
+		w.expr(limit.Count)
+		if limit.Offset != nil {
+			w.expr(limit.Offset)
+		}
+	}
+}
+
+// expr visits e's children, then e itself (post-order, matching
+// rewriter). A nil expression — an absent optional clause — is skipped.
+func (w *walker) expr(e Expr) {
+	if e == nil {
+		return
+	}
+	switch x := e.(type) {
+	case *BinaryExpr:
+		w.expr(x.Left)
+		w.expr(x.Right)
+	case *UnaryExpr:
+		w.expr(x.Operand)
+	case *FuncCall:
+		for _, a := range x.Args {
+			w.expr(a)
+		}
+	case *InExpr:
+		w.expr(x.Left)
+		for _, item := range x.List {
+			w.expr(item)
+		}
+		if x.Subquery != nil {
+			w.selectStmt(x.Subquery)
+		}
+	case *BetweenExpr:
+		w.expr(x.Expr)
+		w.expr(x.Low)
+		w.expr(x.High)
+	case *IsNullExpr:
+		w.expr(x.Expr)
+	case *SubqueryExpr:
+		w.selectStmt(x.Select)
+	case *ExistsExpr:
+		w.selectStmt(x.Select)
+	case *CaseExpr:
+		if x.Operand != nil {
+			w.expr(x.Operand)
+		}
+		for i := range x.Whens {
+			w.expr(x.Whens[i].Cond)
+			w.expr(x.Whens[i].Result)
+		}
+		if x.Else != nil {
+			w.expr(x.Else)
+		}
+	}
+	w.visit(e)
 }
 
 type rewriter struct {

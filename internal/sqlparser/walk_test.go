@@ -2,6 +2,7 @@ package sqlparser
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 )
 
@@ -119,4 +120,34 @@ func indexOf(haystack, needle string) int {
 		}
 	}
 	return -1
+}
+
+// TestWalkExprsMatchesRewriteTraversal: the read-only walker must visit
+// exactly the nodes the rewriter visits, in the same order — the two
+// traversals are twins and must not drift apart.
+func TestWalkExprsMatchesRewriteTraversal(t *testing.T) {
+	for _, q := range cloneCorpus {
+		stmt := mustParse(t, q)
+		var walked []string
+		WalkExprs(stmt, func(e Expr) {
+			walked = append(walked, fmt.Sprintf("%T", e))
+		})
+		var rewritten []string
+		err := RewriteExprs(stmt, func(e Expr) (Expr, error) {
+			rewritten = append(rewritten, fmt.Sprintf("%T", e))
+			return e, nil
+		})
+		if err != nil {
+			t.Fatalf("rewrite %q: %v", q, err)
+		}
+		if len(walked) != len(rewritten) {
+			t.Fatalf("%q: walker visited %d nodes, rewriter %d\nwalked:    %v\nrewritten: %v",
+				q, len(walked), len(rewritten), walked, rewritten)
+		}
+		for i := range walked {
+			if walked[i] != rewritten[i] {
+				t.Errorf("%q: visit %d: walker %s, rewriter %s", q, i, walked[i], rewritten[i])
+			}
+		}
+	}
 }

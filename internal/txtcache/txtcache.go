@@ -1,0 +1,197 @@
+// Package txtcache provides a sharded, bounded, string-keyed cache with
+// second-chance ("clock") eviction. It is the memoization substrate for
+// the hot paths that see the same query text over and over: the engine's
+// parse cache and SEPTIC's verdict cache both build on it.
+//
+// Design constraints, in order:
+//
+//   - A hit must be allocation-free: Get takes a shard read-lock for one
+//     map probe, reads the value, and touches only an atomic reference
+//     bit afterwards. Repeated queries from parallel sessions land on
+//     independent shards and never serialize on one lock.
+//   - Memory is bounded: a flood of unique keys (an adversary generating
+//     never-repeating queries) evicts instead of growing. New entries are
+//     inserted with the reference bit clear, so a scan of one-shot keys
+//     cannibalizes itself and leaves frequently-hit entries resident —
+//     the classic second-chance scan resistance.
+//   - Values are published once and treated as immutable by readers;
+//     callers that need to replace a value Put a fresh one.
+package txtcache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// shardCount partitions the key space so unrelated sessions rarely touch
+// the same lock. Kept equal to the model store's shard count: the same
+// reasoning (the critical section is a map probe, the win is cacheline
+// spread) applies.
+const shardCount = 16
+
+// Cache is a bounded string-keyed cache. The zero value is not usable;
+// construct with New.
+type Cache[V any] struct {
+	shards   [shardCount]shard[V]
+	perShard int
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type shard[V any] struct {
+	mu sync.RWMutex
+	m  map[string]*entry[V]
+	// ring is the clock: every resident entry occupies one slot, and the
+	// hand sweeps it looking for an unreferenced victim.
+	ring []*entry[V]
+	hand int
+}
+
+type entry[V any] struct {
+	key string
+	val V
+	// ref is the second-chance bit: set on every hit, cleared by the
+	// sweeping hand, entries found clear are evicted.
+	ref atomic.Bool
+}
+
+// New builds a cache bounded to roughly capacity entries (rounded up to a
+// multiple of the shard count). A capacity of zero disables the cache:
+// Get always misses and Put is a no-op, which gives callers a natural
+// off switch for ablation benchmarks.
+func New[V any](capacity int) *Cache[V] {
+	c := &Cache[V]{}
+	if capacity > 0 {
+		c.perShard = (capacity + shardCount - 1) / shardCount
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*entry[V])
+	}
+	return c
+}
+
+// shardOf hashes the key (inline FNV-1a, no allocation) to its shard.
+// Only the length and the final 16 bytes are hashed: shard selection
+// needs consistency and spread, not full coverage, and for query texts
+// the tail (literal values, trailing clauses) is the discriminating part
+// while the head ("SELECT * FROM …") is shared boilerplate. Capping the
+// loop keeps Get O(1) in key length on the hit path.
+func (c *Cache[V]) shardOf(key string) *shard[V] {
+	const fnvPrime = 16777619
+	h := uint32(2166136261)
+	h ^= uint32(len(key))
+	h *= fnvPrime
+	i := 0
+	if len(key) > 16 {
+		i = len(key) - 16
+	}
+	for ; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= fnvPrime
+	}
+	return &c.shards[h%shardCount]
+}
+
+// Get returns the cached value for key. A hit marks the entry referenced
+// so the clock hand passes over it once before eviction.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	var zero V
+	if c.perShard == 0 {
+		c.misses.Add(1)
+		return zero, false
+	}
+	sh := c.shardOf(key)
+	sh.mu.RLock()
+	e, ok := sh.m[key]
+	if !ok {
+		sh.mu.RUnlock()
+		c.misses.Add(1)
+		return zero, false
+	}
+	v := e.val
+	sh.mu.RUnlock()
+	// Checking before storing keeps the steady state (hot entry, bit
+	// already set) free of cross-core cacheline writes.
+	if !e.ref.Load() {
+		e.ref.Store(true)
+	}
+	c.hits.Add(1)
+	return v, true
+}
+
+// Put inserts or replaces the value for key, evicting a victim via the
+// clock sweep when the shard is full.
+func (c *Cache[V]) Put(key string, val V) {
+	if c.perShard == 0 {
+		return
+	}
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.m[key]; ok {
+		e.val = val
+		e.ref.Store(true)
+		return
+	}
+	// New entries start with the reference bit clear: a burst of one-shot
+	// keys then evicts other one-shot keys, not the resident hot set.
+	e := &entry[V]{key: key, val: val}
+	if len(sh.ring) < c.perShard {
+		sh.m[key] = e
+		sh.ring = append(sh.ring, e)
+		return
+	}
+	// Clock sweep: clear reference bits until an unreferenced victim
+	// turns up. Two full laps always suffice — the first lap clears
+	// every bit it does not evict.
+	for i := 0; i < 2*len(sh.ring); i++ {
+		victim := sh.ring[sh.hand]
+		if victim.ref.CompareAndSwap(true, false) {
+			sh.hand = (sh.hand + 1) % len(sh.ring)
+			continue
+		}
+		delete(sh.m, victim.key)
+		sh.m[key] = e
+		sh.ring[sh.hand] = e
+		sh.hand = (sh.hand + 1) % len(sh.ring)
+		c.evictions.Add(1)
+		return
+	}
+}
+
+// Len returns the number of resident entries.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+}
+
+// Stats returns the counter snapshot.
+func (c *Cache[V]) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
+	}
+}
+
+// Capacity returns the configured entry bound (0 when disabled).
+func (c *Cache[V]) Capacity() int {
+	return c.perShard * shardCount
+}

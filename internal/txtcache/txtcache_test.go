@@ -1,0 +1,104 @@
+package txtcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPut(t *testing.T) {
+	c := New[int](64)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %t", v, ok)
+	}
+	c.Put("a", 3) // overwrite
+	if v, _ := c.Get("a"); v != 3 {
+		t.Fatalf("after overwrite Get(a) = %d", v)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestZeroCapacityDisables(t *testing.T) {
+	c := New[string](0)
+	c.Put("a", "x")
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	if c.Capacity() != 0 {
+		t.Fatalf("Capacity = %d", c.Capacity())
+	}
+}
+
+func TestBoundedUnderFlood(t *testing.T) {
+	const capacity = 128
+	c := New[int](capacity)
+	for i := 0; i < 100*capacity; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), i)
+	}
+	if n := c.Len(); n > c.Capacity() {
+		t.Fatalf("flood grew cache to %d entries, cap %d", n, c.Capacity())
+	}
+	if s := c.Stats(); s.Evictions == 0 {
+		t.Fatalf("flood caused no evictions: %+v", s)
+	}
+}
+
+// TestSecondChanceKeepsHotEntry: an entry that is hit between floods
+// survives eviction pressure that removes one-shot keys, because the
+// sweep finds unreferenced cold entries first.
+func TestSecondChanceKeepsHotEntry(t *testing.T) {
+	const capacity = 256
+	c := New[int](capacity)
+	c.Put("hot", 42)
+	for i := 0; i < 10*capacity; i++ {
+		c.Put(fmt.Sprintf("cold-%d", i), i)
+		if _, ok := c.Get("hot"); !ok {
+			t.Fatalf("hot entry evicted at flood step %d despite constant hits", i)
+		}
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	c := New[int](64)
+	c.Put("a", 1)
+	c.Get("a")
+	c.Get("a")
+	c.Get("missing")
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	c := New[int](256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				key := fmt.Sprintf("key-%d", i%100)
+				if i%3 == 0 {
+					c.Put(key, i)
+				} else {
+					c.Get(key)
+				}
+				if i%7 == 0 {
+					c.Put(fmt.Sprintf("unique-%d-%d", g, i), i)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n > c.Capacity() {
+		t.Fatalf("Len = %d exceeds capacity %d", n, c.Capacity())
+	}
+}
