@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-hook bench-engine demo fig5 accuracy sweep parallel clean
+.PHONY: all build vet test race chaos cover bench bench-hook bench-engine demo fig5 accuracy sweep parallel clean
 
 all: build vet test race
 
@@ -16,7 +16,12 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout=5m ./...
+
+# Fault-injection suite: replay workloads through torn frames, resets,
+# slow clients and panicking detectors (internal/wire/chaos_test.go).
+chaos:
+	$(GO) test -race -run 'TestChaos' -timeout=5m -v ./internal/wire/
 
 cover:
 	$(GO) test -cover ./...

@@ -6,6 +6,8 @@
 //
 //	septicd [-addr 127.0.0.1:3306] [-mode training|detection|prevention]
 //	        [-models models.json] [-sqli] [-stored]
+//	        [-max-conns N] [-query-timeout D] [-idle-timeout D]
+//	        [-drain-timeout D] [-fail-open]
 //
 // The server speaks the wire protocol of internal/wire. Query models are
 // loaded from -models at startup when the file exists, and saved there
@@ -14,11 +16,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"github.com/septic-db/septic/internal/core"
 	"github.com/septic-db/septic/internal/engine"
@@ -41,6 +46,12 @@ func run() error {
 		stored    = flag.Bool("stored", true, "enable stored-injection detection")
 		quiet     = flag.Bool("quiet", false, "suppress the live event display")
 		audit     = flag.String("audit", "", "append JSON audit records to this file")
+
+		maxConns     = flag.Int("max-conns", 256, "maximum concurrent sessions (0 = unlimited)")
+		queryTimeout = flag.Duration("query-timeout", 30*time.Second, "per-query execution timeout (0 = none)")
+		idleTimeout  = flag.Duration("idle-timeout", 5*time.Minute, "disconnect sessions idle for this long (0 = never)")
+		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown drain deadline before force-closing sessions")
+		failOpen     = flag.Bool("fail-open", false, "admit queries when the protection path faults (default fail-closed)")
 	)
 	flag.Parse()
 
@@ -82,24 +93,38 @@ func run() error {
 		DetectSQLI:          *sqli,
 		DetectStored:        *stored,
 		IncrementalLearning: true,
+		FailOpen:            *failOpen,
 	}, core.WithStore(store), core.WithLogger(core.NewLogger(loggerOpts...)))
 
 	db := engine.New(engine.WithQueryHook(guard))
-	srv := wire.NewServer(db)
+	srv := wire.NewServer(db,
+		wire.WithMaxConns(*maxConns),
+		wire.WithQueryTimeout(*queryTimeout),
+		wire.WithIdleTimeout(*idleTimeout),
+	)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("septicd: listening on %s (mode=%s sqli=%t stored=%t)\n",
-		bound, mode, *sqli, *stored)
+	policy := "fail-closed"
+	if *failOpen {
+		policy = "fail-open"
+	}
+	fmt.Printf("septicd: listening on %s (mode=%s sqli=%t stored=%t policy=%s max-conns=%d)\n",
+		bound, mode, *sqli, *stored, policy, *maxConns)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 
-	fmt.Println("\nsepticd: shutting down")
-	if err := srv.Close(); err != nil {
-		return err
+	fmt.Println("\nsepticd: draining sessions")
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		if !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		fmt.Println("septicd: drain deadline exceeded, sessions force-closed")
 	}
 	if *modelPath != "" {
 		if err := guard.Store().Save(*modelPath); err != nil {

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/septic-db/septic/internal/engine"
+	"github.com/septic-db/septic/internal/faultinject"
+)
+
+// panicPlugin blows up in Filter: a broken third-party stored-injection
+// plugin, the paper's worst case for an in-DBMS mechanism.
+type panicPlugin struct{}
+
+func (*panicPlugin) Name() string       { return "panic-plugin" }
+func (*panicPlugin) Filter(string) bool { panic("plugin exploded") }
+func (*panicPlugin) Validate(string) (string, bool) {
+	return "", false
+}
+
+// faultGuard builds a guard (with the panicking plugin chain) installed
+// in an engine, trains one INSERT so detection has a model to run
+// against, and switches to the requested config.
+func faultGuard(t *testing.T, cfg Config) (*Septic, *engine.DB) {
+	t.Helper()
+	guard := New(Config{Mode: ModeTraining}, WithPlugins([]Plugin{&panicPlugin{}}))
+	db := engine.New(engine.WithQueryHook(guard))
+	if _, err := db.Exec("CREATE TABLE t (id INT, s TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO t (id, s) VALUES (1, 'x')"); err != nil {
+		t.Fatal(err)
+	}
+	guard.SetConfig(cfg)
+	return guard, db
+}
+
+func TestGuardPanicFailClosedBlocks(t *testing.T) {
+	guard, db := faultGuard(t, Config{Mode: ModePrevention, DetectStored: true})
+
+	_, err := db.Exec("INSERT INTO t (id, s) VALUES (2, 'y')")
+	if !errors.Is(err, engine.ErrQueryBlocked) {
+		t.Fatalf("err = %v, want ErrQueryBlocked (fail-closed)", err)
+	}
+	if got := guard.Stats().GuardFaults; got != 1 {
+		t.Errorf("GuardFaults = %d, want 1", got)
+	}
+	// The fault is logged as an incident with the panic value.
+	var found bool
+	for _, e := range guard.Logger().Events() {
+		if e.Kind == EventGuardFault && strings.Contains(e.Detail, "plugin exploded") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no EventGuardFault logged")
+	}
+	// The row was never written.
+	res, err := db.Exec("SELECT COUNT(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 1 {
+		t.Errorf("count = %v, want 1 (blocked insert must not land)", res.Rows[0][0])
+	}
+}
+
+func TestGuardPanicFailOpenAdmits(t *testing.T) {
+	guard, db := faultGuard(t, Config{Mode: ModePrevention, DetectStored: true, FailOpen: true})
+
+	if _, err := db.Exec("INSERT INTO t (id, s) VALUES (2, 'y')"); err != nil {
+		t.Fatalf("fail-open must admit: %v", err)
+	}
+	if got := guard.Stats().GuardFaults; got != 1 {
+		t.Errorf("GuardFaults = %d, want 1", got)
+	}
+	res, err := db.Exec("SELECT COUNT(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 2 {
+		t.Errorf("count = %v, want 2 (fail-open admits)", res.Rows[0][0])
+	}
+}
+
+func TestGuardPanicDoesNotPoisonLaterQueries(t *testing.T) {
+	guard, db := faultGuard(t, Config{Mode: ModePrevention, DetectStored: true})
+	if _, err := db.Exec("INSERT INTO t (id, s) VALUES (2, 'y')"); !errors.Is(err, engine.ErrQueryBlocked) {
+		t.Fatalf("err = %v", err)
+	}
+	// A statement class that never reaches the plugin chain still works:
+	// the panic was contained, not cached, and the guard keeps serving.
+	if _, err := db.Exec("SELECT id FROM t WHERE id = 1"); err != nil {
+		t.Fatalf("guard wedged after contained panic: %v", err)
+	}
+	if got := guard.Stats().GuardFaults; got != 1 {
+		t.Errorf("GuardFaults = %d, want 1", got)
+	}
+}
+
+func TestGuardPanicViaFaultPointFailClosed(t *testing.T) {
+	guard := New(Config{Mode: ModePrevention, DetectSQLI: true})
+	db := engine.New(engine.WithQueryHook(guard))
+	if _, err := db.Exec("CREATE TABLE t (id INT)"); err != nil {
+		t.Fatal(err)
+	}
+	guard.SetMode(ModeTraining)
+	if _, err := db.Exec("SELECT id FROM t WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	guard.SetMode(ModePrevention)
+
+	faultinject.Arm(func(site string) {
+		if site == faultinject.SiteCoreDetect {
+			panic("injected detector fault")
+		}
+	})
+	defer faultinject.Disarm()
+	// With the protection path faulted, fail-closed admits nothing —
+	// even a query whose model is known benign.
+	if _, err := db.Exec("SELECT id FROM t WHERE id = 1"); !errors.Is(err, engine.ErrQueryBlocked) {
+		t.Fatalf("err = %v, want ErrQueryBlocked while detector is faulted", err)
+	}
+	faultinject.Disarm()
+	// Fault cleared: service resumes.
+	if _, err := db.Exec("SELECT id FROM t WHERE id = 1"); err != nil {
+		t.Fatalf("after disarm: %v", err)
+	}
+	if guard.Stats().GuardFaults == 0 {
+		t.Error("GuardFaults not counted")
+	}
+}

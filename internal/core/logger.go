@@ -51,6 +51,10 @@ const (
 	EventAttackBlocked
 	// EventModeChanged: the operation mode was switched.
 	EventModeChanged
+	// EventGuardFault: the protection path itself panicked and the panic
+	// was contained; Detail records the panic value and the applied
+	// fail-open/fail-closed policy.
+	EventGuardFault
 )
 
 var eventKindNames = map[EventKind]string{
@@ -61,6 +65,7 @@ var eventKindNames = map[EventKind]string{
 	EventAttackDetected: "attack-detected",
 	EventAttackBlocked:  "attack-blocked",
 	EventModeChanged:    "mode-changed",
+	EventGuardFault:     "guard-fault",
 }
 
 // String names the event kind as the demo display prints it.

@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"github.com/septic-db/septic/internal/engine"
+	"github.com/septic-db/septic/internal/faultinject"
 	"github.com/septic-db/septic/internal/qstruct"
 )
 
@@ -53,6 +55,15 @@ type Config struct {
 	// unknown queries on the fly (paper default: yes, flagged for later
 	// administrator review).
 	IncrementalLearning bool
+	// FailOpen selects the policy applied when the protection path itself
+	// faults (a panic in the parser, detector or a plugin). The default,
+	// fail-closed, blocks the query: a broken guard must never silently
+	// admit traffic, per the paper's §II security argument — SEPTIC is
+	// only a defense if it cannot be knocked out of the request path.
+	// Fail-open instead logs the incident and admits the query,
+	// prioritizing availability over protection; it is an explicit
+	// operator opt-in (septicd -fail-open).
+	FailOpen bool
 }
 
 // DefaultConfig is prevention mode with both detections on (YY).
@@ -71,6 +82,8 @@ type Stats struct {
 	ModelsLearned  int64
 	AttacksFound   int64
 	AttacksBlocked int64
+	// GuardFaults counts contained panics in the protection path.
+	GuardFaults int64
 	// Cache reports verdict-cache effectiveness.
 	Cache CacheStats
 }
@@ -110,6 +123,7 @@ type Septic struct {
 	modelsLearned  atomic.Int64
 	attacksFound   atomic.Int64
 	attacksBlocked atomic.Int64
+	guardFaults    atomic.Int64
 }
 
 // Interface compliance: Septic is an engine hook.
@@ -212,6 +226,7 @@ func (s *Septic) Stats() Stats {
 		ModelsLearned:  s.modelsLearned.Load(),
 		AttacksFound:   s.attacksFound.Load(),
 		AttacksBlocked: s.attacksBlocked.Load(),
+		GuardFaults:    s.guardFaults.Load(),
 		Cache:          s.verdicts.stats(),
 	}
 }
@@ -251,7 +266,22 @@ var stackPool = sync.Pool{
 // stamps guarantee the "unchanged" part: any SetMode/SetConfig or store
 // mutation bumps a counter and orphans every older entry. Attacks are
 // never cached — each occurrence is detected, logged and blocked afresh.
-func (s *Septic) BeforeExecute(ctx *engine.HookContext) error {
+//
+// The hook is panic-contained: a fault anywhere in the protection path
+// (ID generation, structure building, a detector plugin) is recovered
+// and converted into an error (fail-closed, the default) or a logged
+// admission (fail-open) — it never unwinds into the engine and takes
+// the session or the server down. See Config.FailOpen.
+// The containment shell and the pipeline live in one function body:
+// splitting them costs an extra call on the cached-hit path, which is
+// measured in single nanoseconds (BenchmarkHookCached).
+func (s *Septic) BeforeExecute(ctx *engine.HookContext) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = s.containFault(ctx, r)
+		}
+	}()
+	faultinject.Hit(faultinject.SiteCoreHook)
 	// Generation stamps are read BEFORE any verdict work. If a
 	// configuration or store mutation lands while this query is being
 	// checked, the stamps are already behind the bumped counters and the
@@ -304,6 +334,7 @@ func (s *Septic) BeforeExecute(ctx *engine.HookContext) error {
 		s.verdicts.insert(ctx.Decoded, &verdict{id: id, set: set, cfgGen: cfgGen, storeGen: storeGen})
 		return nil
 	}
+	faultinject.Hit(faultinject.SiteCoreDetect)
 	sp := stackPool.Get().(*qstruct.Stack)
 	qs := qstruct.BuildStackInto((*sp)[:0], ctx.Stmt)
 	if cfg.DetectSQLI {
@@ -325,6 +356,33 @@ func (s *Septic) BeforeExecute(ctx *engine.HookContext) error {
 	s.logger.LogQueryChecked(id, ctx.Decoded)
 	s.verdicts.insert(ctx.Decoded, &verdict{id: id, checked: true, set: set, cfgGen: cfgGen, storeGen: storeGen})
 	return nil
+}
+
+// containFault turns a recovered protection-path panic into the
+// policy's outcome: an incident is always counted and logged with the
+// panic value and stack; fail-closed then blocks the query (the error
+// wraps engine.ErrQueryBlocked so the engine books it as a block) and
+// fail-open admits it.
+func (s *Septic) containFault(ctx *engine.HookContext, r any) error {
+	s.guardFaults.Add(1)
+	cfg := *s.cfg.Load()
+	policy := "fail-closed"
+	if cfg.FailOpen {
+		policy = "fail-open"
+	}
+	stack := debug.Stack()
+	if len(stack) > 4096 {
+		stack = stack[:4096]
+	}
+	s.logger.Log(Event{
+		Kind:   EventGuardFault,
+		Query:  ctx.Decoded,
+		Detail: fmt.Sprintf("panic in protection path (%s): %v\n%s", policy, r, stack),
+	})
+	if cfg.FailOpen {
+		return nil
+	}
+	return fmt.Errorf("%w: septic guard fault (fail-closed): %v", engine.ErrQueryBlocked, r)
 }
 
 // learn stores the query model if it is new and logs the event; a model

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -9,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/septic-db/septic/internal/faultinject"
 	"github.com/septic-db/septic/internal/sqlparser"
 	"github.com/septic-db/septic/internal/txtcache"
 )
@@ -155,7 +157,7 @@ type Result struct {
 
 // Exec parses, validates, hooks and executes one SQL statement.
 func (db *DB) Exec(query string) (*Result, error) {
-	return db.exec(query, nil)
+	return db.exec(context.Background(), query, nil)
 }
 
 // ExecArgs executes a parameterized statement: every '?' placeholder in
@@ -165,10 +167,39 @@ func (db *DB) Exec(query string) (*Result, error) {
 // engine's "prepared statement" path, the textbook-safe alternative the
 // paper's vulnerable applications fail to use.
 func (db *DB) ExecArgs(query string, args ...Value) (*Result, error) {
-	return db.exec(query, args)
+	return db.exec(context.Background(), query, args)
 }
 
-func (db *DB) exec(query string, args []Value) (*Result, error) {
+// ExecContext is Exec with a deadline: cancellation is checked between
+// pipeline stages (parse → validate → hook → execute), so a query whose
+// context expires — the server's per-query timeout, a canceled client —
+// returns ctx.Err() at the next stage boundary instead of running to
+// completion. A stage already in flight is not interrupted; the bound is
+// one stage's latency, which is what lets a hung protection path be
+// timed out without killing its goroutine.
+func (db *DB) ExecContext(ctx context.Context, query string) (*Result, error) {
+	return db.exec(ctx, query, nil)
+}
+
+// ExecArgsContext is ExecArgs with a deadline (see ExecContext).
+func (db *DB) ExecArgsContext(ctx context.Context, query string, args ...Value) (*Result, error) {
+	return db.exec(ctx, query, args)
+}
+
+// stageErr reports a context that died between pipeline stages.
+func (db *DB) stageErr(ctx context.Context, stage string) error {
+	if err := ctx.Err(); err != nil {
+		db.countFailed()
+		return fmt.Errorf("query aborted before %s: %w", stage, err)
+	}
+	return nil
+}
+
+func (db *DB) exec(ctx context.Context, query string, args []Value) (*Result, error) {
+	faultinject.Hit(faultinject.SiteEngineParse)
+	if err := db.stageErr(ctx, "parse"); err != nil {
+		return nil, err
+	}
 	// Parse cache: a byte-identical repeat of a statement text reuses the
 	// memoized AST, decoded text and comments. The cached AST is shared
 	// between sessions, which is safe because every execution path only
@@ -196,6 +227,10 @@ func (db *DB) exec(query string, args []Value) (*Result, error) {
 			return nil, err
 		}
 	}
+	faultinject.Hit(faultinject.SiteEngineValidate)
+	if err := db.stageErr(ctx, "validate"); err != nil {
+		return nil, err
+	}
 	if err := db.validate(stmt); err != nil {
 		db.countFailed()
 		return nil, err
@@ -204,6 +239,10 @@ func (db *DB) exec(query string, args []Value) (*Result, error) {
 	// SEPTIC's hook point: after validation, before execution (Fig. 1).
 	// The hook runs outside the engine lock so detection latency never
 	// serializes unrelated sessions.
+	faultinject.Hit(faultinject.SiteEngineHook)
+	if err := db.stageErr(ctx, "hook"); err != nil {
+		return nil, err
+	}
 	if hook := db.currentHook(); hook != nil {
 		hctx := &HookContext{
 			Raw:      query,
@@ -223,6 +262,10 @@ func (db *DB) exec(query string, args []Value) (*Result, error) {
 		}
 	}
 
+	faultinject.Hit(faultinject.SiteEngineExecute)
+	if err := db.stageErr(ctx, "execute"); err != nil {
+		return nil, err
+	}
 	res, err := db.execute(stmt)
 	if err != nil {
 		db.countFailed()

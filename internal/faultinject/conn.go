@@ -1,0 +1,164 @@
+package faultinject
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// Plan scripts the transport faults of one wrapped connection. Offsets
+// count bytes from the start of the connection in the relevant
+// direction, so the same Plan against the same traffic breaks at the
+// same byte every run; Seed drives the latency jitter deterministically.
+// A zero field disables its fault.
+type Plan struct {
+	// Seed makes the jittered latencies reproducible. Two conns with the
+	// same Seed and traffic sleep identically.
+	Seed uint64
+
+	// ReadLatency / WriteLatency delay every Read / Write call.
+	ReadLatency  time.Duration
+	WriteLatency time.Duration
+	// LatencyJitter adds a deterministic pseudo-random extra delay in
+	// [0, LatencyJitter) to each latency sleep.
+	LatencyJitter time.Duration
+
+	// TearWriteAt writes bytes up to the offset, then fails the Write and
+	// every later one, leaving the connection open: the peer holds a
+	// half-received frame forever — the torn-frame / slow-loris fault.
+	TearWriteAt int64
+
+	// ResetWriteAt / ResetReadAt close the connection (RST-style, linger
+	// zero) once that many bytes have been written / read.
+	ResetWriteAt int64
+	ResetReadAt  int64
+
+	// CorruptWriteAt XORs the outbound byte at the offset with
+	// CorruptXOR (0xFF when zero), desynchronizing the peer's framing.
+	CorruptWriteAt int64
+	CorruptXOR     byte
+}
+
+// Conn wraps a net.Conn and applies a Plan. It is not safe for
+// concurrent Read/Write from multiple goroutines on the same direction,
+// matching the synchronous request/response discipline of the wire
+// protocol.
+type Conn struct {
+	net.Conn
+	plan Plan
+	rng  uint64
+	rd   int64
+	wr   int64
+	torn bool
+}
+
+// WrapConn applies plan to conn.
+func WrapConn(conn net.Conn, plan Plan) *Conn {
+	if plan.CorruptXOR == 0 {
+		plan.CorruptXOR = 0xFF
+	}
+	return &Conn{Conn: conn, plan: plan, rng: plan.Seed}
+}
+
+// next is splitmix64: a tiny, seedable PRNG so jitter needs no global
+// randomness and replays byte-for-byte from the Plan seed.
+func (c *Conn) next() uint64 {
+	c.rng += 0x9e3779b97f4a7c15
+	z := c.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// delay sleeps the base latency plus deterministic jitter.
+func (c *Conn) delay(base time.Duration) {
+	if base <= 0 && c.plan.LatencyJitter <= 0 {
+		return
+	}
+	d := base
+	if j := c.plan.LatencyJitter; j > 0 {
+		d += time.Duration(c.next() % uint64(j))
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// reset closes the connection abruptly: linger zero makes the kernel
+// send RST instead of FIN, the "connection reset by peer" fault.
+func (c *Conn) reset() {
+	if tc, ok := c.Conn.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0)
+	}
+	_ = c.Conn.Close()
+}
+
+// Read implements net.Conn with the Plan's read-side faults.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.delay(c.plan.ReadLatency)
+	if at := c.plan.ResetReadAt; at > 0 {
+		if c.rd >= at {
+			c.reset()
+			return 0, fmt.Errorf("%w: reset after reading %d bytes", ErrInjected, c.rd)
+		}
+		if int64(len(p)) > at-c.rd {
+			p = p[:at-c.rd]
+		}
+	}
+	n, err := c.Conn.Read(p)
+	c.rd += int64(n)
+	if at := c.plan.ResetReadAt; at > 0 && c.rd >= at && err == nil {
+		c.reset()
+		return n, fmt.Errorf("%w: reset after reading %d bytes", ErrInjected, c.rd)
+	}
+	return n, err
+}
+
+// Write implements net.Conn with the Plan's write-side faults.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.delay(c.plan.WriteLatency)
+	if c.torn {
+		return 0, fmt.Errorf("%w: torn connection", ErrInjected)
+	}
+	if at := c.plan.TearWriteAt; at > 0 && c.wr+int64(len(p)) > at {
+		keep := at - c.wr
+		if keep < 0 {
+			keep = 0
+		}
+		n, _ := c.Conn.Write(p[:keep])
+		c.wr += int64(n)
+		c.torn = true
+		return n, fmt.Errorf("%w: frame torn at byte %d", ErrInjected, c.wr)
+	}
+	if at := c.plan.ResetWriteAt; at > 0 && c.wr+int64(len(p)) > at {
+		keep := at - c.wr
+		if keep < 0 {
+			keep = 0
+		}
+		n, _ := c.Conn.Write(p[:keep])
+		c.wr += int64(n)
+		c.reset()
+		return n, fmt.Errorf("%w: reset after writing %d bytes", ErrInjected, c.wr)
+	}
+	if at := c.plan.CorruptWriteAt; at > 0 && c.wr <= at-1 && at-1 < c.wr+int64(len(p)) {
+		mut := make([]byte, len(p))
+		copy(mut, p)
+		mut[at-1-c.wr] ^= c.plan.CorruptXOR
+		p = mut
+	}
+	n, err := c.Conn.Write(p)
+	c.wr += int64(n)
+	return n, err
+}
+
+// Dialer returns a dial function that wraps every dialed connection
+// with plan — pluggable into wire.WithDialFunc for client-side chaos.
+func Dialer(plan Plan) func(addr string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return WrapConn(conn, plan), nil
+	}
+}

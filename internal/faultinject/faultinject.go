@@ -1,0 +1,120 @@
+// Package faultinject is the repository's fault-injection harness: the
+// controlled way to break the system on purpose so the chaos suite can
+// assert that a self-protecting database degrades predictably. SEPTIC's
+// whole premise is that protection lives inside the DBMS — which means a
+// crash or hang in the protection path is itself a denial of service on
+// every client. This package makes those faults reproducible.
+//
+// Two fault families are provided:
+//
+//   - Pipeline fault points: the query pipeline (engine stages, SEPTIC's
+//     hook) calls Hit(site) at named sites. Unarmed, a hit is one atomic
+//     pointer load — cheap enough to stay in the production hot path.
+//     Tests Arm a Hook that sleeps, panics or fails at chosen sites.
+//
+//   - Transport faults: Conn wraps a net.Conn and injects latency, torn
+//     frames, connection resets at byte offsets and byte corruption,
+//     all driven by a deterministic seed so a failing chaos run replays
+//     exactly. FlakyListener injects transient Accept errors.
+package faultinject
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+)
+
+// Pipeline fault-point sites. The names are stable identifiers used by
+// chaos tests to target one stage.
+const (
+	// SiteEngineParse fires before a statement is parsed.
+	SiteEngineParse = "engine/parse"
+	// SiteEngineValidate fires before catalog validation.
+	SiteEngineValidate = "engine/validate"
+	// SiteEngineHook fires before the security hook is invoked.
+	SiteEngineHook = "engine/hook"
+	// SiteEngineExecute fires before the executor runs the statement.
+	SiteEngineExecute = "engine/execute"
+	// SiteCoreHook fires on entry to SEPTIC's BeforeExecute, before the
+	// verdict cache is consulted.
+	SiteCoreHook = "core/hook"
+	// SiteCoreDetect fires immediately before the SQLI / stored-injection
+	// detections run.
+	SiteCoreDetect = "core/detect"
+)
+
+// Hook is a fault armed at pipeline sites. It runs synchronously on the
+// query path: it may sleep (injected latency), panic (crash fault) or
+// return normally. It must be safe for concurrent use — every session
+// hits the same hook.
+type Hook func(site string)
+
+// armed holds the active hook; nil means fault injection is off.
+var armed atomic.Pointer[Hook]
+
+// Arm installs h at every fault point. Only one hook is active at a
+// time; arming replaces the previous hook.
+func Arm(h Hook) {
+	if h == nil {
+		armed.Store(nil)
+		return
+	}
+	armed.Store(&h)
+}
+
+// Disarm turns fault injection off.
+func Disarm() {
+	armed.Store(nil)
+}
+
+// Armed reports whether a hook is installed.
+func Armed() bool {
+	return armed.Load() != nil
+}
+
+// Hit fires the fault point named site. Unarmed it is a single atomic
+// load and a nil check — the production cost of being injectable.
+func Hit(site string) {
+	if h := armed.Load(); h != nil {
+		(*h)(site)
+	}
+}
+
+// ErrInjected is the base error of every transport fault this package
+// manufactures; errors.Is(err, ErrInjected) distinguishes an injected
+// failure from a genuine one in chaos-test assertions.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// FlakyListener wraps a net.Listener and fails the first Failures calls
+// to Accept with a transient (temporary) error before delegating. It
+// exercises the server's transient-accept-error backoff: a correct
+// accept loop retries; a naive one treats the first hiccup as fatal.
+type FlakyListener struct {
+	net.Listener
+	remaining atomic.Int64
+}
+
+// NewFlakyListener wraps ln so its first failures Accepts fail.
+func NewFlakyListener(ln net.Listener, failures int) *FlakyListener {
+	fl := &FlakyListener{Listener: ln}
+	fl.remaining.Store(int64(failures))
+	return fl
+}
+
+// Accept implements net.Listener.
+func (l *FlakyListener) Accept() (net.Conn, error) {
+	if l.remaining.Add(-1) >= 0 {
+		return nil, temporaryError{}
+	}
+	return l.Listener.Accept()
+}
+
+// temporaryError mimics a transient accept failure (ECONNABORTED,
+// EMFILE): it reports Temporary() == true like the syscall errors do.
+type temporaryError struct{}
+
+func (temporaryError) Error() string   { return "faultinject: transient accept error" }
+func (temporaryError) Timeout() bool   { return false }
+func (temporaryError) Temporary() bool { return true }
+
+func (temporaryError) Is(target error) bool { return target == ErrInjected }

@@ -1,0 +1,224 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHitUnarmedIsNoOp(t *testing.T) {
+	Disarm()
+	Hit(SiteCoreHook) // must not panic or block
+	if Armed() {
+		t.Fatal("Armed() = true with no hook installed")
+	}
+}
+
+func TestArmAndDisarm(t *testing.T) {
+	var mu sync.Mutex
+	var sites []string
+	Arm(func(site string) {
+		mu.Lock()
+		sites = append(sites, site)
+		mu.Unlock()
+	})
+	defer Disarm()
+	if !Armed() {
+		t.Fatal("Armed() = false after Arm")
+	}
+	Hit(SiteEngineParse)
+	Hit(SiteCoreDetect)
+	Disarm()
+	Hit(SiteEngineExecute) // not recorded
+	mu.Lock()
+	defer mu.Unlock()
+	if len(sites) != 2 || sites[0] != SiteEngineParse || sites[1] != SiteCoreDetect {
+		t.Fatalf("sites = %v", sites)
+	}
+}
+
+// pipePair builds a TCP loopback pair so linger/reset semantics are the
+// real kernel's, not net.Pipe's.
+func pipePair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		server = c
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if server == nil {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+func TestConnTearWrite(t *testing.T) {
+	client, server := pipePair(t)
+	fc := WrapConn(client, Plan{TearWriteAt: 4})
+
+	n, err := fc.Write([]byte("0123456789"))
+	if n != 4 {
+		t.Fatalf("torn write wrote %d bytes, want 4", n)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	// Later writes fail too: the connection stays torn.
+	if _, err := fc.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-tear write err = %v", err)
+	}
+	// The peer received exactly the prefix and the conn is still open:
+	// a read with a short deadline times out instead of seeing EOF.
+	buf := make([]byte, 16)
+	if _, err := io.ReadFull(server, buf[:4]); err != nil {
+		t.Fatalf("peer read: %v", err)
+	}
+	_ = server.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, err := server.Read(buf); err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("peer read after tear = %v, want timeout (conn held open)", err)
+	}
+}
+
+func TestConnResetWrite(t *testing.T) {
+	client, server := pipePair(t)
+	fc := WrapConn(client, Plan{ResetWriteAt: 4})
+	if _, err := fc.Write([]byte("0123456789")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	// The peer eventually observes the closed connection.
+	_ = server.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 16)
+	for {
+		if _, err := server.Read(buf); err != nil {
+			return // EOF or RST, either proves the close reached the peer
+		}
+	}
+}
+
+func TestConnResetRead(t *testing.T) {
+	client, server := pipePair(t)
+	fc := WrapConn(client, Plan{ResetReadAt: 4})
+	if _, err := server.Write([]byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 10)
+	total := 0
+	var lastErr error
+	for total < 10 {
+		n, err := fc.Read(buf[total:])
+		total += n
+		if err != nil {
+			lastErr = err
+			break
+		}
+	}
+	if !errors.Is(lastErr, ErrInjected) {
+		t.Fatalf("read err = %v (got %d bytes), want ErrInjected", lastErr, total)
+	}
+	if total > 4 {
+		t.Fatalf("read %d bytes past the reset offset 4", total)
+	}
+}
+
+func TestConnCorruptWrite(t *testing.T) {
+	client, server := pipePair(t)
+	fc := WrapConn(client, Plan{CorruptWriteAt: 3, CorruptXOR: 0x20})
+	if _, err := fc.Write([]byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 6)
+	if _, err := io.ReadFull(server, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "abCdef" { // 'c' ^ 0x20 = 'C'
+		t.Fatalf("peer received %q, want corruption at byte 3", buf)
+	}
+}
+
+func TestConnLatencyDeterministicJitter(t *testing.T) {
+	delays := func(seed uint64) []uint64 {
+		c := &Conn{plan: Plan{LatencyJitter: time.Second}, rng: seed}
+		out := make([]uint64, 8)
+		for i := range out {
+			out[i] = c.next() % uint64(time.Second)
+		}
+		return out
+	}
+	a, b := delays(42), delays(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := delays(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter")
+	}
+}
+
+func TestConnInjectsLatency(t *testing.T) {
+	client, server := pipePair(t)
+	fc := WrapConn(client, Plan{WriteLatency: 30 * time.Millisecond})
+	start := time.Now()
+	if _, err := fc.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("write took %v, want ≥30ms of injected latency", elapsed)
+	}
+	_ = server
+}
+
+func TestFlakyListenerFailsThenRecovers(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	fl := NewFlakyListener(ln, 2)
+	for i := 0; i < 2; i++ {
+		_, err := fl.Accept()
+		if err == nil {
+			t.Fatalf("accept %d succeeded, want injected failure", i)
+		}
+		var ne net.Error
+		if !errors.As(err, &ne) || !ne.Temporary() {
+			t.Fatalf("accept %d err = %v, want temporary net.Error", i, err)
+		}
+	}
+	go func() {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err == nil {
+			conn.Close()
+		}
+	}()
+	conn, err := fl.Accept()
+	if err != nil {
+		t.Fatalf("accept after failures: %v", err)
+	}
+	conn.Close()
+}

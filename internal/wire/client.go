@@ -3,8 +3,10 @@ package wire
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/septic-db/septic/internal/engine"
 )
@@ -14,20 +16,135 @@ import (
 // errors.Is works across the wire boundary.
 var ErrServerBlocked = fmt.Errorf("%w (reported by server)", engine.ErrQueryBlocked)
 
+// ErrClientClosed is returned by every call on a client whose
+// connection is gone — closed by the caller, or poisoned by an earlier
+// transport/protocol error. Poisoning is deliberate: after a failed
+// frame write or read the stream position is undefined, so continuing
+// to use the connection would desynchronize framing (a response for
+// request N read as the answer to N+1) or deadlock. Failing fast with a
+// clear error is the only safe continuation.
+var ErrClientClosed = errors.New("wire: client closed")
+
+// clientOptions collects Dial-time configuration.
+type clientOptions struct {
+	dial        func(addr string) (net.Conn, error)
+	reconnect   bool
+	maxAttempts int
+	baseDelay   time.Duration
+	maxDelay    time.Duration
+}
+
+// ClientOption configures a Client at Dial time.
+type ClientOption func(*clientOptions)
+
+// WithDialFunc replaces the TCP dialer — chaos tests inject
+// fault-wrapped connections through it.
+func WithDialFunc(dial func(addr string) (net.Conn, error)) ClientOption {
+	return func(o *clientOptions) { o.dial = dial }
+}
+
+// WithAutoReconnect opts the client into automatic redialing: the
+// initial Dial and — after a poisoned connection — the next Exec retry
+// the dial up to maxAttempts times with exponential backoff plus
+// jitter (base 10ms, doubling, capped at 1s). The failed request
+// itself is never replayed: it may have executed server-side, and a
+// protection layer must not turn a transport hiccup into a duplicated
+// write. maxAttempts < 1 means the default (5).
+func WithAutoReconnect(maxAttempts int) ClientOption {
+	return func(o *clientOptions) {
+		o.reconnect = true
+		if maxAttempts >= 1 {
+			o.maxAttempts = maxAttempts
+		}
+	}
+}
+
+// WithReconnectBackoff tunes the auto-reconnect delays (implies
+// WithAutoReconnect with the current attempt budget).
+func WithReconnectBackoff(base, max time.Duration) ClientOption {
+	return func(o *clientOptions) {
+		o.reconnect = true
+		if base > 0 {
+			o.baseDelay = base
+		}
+		if max > 0 {
+			o.maxDelay = max
+		}
+	}
+}
+
 // Client is a connector to a wire server. It is safe for concurrent use;
 // requests on one connection are serialized, as in the MySQL protocol.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
+	addr string
+	opts clientOptions
+
+	mu      sync.Mutex
+	conn    net.Conn
+	closed  bool  // Close was called; terminal
+	lastErr error // why the connection was poisoned (nil if healthy)
 }
 
 // Dial connects to a server address.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("dial %s: %w", addr, err)
+func Dial(addr string, opts ...ClientOption) (*Client, error) {
+	o := clientOptions{
+		dial:        func(a string) (net.Conn, error) { return net.Dial("tcp", a) },
+		maxAttempts: 5,
+		baseDelay:   10 * time.Millisecond,
+		maxDelay:    time.Second,
 	}
-	return &Client{conn: conn}, nil
+	for _, opt := range opts {
+		opt(&o)
+	}
+	c := &Client{addr: addr, opts: o}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.redialLocked(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// redialLocked (re)establishes the connection, with backoff+jitter when
+// auto-reconnect is on. Callers hold c.mu.
+func (c *Client) redialLocked() error {
+	attempts := 1
+	if c.opts.reconnect {
+		attempts = c.opts.maxAttempts
+	}
+	delay := c.opts.baseDelay
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			// Full jitter on the exponential step: sleep a uniform random
+			// fraction of the window so reconnect storms decorrelate.
+			time.Sleep(time.Duration(rand.Int63n(int64(delay) + 1)))
+			if delay *= 2; delay > c.opts.maxDelay {
+				delay = c.opts.maxDelay
+			}
+		}
+		conn, err := c.opts.dial(c.addr)
+		if err == nil {
+			c.conn = conn
+			c.lastErr = nil
+			return nil
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("dial %s: %w", c.addr, lastErr)
+}
+
+// poisonLocked marks the connection dead after a transport/protocol
+// failure: the conn is closed, the cause recorded, and every later call
+// fails fast (or redials, if auto-reconnect is on) instead of reading
+// misaligned frames. Returns err for convenient tail calls.
+func (c *Client) poisonLocked(err error) error {
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+	}
+	c.lastErr = err
+	return err
 }
 
 // Exec runs one SQL statement on the server.
@@ -47,15 +164,28 @@ func (c *Client) ExecArgs(query string, args ...engine.Value) (*engine.Result, e
 func (c *Client) exec(req *Request) (*engine.Result, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClientClosed
+	}
 	if c.conn == nil {
-		return nil, errors.New("client closed")
+		if !c.opts.reconnect {
+			return nil, fmt.Errorf("%w (connection poisoned: %v)", ErrClientClosed, c.lastErr)
+		}
+		if err := c.redialLocked(); err != nil {
+			return nil, err
+		}
 	}
 	if err := writeFrame(c.conn, req); err != nil {
-		return nil, err
+		return nil, c.poisonLocked(fmt.Errorf("write request: %w", err))
 	}
 	var resp Response
 	if err := readFrame(c.conn, &resp); err != nil {
-		return nil, fmt.Errorf("read response: %w", err)
+		return nil, c.poisonLocked(fmt.Errorf("read response: %w", err))
+	}
+	if resp.Busy {
+		// The server refused this connection at admission and is hanging
+		// up; poison so the next call redials (or fails fast).
+		return nil, c.poisonLocked(ErrServerBusy)
 	}
 	if resp.Error != "" {
 		if resp.Blocked {
@@ -79,10 +209,14 @@ func (c *Client) exec(req *Request) (*engine.Result, error) {
 	return res, nil
 }
 
-// Close tears down the connection.
+// Close tears down the connection. A closed client never reconnects.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
 	if c.conn == nil {
 		return nil
 	}

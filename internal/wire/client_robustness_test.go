@@ -1,0 +1,177 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/septic-db/septic/internal/core"
+	"github.com/septic-db/septic/internal/faultinject"
+)
+
+// shortFrameServer accepts one connection, reads the request, then
+// answers with a header that claims more bytes than it sends — a
+// protocol fault mid-response — and goes silent.
+func shortFrameServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		var header [4]byte
+		if _, err := readFullConn(conn, header[:]); err != nil {
+			return
+		}
+		payload := make([]byte, binary.BigEndian.Uint32(header[:]))
+		if _, err := readFullConn(conn, payload); err != nil {
+			return
+		}
+		binary.BigEndian.PutUint32(header[:], 100)
+		_, _ = conn.Write(header[:])
+		_, _ = conn.Write([]byte("short")) // 5 of the promised 100 bytes
+	}()
+	return ln.Addr().String()
+}
+
+func TestClientPoisonedAfterTransportError(t *testing.T) {
+	addr := shortFrameServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Exec("SELECT 1"); err == nil {
+		t.Fatal("want transport error from truncated response")
+	}
+	// The client is poisoned: the next call fails fast with a clear
+	// error instead of reading misaligned frames or deadlocking.
+	start := time.Now()
+	_, err = c.Exec("SELECT 2")
+	if !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("err = %v, want ErrClientClosed", err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Errorf("poisoned exec took %v, want fail-fast", elapsed)
+	}
+}
+
+func TestClientPoisonedAfterWriteError(t *testing.T) {
+	addr, _, _ := startServer(t, core.Config{Mode: core.ModeTraining})
+	// Tear the connection inside the first request frame: the write
+	// fails mid-frame and the connection state is undefined.
+	c, err := Dial(addr, WithDialFunc(faultinject.Dialer(faultinject.Plan{TearWriteAt: 10})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec("SHOW TABLES"); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want injected write fault", err)
+	}
+	if _, err := c.Exec("SHOW TABLES"); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("err = %v, want ErrClientClosed after poisoning", err)
+	}
+}
+
+func TestClientAutoReconnectAfterPoison(t *testing.T) {
+	addr, _, db := startServer(t, core.Config{Mode: core.ModeTraining})
+	if _, err := db.Exec("CREATE TABLE t (id INT)"); err != nil {
+		t.Fatal(err)
+	}
+
+	// First dialed connection dies after ~one frame; all later dials are
+	// healthy. The client must poison on the fault, then transparently
+	// redial on the next call.
+	var dials atomic.Int64
+	dial := func(a string) (net.Conn, error) {
+		conn, err := net.Dial("tcp", a)
+		if err != nil {
+			return nil, err
+		}
+		if dials.Add(1) == 1 {
+			return faultinject.WrapConn(conn, faultinject.Plan{ResetWriteAt: 10}), nil
+		}
+		return conn, nil
+	}
+	c, err := Dial(addr, WithDialFunc(dial), WithAutoReconnect(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Exec("SELECT id FROM t"); err == nil {
+		t.Fatal("want error from reset connection")
+	}
+	// Next call redials and succeeds; the failed request is not replayed.
+	if _, err := c.Exec("SELECT id FROM t"); err != nil {
+		t.Fatalf("auto-reconnect exec: %v", err)
+	}
+	if got := dials.Load(); got != 2 {
+		t.Errorf("dials = %d, want 2", got)
+	}
+}
+
+func TestClientAutoReconnectDialBackoff(t *testing.T) {
+	addr, _, _ := startServer(t, core.Config{Mode: core.ModeTraining})
+	var dials atomic.Int64
+	dial := func(a string) (net.Conn, error) {
+		if dials.Add(1) <= 2 {
+			return nil, errors.New("synthetic dial failure")
+		}
+		return net.Dial("tcp", a)
+	}
+	start := time.Now()
+	c, err := Dial(addr, WithDialFunc(dial), WithAutoReconnect(5),
+		WithReconnectBackoff(5*time.Millisecond, 50*time.Millisecond))
+	if err != nil {
+		t.Fatalf("Dial with reconnect: %v", err)
+	}
+	defer c.Close()
+	if got := dials.Load(); got != 3 {
+		t.Errorf("dials = %d, want 3 (two failures, one success)", got)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("backoff took unreasonably long")
+	}
+	if _, err := c.Exec("SHOW TABLES"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientWithoutReconnectSingleDialAttempt(t *testing.T) {
+	var dials atomic.Int64
+	dial := func(a string) (net.Conn, error) {
+		dials.Add(1)
+		return nil, errors.New("refused")
+	}
+	if _, err := Dial("127.0.0.1:1", WithDialFunc(dial)); err == nil {
+		t.Fatal("want dial error")
+	}
+	if got := dials.Load(); got != 1 {
+		t.Errorf("dials = %d, want exactly 1 without auto-reconnect", got)
+	}
+}
+
+func TestClientCloseIsTerminalEvenWithReconnect(t *testing.T) {
+	addr, _, _ := startServer(t, core.Config{Mode: core.ModeTraining})
+	c, err := Dial(addr, WithAutoReconnect(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("SHOW TABLES"); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("err = %v, want ErrClientClosed after explicit Close", err)
+	}
+}

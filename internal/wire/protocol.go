@@ -41,6 +41,9 @@ type Response struct {
 	Error string `json:"error,omitempty"`
 	// Blocked reports that SEPTIC dropped the query.
 	Blocked bool `json:"blocked,omitempty"`
+	// Busy reports that the server refused the connection at admission
+	// (max-conns reached and the accept backlog full or timed out).
+	Busy bool `json:"busy,omitempty"`
 }
 
 // WireValue is the serialized form of engine.Value.
@@ -84,14 +87,31 @@ func writeFrame(w io.Writer, msg any) error {
 
 // readFrame receives one length-prefixed JSON message into msg.
 func readFrame(r io.Reader, msg any) error {
+	n, err := readFrameHeader(r)
+	if err != nil {
+		return err
+	}
+	return readFramePayload(r, n, msg)
+}
+
+// readFrameHeader reads and bounds-checks the length prefix. It is
+// split from the payload read so the server can apply separate idle
+// (waiting for a request to start) and read (receiving the rest of the
+// frame) deadlines.
+func readFrameHeader(r io.Reader) (uint32, error) {
 	var header [4]byte
 	if _, err := io.ReadFull(r, header[:]); err != nil {
-		return err // io.EOF passes through for clean shutdown detection
+		return 0, err // io.EOF passes through for clean shutdown detection
 	}
 	n := binary.BigEndian.Uint32(header[:])
 	if n > maxFrame {
-		return fmt.Errorf("frame of %d bytes exceeds limit", n)
+		return 0, fmt.Errorf("frame of %d bytes exceeds limit", n)
 	}
+	return n, nil
+}
+
+// readFramePayload reads the n-byte payload and decodes it into msg.
+func readFramePayload(r io.Reader, n uint32, msg any) error {
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return fmt.Errorf("read frame payload: %w", err)

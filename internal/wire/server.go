@@ -1,19 +1,59 @@
 package wire
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"log"
 	"net"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/septic-db/septic/internal/engine"
 )
 
+// ErrServerBusy is the admission-control refusal: the server is at its
+// connection limit and the accept backlog is full (or the wait timed
+// out). Clients see it from Exec on a refused connection.
+var ErrServerBusy = errors.New("server busy: connection limit reached")
+
 // Server serves the wire protocol for one database instance. SEPTIC, if
 // installed, is already inside the engine — the server is protection-
 // agnostic, exactly like a stock MySQL front end.
+//
+// The zero configuration (NewServer(db) with no options) behaves like a
+// lab server: no deadlines, no limits. Production deployments layer on
+// the fail-safe options: per-connection idle/read/write deadlines, a
+// per-query execution timeout, a max-connections admission gate with a
+// bounded backlog, and graceful drain via Shutdown. Every query is
+// panic-contained — a crash in the engine or a hook that escapes the
+// guard's own containment is converted into an error response for that
+// query, never a server crash.
 type Server struct {
 	db *engine.DB
+
+	idleTimeout  time.Duration
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+	queryTimeout time.Duration
+	maxConns     int
+	backlog      int
+	backlogWait  time.Duration
+
+	// sem holds one token per admitted connection; nil = unlimited.
+	sem     chan struct{}
+	waiters atomic.Int64
+
+	// done is closed once, when Close/Shutdown begins, releasing
+	// admission waiters immediately.
+	done chan struct{}
+	// draining makes serving loops stop picking up new requests.
+	draining atomic.Bool
+
+	panics  atomic.Int64
+	refused atomic.Int64
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -22,9 +62,76 @@ type Server struct {
 	wg       sync.WaitGroup
 }
 
+// ServerOption configures a Server at construction time.
+type ServerOption func(*Server)
+
+// WithIdleTimeout disconnects a session that sends no request for d: a
+// client holding a connection open but sending nothing (slow-loris
+// style) is cut loose instead of pinning a goroutine and an admission
+// slot forever. Zero disables the timeout.
+func WithIdleTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.idleTimeout = d }
+}
+
+// WithReadTimeout bounds receiving the remainder of a request frame
+// once its header has arrived. It is the torn-frame guard: a client
+// that starts a frame and stalls is disconnected after d rather than
+// holding the session half-read. Zero leaves the idle deadline (if any)
+// in force for the whole frame.
+func WithReadTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.readTimeout = d }
+}
+
+// WithWriteTimeout bounds each response write; a client that stops
+// draining its receive window cannot wedge the serving goroutine.
+func WithWriteTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.writeTimeout = d }
+}
+
+// WithQueryTimeout bounds one query's execution. The deadline is
+// enforced cooperatively — the engine checks cancellation between
+// pipeline stages — with a watchdog response: if the query overruns, the
+// client immediately receives a timeout error and the overrunning
+// execution is abandoned to finish (and be discarded) on its own. Zero
+// disables the timeout and the per-query watchdog goroutine entirely.
+func WithQueryTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.queryTimeout = d }
+}
+
+// WithMaxConns caps concurrently served connections at n (0 =
+// unlimited). Connections beyond the cap wait in a bounded backlog (see
+// WithAcceptBacklog); beyond that they are refused with a clean
+// "server busy" wire error instead of queueing unboundedly.
+func WithMaxConns(n int) ServerOption {
+	return func(s *Server) { s.maxConns = n }
+}
+
+// WithAcceptBacklog sets how many over-limit connections may wait for a
+// serving slot (n) and for how long (wait) before being refused. The
+// defaults with a max-conns gate are n = max-conns and wait = 1s.
+func WithAcceptBacklog(n int, wait time.Duration) ServerOption {
+	return func(s *Server) { s.backlog = n; s.backlogWait = wait }
+}
+
 // NewServer wraps a database in a protocol server.
-func NewServer(db *engine.DB) *Server {
-	return &Server{db: db, conns: make(map[net.Conn]struct{})}
+func NewServer(db *engine.DB, opts ...ServerOption) *Server {
+	s := &Server{
+		db:          db,
+		conns:       make(map[net.Conn]struct{}),
+		done:        make(chan struct{}),
+		backlog:     -1, // "unset": defaulted from maxConns below
+		backlogWait: time.Second,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.maxConns > 0 {
+		s.sem = make(chan struct{}, s.maxConns)
+		if s.backlog < 0 {
+			s.backlog = s.maxConns
+		}
+	}
+	return s
 }
 
 // Listen binds addr ("127.0.0.1:0" for an ephemeral test port) and
@@ -35,27 +142,55 @@ func (s *Server) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("listen %s: %w", addr, err)
 	}
+	if err := s.Serve(ln); err != nil {
+		_ = ln.Close()
+		return "", err
+	}
+	return ln.Addr().String(), nil
+}
+
+// Serve accepts connections from ln in a background goroutine. Tests
+// and chaos harnesses use it to serve through an instrumented listener.
+func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		_ = ln.Close()
-		return "", errors.New("server already closed")
+		return errors.New("server already closed")
 	}
 	s.listener = ln
 	s.mu.Unlock()
 
 	s.wg.Add(1)
 	go s.acceptLoop(ln)
-	return ln.Addr().String(), nil
+	return nil
 }
 
+// acceptLoop accepts until the listener is closed. A transient accept
+// failure (ECONNABORTED, EMFILE under fd pressure, an injected fault)
+// is retried with capped exponential backoff instead of killing the
+// server; only net.ErrClosed — shutdown — ends the loop.
 func (s *Server) acceptLoop(ln net.Listener) {
 	defer s.wg.Done()
+	var backoff time.Duration
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			return // listener closed
+			if errors.Is(err, net.ErrClosed) || s.isClosed() {
+				return
+			}
+			if backoff == 0 {
+				backoff = 5 * time.Millisecond
+			} else if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+			select {
+			case <-time.After(backoff):
+			case <-s.done:
+				return
+			}
+			continue
 		}
+		backoff = 0
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -63,39 +198,139 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			return
 		}
 		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
 		s.mu.Unlock()
 
-		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.serveConn(conn)
+			s.admitAndServe(conn)
 		}()
 	}
 }
 
+// admitAndServe passes the connection through the admission gate, then
+// serves it. Refused connections receive one "server busy" response
+// frame so the client fails cleanly instead of seeing a bare hangup.
+func (s *Server) admitAndServe(conn net.Conn) {
+	defer s.forget(conn)
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			// No free slot: join the bounded backlog or be refused.
+			if int(s.waiters.Add(1)) > s.backlog {
+				s.waiters.Add(-1)
+				s.refuse(conn)
+				return
+			}
+			timer := time.NewTimer(s.backlogWait)
+			select {
+			case s.sem <- struct{}{}:
+				timer.Stop()
+				s.waiters.Add(-1)
+			case <-timer.C:
+				s.waiters.Add(-1)
+				s.refuse(conn)
+				return
+			case <-s.done:
+				timer.Stop()
+				s.waiters.Add(-1)
+				return
+			}
+		}
+		defer func() { <-s.sem }()
+	}
+	s.serveConn(conn)
+}
+
+// refuse answers one admission rejection and hangs up.
+func (s *Server) refuse(conn net.Conn) {
+	s.refused.Add(1)
+	_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
+	_ = writeFrame(conn, &Response{Error: ErrServerBusy.Error(), Busy: true})
+}
+
 // serveConn handles one client session: a synchronous request/response
-// loop until the client disconnects.
+// loop until the client disconnects, a deadline fires, or the server
+// drains.
 func (s *Server) serveConn(conn net.Conn) {
-	defer func() {
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-		_ = conn.Close()
-	}()
 	for {
 		var req Request
-		if err := readFrame(conn, &req); err != nil {
-			return // EOF or protocol error: drop the session
+		if err := s.readRequest(conn, &req); err != nil {
+			return // EOF, deadline or protocol error: drop the session
 		}
-		resp := s.handle(&req)
+		resp := s.dispatch(&req)
+		if s.writeTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+		}
 		if err := writeFrame(conn, resp); err != nil {
 			return
+		}
+		if s.draining.Load() {
+			return // drain: the in-flight query was answered; end the session
 		}
 	}
 }
 
-// handle executes one request against the engine.
-func (s *Server) handle(req *Request) *Response {
+// readRequest receives one request under the idle (until the frame
+// starts) and read (until it completes) deadlines.
+func (s *Server) readRequest(conn net.Conn, req *Request) error {
+	if s.draining.Load() {
+		return net.ErrClosed
+	}
+	if s.idleTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
+	}
+	n, err := readFrameHeader(conn)
+	if err != nil {
+		return err
+	}
+	if s.readTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(s.readTimeout))
+	}
+	return readFramePayload(conn, n, req)
+}
+
+// dispatch runs one request, enforcing the query timeout when one is
+// configured. The watchdog pattern: the query runs in a goroutine; if
+// its context deadline fires first, the client gets an immediate
+// timeout error and the overrun execution — which the engine's
+// between-stage cancellation checks will abort at its next stage
+// boundary — finishes in the background and is discarded. Shutdown's
+// WaitGroup tracks the stray so drain still accounts for it.
+func (s *Server) dispatch(req *Request) *Response {
+	if s.queryTimeout <= 0 {
+		return s.handle(context.Background(), req)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.queryTimeout)
+	defer cancel()
+	ch := make(chan *Response, 1)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		ch <- s.handle(ctx, req)
+	}()
+	select {
+	case resp := <-ch:
+		return resp
+	case <-ctx.Done():
+		return &Response{Error: fmt.Sprintf("query timeout after %s", s.queryTimeout)}
+	}
+}
+
+// handle executes one request against the engine. It is panic-contained:
+// a fault that unwinds out of the engine (or a hook whose own
+// containment is disabled) becomes a structured error response plus a
+// logged incident — one query fails, the server and every other session
+// keep going.
+func (s *Server) handle(ctx context.Context, req *Request) (resp *Response) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			log.Printf("wire: contained panic serving query: %v\n%s", r, debug.Stack())
+			resp = &Response{Error: fmt.Sprintf("internal error: query failed: %v", r)}
+		}
+	}()
 	var (
 		res *engine.Result
 		err error
@@ -105,9 +340,9 @@ func (s *Server) handle(req *Request) *Response {
 		for i, a := range req.Args {
 			args[i] = FromWire(a)
 		}
-		res, err = s.db.ExecArgs(req.Query, args...)
+		res, err = s.db.ExecArgsContext(ctx, req.Query, args...)
 	} else {
-		res, err = s.db.Exec(req.Query)
+		res, err = s.db.ExecContext(ctx, req.Query)
 	}
 	if err != nil {
 		return &Response{
@@ -115,7 +350,7 @@ func (s *Server) handle(req *Request) *Response {
 			Blocked: errors.Is(err, engine.ErrQueryBlocked),
 		}
 	}
-	resp := &Response{
+	resp = &Response{
 		Columns:      res.Columns,
 		Affected:     res.Affected,
 		LastInsertID: res.LastInsertID,
@@ -131,20 +366,99 @@ func (s *Server) handle(req *Request) *Response {
 	return resp
 }
 
-// Close stops accepting, drops live connections and waits for the
-// serving goroutines to exit.
-func (s *Server) Close() error {
+// forget drops conn from the tracked set and closes it.
+func (s *Server) forget(conn net.Conn) {
 	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	_ = conn.Close()
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Panics returns the number of contained serving panics (incidents).
+func (s *Server) Panics() int64 { return s.panics.Load() }
+
+// Refused returns the number of connections turned away by admission
+// control.
+func (s *Server) Refused() int64 { return s.refused.Load() }
+
+// beginClose transitions to closed exactly once and returns the
+// listener plus whether this call did the transition.
+func (s *Server) beginClose(interrupt bool) (net.Listener, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
-		s.mu.Unlock()
-		return nil
+		return nil, false
 	}
 	s.closed = true
-	ln := s.listener
+	s.draining.Store(true)
+	close(s.done)
+	if interrupt {
+		// Wake sessions blocked waiting for their next request: an
+		// immediate read deadline fails the pending (idle) read while a
+		// query already executing proceeds to answer and then exits the
+		// loop via the draining flag.
+		now := time.Now()
+		for conn := range s.conns {
+			_ = conn.SetReadDeadline(now)
+		}
+	} else {
+		for conn := range s.conns {
+			_ = conn.Close()
+		}
+	}
+	return s.listener, true
+}
+
+// Shutdown stops the server gracefully: stop accepting, let in-flight
+// queries finish and answer, then — if ctx expires first — force-close
+// whatever is left. Idle sessions are disconnected immediately.
+func (s *Server) Shutdown(ctx context.Context) error {
+	ln, first := s.beginClose(true)
+	if !first {
+		return nil
+	}
+	var lnErr error
+	if ln != nil {
+		lnErr = ln.Close()
+	}
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return lnErr
+	case <-ctx.Done():
+	}
+	// Drain deadline passed: force-close surviving connections. Their
+	// serving goroutines fail out of the next read/write immediately;
+	// abandoned query watchdog strays are given a short grace.
+	s.mu.Lock()
 	for conn := range s.conns {
 		_ = conn.Close()
 	}
 	s.mu.Unlock()
+	select {
+	case <-drained:
+	case <-time.After(time.Second):
+	}
+	return ctx.Err()
+}
+
+// Close stops the server immediately: stop accepting, drop live
+// connections and wait for the serving goroutines to exit.
+func (s *Server) Close() error {
+	ln, first := s.beginClose(false)
+	if !first {
+		return nil
+	}
 	var err error
 	if ln != nil {
 		err = ln.Close()
