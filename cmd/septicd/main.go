@@ -7,7 +7,14 @@
 //	septicd [-addr 127.0.0.1:3306] [-mode training|detection|prevention]
 //	        [-models models.json] [-sqli] [-stored]
 //	        [-max-conns N] [-query-timeout D] [-idle-timeout D]
-//	        [-drain-timeout D] [-fail-open]
+//	        [-drain-timeout D] [-fail-open] [-obs-addr 127.0.0.1:9188]
+//
+// With -obs-addr the server additionally exposes live introspection over
+// HTTP: /metrics (JSON, ?format=prometheus for text exposition), /events
+// (the structured event ring, ?kind= and ?n= filters), /qm (the learned
+// query-model store rendered as paper-style item stacks) and
+// /debug/pprof. The endpoint is opt-in; without the flag the pipeline
+// runs with observability disabled at zero cost.
 //
 // The server speaks the wire protocol of internal/wire. Query models are
 // loaded from -models at startup when the file exists, and saved there
@@ -20,6 +27,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -27,6 +36,7 @@ import (
 
 	"github.com/septic-db/septic/internal/core"
 	"github.com/septic-db/septic/internal/engine"
+	"github.com/septic-db/septic/internal/obs"
 	"github.com/septic-db/septic/internal/wire"
 )
 
@@ -52,6 +62,7 @@ func run() error {
 		idleTimeout  = flag.Duration("idle-timeout", 5*time.Minute, "disconnect sessions idle for this long (0 = never)")
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown drain deadline before force-closing sessions")
 		failOpen     = flag.Bool("fail-open", false, "admit queries when the protection path faults (default fail-closed)")
+		obsAddr      = flag.String("obs-addr", "", "serve /metrics, /events, /qm and /debug/pprof on this address (empty = observability off)")
 	)
 	flag.Parse()
 
@@ -88,23 +99,55 @@ func run() error {
 			fmt.Printf("septicd: loaded %d query models from %s\n", store.Len(), *modelPath)
 		}
 	}
+	var hub *obs.Hub
+	if *obsAddr != "" {
+		hub = obs.NewHub(obs.DefaultRingCapacity)
+	}
+	coreOpts := []core.SepticOption{
+		core.WithStore(store), core.WithLogger(core.NewLogger(loggerOpts...)),
+	}
+	engineOpts := []engine.Option{}
+	serverOpts := []wire.ServerOption{
+		wire.WithMaxConns(*maxConns),
+		wire.WithQueryTimeout(*queryTimeout),
+		wire.WithIdleTimeout(*idleTimeout),
+	}
+	if hub != nil {
+		coreOpts = append(coreOpts, core.WithObserver(hub))
+		engineOpts = append(engineOpts, engine.WithObs(hub))
+		serverOpts = append(serverOpts, wire.WithServerObs(hub))
+	}
 	guard := core.New(core.Config{
 		Mode:                mode,
 		DetectSQLI:          *sqli,
 		DetectStored:        *stored,
 		IncrementalLearning: true,
 		FailOpen:            *failOpen,
-	}, core.WithStore(store), core.WithLogger(core.NewLogger(loggerOpts...)))
+	}, coreOpts...)
 
-	db := engine.New(engine.WithQueryHook(guard))
-	srv := wire.NewServer(db,
-		wire.WithMaxConns(*maxConns),
-		wire.WithQueryTimeout(*queryTimeout),
-		wire.WithIdleTimeout(*idleTimeout),
-	)
+	engineOpts = append(engineOpts, engine.WithQueryHook(guard))
+	db := engine.New(engineOpts...)
+	srv := wire.NewServer(db, serverOpts...)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		return err
+	}
+
+	if hub != nil {
+		qmDump := func() any { return store.Dump() }
+		obsLn, err := net.Listen("tcp", *obsAddr)
+		if err != nil {
+			return fmt.Errorf("obs listen %s: %w", *obsAddr, err)
+		}
+		obsSrv := &http.Server{Handler: obs.Handler(hub, qmDump)}
+		go func() {
+			if err := obsSrv.Serve(obsLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "septicd: obs server:", err)
+			}
+		}()
+		defer obsSrv.Close()
+		fmt.Printf("septicd: observability on http://%s (/metrics /events /qm /debug/pprof)\n",
+			obsLn.Addr())
 	}
 	policy := "fail-closed"
 	if *failOpen {

@@ -26,6 +26,7 @@ import (
 
 	"github.com/septic-db/septic/internal/core"
 	"github.com/septic-db/septic/internal/engine"
+	"github.com/septic-db/septic/internal/obs"
 	"github.com/septic-db/septic/internal/webapp"
 )
 
@@ -115,6 +116,11 @@ type Params struct {
 	// paper's actual request path, with genuine network and protocol
 	// cost instead of (or on top of) the synthetic WebTierWork.
 	HTTP bool
+	// Obs, when non-nil, instruments the deployment (engine stage
+	// histograms and core hook histograms land in this hub) — the
+	// septic-bench -obs mode. nil keeps the measured pipeline on its
+	// instrumentation-free path.
+	Obs *obs.Hub
 }
 
 // DefaultWebTierWork calibrates the web tier to dominate the request the
@@ -216,16 +222,24 @@ var webTierSink byte
 // deploy builds one application deployment for the given configuration:
 // schema applied, SEPTIC trained (when installed) and switched to the
 // measured configuration. The returned guard is nil for the baseline.
-func deploy(spec AppSpec, cfg SepticConfig) (*webapp.App, *core.Septic, error) {
+func deploy(spec AppSpec, cfg SepticConfig, hub *obs.Hub) (*webapp.App, *core.Septic, error) {
 	var (
 		db    *engine.DB
 		guard *core.Septic
 	)
+	var engineOpts []engine.Option
+	if hub != nil {
+		engineOpts = append(engineOpts, engine.WithObs(hub))
+	}
 	if cfg == ConfigBaseline {
-		db = engine.New()
+		db = engine.New(engineOpts...)
 	} else {
-		guard = core.New(core.Config{Mode: core.ModeTraining})
-		db = engine.New(engine.WithQueryHook(guard))
+		var coreOpts []core.SepticOption
+		if hub != nil {
+			coreOpts = append(coreOpts, core.WithObserver(hub))
+		}
+		guard = core.New(core.Config{Mode: core.ModeTraining}, coreOpts...)
+		db = engine.New(append(engineOpts, engine.WithQueryHook(guard))...)
 	}
 	for _, q := range spec.Schema {
 		if _, err := db.Exec(q); err != nil {
@@ -250,7 +264,7 @@ func deploy(spec AppSpec, cfg SepticConfig) (*webapp.App, *core.Septic, error) {
 // fresh deployment, trains SEPTIC (when installed), then replays the
 // workload from Machines×BrowsersPerMachine concurrent browsers.
 func Run(spec AppSpec, cfg SepticConfig, p Params) (*Sample, error) {
-	app, _, err := deploy(spec, cfg)
+	app, _, err := deploy(spec, cfg, p.Obs)
 	if err != nil {
 		return nil, err
 	}
@@ -359,7 +373,7 @@ func (t *Throughput) PerSecond() float64 {
 // the contention-free hot path, throughput should grow with machines
 // until the host's cores saturate.
 func RunParallel(spec AppSpec, cfg SepticConfig, p Params) (*Throughput, error) {
-	app, guard, err := deploy(spec, cfg)
+	app, guard, err := deploy(spec, cfg, p.Obs)
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/septic-db/septic/internal/engine"
+	"github.com/septic-db/septic/internal/obs"
 	"github.com/septic-db/septic/internal/raceflag"
 	"github.com/septic-db/septic/internal/sqlparser"
 )
@@ -52,6 +53,40 @@ func TestCachedHitAllocationFree(t *testing.T) {
 	}
 	if sep.CacheStats().Hits == 0 {
 		t.Fatal("cache never hit — the guard measured the wrong path")
+	}
+}
+
+// TestCachedHitAllocationFreeWithObs guards the ENABLED observability
+// budget: instrumentation on the cached hot path is one time.Now pair
+// and two histogram Observes — atomics into fixed buckets, never an
+// allocation. If this fails, something on the obs path started
+// formatting or boxing per query.
+func TestCachedHitAllocationFreeWithObs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race instrumentation adds allocations")
+	}
+	hub := obs.NewHub(64)
+	sep := New(Config{Mode: ModeTraining},
+		WithLogger(NewLogger(WithCheckedSampling(0))),
+		WithObserver(hub))
+	hctx := hookCtxFor(t, "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234")
+	if err := sep.BeforeExecute(hctx); err != nil {
+		t.Fatalf("training: %v", err)
+	}
+	sep.SetConfig(DefaultConfig())
+	if err := sep.BeforeExecute(hctx); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := sep.BeforeExecute(hctx); err != nil {
+			t.Fatalf("cached hit: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("instrumented cached-hit path allocates %.1f objects/op, want 0", allocs)
+	}
+	if hub.Metrics.Histogram("core.hook.cached_hit").Snapshot().Count == 0 {
+		t.Fatal("hit histogram empty — instrumentation did not run")
 	}
 }
 

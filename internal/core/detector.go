@@ -13,6 +13,10 @@ type Detection struct {
 	Step qstruct.CompareStep
 	// Plugin names the confirming plugin (stored-injection only).
 	Plugin string
+	// Distance is the query's distance from its closest model (SQLI
+	// attacks only): the node-count delta when Step is structural, the
+	// index of the first mismatching node when syntactical.
+	Distance int
 	// Detail explains the finding for the event register.
 	Detail string
 }
@@ -57,9 +61,10 @@ func (d *Detector) DetectSQLI(qs qstruct.Stack, models []qstruct.Model) (Detecti
 		return Detection{}, false
 	}
 	return Detection{
-		Attack: AttackSQLI,
-		Step:   best.Step,
-		Detail: best.Detail,
+		Attack:   AttackSQLI,
+		Step:     best.Step,
+		Distance: best.Distance,
+		Detail:   best.Detail,
 	}, true
 }
 

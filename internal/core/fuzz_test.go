@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/septic-db/septic/internal/engine"
+	"github.com/septic-db/septic/internal/sqlparser"
+)
+
+// FuzzBeforeExecute drives arbitrary parseable statements through the
+// whole protection path — decode, stack building, identifier hashing,
+// model lookup, both detection steps, the stored-injection plugin chain
+// and the verdict cache — against a guard trained on the paper's Fig. 2
+// query. Two invariants:
+//
+//  1. The hook NEVER panics. Detector panics must be swallowed by the
+//     fault containment layer; one escaping to the fuzzer is a bug in
+//     that layer as much as in the detector.
+//  2. The verdict is deterministic: a second call with the identical
+//     context must block iff the first call blocked. The first call may
+//     be served by the full path (or learn the model incrementally) and
+//     the second by the verdict cache, so this pins cache/full-path
+//     agreement — the exact property a poisoned cache entry would break.
+func FuzzBeforeExecute(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234",
+		"SELECT * FROM tickets WHERE reservID = 'ID34FG\u02bc-- ' AND creditCard = 0",
+		"SELECT * FROM tickets WHERE reservID = 'ID34FG' AND 1=1-- ' AND creditCard = 0",
+		"SELECT * FROM tickets WHERE reservID = 'x' OR '1'='1' AND creditCard = 1234",
+		"SELECT * FROM tickets WHERE reservID = '<script>alert(1)</script>' AND creditCard = 1",
+		"SELECT * FROM tickets WHERE reservID = '../../etc/passwd' AND creditCard = 1",
+		"SELECT * FROM tickets WHERE reservID = '; cat /etc/passwd' AND creditCard = 1",
+		"INSERT INTO tickets (reservID, creditCard) VALUES ('ID34FG', 1234)",
+		"SELECT 1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	const trainQ = "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234"
+	f.Fuzz(func(t *testing.T, query string) {
+		decoded := sqlparser.DecodeCharset(query)
+		stmt, err := sqlparser.Parse(decoded)
+		if err != nil {
+			return // the engine rejects it before the hook runs
+		}
+		sep := New(Config{Mode: ModeTraining},
+			WithLogger(NewLogger(WithCheckedSampling(0))))
+		if err := sep.BeforeExecute(hookCtxFor(t, trainQ)); err != nil {
+			t.Fatalf("training: %v", err)
+		}
+		sep.SetConfig(DefaultConfig())
+
+		hctx := &engine.HookContext{
+			Raw:      query,
+			Decoded:  decoded,
+			Stmt:     stmt,
+			Comments: stmt.StatementComments(),
+		}
+		err1 := sep.BeforeExecute(hctx)
+		err2 := sep.BeforeExecute(hctx)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("verdict flipped between calls for %q:\n first: %v\nsecond: %v",
+				decoded, err1, err2)
+		}
+	})
+}

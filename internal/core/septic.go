@@ -5,9 +5,11 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/septic-db/septic/internal/engine"
 	"github.com/septic-db/septic/internal/faultinject"
+	"github.com/septic-db/septic/internal/obs"
 	"github.com/septic-db/septic/internal/qstruct"
 )
 
@@ -124,6 +126,13 @@ type Septic struct {
 	attacksFound   atomic.Int64
 	attacksBlocked atomic.Int64
 	guardFaults    atomic.Int64
+
+	// obs is the observability hub; nil (the default) disables all
+	// instrumentation. The histogram handles are resolved once in New so
+	// the hook path never touches the registry map.
+	obs      *obs.Hub
+	hookHit  *obs.Histogram // verdict-cache hit: the memoized fast path
+	hookFull *obs.Histogram // full pipeline: ID + store + detection
 }
 
 // Interface compliance: Septic is an engine hook.
@@ -152,6 +161,15 @@ func WithIDGenerator(g *IDGenerator) SepticOption {
 	return func(s *Septic) { s.idgen = g }
 }
 
+// WithObserver installs an observability hub: hook latency histograms,
+// pipeline counters exported as gauge funcs, and structured events
+// (attacks, guard faults, store mutations, cache invalidations, mode
+// changes) published to the hub's ring. A nil hub — the default — keeps
+// every instrumentation site on its single-pointer-check disabled path.
+func WithObserver(h *obs.Hub) SepticOption {
+	return func(s *Septic) { s.obs = h }
+}
+
 // WithVerdictCacheCapacity bounds the verdict cache to n entries; n = 0
 // disables verdict caching entirely (every query runs the full
 // pipeline — the ablation configuration for benchmarks).
@@ -173,6 +191,25 @@ func New(cfg Config, opts ...SepticOption) *Septic {
 		o(s)
 	}
 	s.verdicts = newVerdictCache(s.verdictCap)
+	if s.obs != nil {
+		m := s.obs.Metrics
+		s.hookHit = m.Histogram("core.hook.cached_hit")
+		s.hookFull = m.Histogram("core.hook.full")
+		m.GaugeFunc("core.queries_seen", s.queriesSeen.Load)
+		m.GaugeFunc("core.models_learned", s.modelsLearned.Load)
+		m.GaugeFunc("core.attacks_found", s.attacksFound.Load)
+		m.GaugeFunc("core.attacks_blocked", s.attacksBlocked.Load)
+		m.GaugeFunc("core.guard_faults", s.guardFaults.Load)
+		m.GaugeFunc("core.store.identifiers", func() int64 { return int64(s.store.Len()) })
+		m.GaugeFunc("core.store.models", func() int64 { return int64(s.store.ModelCount()) })
+		m.GaugeFunc("core.verdict_cache.entries", func() int64 { return int64(s.verdicts.stats().Entries) })
+		m.GaugeFunc("core.verdict_cache.hits", func() int64 { return s.verdicts.stats().Hits })
+		m.GaugeFunc("core.verdict_cache.misses", func() int64 { return s.verdicts.stats().Misses })
+		m.GaugeFunc("core.verdict_cache.evictions", func() int64 { return s.verdicts.stats().Evictions })
+		m.GaugeFunc("core.verdict_cache.invalidations", func() int64 { return s.verdicts.stats().Invalidations })
+		s.store.SetObserver(s.obs)
+		s.verdicts.setObserver(s.obs)
+	}
 	return s
 }
 
@@ -203,14 +240,17 @@ func (s *Septic) SetMode(m Mode) {
 	// cached verdict dies with the bump.
 	s.cfgGen.Add(1)
 	s.logger.Log(Event{Kind: EventModeChanged, Detail: "mode set to " + m.String()})
+	s.obs.Publish(obs.Event{Kind: obs.KindMode, Detail: "mode set to " + m.String()})
 }
 
 // SetConfig replaces the whole configuration.
 func (s *Septic) SetConfig(cfg Config) {
 	s.cfg.Store(&cfg)
 	s.cfgGen.Add(1)
-	s.logger.Log(Event{Kind: EventModeChanged, Detail: fmt.Sprintf(
-		"config set: mode=%s sqli=%t stored=%t", cfg.Mode, cfg.DetectSQLI, cfg.DetectStored)})
+	detail := fmt.Sprintf("config set: mode=%s sqli=%t stored=%t",
+		cfg.Mode, cfg.DetectSQLI, cfg.DetectStored)
+	s.logger.Log(Event{Kind: EventModeChanged, Detail: detail})
+	s.obs.Publish(obs.Event{Kind: obs.KindMode, Detail: detail})
 }
 
 // Store exposes the learned-model store (persistence, admin review).
@@ -219,14 +259,29 @@ func (s *Septic) Store() *Store { return s.store }
 // Logger exposes the event register (the demo display reads it).
 func (s *Septic) Logger() *Logger { return s.logger }
 
-// Stats returns a snapshot of the work counters.
+// Stats returns a snapshot of the work counters. The counters are
+// separate atomics, so a snapshot taken under load is not a consistent
+// cut — but it is guaranteed never to over-report: within one query the
+// increments are ordered seen → found → blocked, and Stats reads the
+// DEPENDENT counter before its antecedent (blocked before found before
+// seen). Any concurrent query that slips between the reads can only
+// inflate the later-read antecedent, so the invariants
+// AttacksBlocked ≤ AttacksFound ≤ QueriesSeen hold in every snapshot.
+// (Reading in declaration order had the opposite skew: a query landing
+// between the seen and blocked reads could yield AttacksBlocked >
+// AttacksFound — a torn read that made rates transiently exceed 100%.)
 func (s *Septic) Stats() Stats {
+	blocked := s.attacksBlocked.Load()
+	found := s.attacksFound.Load()
+	faults := s.guardFaults.Load()
+	learned := s.modelsLearned.Load()
+	seen := s.queriesSeen.Load()
 	return Stats{
-		QueriesSeen:    s.queriesSeen.Load(),
-		ModelsLearned:  s.modelsLearned.Load(),
-		AttacksFound:   s.attacksFound.Load(),
-		AttacksBlocked: s.attacksBlocked.Load(),
-		GuardFaults:    s.guardFaults.Load(),
+		QueriesSeen:    seen,
+		ModelsLearned:  learned,
+		AttacksFound:   found,
+		AttacksBlocked: blocked,
+		GuardFaults:    faults,
 		Cache:          s.verdicts.stats(),
 	}
 }
@@ -282,6 +337,13 @@ func (s *Septic) BeforeExecute(ctx *engine.HookContext) (err error) {
 		}
 	}()
 	faultinject.Hit(faultinject.SiteCoreHook)
+	// Timing is the only instrumentation with a per-call cost when obs is
+	// disabled, so it hides behind the one nil check; the Observe calls
+	// below are nil-safe on their own.
+	var obsStart time.Time
+	if s.obs != nil {
+		obsStart = time.Now()
+	}
 	// Generation stamps are read BEFORE any verdict work. If a
 	// configuration or store mutation lands while this query is being
 	// checked, the stamps are already behind the bumped counters and the
@@ -299,6 +361,9 @@ func (s *Septic) BeforeExecute(ctx *engine.HookContext) (err error) {
 			if v.checked {
 				s.logger.LogQueryChecked(v.id, ctx.Decoded)
 			}
+			if s.obs != nil {
+				s.hookHit.Observe(time.Since(obsStart))
+			}
 			return nil
 		}
 	}
@@ -309,6 +374,7 @@ func (s *Septic) BeforeExecute(ctx *engine.HookContext) (err error) {
 		// Training never consults or feeds the cache: every execution
 		// must reach the store so variants keep being learned.
 		s.learn(id, ctx.Decoded, qstruct.BuildStack(ctx.Stmt), EventModelLearned)
+		s.observeFull(obsStart)
 		return nil
 	}
 
@@ -321,17 +387,20 @@ func (s *Septic) BeforeExecute(ctx *engine.HookContext) (err error) {
 			// store generation, so the entry would be stillborn anyway,
 			// and the next repeat takes the known-identifier path.
 			s.learn(id, ctx.Decoded, qstruct.BuildStack(ctx.Stmt), EventNewQuery)
+			s.observeFull(obsStart)
 			return nil
 		}
 		// Unknown identifier with learning off: executes unchecked by
 		// design; memoize so repeats skip the ID recomputation.
 		s.verdicts.insert(ctx.Decoded, &verdict{id: id, cfgGen: cfgGen, storeGen: storeGen})
+		s.observeFull(obsStart)
 		return nil
 	}
 
 	if !cfg.DetectSQLI && !cfg.DetectStored {
 		// NN: nothing to check.
 		s.verdicts.insert(ctx.Decoded, &verdict{id: id, set: set, cfgGen: cfgGen, storeGen: storeGen})
+		s.observeFull(obsStart)
 		return nil
 	}
 	faultinject.Hit(faultinject.SiteCoreDetect)
@@ -341,21 +410,34 @@ func (s *Septic) BeforeExecute(ctx *engine.HookContext) (err error) {
 		if det, attack := s.detector.DetectSQLI(qs, models); attack {
 			*sp = qs
 			stackPool.Put(sp)
-			return s.report(cfg, id, ctx.Decoded, det)
+			s.observeFull(obsStart)
+			return s.report(cfg, id, ctx, det)
 		}
 	}
 	if cfg.DetectStored {
 		if det, attack := s.detector.DetectStored(ctx.Stmt, qs); attack {
 			*sp = qs
 			stackPool.Put(sp)
-			return s.report(cfg, id, ctx.Decoded, det)
+			s.observeFull(obsStart)
+			return s.report(cfg, id, ctx, det)
 		}
 	}
 	*sp = qs
 	stackPool.Put(sp)
 	s.logger.LogQueryChecked(id, ctx.Decoded)
 	s.verdicts.insert(ctx.Decoded, &verdict{id: id, checked: true, set: set, cfgGen: cfgGen, storeGen: storeGen})
+	s.observeFull(obsStart)
 	return nil
+}
+
+// observeFull records one full-pipeline hook duration; a no-op when
+// observability is disabled (start is then the zero Time and must not be
+// measured against).
+func (s *Septic) observeFull(start time.Time) {
+	if s.obs == nil {
+		return
+	}
+	s.hookFull.Observe(time.Since(start))
 }
 
 // containFault turns a recovered protection-path panic into the
@@ -379,6 +461,18 @@ func (s *Septic) containFault(ctx *engine.HookContext, r any) error {
 		Query:  ctx.Decoded,
 		Detail: fmt.Sprintf("panic in protection path (%s): %v\n%s", policy, r, stack),
 	})
+	if s.obs != nil {
+		action := "blocked"
+		if cfg.FailOpen {
+			action = "admitted"
+		}
+		s.obs.Publish(obs.Event{
+			Kind:   obs.KindGuardFault,
+			Query:  ctx.Decoded,
+			Action: action,
+			Detail: fmt.Sprintf("panic in protection path (%s): %v", policy, r),
+		})
+	}
 	if cfg.FailOpen {
 		return nil
 	}
@@ -399,7 +493,7 @@ func (s *Septic) learn(id, query string, qs qstruct.Stack, kind EventKind) {
 }
 
 // report logs the attack and, in prevention mode, blocks the query.
-func (s *Septic) report(cfg Config, id, query string, det Detection) error {
+func (s *Septic) report(cfg Config, id string, ctx *engine.HookContext, det Detection) error {
 	s.attacksFound.Add(1)
 	blocked := cfg.Mode == ModePrevention
 	if blocked {
@@ -413,12 +507,36 @@ func (s *Septic) report(cfg Config, id, query string, det Detection) error {
 	s.logger.Log(Event{
 		Kind:    kind,
 		QueryID: id,
-		Query:   query,
+		Query:   ctx.Decoded,
 		Attack:  det.Attack,
 		Step:    det.Step,
 		Plugin:  det.Plugin,
 		Detail:  det.Detail,
 	})
+	if s.obs != nil {
+		// The skeleton render is attack-path-only work: attacks are rare
+		// and never cached, so the formatting cost stays off benign
+		// traffic entirely.
+		detector := "sqli/" + det.Step.String()
+		if det.Attack == AttackStored {
+			detector = "stored/" + det.Plugin
+		}
+		action := "logged"
+		if blocked {
+			action = "blocked"
+		}
+		s.obs.Publish(obs.Event{
+			Kind:     obs.KindAttack,
+			Query:    ctx.Decoded,
+			Skeleton: qstruct.Skeleton(ctx.Stmt),
+			QueryID:  id,
+			Detector: detector,
+			Distance: det.Distance,
+			Class:    det.Attack.String(),
+			Action:   action,
+			Detail:   det.Detail,
+		})
+	}
 	if !blocked {
 		return nil // detection mode: log only, let the query run
 	}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/septic-db/septic/internal/obs"
 	"github.com/septic-db/septic/internal/qstruct"
 )
 
@@ -47,6 +48,10 @@ type Store struct {
 	// that loaded the pre-bump generation computed against at-most-old
 	// state and its entry is correctly invalidated by the bump.
 	gen atomic.Uint64
+
+	// obs receives a KindStore event for every mutation; nil disables.
+	// Set once at construction (core.New), before the store is shared.
+	obs *obs.Hub
 }
 
 // storeShardCount partitions identifiers so unrelated sessions rarely
@@ -95,6 +100,13 @@ func (s *Store) shard(id string) *storeShard {
 	h := fnv.New32a()
 	_, _ = h.Write([]byte(id))
 	return &s.shards[h.Sum32()%storeShardCount]
+}
+
+// SetObserver installs the observability hub the store publishes
+// mutation events to. Must be called before the store is shared across
+// goroutines (core.New does).
+func (s *Store) SetObserver(h *obs.Hub) {
+	s.obs = h
 }
 
 // Generation returns the store's mutation counter. It changes whenever
@@ -162,6 +174,14 @@ func (s *Store) Put(id string, m qstruct.Model, incremental bool) bool {
 	// against the pre-bump generation is invalidated, and any reader that
 	// already sees the new generation also sees the new model slice.
 	s.gen.Add(1)
+	if s.obs != nil {
+		detail := fmt.Sprintf("model stored (%d nodes, %d model(s) for id)",
+			len(m.Nodes), len(next))
+		if incremental {
+			detail += ", incremental — pending review"
+		}
+		s.obs.Publish(obs.Event{Kind: obs.KindStore, QueryID: id, Detail: detail})
+	}
 	return true
 }
 
@@ -176,6 +196,7 @@ func (s *Store) Delete(id string) {
 	}
 	delete(sh.models, id)
 	s.gen.Add(1)
+	s.obs.Publish(obs.Event{Kind: obs.KindStore, QueryID: id, Detail: "identifier deleted"})
 }
 
 // Approve clears an identifier's incremental flag: the administrator
@@ -189,6 +210,7 @@ func (s *Store) Approve(id string) bool {
 		return false
 	}
 	set.incremental = false
+	s.obs.Publish(obs.Event{Kind: obs.KindStore, QueryID: id, Detail: "identifier approved"})
 	return true
 }
 
@@ -275,6 +297,50 @@ func (s *Store) IDs() []string {
 		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
+	return out
+}
+
+// DumpEntry is one identifier's record rendered for live introspection
+// (the /qm endpoint): the models as paper-style top-down item stacks,
+// plus the review/usage metadata.
+type DumpEntry struct {
+	ID          string `json:"id"`
+	Hits        int64  `json:"hits"`
+	Incremental bool   `json:"incremental"`
+	// Models holds each learned model as its node stack, top of stack
+	// first, one "CATEGORY data" string per node — the rendering of the
+	// paper's Figs. 2–4 (data nodes show ⊥).
+	Models [][]string `json:"models"`
+}
+
+// Dump renders the whole store for live introspection, sorted by id.
+// It formats every node, so it is strictly an operator endpoint — never
+// called on the query path.
+func (s *Store) Dump() []DumpEntry {
+	var out []DumpEntry
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id, set := range sh.models {
+			e := DumpEntry{
+				ID:          id,
+				Hits:        set.hits.Load(),
+				Incremental: set.incremental,
+				Models:      make([][]string, len(set.models)),
+			}
+			for mi, m := range set.models {
+				nodes := make([]string, len(m.Nodes))
+				for ni := range m.Nodes {
+					// Top-down, as the figures draw the stack.
+					nodes[ni] = m.Nodes[len(m.Nodes)-1-ni].String()
+				}
+				e.Models[mi] = nodes
+			}
+			out = append(out, e)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
@@ -386,5 +452,7 @@ func (s *Store) Load(path string) error {
 		sh.mu.Unlock()
 	}
 	s.gen.Add(1)
+	s.obs.Publish(obs.Event{Kind: obs.KindStore,
+		Detail: fmt.Sprintf("store reloaded: %d identifier(s)", len(loaded))})
 	return nil
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/septic-db/septic/internal/faultinject"
+	"github.com/septic-db/septic/internal/obs"
 	"github.com/septic-db/septic/internal/sqlparser"
 	"github.com/septic-db/septic/internal/txtcache"
 )
@@ -76,6 +77,15 @@ func WithParseCacheCapacity(n int) Option {
 	return func(db *DB) { db.parseCap = n }
 }
 
+// WithObs installs an observability hub: per-stage latency histograms
+// (parse split by parse-cache hit/miss, validate, hook, execute, total)
+// and engine/parse-cache counters exported as gauge funcs. The default —
+// no hub — keeps the pipeline on its zero-instrumentation path behind a
+// single nil check.
+func WithObs(h *obs.Hub) Option {
+	return func(db *DB) { db.obsHub = h }
+}
+
 // DB is an in-memory database instance. It is safe for concurrent use by
 // multiple goroutines ("client diversity": many sessions, one server).
 //
@@ -103,6 +113,24 @@ type DB struct {
 	executed atomic.Int64
 	blocked  atomic.Int64
 	failed   atomic.Int64
+
+	// obsHub enables instrumentation; stage (resolved once in New) holds
+	// the histogram handles so exec never touches the registry map. Both
+	// are nil when observability is off — exec checks db.stage once.
+	obsHub *obs.Hub
+	stage  *stageHists
+}
+
+// stageHists are the pipeline's latency histograms: one per stage, the
+// parse stage split by parse-cache outcome (a hit skips lex+parse), plus
+// the whole-pipeline total.
+type stageHists struct {
+	parseHit  *obs.Histogram
+	parseMiss *obs.Histogram
+	validate  *obs.Histogram
+	hook      *obs.Histogram
+	execute   *obs.Histogram
+	total     *obs.Histogram
 }
 
 // parsedQuery is one memoized parse: the statement, the decoded text the
@@ -125,6 +153,24 @@ func New(opts ...Option) *DB {
 		o(db)
 	}
 	db.parsed = txtcache.New[*parsedQuery](db.parseCap)
+	if db.obsHub != nil {
+		m := db.obsHub.Metrics
+		db.stage = &stageHists{
+			parseHit:  m.Histogram("engine.stage.parse.cache_hit"),
+			parseMiss: m.Histogram("engine.stage.parse.cache_miss"),
+			validate:  m.Histogram("engine.stage.validate"),
+			hook:      m.Histogram("engine.stage.hook"),
+			execute:   m.Histogram("engine.stage.execute"),
+			total:     m.Histogram("engine.stage.total"),
+		}
+		m.GaugeFunc("engine.executed", db.executed.Load)
+		m.GaugeFunc("engine.blocked", db.blocked.Load)
+		m.GaugeFunc("engine.failed", db.failed.Load)
+		m.GaugeFunc("engine.parse_cache.entries", func() int64 { return int64(db.parsed.Stats().Entries) })
+		m.GaugeFunc("engine.parse_cache.hits", func() int64 { return db.parsed.Stats().Hits })
+		m.GaugeFunc("engine.parse_cache.misses", func() int64 { return db.parsed.Stats().Misses })
+		m.GaugeFunc("engine.parse_cache.evictions", func() int64 { return db.parsed.Stats().Evictions })
+	}
 	return db
 }
 
@@ -196,6 +242,16 @@ func (db *DB) stageErr(ctx context.Context, stage string) error {
 }
 
 func (db *DB) exec(ctx context.Context, query string, args []Value) (*Result, error) {
+	// Stage timing rides on one pointer check: st is nil with obs off, and
+	// every Observe below is nil-receiver-safe. Boundaries are sampled
+	// once per stage (start reused as the next stage's origin), so the
+	// enabled cost is one time.Now per stage.
+	st := db.stage
+	var stageStart, execStart time.Time
+	if st != nil {
+		execStart = time.Now()
+		stageStart = execStart
+	}
 	faultinject.Hit(faultinject.SiteEngineParse)
 	if err := db.stageErr(ctx, "parse"); err != nil {
 		return nil, err
@@ -227,6 +283,15 @@ func (db *DB) exec(ctx context.Context, query string, args []Value) (*Result, er
 			return nil, err
 		}
 	}
+	if st != nil {
+		now := time.Now()
+		if cached {
+			st.parseHit.Observe(now.Sub(stageStart))
+		} else {
+			st.parseMiss.Observe(now.Sub(stageStart))
+		}
+		stageStart = now
+	}
 	faultinject.Hit(faultinject.SiteEngineValidate)
 	if err := db.stageErr(ctx, "validate"); err != nil {
 		return nil, err
@@ -234,6 +299,11 @@ func (db *DB) exec(ctx context.Context, query string, args []Value) (*Result, er
 	if err := db.validate(stmt); err != nil {
 		db.countFailed()
 		return nil, err
+	}
+	if st != nil {
+		now := time.Now()
+		st.validate.Observe(now.Sub(stageStart))
+		stageStart = now
 	}
 
 	// SEPTIC's hook point: after validation, before execution (Fig. 1).
@@ -251,6 +321,11 @@ func (db *DB) exec(ctx context.Context, query string, args []Value) (*Result, er
 			Comments: pq.comments,
 		}
 		if err := hook.BeforeExecute(hctx); err != nil {
+			// A blocked or failed query still had its hook latency — the
+			// attack path is exactly what the histogram must show.
+			if st != nil {
+				st.hook.Observe(time.Since(stageStart))
+			}
 			// Only a deliberate security drop counts as blocked; a hook
 			// infrastructure failure is an ordinary failed query.
 			if errors.Is(err, ErrQueryBlocked) {
@@ -260,6 +335,11 @@ func (db *DB) exec(ctx context.Context, query string, args []Value) (*Result, er
 			}
 			return nil, err
 		}
+	}
+	if st != nil {
+		now := time.Now()
+		st.hook.Observe(now.Sub(stageStart))
+		stageStart = now
 	}
 
 	faultinject.Hit(faultinject.SiteEngineExecute)
@@ -272,6 +352,11 @@ func (db *DB) exec(ctx context.Context, query string, args []Value) (*Result, er
 		return nil, err
 	}
 	db.executed.Add(1)
+	if st != nil {
+		now := time.Now()
+		st.execute.Observe(now.Sub(stageStart))
+		st.total.Observe(now.Sub(execStart))
+	}
 	return res, nil
 }
 

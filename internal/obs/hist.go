@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// bucketBounds are the fixed histogram bucket upper bounds in
+// nanoseconds. The range spans the pipeline's dynamic range: a cached
+// hook hit lands in the first buckets (tens of ns), a full parse + two
+// detections in the microsecond band, and a slow query or a stalled
+// stage in the millisecond tail. Fixed bounds keep observation at two
+// atomic adds — no locks, no dynamic resizing — at the cost of
+// interpolated (not exact) percentiles, which is the standard
+// production-metrics trade.
+var bucketBounds = [...]int64{
+	100,            // 100ns
+	250,            // 250ns
+	500,            // 500ns
+	1_000,          // 1µs
+	2_500,          // 2.5µs
+	5_000,          // 5µs
+	10_000,         // 10µs
+	25_000,         // 25µs
+	50_000,         // 50µs
+	100_000,        // 100µs
+	250_000,        // 250µs
+	500_000,        // 500µs
+	1_000_000,      // 1ms
+	2_500_000,      // 2.5ms
+	5_000_000,      // 5ms
+	10_000_000,     // 10ms
+	25_000_000,     // 25ms
+	50_000_000,     // 50ms
+	100_000_000,    // 100ms
+	250_000_000,    // 250ms
+	500_000_000,    // 500ms
+	1_000_000_000,  // 1s
+	2_500_000_000,  // 2.5s
+	10_000_000_000, // 10s
+}
+
+// numBuckets counts the finite buckets plus the +Inf overflow bucket.
+const numBuckets = len(bucketBounds) + 1
+
+// Histogram is a fixed-bucket latency histogram. Observation is
+// lock-free: one atomic add into the bucket, one into the running sum,
+// one into the count. A nil *Histogram ignores Observe — the disabled
+// configuration costs its caller only the nil check.
+type Histogram struct {
+	buckets [numBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64 // nanoseconds, monotone CAS
+}
+
+func newHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one duration. Safe on a nil receiver.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// bucketIndex binary-searches the bound table (5 comparisons for 24
+// buckets — cheaper than it reads).
+func bucketIndex(ns int64) int {
+	lo, hi := 0, len(bucketBounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ns <= bucketBounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo // == len(bucketBounds) means +Inf
+}
+
+// HistBucket is one exposed bucket: cumulative count of observations at
+// or below UpperNS (UpperNS < 0 encodes +Inf).
+type HistBucket struct {
+	UpperNS    int64 `json:"upper_ns"`
+	Cumulative int64 `json:"cumulative"`
+}
+
+// HistSnapshot is the point-in-time view of one histogram: totals, the
+// interpolated p50/p95/p99 estimates in nanoseconds, and the cumulative
+// bucket counts (the Prometheus exposition shape).
+type HistSnapshot struct {
+	Count   int64        `json:"count"`
+	SumNS   int64        `json:"sum_ns"`
+	MaxNS   int64        `json:"max_ns"`
+	P50NS   int64        `json:"p50_ns"`
+	P95NS   int64        `json:"p95_ns"`
+	P99NS   int64        `json:"p99_ns"`
+	Buckets []HistBucket `json:"buckets"`
+}
+
+// Mean returns the average observation.
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNS / s.Count)
+}
+
+// Snapshot copies the histogram state and derives the percentile
+// estimates. Buckets are read without a barrier against concurrent
+// Observe calls, so a snapshot taken under load may be skewed by the
+// handful of observations landing mid-read — fine for monitoring, and
+// the only alternative is a lock on the observation path.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	var counts [numBuckets]int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+	}
+	s.SumNS = h.sum.Load()
+	s.MaxNS = h.max.Load()
+	// Derive the total from the buckets read above, not from h.count:
+	// using a separately-read count could place a percentile past the
+	// last observation accounted for in counts.
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	s.Count = total
+	s.Buckets = make([]HistBucket, numBuckets)
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		upper := int64(-1) // +Inf
+		if i < len(bucketBounds) {
+			upper = bucketBounds[i]
+		}
+		s.Buckets[i] = HistBucket{UpperNS: upper, Cumulative: cum}
+	}
+	s.P50NS = percentile(counts[:], total, 0.50, s.MaxNS)
+	s.P95NS = percentile(counts[:], total, 0.95, s.MaxNS)
+	s.P99NS = percentile(counts[:], total, 0.99, s.MaxNS)
+	return s
+}
+
+// percentile estimates the q-quantile by locating the bucket holding the
+// q·total-th observation and interpolating linearly inside it. The +Inf
+// bucket reports the observed maximum — better a true upper bound than a
+// fabricated interpolation.
+func percentile(counts []int64, total int64, q float64, max int64) int64 {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += c
+		if cum < rank {
+			continue
+		}
+		if i >= len(bucketBounds) {
+			return max
+		}
+		lower := int64(0)
+		if i > 0 {
+			lower = bucketBounds[i-1]
+		}
+		upper := bucketBounds[i]
+		// Linear interpolation of the rank inside [lower, upper].
+		frac := float64(rank-prev) / float64(c)
+		return lower + int64(frac*float64(upper-lower))
+	}
+	return max
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+)
+
+// Handler builds the introspection endpoint mux over a hub:
+//
+//	/metrics        — metrics snapshot as JSON; ?format=prometheus for
+//	                  the Prometheus text exposition format
+//	/events         — recent structured events, oldest first;
+//	                  ?kind=attack filters, ?n=50 limits
+//	/qm             — live QM store dump (the demo's "query models
+//	                  learned" view); served only when qmDump != nil
+//	/debug/pprof/…  — the standard runtime profiles
+//
+// qmDump returns any JSON-serializable view of the learned model store;
+// it is injected as a closure so obs stays dependency-free.
+func Handler(h *Hub, qmDump func() any) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := h.Metrics.Snapshot()
+		if strings.HasPrefix(r.URL.Query().Get("format"), "prom") {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			writePrometheus(w, snap)
+			return
+		}
+		writeJSON(w, snap)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		kind := r.URL.Query().Get("kind")
+		n := 0
+		if s := r.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				http.Error(w, "n must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		events := h.Events.Recent(kind, n)
+		if events == nil {
+			events = []Event{} // render [], not null
+		}
+		writeJSON(w, events)
+	})
+	if qmDump != nil {
+		mux.HandleFunc("/qm", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, qmDump())
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writePrometheus renders the snapshot in the Prometheus text exposition
+// format. Metric names are prefixed "septic_" and sanitized (dots and
+// dashes to underscores); histograms expose the conventional
+// _bucket{le=…} / _sum / _count triple with le in seconds.
+func writePrometheus(w http.ResponseWriter, s Snapshot) {
+	for _, name := range sortedKeys(s.Counters) {
+		p := promName(name)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", p, p, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		p := promName(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", p, p, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		hs := s.Histograms[name]
+		p := promName(name) + "_seconds"
+		fmt.Fprintf(w, "# TYPE %s histogram\n", p)
+		for _, b := range hs.Buckets {
+			le := "+Inf"
+			if b.UpperNS >= 0 {
+				le = strconv.FormatFloat(float64(b.UpperNS)/1e9, 'g', -1, 64)
+			}
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", p, le, b.Cumulative)
+		}
+		fmt.Fprintf(w, "%s_sum %g\n", p, float64(hs.SumNS)/1e9)
+		fmt.Fprintf(w, "%s_count %d\n", p, hs.Count)
+	}
+}
+
+// promName maps a registry metric name onto the Prometheus charset.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 7)
+	b.WriteString("septic_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

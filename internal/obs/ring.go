@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event kinds published by the instrumented pipeline. Kinds are plain
+// strings so obs needs no knowledge of the packages it observes; the
+// /events endpoint filters on them verbatim.
+const (
+	// KindAttack: the detector flagged a query (blocked or logged —
+	// see Action).
+	KindAttack = "attack"
+	// KindGuardFault: the protection path panicked and was contained.
+	KindGuardFault = "guard-fault"
+	// KindStore: the QM store mutated (model learned, identifier
+	// deleted/approved, store reloaded).
+	KindStore = "store"
+	// KindCache: a verdict-cache entry was invalidated by a
+	// configuration or store generation bump.
+	KindCache = "cache"
+	// KindMode: the operation mode or configuration changed.
+	KindMode = "mode"
+)
+
+// Event is one structured observability record. Unlike the core
+// Logger's Event — which is the *paper's* event register, rendered for
+// the demo display — this is the machine-facing export: it carries the
+// query skeleton, the detector that fired, and the model distance, so
+// an operator at /events sees what Figs. 2–4 show on the demo screen.
+type Event struct {
+	Seq  int64     `json:"seq"`
+	Time time.Time `json:"time"`
+	// Kind is one of the Kind* constants.
+	Kind string `json:"kind"`
+	// Query is the decoded query text (as the parser consumed it).
+	Query string `json:"query,omitempty"`
+	// Skeleton is the injection-stable identity the ID hashes
+	// (qstruct.Skeleton) — the "query models learned" key of the demo.
+	Skeleton string `json:"skeleton,omitempty"`
+	// QueryID is SEPTIC's composed identifier.
+	QueryID string `json:"query_id,omitempty"`
+	// Detector names what fired: "sqli/structural", "sqli/syntactical",
+	// or "stored/<plugin>". Empty for non-attack events.
+	Detector string `json:"detector,omitempty"`
+	// Distance quantifies how far the query structure sat from its
+	// closest model: the node-count delta for structural mismatches, the
+	// index of the first mismatching node for syntactical ones.
+	Distance int `json:"distance,omitempty"`
+	// Class is the attack class ("sqli", "stored-injection").
+	Class string `json:"class,omitempty"`
+	// Action records the applied policy: "blocked", "logged",
+	// "admitted" (fail-open guard fault).
+	Action string `json:"action,omitempty"`
+	// Detail is the human-readable explanation.
+	Detail string `json:"detail,omitempty"`
+}
+
+// DefaultRingCapacity bounds the event ring when the deployment does not
+// choose its own size.
+const DefaultRingCapacity = 1024
+
+// Ring is a bounded event buffer: publication overwrites the oldest
+// entry once full, so a flood of events costs memory proportional to
+// the capacity, never the flood. A nil *Ring ignores Publish.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int   // slot the next event lands in
+	seq  int64 // monotone sequence stamp
+	full bool
+	// clock is swappable for deterministic tests.
+	clock func() time.Time
+}
+
+// NewRing builds a ring bounded to capacity events
+// (DefaultRingCapacity if capacity <= 0).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	return &Ring{buf: make([]Event, capacity), clock: time.Now}
+}
+
+// SetClock injects the ring's time source (tests).
+func (r *Ring) SetClock(clock func() time.Time) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.clock = clock
+	r.mu.Unlock()
+}
+
+// Publish stamps and stores the event, overwriting the oldest entry when
+// the ring is full. Safe on a nil receiver.
+func (r *Ring) Publish(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.seq++
+	e.Seq = r.seq
+	e.Time = r.clock()
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the number of buffered events.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Recent returns up to n buffered events, oldest first, optionally
+// filtered by kind (empty kind matches everything). n <= 0 returns all
+// matches. Safe on a nil receiver (returns nil).
+func (r *Ring) Recent(kind string, n int) []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var ordered []Event
+	if r.full {
+		ordered = make([]Event, 0, len(r.buf))
+		ordered = append(ordered, r.buf[r.next:]...)
+		ordered = append(ordered, r.buf[:r.next]...)
+	} else {
+		ordered = append(ordered, r.buf[:r.next]...)
+	}
+	if kind != "" {
+		kept := ordered[:0]
+		for _, e := range ordered {
+			if e.Kind == kind {
+				kept = append(kept, e)
+			}
+		}
+		ordered = kept
+	}
+	if n > 0 && len(ordered) > n {
+		ordered = ordered[len(ordered)-n:]
+	}
+	// Hand the caller its own backing array: ordered may alias a shared
+	// scratch slice after the filter above.
+	out := make([]Event, len(ordered))
+	copy(out, ordered)
+	return out
+}

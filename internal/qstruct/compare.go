@@ -42,6 +42,11 @@ type Verdict struct {
 	// Index is the stack index of the first mismatching node for
 	// StepSyntactical verdicts; -1 otherwise.
 	Index int
+	// Distance quantifies how far the structure sat from the model — the
+	// demo display's "distance" column: the node-count delta for
+	// structural mismatches, the index of the first mismatching node for
+	// syntactical ones, 0 on match.
+	Distance int
 	// Detail is a human-readable explanation for the log.
 	Detail string
 }
@@ -54,9 +59,10 @@ type Verdict struct {
 func Compare(qs Stack, qm Model) Verdict {
 	if len(qs) != len(qm.Nodes) {
 		return Verdict{
-			Match: false,
-			Step:  StepStructural,
-			Index: -1,
+			Match:    false,
+			Step:     StepStructural,
+			Index:    -1,
+			Distance: lenDelta(len(qs), len(qm.Nodes)),
 			Detail: fmt.Sprintf("query structure has %d nodes, model has %d",
 				len(qs), len(qm.Nodes)),
 		}
@@ -65,24 +71,35 @@ func Compare(qs Stack, qm Model) Verdict {
 		got, want := qs[i], qm.Nodes[i]
 		if !categoriesCompatible(got.Cat, want.Cat) {
 			return Verdict{
-				Match: false,
-				Step:  StepSyntactical,
-				Index: i,
+				Match:    false,
+				Step:     StepSyntactical,
+				Index:    i,
+				Distance: i,
 				Detail: fmt.Sprintf("node %d: got ⟨%s, %s⟩, model expects ⟨%s, %s⟩",
 					i, got.Cat, got.Data, want.Cat, want.Data),
 			}
 		}
 		if !got.Cat.IsData() && got.Data != want.Data {
 			return Verdict{
-				Match: false,
-				Step:  StepSyntactical,
-				Index: i,
+				Match:    false,
+				Step:     StepSyntactical,
+				Index:    i,
+				Distance: i,
 				Detail: fmt.Sprintf("node %d (%s): got %q, model expects %q",
 					i, got.Cat, got.Data, want.Data),
 			}
 		}
 	}
 	return Verdict{Match: true, Step: StepNone, Index: -1}
+}
+
+// lenDelta is the absolute node-count difference — the structural
+// distance reported in verdicts.
+func lenDelta(a, b int) int {
+	if a > b {
+		return a - b
+	}
+	return b - a
 }
 
 // categoriesCompatible reports whether a QS node of category got may
@@ -114,19 +131,21 @@ func CompareFull(qs Stack, qm Model) Verdict {
 		got, want := qs[i], qm.Nodes[i]
 		if !categoriesCompatible(got.Cat, want.Cat) || (!got.Cat.IsData() && got.Data != want.Data) {
 			return Verdict{
-				Match:  false,
-				Step:   StepSyntactical,
-				Index:  i,
-				Detail: fmt.Sprintf("node %d mismatch", i),
+				Match:    false,
+				Step:     StepSyntactical,
+				Index:    i,
+				Distance: i,
+				Detail:   fmt.Sprintf("node %d mismatch", i),
 			}
 		}
 	}
 	if len(qs) != len(qm.Nodes) {
 		return Verdict{
-			Match:  false,
-			Step:   StepStructural,
-			Index:  -1,
-			Detail: "length mismatch",
+			Match:    false,
+			Step:     StepStructural,
+			Index:    -1,
+			Distance: lenDelta(len(qs), len(qm.Nodes)),
+			Detail:   "length mismatch",
 		}
 	}
 	return Verdict{Match: true, Step: StepNone, Index: -1}

@@ -239,6 +239,12 @@ func (l *Lexer) scanBacktickIdent() (string, error) {
 	}
 	name := l.input[idStart:l.pos]
 	l.pos++ // consume closing backtick
+	if name == "" {
+		// MySQL rejects `` (ERROR 1064); accepting it here would also
+		// break the Format round trip, since an empty name renders as
+		// no identifier at all.
+		return "", l.errorf(start, "empty quoted identifier")
+	}
 	return name, nil
 }
 

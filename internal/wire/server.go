@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/septic-db/septic/internal/engine"
+	"github.com/septic-db/septic/internal/obs"
 )
 
 // ErrServerBusy is the admission-control refusal: the server is at its
@@ -54,6 +55,13 @@ type Server struct {
 
 	panics  atomic.Int64
 	refused atomic.Int64
+
+	// obsHub enables front-end instrumentation (nil = off). The two hot
+	// counter handles are resolved once in NewServer; they are nil-safe,
+	// so the serving loops call them unconditionally.
+	obsHub     *obs.Hub
+	obsConns   *obs.Counter // connections accepted
+	obsQueries *obs.Counter // requests answered
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -113,6 +121,14 @@ func WithAcceptBacklog(n int, wait time.Duration) ServerOption {
 	return func(s *Server) { s.backlog = n; s.backlogWait = wait }
 }
 
+// WithServerObs installs an observability hub on the front end:
+// accepted-connection and answered-request counters, plus gauges for
+// tracked sessions, admission backlog occupancy, refusals, contained
+// panics and drain state.
+func WithServerObs(h *obs.Hub) ServerOption {
+	return func(s *Server) { s.obsHub = h }
+}
+
 // NewServer wraps a database in a protocol server.
 func NewServer(db *engine.DB, opts ...ServerOption) *Server {
 	s := &Server{
@@ -130,6 +146,25 @@ func NewServer(db *engine.DB, opts ...ServerOption) *Server {
 		if s.backlog < 0 {
 			s.backlog = s.maxConns
 		}
+	}
+	if s.obsHub != nil {
+		m := s.obsHub.Metrics
+		s.obsConns = m.Counter("wire.conns.accepted")
+		s.obsQueries = m.Counter("wire.queries.answered")
+		m.GaugeFunc("wire.conns.tracked", func() int64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return int64(len(s.conns))
+		})
+		m.GaugeFunc("wire.backlog.waiters", s.waiters.Load)
+		m.GaugeFunc("wire.conns.refused", s.refused.Load)
+		m.GaugeFunc("wire.panics", s.panics.Load)
+		m.GaugeFunc("wire.draining", func() int64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
 	}
 	return s
 }
@@ -191,6 +226,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			continue
 		}
 		backoff = 0
+		s.obsConns.Inc()
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -266,6 +302,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := writeFrame(conn, resp); err != nil {
 			return
 		}
+		s.obsQueries.Inc()
 		if s.draining.Load() {
 			return // drain: the in-flight query was answered; end the session
 		}

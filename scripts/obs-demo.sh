@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# End-to-end observability demo: start septicd with the introspection
+# endpoint on, replay the Address Book workload plus the attack battery
+# through a real wire connection, then show what /metrics, /events and
+# /qm expose about it. Everything runs on loopback and is torn down on
+# exit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DB_ADDR=${DB_ADDR:-127.0.0.1:13306}
+OBS_ADDR=${OBS_ADDR:-127.0.0.1:19188}
+
+echo "== building =="
+go build -o /tmp/septicd ./cmd/septicd
+go build -o /tmp/septic-replay ./cmd/septic-replay
+
+echo "== starting septicd (prevention, obs on $OBS_ADDR) =="
+/tmp/septicd -addr "$DB_ADDR" -obs-addr "$OBS_ADDR" -quiet &
+SEPTICD_PID=$!
+trap 'kill "$SEPTICD_PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 50); do
+    curl -sf "http://$OBS_ADDR/metrics" >/dev/null 2>&1 && break
+    sleep 0.1
+done
+
+echo "== replaying Address Book workload + attacks =="
+/tmp/septic-replay -addr "$DB_ADDR" -attacks
+
+echo
+echo "== /metrics (stage histograms and counters) =="
+curl -s "http://$OBS_ADDR/metrics?format=prometheus" | grep -E 'stage|attacks|hook' | head -40
+
+echo
+echo "== /events?kind=attack (the blocked injections) =="
+curl -s "http://$OBS_ADDR/events?kind=attack"
+
+echo
+echo "== /qm (learned query models, data blanked to ⊥) =="
+curl -s "http://$OBS_ADDR/qm" | head -c 2000; echo
+
+echo
+echo "== done — septicd shutting down =="
