@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos cover cover-gate bench bench-hook bench-engine demo fig5 accuracy sweep parallel fuzz obs-demo clean
+.PHONY: all build vet test race chaos cover cover-gate vuln bench bench-hook bench-engine demo fig5 accuracy sweep parallel fuzz obs-demo clean
 
 all: build vet test race
 
@@ -30,6 +30,17 @@ cover:
 # below the floors recorded in scripts/coverage-baseline.txt.
 cover-gate:
 	scripts/covergate.sh
+
+# Known-vulnerability scan over the module's dependency graph. Gated on
+# the scanner being installed (get it with
+# `go install golang.org/x/vuln/cmd/govulncheck@latest`) so offline
+# builds don't fail; CI installs it and runs this for real.
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "vuln: govulncheck not installed, skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 
 # Run every fuzz target for FUZZTIME each. The default is a smoke
 # budget; for a real hunt: make fuzz FUZZTIME=10m. Go runs the checked-in

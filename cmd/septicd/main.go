@@ -6,8 +6,27 @@
 //
 //	septicd [-addr 127.0.0.1:3306] [-mode training|detection|prevention]
 //	        [-models models.json] [-sqli] [-stored]
+//	        [-domains domains.json]
 //	        [-max-conns N] [-query-timeout D] [-idle-timeout D]
 //	        [-drain-timeout D] [-fail-open] [-obs-addr 127.0.0.1:9188]
+//
+// With -domains the server becomes multi-tenant: the JSON file maps
+// application names to per-domain policy, one protection domain each —
+// its own query-model store, operation mode and fail policy. Clients
+// reach their domain by declaring the application in the wire HELLO
+// handshake or by prefixing queries with "/* app:query-id */" comments;
+// everything else lands in the default domain, configured by the global
+// flags as before. Per-domain stores are loaded at startup and saved on
+// shutdown next to the default -models store. The file layout:
+//
+//	{
+//	  "shop":  {"mode": "prevention", "sqli": true, "stored": true,
+//	            "fail_open": false, "store": "shop-models.json"},
+//	  "blog":  {"mode": "training", "store": "blog-models.json"}
+//	}
+//
+// Omitted booleans default to true for sqli/stored/incremental and
+// false for fail_open; "mode" is required.
 //
 // With -obs-addr the server additionally exposes live introspection over
 // HTTP: /metrics (JSON, ?format=prometheus for text exposition), /events
@@ -24,6 +43,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -31,6 +51,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 	"time"
 
@@ -47,11 +68,115 @@ func main() {
 	}
 }
 
+// domainSpec is one entry of the -domains file.
+type domainSpec struct {
+	Mode string `json:"mode"`
+	// The three-valued booleans distinguish "omitted" (nil → default)
+	// from an explicit false.
+	SQLI        *bool `json:"sqli"`
+	Stored      *bool `json:"stored"`
+	Incremental *bool `json:"incremental"`
+	FailOpen    bool  `json:"fail_open"`
+	// Store is the domain's persistence path; empty disables persistence
+	// for this domain.
+	Store string `json:"store"`
+}
+
+// parseMode maps a -mode / domains-file mode string.
+func parseMode(name string) (core.Mode, error) {
+	switch name {
+	case "training":
+		return core.ModeTraining, nil
+	case "detection":
+		return core.ModeDetection, nil
+	case "prevention":
+		return core.ModePrevention, nil
+	default:
+		return core.ModeInvalid, fmt.Errorf("unknown mode %q", name)
+	}
+}
+
+// orTrue resolves an omitted boolean to true.
+func orTrue(b *bool) bool { return b == nil || *b }
+
+// loadDomains reads the -domains file and registers one protection
+// domain per entry (sorted, for deterministic startup output), loading
+// each domain's persisted store when its file exists. It returns the
+// store paths keyed by domain name for the shutdown save.
+func loadDomains(guard *core.Septic, path string) (map[string]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("read domains file: %w", err)
+	}
+	var specs map[string]domainSpec
+	if err := json.Unmarshal(data, &specs); err != nil {
+		return nil, fmt.Errorf("decode domains file: %w", err)
+	}
+	names := make([]string, 0, len(specs))
+	for name := range specs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	stores := make(map[string]string)
+	for _, name := range names {
+		spec := specs[name]
+		mode, err := parseMode(spec.Mode)
+		if err != nil {
+			return nil, fmt.Errorf("domain %q: %w", name, err)
+		}
+		d, err := guard.RegisterDomain(name, core.Config{
+			Mode:                mode,
+			DetectSQLI:          orTrue(spec.SQLI),
+			DetectStored:        orTrue(spec.Stored),
+			IncrementalLearning: orTrue(spec.Incremental),
+			FailOpen:            spec.FailOpen,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if spec.Store == "" {
+			fmt.Printf("septicd: domain %s (mode=%s, no persistence)\n", name, mode)
+			continue
+		}
+		stores[name] = spec.Store
+		if _, err := os.Stat(spec.Store); err == nil {
+			if err := d.Store().Load(spec.Store); err != nil {
+				return nil, fmt.Errorf("domain %q: load models: %w", name, err)
+			}
+		}
+		fmt.Printf("septicd: domain %s (mode=%s, %d query models from %s)\n",
+			name, mode, d.Store().Len(), spec.Store)
+	}
+	return stores, nil
+}
+
+// saveDomains persists every registered domain's store on shutdown.
+func saveDomains(guard *core.Septic, stores map[string]string) error {
+	names := make([]string, 0, len(stores))
+	for name := range stores {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		d, ok := guard.Domain(name)
+		if !ok {
+			continue
+		}
+		if err := d.Store().Save(stores[name]); err != nil {
+			return fmt.Errorf("domain %q: save models: %w", name, err)
+		}
+		fmt.Printf("septicd: domain %s: saved %d query models to %s\n",
+			name, d.Store().Len(), stores[name])
+	}
+	return nil
+}
+
 func run() error {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:3306", "listen address")
 		modeName  = flag.String("mode", "prevention", "septic mode: training, detection or prevention")
 		modelPath = flag.String("models", "", "query-model store path (loaded if present, saved on shutdown)")
+		domains   = flag.String("domains", "", "protection-domain config file (JSON; multi-tenant mode)")
 		sqli      = flag.Bool("sqli", true, "enable SQLI detection")
 		stored    = flag.Bool("stored", true, "enable stored-injection detection")
 		quiet     = flag.Bool("quiet", false, "suppress the live event display")
@@ -66,16 +191,9 @@ func run() error {
 	)
 	flag.Parse()
 
-	var mode core.Mode
-	switch *modeName {
-	case "training":
-		mode = core.ModeTraining
-	case "detection":
-		mode = core.ModeDetection
-	case "prevention":
-		mode = core.ModePrevention
-	default:
-		return fmt.Errorf("unknown mode %q", *modeName)
+	mode, err := parseMode(*modeName)
+	if err != nil {
+		return err
 	}
 
 	var loggerOpts []core.LoggerOption
@@ -125,6 +243,21 @@ func run() error {
 		FailOpen:            *failOpen,
 	}, coreOpts...)
 
+	domainStores := map[string]string{}
+	if *domains != "" {
+		if domainStores, err = loadDomains(guard, *domains); err != nil {
+			return err
+		}
+		// The HELLO handshake acknowledges the domain a session actually
+		// binds to, consulting the guard's registry.
+		serverOpts = append(serverOpts, wire.WithDomainResolver(func(app string) string {
+			if d, ok := guard.Domain(app); ok {
+				return d.Name()
+			}
+			return core.DefaultDomain
+		}))
+	}
+
 	engineOpts = append(engineOpts, engine.WithQueryHook(guard))
 	db := engine.New(engineOpts...)
 	srv := wire.NewServer(db, serverOpts...)
@@ -134,7 +267,16 @@ func run() error {
 	}
 
 	if hub != nil {
-		qmDump := func() any { return store.Dump() }
+		qmDump := func(domain string) any {
+			if domain == "" {
+				domain = core.DefaultDomain
+			}
+			d, ok := guard.Domain(domain)
+			if !ok {
+				return nil
+			}
+			return d.Store().Dump()
+		}
 		obsLn, err := net.Listen("tcp", *obsAddr)
 		if err != nil {
 			return fmt.Errorf("obs listen %s: %w", *obsAddr, err)
@@ -175,13 +317,19 @@ func run() error {
 		}
 		fmt.Printf("septicd: saved %d query models to %s\n", guard.Store().Len(), *modelPath)
 	}
+	if err := saveDomains(guard, domainStores); err != nil {
+		return err
+	}
 	stats := guard.Stats()
 	fmt.Printf("septicd: %d queries seen, %d models learned, %d attacks (%d blocked)\n",
 		stats.QueriesSeen, stats.ModelsLearned, stats.AttacksFound, stats.AttacksBlocked)
-	if pending := guard.Store().PendingReview(); len(pending) > 0 {
-		fmt.Printf("septicd: %d incrementally learned identifiers await review:\n", len(pending))
-		for _, id := range pending {
-			fmt.Println("  " + id)
+	for _, d := range guard.Domains() {
+		if pending := d.Store().PendingReview(); len(pending) > 0 {
+			fmt.Printf("septicd: domain %s: %d incrementally learned identifiers await review:\n",
+				d.Name(), len(pending))
+			for _, id := range pending {
+				fmt.Println("  " + id)
+			}
 		}
 	}
 	return nil

@@ -85,6 +85,10 @@ func coreConfig(c SepticConfig) core.Config {
 type AppSpec struct {
 	// Name labels the series ("Address Book", "refbase", "ZeroCMS").
 	Name string
+	// Prefix is the application prefix of the app's external query
+	// identifiers ("ab" for "/* ab:list */ …") — the name its protection
+	// domain is registered under in multi-domain replays.
+	Prefix string
 	// Schema is run once against the raw engine.
 	Schema []string
 	// Build constructs the application over the engine.

@@ -1,0 +1,156 @@
+package benchlab
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/septic-db/septic/internal/core"
+	"github.com/septic-db/septic/internal/engine"
+	"github.com/septic-db/septic/internal/webapp"
+)
+
+// DomainThroughput is one application's share of a multi-domain replay:
+// its request counts plus its protection domain's own counters, which is
+// what makes the isolation claim measurable — every model learned and
+// every attack blocked is attributed to exactly one domain.
+type DomainThroughput struct {
+	App    string
+	Domain string
+
+	Requests int
+	Errors   int
+
+	// Stats is the domain's counter snapshot after the replay.
+	Stats core.Stats
+	// Models is the domain's model-store size after the replay.
+	Models int
+}
+
+// CacheHitRate returns the fraction of the domain's verdict-cache
+// lookups served from cache, in [0,1].
+func (d *DomainThroughput) CacheHitRate() float64 {
+	total := d.Stats.Cache.Hits + d.Stats.Cache.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(d.Stats.Cache.Hits) / float64(total)
+}
+
+// DomainsResult is the outcome of one RunDomains replay.
+type DomainsResult struct {
+	Domains []DomainThroughput
+	Elapsed time.Duration
+}
+
+// RunDomains is the multi-tenant replay: the paper's deployment of ONE
+// SEPTIC inside one DBMS protecting several applications at once. All
+// specs are deployed against a single engine with a single guard, each
+// behind its own protection domain (registered under the spec's query
+// prefix, so "/* ab:list */ …" routes itself); each domain is trained by
+// its application's training trace, switched to prevention (YY), and
+// then every application's workload replays CONCURRENTLY —
+// p.Machines×p.BrowsersPerMachine browsers per application — against the
+// shared server. The per-domain counters afterwards show the isolation:
+// models, verdicts, hits and blocks never cross domains.
+//
+// Specs must have distinct non-empty Prefixes and disjoint table names
+// (the four paper applications do).
+func RunDomains(specs []AppSpec, p Params) (*DomainsResult, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("no application specs")
+	}
+	var coreOpts []core.SepticOption
+	var engineOpts []engine.Option
+	if p.Obs != nil {
+		coreOpts = append(coreOpts, core.WithObserver(p.Obs))
+		engineOpts = append(engineOpts, engine.WithObs(p.Obs))
+	}
+	// The default domain only sees the schema DDL (no external IDs on
+	// CREATE TABLE); training mode there keeps setup friction-free.
+	guard := core.New(core.Config{Mode: core.ModeTraining}, coreOpts...)
+	db := engine.New(append(engineOpts, engine.WithQueryHook(guard))...)
+
+	type deployment struct {
+		spec   AppSpec
+		app    *webapp.App
+		domain *core.Domain
+	}
+	deps := make([]deployment, 0, len(specs))
+	for _, spec := range specs {
+		if spec.Prefix == "" {
+			return nil, fmt.Errorf("%s: spec has no domain prefix", spec.Name)
+		}
+		d, err := guard.RegisterDomain(spec.Prefix, core.Config{
+			Mode: core.ModeTraining, IncrementalLearning: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		for _, q := range spec.Schema {
+			if _, err := db.Exec(q); err != nil {
+				return nil, fmt.Errorf("%s schema: %w", spec.Name, err)
+			}
+		}
+		app := spec.Build(db)
+		for _, req := range spec.Training {
+			if resp := app.Serve(req.Clone()); resp.Status != 200 {
+				return nil, fmt.Errorf("%s training %s: %v", spec.Name, req, resp.Err)
+			}
+		}
+		deps = append(deps, deployment{spec: spec, app: app, domain: d})
+	}
+	// Lifecycle switch, per domain: training is over, prevention (YY) is
+	// on. The default domain and every other domain are untouched by each
+	// switch — that independence is the point.
+	for _, dep := range deps {
+		dep.domain.SetConfig(core.Config{
+			Mode:                core.ModePrevention,
+			DetectSQLI:          true,
+			DetectStored:        true,
+			IncrementalLearning: true,
+		})
+	}
+
+	browsers := p.Machines * p.BrowsersPerMachine
+	if browsers < 1 {
+		browsers = 1
+	}
+	errCounts := make([]atomic.Int64, len(deps))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range deps {
+		dep := deps[i]
+		for b := 0; b < browsers; b++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for loop := 0; loop < p.Loops; loop++ {
+					for _, req := range dep.spec.Workload {
+						resp := dep.app.Serve(req.Clone())
+						webTier(resp.Body, p.WebTierWork)
+						if resp.Status != 200 {
+							errCounts[i].Add(1)
+						}
+					}
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	out := &DomainsResult{Elapsed: elapsed}
+	for i, dep := range deps {
+		out.Domains = append(out.Domains, DomainThroughput{
+			App:      dep.spec.Name,
+			Domain:   dep.domain.Name(),
+			Requests: browsers * p.Loops * len(dep.spec.Workload),
+			Errors:   int(errCounts[i].Load()),
+			Stats:    dep.domain.Stats(),
+			Models:   dep.domain.Store().ModelCount(),
+		})
+	}
+	return out, nil
+}

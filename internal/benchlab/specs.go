@@ -11,6 +11,7 @@ func PaperSpecs() []AppSpec {
 	return []AppSpec{
 		{
 			Name:     "Address Book",
+			Prefix:   "ab",
 			Schema:   apps.AddressBookSchema(),
 			Build:    apps.NewAddressBook,
 			Training: apps.AddressBookTraining(),
@@ -18,6 +19,7 @@ func PaperSpecs() []AppSpec {
 		},
 		{
 			Name:     "refbase",
+			Prefix:   "rb",
 			Schema:   apps.RefbaseSchema(),
 			Build:    apps.NewRefbase,
 			Training: apps.RefbaseTraining(),
@@ -25,6 +27,7 @@ func PaperSpecs() []AppSpec {
 		},
 		{
 			Name:     "ZeroCMS",
+			Prefix:   "cms",
 			Schema:   apps.ZeroCMSSchema(),
 			Build:    apps.NewZeroCMS,
 			Training: apps.ZeroCMSTraining(),
@@ -38,6 +41,7 @@ func PaperSpecs() []AppSpec {
 func WaspMonSpec() AppSpec {
 	return AppSpec{
 		Name:     "WaspMon",
+		Prefix:   "waspmon",
 		Schema:   apps.WaspMonSchema(),
 		Build:    apps.NewWaspMon,
 		Training: apps.WaspMonTraining(),

@@ -56,6 +56,47 @@ func TestCachedHitAllocationFree(t *testing.T) {
 	}
 }
 
+// TestCachedHitAllocationFreeDomain extends the tentpole guard to the
+// domain-routed path: with protection domains registered, a repeated
+// known-benign query carrying an "/* app:id */" prefix must route to
+// its domain and still be served from that domain's verdict cache with
+// ZERO allocations. Domain resolution is one prefix scan plus one map
+// lookup off an atomic snapshot — if this fails, routing started
+// copying or boxing per query.
+func TestCachedHitAllocationFreeDomain(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race instrumentation adds allocations")
+	}
+	sep := New(Config{Mode: ModeTraining},
+		WithLogger(NewLogger(WithCheckedSampling(0))))
+	d, err := sep.RegisterDomain("shop", Config{Mode: ModeTraining, IncrementalLearning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hctx := hookCtxFor(t, "/* shop:tickets */ SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234")
+	if err := sep.BeforeExecute(hctx); err != nil { // learn in the shop domain
+		t.Fatalf("training: %v", err)
+	}
+	d.SetConfig(DefaultConfig())
+	if err := sep.BeforeExecute(hctx); err != nil { // miss: populate the domain's cache
+		t.Fatalf("warm-up: %v", err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := sep.BeforeExecute(hctx); err != nil {
+			t.Fatalf("cached hit: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("domain-routed cached-hit path allocates %.1f objects/op, want 0", allocs)
+	}
+	if d.CacheStats().Hits == 0 {
+		t.Fatal("domain cache never hit — the query did not route to its domain")
+	}
+	if sep.DefaultDomain().CacheStats().Hits != 0 {
+		t.Fatal("default-domain cache hit — routing leaked to the default partition")
+	}
+}
+
 // TestCachedHitAllocationFreeWithObs guards the ENABLED observability
 // budget: instrumentation on the cached hot path is one time.Now pair
 // and two histogram Observes — atomics into fixed buckets, never an

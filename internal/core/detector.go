@@ -43,10 +43,10 @@ func NewDetector(plugins []Plugin) *Detector {
 // identifier matches; otherwise the reported verdict comes from the
 // closest model (a syntactical mismatch is closer than a structural
 // one), which gives the event register the most precise explanation.
-func (d *Detector) DetectSQLI(qs qstruct.Stack, models []qstruct.Model) (Detection, bool) {
+func (d *Detector) DetectSQLI(qs qstruct.Stack, models ModelView) (Detection, bool) {
 	var best qstruct.Verdict
 	haveBest := false
-	for _, qm := range models {
+	for _, qm := range models.models {
 		verdict := qstruct.Compare(qs, qm)
 		if verdict.Match {
 			return Detection{}, false

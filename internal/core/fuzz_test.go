@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 
 	"github.com/septic-db/septic/internal/engine"
@@ -32,6 +33,17 @@ func FuzzBeforeExecute(f *testing.F) {
 		"SELECT * FROM tickets WHERE reservID = '; cat /etc/passwd' AND creditCard = 1",
 		"INSERT INTO tickets (reservID, creditCard) VALUES ('ID34FG', 1234)",
 		"SELECT 1",
+		// Malformed external-identifier comments: embedded control bytes,
+		// oversized bodies and unterminated openers. ExternalID must reject
+		// (not crash on) the parseable ones; the parser rejects the rest.
+		"/* app:q1 */ SELECT * FROM tickets WHERE reservID = 'a' AND creditCard = 1",
+		"/* app:q1\ninjected */ SELECT * FROM tickets WHERE reservID = 'a' AND creditCard = 1",
+		"/* a\x00b\x7fc */ SELECT * FROM tickets WHERE reservID = 'a' AND creditCard = 1",
+		"/* pad:" + strings.Repeat("x", MaxExternalIDLen+1) +
+			" */ SELECT * FROM tickets WHERE reservID = 'a' AND creditCard = 1",
+		"/* unterminated SELECT * FROM tickets WHERE reservID = 'a'",
+		"/*/ SELECT 1",
+		"/**/ SELECT * FROM tickets WHERE reservID = 'a' AND creditCard = 1",
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -60,12 +60,57 @@ func (g *IDGenerator) internal(stmt sqlparser.Statement) string {
 	return string(strconv.AppendUint(buf[:1], qstruct.SkeletonHash(stmt), 16))
 }
 
+// MaxExternalIDLen bounds the accepted external identifier (after
+// trimming). The bound exists for two reasons: identifiers are store
+// keys and metric labels, so an attacker-influenced comment must not be
+// able to balloon them; and the verdict-cache/domain router does byte
+// scans over the identifier on the hot path, which the bound keeps O(1)
+// in practice.
+const MaxExternalIDLen = 128
+
 // ExternalID extracts the application-supplied external identifier from
 // a statement's comments: the body of the first comment, trimmed. An
-// empty string means the application supplied none.
+// empty string means the application supplied none — either because
+// there was no comment or because the comment body is MALFORMED as an
+// identifier and is rejected outright:
+//
+//   - embedded newlines or any other control byte (< 0x20, or DEL): a
+//     multi-line comment is commentary, not an identifier, and control
+//     bytes would corrupt the single-line event register and audit log
+//     where identifiers are printed verbatim;
+//   - oversized bodies (> MaxExternalIDLen after trimming): see the
+//     constant.
+//
+// Rejection deliberately degrades to "no external identifier": the
+// query still gets its internal skeleton-hash identifier and full
+// protection, it just loses the optional programmer-supplied label —
+// the paper's semantics for applications that supply none. (Unterminated
+// /* comments never reach here: the parser rejects the whole statement
+// before the hook runs.)
 func ExternalID(comments []string) string {
 	if len(comments) == 0 {
 		return ""
 	}
-	return strings.TrimSpace(comments[0])
+	ext := strings.TrimSpace(comments[0])
+	if len(ext) > MaxExternalIDLen {
+		return ""
+	}
+	for i := 0; i < len(ext); i++ {
+		if c := ext[i]; c < 0x20 || c == 0x7f {
+			return ""
+		}
+	}
+	return ext
+}
+
+// AppPrefix returns the application prefix of an external identifier —
+// the text before the first ':' in the "/* app:query-id */" convention
+// the paper's four demo applications use — or "" when the identifier
+// carries no prefix. The result aliases ext (a substring), so calling it
+// on the hot path allocates nothing.
+func AppPrefix(ext string) string {
+	if i := strings.IndexByte(ext, ':'); i > 0 {
+		return ext[:i]
+	}
+	return ""
 }

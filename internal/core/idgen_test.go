@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 
 	"github.com/septic-db/septic/internal/sqlparser"
@@ -96,6 +97,81 @@ func TestExternalIDExtraction(t *testing.T) {
 	for _, tt := range tests {
 		if got := ExternalID(tt.comments); got != tt.want {
 			t.Errorf("ExternalID(%v) = %q, want %q", tt.comments, got, tt.want)
+		}
+	}
+}
+
+// TestExternalIDRejectsMalformed pins the hardening contract: a comment
+// body that cannot serve as an identifier degrades to "no external
+// identifier" (empty string) rather than producing a corrupt or
+// unbounded store key. Rejection is total — there is no partial
+// sanitization that an attacker could steer.
+func TestExternalIDRejectsMalformed(t *testing.T) {
+	oversized := strings.Repeat("x", MaxExternalIDLen+1)
+	atLimit := strings.Repeat("y", MaxExternalIDLen)
+	tests := []struct {
+		name string
+		body string
+		want string
+	}{
+		{"embedded newline", "app:q1\ninjected", ""},
+		{"embedded CR", "app:q1\rinjected", ""},
+		{"embedded CRLF", "line one\r\nline two", ""},
+		{"embedded tab", "app\tq1", ""},
+		{"embedded NUL", "app\x00q1", ""},
+		{"escape byte", "app\x1b[31mq1", ""},
+		{"DEL byte", "app\x7fq1", ""},
+		{"control byte at start", "\x01app:q1", ""},
+		{"control byte at end", "app:q1\x02", ""},
+		{"oversized", oversized, ""},
+		{"oversized after trim", " " + oversized + " ", ""},
+		{"exactly at limit", atLimit, atLimit},
+		{"surrounding whitespace trims clean", "\n\t app:q1 \t\n", "app:q1"},
+		{"whitespace only", " \t\n ", ""},
+		{"multibyte text survives", "app:héllo", "app:héllo"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := ExternalID([]string{tt.body}); got != tt.want {
+				t.Errorf("ExternalID(%q) = %q, want %q", tt.body, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestUnterminatedCommentRejectedByParser documents where the third
+// malformed-comment shape is handled: an unterminated "/*" never
+// produces a statement, so ExternalID never sees it.
+func TestUnterminatedCommentRejectedByParser(t *testing.T) {
+	for _, q := range []string{
+		"/* app:q1 SELECT id FROM tickets WHERE id = 1",
+		"/* SELECT 1",
+		"/*",
+	} {
+		if _, err := sqlparser.Parse(q); err == nil {
+			t.Errorf("Parse(%q) accepted an unterminated comment", q)
+		}
+	}
+}
+
+// TestMalformedExternalIDFallsBackToInternal shows the degradation
+// end-to-end through the generator: a rejected comment body yields the
+// same ID as having no comment at all — the query keeps its full
+// skeleton-hash protection.
+func TestMalformedExternalIDFallsBackToInternal(t *testing.T) {
+	g := NewIDGenerator()
+	plain := idOf(t, g, "SELECT id FROM tickets WHERE id = 1")
+	stmt, err := sqlparser.Parse("SELECT id FROM tickets WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, body := range []string{
+		"app:q1\nsecond line",
+		strings.Repeat("x", MaxExternalIDLen+1),
+		"ctl\x07chars",
+	} {
+		if got := g.ID(stmt, []string{body}); got != plain {
+			t.Errorf("malformed comment %q altered the ID: %q vs %q", body, got, plain)
 		}
 	}
 }

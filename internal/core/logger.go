@@ -55,6 +55,9 @@ const (
 	// was contained; Detail records the panic value and the applied
 	// fail-open/fail-closed policy.
 	EventGuardFault
+	// EventDomainRegistered: a new protection domain was created; Domain
+	// carries its name and Detail its starting configuration.
+	EventDomainRegistered
 )
 
 var eventKindNames = map[EventKind]string{
@@ -66,6 +69,8 @@ var eventKindNames = map[EventKind]string{
 	EventAttackBlocked:  "attack-blocked",
 	EventModeChanged:    "mode-changed",
 	EventGuardFault:     "guard-fault",
+
+	EventDomainRegistered: "domain-registered",
 }
 
 // String names the event kind as the demo display prints it.
@@ -110,6 +115,10 @@ type Event struct {
 	Kind    EventKind
 	QueryID string
 	Query   string
+	// Domain names the protection domain the event belongs to; empty on
+	// events predating domains and on default-domain traffic logged
+	// through the fast path.
+	Domain string
 	// Attack fields (zero for non-attack events).
 	Attack AttackType
 	// Step is which SQLI detection step fired (structural/syntactical).
@@ -124,6 +133,9 @@ type Event struct {
 // String renders the event as one display line.
 func (e Event) String() string {
 	s := fmt.Sprintf("[%d] %s id=%s", e.Seq, e.Kind, e.QueryID)
+	if e.Domain != "" && e.Domain != "default" {
+		s += " domain=" + e.Domain
+	}
 	if e.Attack != AttackNone {
 		s += fmt.Sprintf(" attack=%s", e.Attack)
 		if e.Attack == AttackSQLI {
@@ -322,6 +334,7 @@ type auditEntry struct {
 	Seq     int64  `json:"seq"`
 	Time    string `json:"time"`
 	Kind    string `json:"kind"`
+	Domain  string `json:"domain,omitempty"`
 	QueryID string `json:"query_id,omitempty"`
 	Query   string `json:"query,omitempty"`
 	Attack  string `json:"attack,omitempty"`
@@ -335,6 +348,7 @@ func auditRecord(e Event) auditEntry {
 		Seq:     e.Seq,
 		Time:    e.Time.UTC().Format(time.RFC3339Nano),
 		Kind:    e.Kind.String(),
+		Domain:  e.Domain,
 		QueryID: e.QueryID,
 		Query:   e.Query,
 		Detail:  e.Detail,

@@ -47,6 +47,8 @@ func (m Mode) String() string {
 // Config selects SEPTIC's mode and which detections run. The four
 // on/off combinations of DetectSQLI × DetectStored are the NN/YN/NY/YY
 // configurations of the paper's performance study (§II-F, Fig. 5).
+// Every protection domain carries its own Config, so one application
+// can still be training while another already prevents.
 type Config struct {
 	Mode Mode
 	// DetectSQLI enables query-model comparison.
@@ -64,7 +66,8 @@ type Config struct {
 	// only a defense if it cannot be knocked out of the request path.
 	// Fail-open instead logs the incident and admits the query,
 	// prioritizing availability over protection; it is an explicit
-	// operator opt-in (septicd -fail-open).
+	// operator opt-in (septicd -fail-open, or per domain in the
+	// -domains file).
 	FailOpen bool
 }
 
@@ -90,42 +93,53 @@ type Stats struct {
 	Cache CacheStats
 }
 
+// add accumulates another snapshot (domain aggregation).
+func (s *Stats) add(o Stats) {
+	s.QueriesSeen += o.QueriesSeen
+	s.ModelsLearned += o.ModelsLearned
+	s.AttacksFound += o.AttacksFound
+	s.AttacksBlocked += o.AttacksBlocked
+	s.GuardFaults += o.GuardFaults
+	s.Cache.add(o.Cache)
+}
+
 // Septic is the mechanism: it wires the QS&QM manager, ID generator,
 // attack detector and logger together and implements engine.QueryHook so
 // it can be installed inside the DBMS (engine.WithQueryHook). A single
-// Septic may serve many concurrent sessions: the hot path reads the
-// configuration through an atomic snapshot pointer and bumps lock-free
-// counters, so concurrent sessions executing known-benign queries never
-// serialize on a Septic-level lock.
+// Septic may serve many concurrent sessions AND many applications at
+// once: tenant state (model store, mode, fail policy, verdict cache,
+// counters) lives in protection domains (see Domain), and every query is
+// routed to its domain by one map lookup off an atomic snapshot. A
+// Septic with no registered domains is the single-tenant deployment:
+// everything lands in the default domain and the legacy accessors
+// (Mode, SetMode, Store, ...) behave exactly as before.
+//
+// The hot path reads the domain snapshot and the domain's configuration
+// through atomic pointers and bumps lock-free counters, so concurrent
+// sessions executing known-benign queries never serialize on a
+// Septic-level lock — regardless of how many domains are registered.
 type Septic struct {
 	idgen    *IDGenerator
-	store    *Store
 	detector *Detector
 	logger   *Logger
 
-	// cfg is the current configuration, published as an immutable
-	// snapshot: readers Load once per query and see a consistent Config;
-	// writers install a fresh copy (SetMode/SetConfig).
-	cfg atomic.Pointer[Config]
+	// store is the default domain's model store; kept as a field so the
+	// construction options (WithStore) and the legacy single-tenant
+	// gauges keep their shape.
+	store *Store
 
-	// cfgGen counts configuration changes. Writers publish the new
-	// snapshot first, THEN bump; the verdict cache stamps entries with the
-	// generation read BEFORE computing, so any verdict that could have
-	// been computed under the old configuration is stale once the counter
-	// moves. Together with Store.Generation this makes cached verdicts
-	// self-invalidating: no flush hook, no missed invalidation.
-	cfgGen atomic.Uint64
+	// def is the default protection domain: the routing fallback and the
+	// target of the legacy single-tenant API.
+	def *Domain
 
-	// verdicts memoizes benign outcomes by exact decoded query text
-	// (built in New from verdictCap).
-	verdicts   *verdictCache
+	// domains is the routing table, app name → Domain, published as an
+	// immutable copy-on-write snapshot (never nil; empty until the first
+	// RegisterDomain). Readers Load once per query.
+	domains atomic.Pointer[map[string]*Domain]
+	// regMu serializes registrations (writers only).
+	regMu sync.Mutex
+
 	verdictCap int
-
-	queriesSeen    atomic.Int64
-	modelsLearned  atomic.Int64
-	attacksFound   atomic.Int64
-	attacksBlocked atomic.Int64
-	guardFaults    atomic.Int64
 
 	// obs is the observability hub; nil (the default) disables all
 	// instrumentation. The histogram handles are resolved once in New so
@@ -151,7 +165,9 @@ func WithPlugins(plugins []Plugin) SepticOption {
 	return func(s *Septic) { s.detector = NewDetector(plugins) }
 }
 
-// WithStore installs a pre-loaded model store (e.g. read from disk).
+// WithStore installs a pre-loaded model store (e.g. read from disk) as
+// the DEFAULT domain's store. Registered domains always start with their
+// own fresh store; load them through Domain.Store().Load.
 func WithStore(store *Store) SepticOption {
 	return func(s *Septic) { s.store = store }
 }
@@ -170,14 +186,15 @@ func WithObserver(h *obs.Hub) SepticOption {
 	return func(s *Septic) { s.obs = h }
 }
 
-// WithVerdictCacheCapacity bounds the verdict cache to n entries; n = 0
-// disables verdict caching entirely (every query runs the full
-// pipeline — the ablation configuration for benchmarks).
+// WithVerdictCacheCapacity bounds each domain's verdict cache to n
+// entries; n = 0 disables verdict caching entirely (every query runs
+// the full pipeline — the ablation configuration for benchmarks).
 func WithVerdictCacheCapacity(n int) SepticOption {
 	return func(s *Septic) { s.verdictCap = n }
 }
 
-// New builds a SEPTIC instance with the given configuration.
+// New builds a SEPTIC instance with the given configuration (which
+// becomes the default domain's configuration).
 func New(cfg Config, opts ...SepticOption) *Septic {
 	s := &Septic{
 		idgen:      NewIDGenerator(),
@@ -186,109 +203,107 @@ func New(cfg Config, opts ...SepticOption) *Septic {
 		logger:     NewLogger(),
 		verdictCap: DefaultVerdictCacheCapacity,
 	}
-	s.cfg.Store(&cfg)
 	for _, o := range opts {
 		o(s)
 	}
-	s.verdicts = newVerdictCache(s.verdictCap)
+	s.def = s.newDomain(DefaultDomain, cfg, s.store)
+	empty := make(map[string]*Domain)
+	s.domains.Store(&empty)
 	if s.obs != nil {
 		m := s.obs.Metrics
 		s.hookHit = m.Histogram("core.hook.cached_hit")
 		s.hookFull = m.Histogram("core.hook.full")
-		m.GaugeFunc("core.queries_seen", s.queriesSeen.Load)
-		m.GaugeFunc("core.models_learned", s.modelsLearned.Load)
-		m.GaugeFunc("core.attacks_found", s.attacksFound.Load)
-		m.GaugeFunc("core.attacks_blocked", s.attacksBlocked.Load)
-		m.GaugeFunc("core.guard_faults", s.guardFaults.Load)
+		// The unqualified core.* gauges aggregate over every domain, so a
+		// single-tenant deployment reads exactly what it always did and a
+		// multi-tenant one gets the fleet totals; per-domain breakdowns
+		// live under core.domain.<name>.* (registerDomainGauges).
+		m.GaugeFunc("core.queries_seen", func() int64 { return s.Stats().QueriesSeen })
+		m.GaugeFunc("core.models_learned", func() int64 { return s.Stats().ModelsLearned })
+		m.GaugeFunc("core.attacks_found", func() int64 { return s.Stats().AttacksFound })
+		m.GaugeFunc("core.attacks_blocked", func() int64 { return s.Stats().AttacksBlocked })
+		m.GaugeFunc("core.guard_faults", func() int64 { return s.Stats().GuardFaults })
 		m.GaugeFunc("core.store.identifiers", func() int64 { return int64(s.store.Len()) })
 		m.GaugeFunc("core.store.models", func() int64 { return int64(s.store.ModelCount()) })
-		m.GaugeFunc("core.verdict_cache.entries", func() int64 { return int64(s.verdicts.stats().Entries) })
-		m.GaugeFunc("core.verdict_cache.hits", func() int64 { return s.verdicts.stats().Hits })
-		m.GaugeFunc("core.verdict_cache.misses", func() int64 { return s.verdicts.stats().Misses })
-		m.GaugeFunc("core.verdict_cache.evictions", func() int64 { return s.verdicts.stats().Evictions })
-		m.GaugeFunc("core.verdict_cache.invalidations", func() int64 { return s.verdicts.stats().Invalidations })
-		s.store.SetObserver(s.obs)
-		s.verdicts.setObserver(s.obs)
+		m.GaugeFunc("core.verdict_cache.entries", func() int64 { return int64(s.CacheStats().Entries) })
+		m.GaugeFunc("core.verdict_cache.hits", func() int64 { return s.CacheStats().Hits })
+		m.GaugeFunc("core.verdict_cache.misses", func() int64 { return s.CacheStats().Misses })
+		m.GaugeFunc("core.verdict_cache.evictions", func() int64 { return s.CacheStats().Evictions })
+		m.GaugeFunc("core.verdict_cache.invalidations", func() int64 { return s.CacheStats().Invalidations })
 	}
 	return s
 }
 
-// Mode returns the current operation mode.
-func (s *Septic) Mode() Mode {
-	return s.cfg.Load().Mode
-}
-
-// Config returns the current configuration.
-func (s *Septic) Config() Config {
-	return *s.cfg.Load()
-}
-
-// SetMode switches the operation mode (the demo "restarts MySQL" for
-// this; here it is atomic). Other configuration fields are preserved
-// even against a racing SetConfig.
-func (s *Septic) SetMode(m Mode) {
-	for {
-		old := s.cfg.Load()
-		next := *old
-		next.Mode = m
-		if s.cfg.CompareAndSwap(old, &next) {
-			break
-		}
+// newDomain builds one protection domain over a store. Called from New
+// (default domain) and RegisterDomain.
+func (s *Septic) newDomain(name string, cfg Config, store *Store) *Domain {
+	d := &Domain{name: name, sep: s, store: store,
+		verdicts: newVerdictCache(s.verdictCap)}
+	d.cfg.Store(&cfg)
+	if s.obs != nil {
+		store.SetObserver(s.obs)
+		d.verdicts.setObserver(s.obs)
 	}
-	// Bump AFTER publishing: a reader that still observes the old
-	// generation computed against at-most-old configuration, and its
-	// cached verdict dies with the bump.
-	s.cfgGen.Add(1)
-	s.logger.Log(Event{Kind: EventModeChanged, Detail: "mode set to " + m.String()})
-	s.obs.Publish(obs.Event{Kind: obs.KindMode, Detail: "mode set to " + m.String()})
+	return d
 }
 
-// SetConfig replaces the whole configuration.
+// Mode returns the default domain's operation mode.
+func (s *Septic) Mode() Mode {
+	return s.def.Mode()
+}
+
+// Config returns the default domain's configuration.
+func (s *Septic) Config() Config {
+	return s.def.Config()
+}
+
+// SetMode switches the default domain's operation mode (the demo
+// "restarts MySQL" for this; here it is atomic). Registered domains are
+// untouched — switch them through Domain.SetMode.
+func (s *Septic) SetMode(m Mode) {
+	s.def.SetMode(m)
+}
+
+// SetConfig replaces the default domain's whole configuration.
 func (s *Septic) SetConfig(cfg Config) {
-	s.cfg.Store(&cfg)
-	s.cfgGen.Add(1)
-	detail := fmt.Sprintf("config set: mode=%s sqli=%t stored=%t",
-		cfg.Mode, cfg.DetectSQLI, cfg.DetectStored)
-	s.logger.Log(Event{Kind: EventModeChanged, Detail: detail})
-	s.obs.Publish(obs.Event{Kind: obs.KindMode, Detail: detail})
+	s.def.SetConfig(cfg)
 }
 
-// Store exposes the learned-model store (persistence, admin review).
+// Store exposes the default domain's learned-model store (persistence,
+// admin review). Registered domains own their stores: Domain.Store.
 func (s *Septic) Store() *Store { return s.store }
 
-// Logger exposes the event register (the demo display reads it).
+// Logger exposes the event register (the demo display reads it). The
+// register is shared by every domain; events carry the domain name.
 func (s *Septic) Logger() *Logger { return s.logger }
 
-// Stats returns a snapshot of the work counters. The counters are
-// separate atomics, so a snapshot taken under load is not a consistent
-// cut — but it is guaranteed never to over-report: within one query the
-// increments are ordered seen → found → blocked, and Stats reads the
-// DEPENDENT counter before its antecedent (blocked before found before
-// seen). Any concurrent query that slips between the reads can only
-// inflate the later-read antecedent, so the invariants
-// AttacksBlocked ≤ AttacksFound ≤ QueriesSeen hold in every snapshot.
-// (Reading in declaration order had the opposite skew: a query landing
-// between the seen and blocked reads could yield AttacksBlocked >
-// AttacksFound — a torn read that made rates transiently exceed 100%.)
+// Stats returns a snapshot of the work counters, aggregated over every
+// protection domain (single-tenant deployments have only the default
+// domain, so this is exactly the pre-domain behaviour). The counters
+// are separate atomics, so a snapshot taken under load is not a
+// consistent cut — but it is guaranteed never to over-report: within
+// one query the increments are ordered seen → found → blocked, and each
+// domain snapshot reads the DEPENDENT counter before its antecedent
+// (blocked before found before seen). Any concurrent query that slips
+// between the reads can only inflate the later-read antecedent, so the
+// invariants AttacksBlocked ≤ AttacksFound ≤ QueriesSeen hold in every
+// per-domain snapshot — and summing per-domain snapshots that each hold
+// the invariant preserves it.
 func (s *Septic) Stats() Stats {
-	blocked := s.attacksBlocked.Load()
-	found := s.attacksFound.Load()
-	faults := s.guardFaults.Load()
-	learned := s.modelsLearned.Load()
-	seen := s.queriesSeen.Load()
-	return Stats{
-		QueriesSeen:    seen,
-		ModelsLearned:  learned,
-		AttacksFound:   found,
-		AttacksBlocked: blocked,
-		GuardFaults:    faults,
-		Cache:          s.verdicts.stats(),
+	out := s.def.Stats()
+	for _, d := range *s.domains.Load() {
+		out.add(d.Stats())
 	}
+	return out
 }
 
-// CacheStats returns the verdict-cache counters alone.
+// CacheStats returns the verdict-cache counters aggregated over every
+// domain's cache partition.
 func (s *Septic) CacheStats() CacheStats {
-	return s.verdicts.stats()
+	out := s.def.verdicts.stats()
+	for _, d := range *s.domains.Load() {
+		out.add(d.verdicts.stats())
+	}
+	return out
 }
 
 // stackPool recycles query-structure node slices across hook
@@ -304,36 +319,46 @@ var stackPool = sync.Pool{
 }
 
 // BeforeExecute implements engine.QueryHook: the in-DBMS hook point.
-// It resolves the query identifier and — depending on mode — learns the
-// model or runs detection. The query structure is only materialized
-// when something needs it (training, incremental learning, or an active
-// detection): with both detections off the hook reduces to an ID
-// computation and a store lookup, which is what makes the paper's NN
-// configuration nearly free (§II-F: 0.5% overhead).
+// It first routes the query to its protection domain (one atomic
+// snapshot load plus at most one map lookup — see Septic.domainFor),
+// then resolves the query identifier and — depending on the domain's
+// mode — learns the model or runs detection. The query structure is
+// only materialized when something needs it (training, incremental
+// learning, or an active detection): with both detections off the hook
+// reduces to an ID computation and a store lookup, which is what makes
+// the paper's NN configuration nearly free (§II-F: 0.5% overhead).
 //
 // Benign outcomes are additionally memoized by exact decoded query text
-// in the verdict cache: a byte-identical repeat of a query already found
-// benign under the current configuration and model store skips ID
-// generation, the store lookup and detection entirely. The memo is keyed
-// on ctx.Decoded, which is sound because the parser derives the AST from
-// exactly that text (identical decoded text ⇒ identical AST ⇒ identical
-// verdict while configuration and models are unchanged), and generation
-// stamps guarantee the "unchanged" part: any SetMode/SetConfig or store
-// mutation bumps a counter and orphans every older entry. Attacks are
-// never cached — each occurrence is detected, logged and blocked afresh.
+// in the domain's verdict-cache partition: a byte-identical repeat of a
+// query already found benign under the domain's current configuration
+// and model store skips ID generation, the store lookup and detection
+// entirely. The memo is keyed on ctx.Decoded, which is sound because
+// the parser derives the AST from exactly that text (identical decoded
+// text ⇒ identical AST ⇒ identical verdict while configuration and
+// models are unchanged), and generation stamps guarantee the
+// "unchanged" part: any SetMode/SetConfig or store mutation ON THAT
+// DOMAIN bumps a counter and orphans every older entry. Partitioning
+// per domain is what makes the cache sound under multi-tenancy: the key
+// is query text, and two applications may issue byte-identical text
+// that must be judged against different model stores. Attacks are never
+// cached — each occurrence is detected, logged and blocked afresh.
 //
 // The hook is panic-contained: a fault anywhere in the protection path
 // (ID generation, structure building, a detector plugin) is recovered
 // and converted into an error (fail-closed, the default) or a logged
-// admission (fail-open) — it never unwinds into the engine and takes
-// the session or the server down. See Config.FailOpen.
-// The containment shell and the pipeline live in one function body:
-// splitting them costs an extra call on the cached-hit path, which is
-// measured in single nanoseconds (BenchmarkHookCached).
+// admission (fail-open) per the DOMAIN's policy — it never unwinds into
+// the engine and takes the session or the server down. See
+// Config.FailOpen. The containment shell and the pipeline live in one
+// function body: splitting them costs an extra call on the cached-hit
+// path, which is measured in single nanoseconds (BenchmarkHookCached).
 func (s *Septic) BeforeExecute(ctx *engine.HookContext) (err error) {
+	// Domain routing runs outside the containment shell: it is a map
+	// lookup plus byte scans over a bounded comment — no panic surface —
+	// and the shell needs the domain to apply the right fail policy.
+	d := s.domainFor(ctx)
 	defer func() {
 		if r := recover(); r != nil {
-			err = s.containFault(ctx, r)
+			err = s.containFault(d, ctx, r)
 		}
 	}()
 	faultinject.Hit(faultinject.SiteCoreHook)
@@ -348,13 +373,13 @@ func (s *Septic) BeforeExecute(ctx *engine.HookContext) (err error) {
 	// configuration or store mutation lands while this query is being
 	// checked, the stamps are already behind the bumped counters and the
 	// verdict cached below self-invalidates on its first lookup.
-	cfgGen := s.cfgGen.Load()
-	storeGen := s.store.Generation()
-	cfg := *s.cfg.Load()
-	s.queriesSeen.Add(1)
+	cfgGen := d.cfgGen.Load()
+	storeGen := d.store.Generation()
+	cfg := *d.cfg.Load()
+	d.queriesSeen.Add(1)
 
 	if cfg.Mode != ModeTraining {
-		if v, ok := s.verdicts.lookup(ctx.Decoded, cfgGen, storeGen); ok {
+		if v, ok := d.verdicts.lookup(ctx.Decoded, cfgGen, storeGen); ok {
 			if v.set != nil {
 				v.set.hits.Add(1) // keep the admin usage report exact
 			}
@@ -373,12 +398,12 @@ func (s *Septic) BeforeExecute(ctx *engine.HookContext) (err error) {
 	if cfg.Mode == ModeTraining {
 		// Training never consults or feeds the cache: every execution
 		// must reach the store so variants keep being learned.
-		s.learn(id, ctx.Decoded, qstruct.BuildStack(ctx.Stmt), EventModelLearned)
+		s.learn(d, id, ctx.Decoded, qstruct.BuildStack(ctx.Stmt), EventModelLearned)
 		s.observeFull(obsStart)
 		return nil
 	}
 
-	models, set, known := s.store.getSet(id)
+	models, set, known := d.store.getSet(id)
 	if !known {
 		if cfg.IncrementalLearning {
 			// Incremental training (§II-E): learn and execute; the
@@ -386,20 +411,20 @@ func (s *Septic) BeforeExecute(ctx *engine.HookContext) (err error) {
 			// from a benign query. Not cached — the Put just bumped the
 			// store generation, so the entry would be stillborn anyway,
 			// and the next repeat takes the known-identifier path.
-			s.learn(id, ctx.Decoded, qstruct.BuildStack(ctx.Stmt), EventNewQuery)
+			s.learn(d, id, ctx.Decoded, qstruct.BuildStack(ctx.Stmt), EventNewQuery)
 			s.observeFull(obsStart)
 			return nil
 		}
 		// Unknown identifier with learning off: executes unchecked by
 		// design; memoize so repeats skip the ID recomputation.
-		s.verdicts.insert(ctx.Decoded, &verdict{id: id, cfgGen: cfgGen, storeGen: storeGen})
+		d.verdicts.insert(ctx.Decoded, &verdict{id: id, cfgGen: cfgGen, storeGen: storeGen})
 		s.observeFull(obsStart)
 		return nil
 	}
 
 	if !cfg.DetectSQLI && !cfg.DetectStored {
 		// NN: nothing to check.
-		s.verdicts.insert(ctx.Decoded, &verdict{id: id, set: set, cfgGen: cfgGen, storeGen: storeGen})
+		d.verdicts.insert(ctx.Decoded, &verdict{id: id, set: set, cfgGen: cfgGen, storeGen: storeGen})
 		s.observeFull(obsStart)
 		return nil
 	}
@@ -411,7 +436,7 @@ func (s *Septic) BeforeExecute(ctx *engine.HookContext) (err error) {
 			*sp = qs
 			stackPool.Put(sp)
 			s.observeFull(obsStart)
-			return s.report(cfg, id, ctx, det)
+			return s.report(d, cfg, id, ctx, det)
 		}
 	}
 	if cfg.DetectStored {
@@ -419,13 +444,13 @@ func (s *Septic) BeforeExecute(ctx *engine.HookContext) (err error) {
 			*sp = qs
 			stackPool.Put(sp)
 			s.observeFull(obsStart)
-			return s.report(cfg, id, ctx, det)
+			return s.report(d, cfg, id, ctx, det)
 		}
 	}
 	*sp = qs
 	stackPool.Put(sp)
 	s.logger.LogQueryChecked(id, ctx.Decoded)
-	s.verdicts.insert(ctx.Decoded, &verdict{id: id, checked: true, set: set, cfgGen: cfgGen, storeGen: storeGen})
+	d.verdicts.insert(ctx.Decoded, &verdict{id: id, checked: true, set: set, cfgGen: cfgGen, storeGen: storeGen})
 	s.observeFull(obsStart)
 	return nil
 }
@@ -441,13 +466,13 @@ func (s *Septic) observeFull(start time.Time) {
 }
 
 // containFault turns a recovered protection-path panic into the
-// policy's outcome: an incident is always counted and logged with the
-// panic value and stack; fail-closed then blocks the query (the error
-// wraps engine.ErrQueryBlocked so the engine books it as a block) and
-// fail-open admits it.
-func (s *Septic) containFault(ctx *engine.HookContext, r any) error {
-	s.guardFaults.Add(1)
-	cfg := *s.cfg.Load()
+// domain's policy outcome: an incident is always counted and logged
+// with the panic value and stack; fail-closed then blocks the query
+// (the error wraps engine.ErrQueryBlocked so the engine books it as a
+// block) and fail-open admits it.
+func (s *Septic) containFault(d *Domain, ctx *engine.HookContext, r any) error {
+	d.guardFaults.Add(1)
+	cfg := *d.cfg.Load()
 	policy := "fail-closed"
 	if cfg.FailOpen {
 		policy = "fail-open"
@@ -458,6 +483,7 @@ func (s *Septic) containFault(ctx *engine.HookContext, r any) error {
 	}
 	s.logger.Log(Event{
 		Kind:   EventGuardFault,
+		Domain: d.name,
 		Query:  ctx.Decoded,
 		Detail: fmt.Sprintf("panic in protection path (%s): %v\n%s", policy, r, stack),
 	})
@@ -470,7 +496,7 @@ func (s *Septic) containFault(ctx *engine.HookContext, r any) error {
 			Kind:   obs.KindGuardFault,
 			Query:  ctx.Decoded,
 			Action: action,
-			Detail: fmt.Sprintf("panic in protection path (%s): %v", policy, r),
+			Detail: fmt.Sprintf("panic in protection path (%s, domain %s): %v", policy, d.name, r),
 		})
 	}
 	if cfg.FailOpen {
@@ -479,25 +505,27 @@ func (s *Septic) containFault(ctx *engine.HookContext, r any) error {
 	return fmt.Errorf("%w: septic guard fault (fail-closed): %v", engine.ErrQueryBlocked, r)
 }
 
-// learn stores the query model if it is new and logs the event; a model
-// already known for the ID is never re-added (demo phase C). Models
-// learned outside training mode are flagged for administrator review.
-func (s *Septic) learn(id, query string, qs qstruct.Stack, kind EventKind) {
+// learn stores the query model in the domain's store if it is new and
+// logs the event; a model already known for the ID is never re-added
+// (demo phase C). Models learned outside training mode are flagged for
+// administrator review.
+func (s *Septic) learn(d *Domain, id, query string, qs qstruct.Stack, kind EventKind) {
 	qm := qstruct.ModelOf(qs)
-	if !s.store.Put(id, qm, kind == EventNewQuery) {
+	if !d.store.Put(id, qm, kind == EventNewQuery) {
 		return
 	}
-	s.modelsLearned.Add(1)
-	s.logger.Log(Event{Kind: kind, QueryID: id, Query: query,
+	d.modelsLearned.Add(1)
+	s.logger.Log(Event{Kind: kind, Domain: d.name, QueryID: id, Query: query,
 		Detail: fmt.Sprintf("model learned (%d nodes)", len(qm.Nodes))})
 }
 
-// report logs the attack and, in prevention mode, blocks the query.
-func (s *Septic) report(cfg Config, id string, ctx *engine.HookContext, det Detection) error {
-	s.attacksFound.Add(1)
+// report logs the attack against the domain and, in prevention mode,
+// blocks the query.
+func (s *Septic) report(d *Domain, cfg Config, id string, ctx *engine.HookContext, det Detection) error {
+	d.attacksFound.Add(1)
 	blocked := cfg.Mode == ModePrevention
 	if blocked {
-		s.attacksBlocked.Add(1)
+		d.attacksBlocked.Add(1)
 	}
 
 	kind := EventAttackDetected
@@ -506,6 +534,7 @@ func (s *Septic) report(cfg Config, id string, ctx *engine.HookContext, det Dete
 	}
 	s.logger.Log(Event{
 		Kind:    kind,
+		Domain:  d.name,
 		QueryID: id,
 		Query:   ctx.Decoded,
 		Attack:  det.Attack,

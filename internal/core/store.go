@@ -116,10 +116,45 @@ func (s *Store) Generation() uint64 {
 	return s.gen.Load()
 }
 
-// Get returns the models learned for id and counts the hit. The slice is
-// shared and immutable: callers must not modify it. Successive Puts never
-// change a slice a previous Get returned.
-func (s *Store) Get(id string) ([]qstruct.Model, bool) {
+// ModelView is a read-only view of one identifier's learned models. The
+// store's per-identifier slices are copy-on-write and SHARED between
+// every session (and, with protection domains, handed across the
+// detector seam); the view type makes the read-only contract structural
+// instead of a comment — callers outside the package cannot reach the
+// backing array at all, so one domain's caller can never mutate models
+// another domain (or another session) is concurrently comparing
+// against. The view is a single-word wrapper around the slice header:
+// constructing and copying it allocates nothing, keeping Get on the hot
+// path alloc-free.
+type ModelView struct {
+	models []qstruct.Model
+}
+
+// ViewOf builds a ModelView over copies of the given models — the
+// test-and-tooling constructor for exercising the detector directly.
+// The models are cloned so later mutation of the arguments cannot reach
+// the view, mirroring the store's immutability guarantee.
+func ViewOf(models ...qstruct.Model) ModelView {
+	cp := make([]qstruct.Model, len(models))
+	copy(cp, models)
+	return ModelView{models: cp}
+}
+
+// Len returns the number of models in the view.
+func (v ModelView) Len() int { return len(v.models) }
+
+// Empty reports whether the view holds no models.
+func (v ModelView) Empty() bool { return len(v.models) == 0 }
+
+// At returns the i-th model. The Model is returned by value; its Nodes
+// slice is shared and must be treated as read-only, like every
+// qstruct.Model.
+func (v ModelView) At(i int) qstruct.Model { return v.models[i] }
+
+// Get returns a read-only view of the models learned for id and counts
+// the hit. The view is backed by the shared copy-on-write slice:
+// successive Puts never change a view a previous Get returned.
+func (s *Store) Get(id string) (ModelView, bool) {
 	models, _, ok := s.getSet(id)
 	return models, ok
 }
@@ -127,18 +162,18 @@ func (s *Store) Get(id string) ([]qstruct.Model, bool) {
 // getSet is Get plus the identifier's internal record, which the verdict
 // cache retains so repeated hits keep the usage counters exact without
 // re-walking the map.
-func (s *Store) getSet(id string) ([]qstruct.Model, *modelSet, bool) {
+func (s *Store) getSet(id string) (ModelView, *modelSet, bool) {
 	sh := s.shard(id)
 	sh.mu.RLock()
 	set, ok := sh.models[id]
 	if !ok {
 		sh.mu.RUnlock()
-		return nil, nil, false
+		return ModelView{}, nil, false
 	}
 	models := set.models
 	sh.mu.RUnlock()
 	set.hits.Add(1)
-	return models, set, true
+	return ModelView{models: models}, set, true
 }
 
 // Put stores a model for id, recording whether it was learned

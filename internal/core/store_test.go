@@ -2,6 +2,8 @@ package core
 
 import (
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
 
 	"github.com/septic-db/septic/internal/qstruct"
@@ -45,8 +47,19 @@ func TestStoreHoldsModelSetsPerID(t *testing.T) {
 		t.Errorf("models = %d, want 2", s.ModelCount())
 	}
 	models, ok := s.Get("devices")
-	if !ok || len(models) != 2 {
+	if !ok || models.Len() != 2 {
 		t.Fatalf("Get = %v, %t", models, ok)
+	}
+}
+
+func TestModelViewEmpty(t *testing.T) {
+	var zero ModelView
+	if !zero.Empty() || zero.Len() != 0 {
+		t.Error("zero view must be empty")
+	}
+	v := ViewOf(modelFor(t, "SELECT 1"))
+	if v.Empty() || v.Len() != 1 {
+		t.Errorf("ViewOf one model: Empty=%t Len=%d", v.Empty(), v.Len())
 	}
 }
 
@@ -54,20 +67,20 @@ func TestStoreGetIsCopyOnWrite(t *testing.T) {
 	s := NewStore()
 	s.Put("id", modelFor(t, "SELECT 1"), false)
 	before, _ := s.Get("id")
-	if len(before) != 1 {
-		t.Fatalf("len(before) = %d, want 1", len(before))
+	if before.Len() != 1 {
+		t.Fatalf("before.Len() = %d, want 1", before.Len())
 	}
-	// A later Put publishes a new slice; the one already fetched must
+	// A later Put publishes a new slice; the view already fetched must
 	// keep its contents (readers hold it lock-free).
 	if !s.Put("id", modelFor(t, "SELECT 1 ORDER BY 1"), false) {
 		t.Fatal("variant should be added")
 	}
-	if len(before) != 1 || len(before[0].Nodes) == 0 {
-		t.Error("Put mutated a slice a previous Get returned")
+	if before.Len() != 1 || len(before.At(0).Nodes) == 0 {
+		t.Error("Put mutated a view a previous Get returned")
 	}
 	after, _ := s.Get("id")
-	if len(after) != 2 {
-		t.Errorf("len(after) = %d, want 2", len(after))
+	if after.Len() != 2 {
+		t.Errorf("after.Len() = %d, want 2", after.Len())
 	}
 }
 
@@ -88,8 +101,147 @@ func TestStoreSaveLoadRoundTripsModelSets(t *testing.T) {
 		t.Errorf("loaded len=%d models=%d, want 2/3", loaded.Len(), loaded.ModelCount())
 	}
 	models, _ := loaded.Get("devices")
-	if len(models) != 2 {
-		t.Errorf("devices models = %d, want 2", len(models))
+	if models.Len() != 2 {
+		t.Errorf("devices models = %d, want 2", models.Len())
+	}
+}
+
+// TestStoreSaveLoadUnderConcurrentChurn snapshots a store WHILE writers
+// churn it: Save must always produce an internally consistent file (it
+// holds each shard's read lock while walking it), so every snapshot
+// must load cleanly — fingerprints intact, stable identifiers always
+// present, churned identifiers either fully present or fully absent.
+// Run under -race this also pins Save/Put/Delete lock discipline.
+func TestStoreSaveLoadUnderConcurrentChurn(t *testing.T) {
+	s := NewStore()
+	stable := map[string]qstruct.Model{
+		"stable:a": modelFor(t, "SELECT id FROM devices ORDER BY name"),
+		"stable:b": modelFor(t, "DELETE FROM logs WHERE ts < 5"),
+		"stable:c": modelFor(t, "INSERT INTO readings (v) VALUES (1)"),
+	}
+	for id, m := range stable {
+		s.Put(id, m, false)
+	}
+	churned := []string{"churn:x", "churn:y", "churn:z"}
+	churnModel := modelFor(t, "UPDATE devices SET name = 'n' WHERE id = 1")
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := churned[w%len(churned)]
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if i%2 == 0 {
+					s.Put(id, churnModel, false)
+				} else {
+					s.Delete(id)
+				}
+			}
+		}(w)
+	}
+
+	dir := t.TempDir()
+	for i := 0; i < 25; i++ {
+		path := filepath.Join(dir, "snap.json")
+		if err := s.Save(path); err != nil {
+			t.Fatalf("Save #%d under churn: %v", i, err)
+		}
+		loaded := NewStore()
+		if err := loaded.Load(path); err != nil {
+			t.Fatalf("Load #%d of churned snapshot: %v", i, err)
+		}
+		for id := range stable {
+			models, ok := loaded.Get(id)
+			if !ok || models.Len() != 1 {
+				t.Fatalf("snapshot #%d lost stable id %q (ok=%t)", i, id, ok)
+			}
+		}
+		for _, id := range churned {
+			if models, ok := loaded.Get(id); ok && models.Len() != 1 {
+				t.Fatalf("snapshot #%d has torn set for %q: %d models", i, id, models.Len())
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestDomainStoresSaveLoadIndependently churns one protection domain's
+// store while snapshotting another's: the partitions are separate Store
+// instances, so a domain's persisted file must contain exactly its own
+// identifiers no matter what its neighbours are doing — the persistence
+// half of the isolation contract.
+func TestDomainStoresSaveLoadIndependently(t *testing.T) {
+	sep := New(Config{Mode: ModeTraining})
+	alpha, err := sep.RegisterDomain("alpha", Config{Mode: ModeTraining, IncrementalLearning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta, err := sep.RegisterDomain("beta", Config{Mode: ModeTraining, IncrementalLearning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := modelFor(t, "SELECT id FROM devices WHERE id = 1")
+	beta.Store().Put("beta:q1", m, false)
+	beta.Store().Put("beta:q2", modelFor(t, "SELECT 1"), false)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				alpha.Store().Put("alpha:q1", m, false)
+			} else {
+				alpha.Store().Delete("alpha:q1")
+			}
+		}
+	}()
+
+	dir := t.TempDir()
+	for i := 0; i < 10; i++ {
+		path := filepath.Join(dir, "beta.json")
+		if err := beta.Store().Save(path); err != nil {
+			t.Fatalf("beta Save #%d: %v", i, err)
+		}
+		loaded := NewStore()
+		if err := loaded.Load(path); err != nil {
+			t.Fatalf("beta Load #%d: %v", i, err)
+		}
+		if loaded.Len() != 2 {
+			t.Fatalf("beta snapshot #%d has %d ids, want 2", i, loaded.Len())
+		}
+		for _, id := range loaded.IDs() {
+			if !strings.HasPrefix(id, "beta:") {
+				t.Fatalf("beta snapshot #%d contains foreign id %q", i, id)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// And the round trip restores a partition in place: load beta's file
+	// into alpha's store (a restart with swapped paths would do this) and
+	// the store carries exactly the file's contents.
+	path := filepath.Join(dir, "beta.json")
+	if err := alpha.Store().Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if alpha.Store().Len() != 2 {
+		t.Errorf("restored store has %d ids, want 2", alpha.Store().Len())
 	}
 }
 
@@ -131,12 +283,12 @@ func TestSingleModelAblation(t *testing.T) {
 	det := NewDetector(DefaultPlugins())
 
 	// Paper behaviour: only the first model.
-	if _, attack := det.DetectSQLI(variant, []qstruct.Model{byName}); !attack {
+	if _, attack := det.DetectSQLI(variant, ViewOf(byName)); !attack {
 		t.Error("single-model: variant should be flagged (the documented FP)")
 	}
 	// Extension: the set contains both.
 	byLocation := modelFor(t, "SELECT id FROM devices ORDER BY location")
-	if _, attack := det.DetectSQLI(variant, []qstruct.Model{byName, byLocation}); attack {
+	if _, attack := det.DetectSQLI(variant, ViewOf(byName, byLocation)); attack {
 		t.Error("model-set: trained variant should pass")
 	}
 }
@@ -153,7 +305,7 @@ func TestDetectorPrefersSyntacticalVerdict(t *testing.T) {
 		t.Fatal(err)
 	}
 	qs := qstruct.BuildStack(qsStmt)
-	d, attack := det.DetectSQLI(qs, []qstruct.Model{longer, sameLen})
+	d, attack := det.DetectSQLI(qs, ViewOf(longer, sameLen))
 	if !attack {
 		t.Fatal("mismatching query not flagged")
 	}

@@ -72,6 +72,15 @@ type CacheStats struct {
 	Entries int
 }
 
+// add accumulates another snapshot (per-domain partition aggregation).
+func (s *CacheStats) add(o CacheStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Invalidations += o.Invalidations
+	s.Entries += o.Entries
+}
+
 // newVerdictCache builds a cache bounded to capacity entries; capacity 0
 // disables caching (every lookup misses, inserts are dropped).
 func newVerdictCache(capacity int) *verdictCache {

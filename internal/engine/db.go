@@ -33,6 +33,12 @@ type HookContext struct {
 	// Comments are the comment bodies found in the query, in order. The
 	// first one may carry the application-supplied external identifier.
 	Comments []string
+	// App is the session-declared application name, empty when the
+	// session never declared one. The wire server binds it per
+	// connection (HELLO handshake) and threads it through
+	// ExecAppContext; hooks use it to route the query to its protection
+	// domain, with priority over any comment-borne prefix.
+	App string
 }
 
 // QueryHook observes validated queries immediately before execution.
@@ -203,7 +209,7 @@ type Result struct {
 
 // Exec parses, validates, hooks and executes one SQL statement.
 func (db *DB) Exec(query string) (*Result, error) {
-	return db.exec(context.Background(), query, nil)
+	return db.exec(context.Background(), query, "", nil)
 }
 
 // ExecArgs executes a parameterized statement: every '?' placeholder in
@@ -213,7 +219,7 @@ func (db *DB) Exec(query string) (*Result, error) {
 // engine's "prepared statement" path, the textbook-safe alternative the
 // paper's vulnerable applications fail to use.
 func (db *DB) ExecArgs(query string, args ...Value) (*Result, error) {
-	return db.exec(context.Background(), query, args)
+	return db.exec(context.Background(), query, "", args)
 }
 
 // ExecContext is Exec with a deadline: cancellation is checked between
@@ -224,12 +230,23 @@ func (db *DB) ExecArgs(query string, args ...Value) (*Result, error) {
 // one stage's latency, which is what lets a hung protection path be
 // timed out without killing its goroutine.
 func (db *DB) ExecContext(ctx context.Context, query string) (*Result, error) {
-	return db.exec(ctx, query, nil)
+	return db.exec(ctx, query, "", nil)
 }
 
 // ExecArgsContext is ExecArgs with a deadline (see ExecContext).
 func (db *DB) ExecArgsContext(ctx context.Context, query string, args ...Value) (*Result, error) {
-	return db.exec(ctx, query, args)
+	return db.exec(ctx, query, "", args)
+}
+
+// ExecAppContext executes one statement on behalf of a session-declared
+// application: app is handed to the query hook as HookContext.App, where
+// SEPTIC uses it to route the query to the application's protection
+// domain. An empty app is exactly ExecArgsContext. Calling with zero
+// args keeps the no-args execution path (shared cached AST, no clone):
+// the variadic parameter is a nil slice then, and exec distinguishes
+// nil from empty.
+func (db *DB) ExecAppContext(ctx context.Context, app, query string, args ...Value) (*Result, error) {
+	return db.exec(ctx, query, app, args)
 }
 
 // stageErr reports a context that died between pipeline stages.
@@ -241,7 +258,7 @@ func (db *DB) stageErr(ctx context.Context, stage string) error {
 	return nil
 }
 
-func (db *DB) exec(ctx context.Context, query string, args []Value) (*Result, error) {
+func (db *DB) exec(ctx context.Context, query, app string, args []Value) (*Result, error) {
 	// Stage timing rides on one pointer check: st is nil with obs off, and
 	// every Observe below is nil-receiver-safe. Boundaries are sampled
 	// once per stage (start reused as the next stage's origin), so the
@@ -319,6 +336,7 @@ func (db *DB) exec(ctx context.Context, query string, args []Value) (*Result, er
 			Decoded:  pq.decoded,
 			Stmt:     stmt,
 			Comments: pq.comments,
+			App:      app,
 		}
 		if err := hook.BeforeExecute(hctx); err != nil {
 			// A blocked or failed query still had its hook latency — the

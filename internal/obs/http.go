@@ -16,12 +16,16 @@ import (
 //	/events         — recent structured events, oldest first;
 //	                  ?kind=attack filters, ?n=50 limits
 //	/qm             — live QM store dump (the demo's "query models
-//	                  learned" view); served only when qmDump != nil
+//	                  learned" view); served only when qmDump != nil.
+//	                  ?domain=NAME selects one protection domain's
+//	                  partition (no parameter = the default domain)
 //	/debug/pprof/…  — the standard runtime profiles
 //
-// qmDump returns any JSON-serializable view of the learned model store;
-// it is injected as a closure so obs stays dependency-free.
-func Handler(h *Hub, qmDump func() any) http.Handler {
+// qmDump returns a JSON-serializable view of the named protection
+// domain's learned model store, or nil when no such domain exists
+// (rendered as 404); the empty name means the default domain. It is
+// injected as a closure so obs stays dependency-free.
+func Handler(h *Hub, qmDump func(domain string) any) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		snap := h.Metrics.Snapshot()
@@ -51,7 +55,12 @@ func Handler(h *Hub, qmDump func() any) http.Handler {
 	})
 	if qmDump != nil {
 		mux.HandleFunc("/qm", func(w http.ResponseWriter, r *http.Request) {
-			writeJSON(w, qmDump())
+			dump := qmDump(r.URL.Query().Get("domain"))
+			if dump == nil {
+				http.Error(w, "unknown domain", http.StatusNotFound)
+				return
+			}
+			writeJSON(w, dump)
 		})
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -125,8 +125,15 @@ func TestEventsEndpoint(t *testing.T) {
 }
 
 func TestQMEndpoint(t *testing.T) {
-	dump := func() any {
-		return []map[string]any{{"id": "q42", "models": 1, "hits": 7}}
+	dump := func(domain string) any {
+		switch domain {
+		case "", "default":
+			return []map[string]any{{"id": "q42", "models": 1, "hits": 7}}
+		case "shop":
+			return []map[string]any{{"id": "shop:q1", "models": 1, "hits": 2}}
+		default:
+			return nil
+		}
 	}
 	srv := httptest.NewServer(Handler(testHub(), dump))
 	defer srv.Close()
@@ -136,10 +143,25 @@ func TestQMEndpoint(t *testing.T) {
 		t.Errorf("/qm = %v", got)
 	}
 
+	// ?domain= selects one protection domain's partition.
+	got = nil
+	getJSON(t, srv.URL+"/qm?domain=shop", &got)
+	if len(got) != 1 || got[0]["id"] != "shop:q1" {
+		t.Errorf("/qm?domain=shop = %v", got)
+	}
+	resp, err := srv.Client().Get(srv.URL + "/qm?domain=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("/qm unknown domain: status %d, want 404", resp.StatusCode)
+	}
+
 	// Without a dump function the endpoint does not exist.
 	bare := httptest.NewServer(Handler(testHub(), nil))
 	defer bare.Close()
-	resp, err := bare.Client().Get(bare.URL + "/qm")
+	resp, err = bare.Client().Get(bare.URL + "/qm")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -32,6 +32,7 @@ type clientOptions struct {
 	maxAttempts int
 	baseDelay   time.Duration
 	maxDelay    time.Duration
+	hello       *Hello
 }
 
 // ClientOption configures a Client at Dial time.
@@ -59,6 +60,19 @@ func WithAutoReconnect(maxAttempts int) ClientOption {
 	}
 }
 
+// WithHello makes the client perform the versioned HELLO handshake on
+// every (re)dial, declaring the application it acts for: the server
+// binds the session to the application's protection domain, and the
+// negotiated domain is readable with Client.Domain. A handshake the
+// server refuses (version skew, transport fault) fails the dial.
+// Clients without WithHello never send a handshake — the legacy
+// sessions that land in the default domain.
+func WithHello(app string) ClientOption {
+	return func(o *clientOptions) {
+		o.hello = &Hello{Version: HelloVersion, App: app}
+	}
+}
+
 // WithReconnectBackoff tunes the auto-reconnect delays (implies
 // WithAutoReconnect with the current attempt budget).
 func WithReconnectBackoff(base, max time.Duration) ClientOption {
@@ -81,8 +95,9 @@ type Client struct {
 
 	mu      sync.Mutex
 	conn    net.Conn
-	closed  bool  // Close was called; terminal
-	lastErr error // why the connection was poisoned (nil if healthy)
+	closed  bool   // Close was called; terminal
+	lastErr error  // why the connection was poisoned (nil if healthy)
+	domain  string // domain the HELLO handshake bound us to ("" = none)
 }
 
 // Dial connects to a server address.
@@ -127,11 +142,40 @@ func (c *Client) redialLocked() error {
 		if err == nil {
 			c.conn = conn
 			c.lastErr = nil
-			return nil
+			if c.opts.hello == nil {
+				return nil
+			}
+			// Handshake on the fresh connection. A failure poisons this
+			// conn and counts as one dial attempt: a session that asked
+			// for a domain binding must never silently run unbound.
+			if err = c.helloLocked(); err == nil {
+				return nil
+			}
+			_ = c.poisonLocked(err)
 		}
 		lastErr = err
 	}
 	return fmt.Errorf("dial %s: %w", c.addr, lastErr)
+}
+
+// helloLocked performs the HELLO handshake on the current connection.
+// Callers hold c.mu.
+func (c *Client) helloLocked() error {
+	if err := writeFrame(c.conn, &Request{Hello: c.opts.hello}); err != nil {
+		return fmt.Errorf("hello: %w", err)
+	}
+	var resp Response
+	if err := readFrame(c.conn, &resp); err != nil {
+		return fmt.Errorf("hello: %w", err)
+	}
+	if resp.Error != "" {
+		return fmt.Errorf("hello refused: %s", resp.Error)
+	}
+	if resp.Hello == nil {
+		return errors.New("hello: server sent no acknowledgement")
+	}
+	c.domain = resp.Hello.Domain
+	return nil
 }
 
 // poisonLocked marks the connection dead after a transport/protocol
@@ -145,6 +189,14 @@ func (c *Client) poisonLocked(err error) error {
 	}
 	c.lastErr = err
 	return err
+}
+
+// Domain returns the protection domain the HELLO handshake bound this
+// session to — empty for clients dialed without WithHello.
+func (c *Client) Domain() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.domain
 }
 
 // Exec runs one SQL statement on the server.

@@ -22,13 +22,49 @@ import (
 // max_allowed_packet).
 const maxFrame = 16 << 20
 
-// Request is one client->server message.
+// HelloVersion is the protocol version of the HELLO handshake this
+// build speaks. Version 1 adds the application declaration that binds a
+// connection to a protection domain.
+const HelloVersion = 1
+
+// Hello is the optional session handshake: the first frame a
+// domain-aware client sends. It declares the client's protocol version
+// and the application it acts for; the server binds the connection to
+// the application's protection domain and every later query on the
+// connection is routed there. Clients predating the handshake simply
+// never send one — their queries carry no app binding and land in the
+// default domain, so old clients keep working against new servers
+// without any configuration ("no client configuration", §II-B).
+type Hello struct {
+	// Version is the client's HelloVersion. A server refuses versions
+	// newer than its own (the client must downgrade), and accepts older
+	// ones.
+	Version int `json:"v"`
+	// App is the application name to bind the session to; empty binds to
+	// the default domain.
+	App string `json:"app,omitempty"`
+}
+
+// HelloAck is the server's handshake reply.
+type HelloAck struct {
+	// Version is the server's HelloVersion.
+	Version int `json:"v"`
+	// Domain is the protection domain the session was bound to —
+	// "default" when the declared app is unknown or empty.
+	Domain string `json:"domain,omitempty"`
+}
+
+// Request is one client->server message. A frame with Hello set is a
+// handshake, not a query: Query and Args are ignored and the response
+// carries the HelloAck.
 type Request struct {
 	// Query is the SQL text.
 	Query string `json:"query"`
 	// Args, when non-empty, bind '?' placeholders server-side
 	// (prepared-statement style execution).
 	Args []WireValue `json:"args,omitempty"`
+	// Hello, when set, makes this frame a session handshake.
+	Hello *Hello `json:"hello,omitempty"`
 }
 
 // Response is one server->client message.
@@ -44,6 +80,9 @@ type Response struct {
 	// Busy reports that the server refused the connection at admission
 	// (max-conns reached and the accept backlog full or timed out).
 	Busy bool `json:"busy,omitempty"`
+	// Hello is the handshake acknowledgement, set only when the request
+	// was a Hello frame.
+	Hello *HelloAck `json:"hello,omitempty"`
 }
 
 // WireValue is the serialized form of engine.Value.

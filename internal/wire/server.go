@@ -35,6 +35,12 @@ var ErrServerBusy = errors.New("server busy: connection limit reached")
 type Server struct {
 	db *engine.DB
 
+	// resolveDomain maps a HELLO-declared app name to the protection
+	// domain the session will be reported as bound to (the HelloAck);
+	// nil uses defaultDomainResolver. The mapping is informational for
+	// the client — routing itself happens inside the guard.
+	resolveDomain func(app string) string
+
 	idleTimeout  time.Duration
 	readTimeout  time.Duration
 	writeTimeout time.Duration
@@ -121,6 +127,25 @@ func WithAcceptBacklog(n int, wait time.Duration) ServerOption {
 	return func(s *Server) { s.backlog = n; s.backlogWait = wait }
 }
 
+// WithDomainResolver installs the app→domain mapping the server answers
+// HELLO handshakes with: given the declared application name, it
+// returns the protection domain name the session is bound to. septicd
+// wires this to the guard's domain registry so the acknowledgement
+// reflects reality (an unknown app resolves to "default"). Without a
+// resolver the server echoes the declared app as the domain, or
+// "default" when none was declared.
+func WithDomainResolver(resolve func(app string) string) ServerOption {
+	return func(s *Server) { s.resolveDomain = resolve }
+}
+
+// defaultDomainResolver is the no-registry fallback.
+func defaultDomainResolver(app string) string {
+	if app == "" {
+		return "default"
+	}
+	return app
+}
+
 // WithServerObs installs an observability hub on the front end:
 // accepted-connection and answered-request counters, plus gauges for
 // tracked sessions, admission backlog occupancy, refusals, contained
@@ -140,6 +165,9 @@ func NewServer(db *engine.DB, opts ...ServerOption) *Server {
 	}
 	for _, o := range opts {
 		o(s)
+	}
+	if s.resolveDomain == nil {
+		s.resolveDomain = defaultDomainResolver
 	}
 	if s.maxConns > 0 {
 		s.sem = make(chan struct{}, s.maxConns)
@@ -288,14 +316,21 @@ func (s *Server) refuse(conn net.Conn) {
 
 // serveConn handles one client session: a synchronous request/response
 // loop until the client disconnects, a deadline fires, or the server
-// drains.
+// drains. The session's domain binding (HELLO handshake) is plain
+// per-goroutine state: app is empty until a Hello frame binds it.
 func (s *Server) serveConn(conn net.Conn) {
+	var app string
 	for {
 		var req Request
 		if err := s.readRequest(conn, &req); err != nil {
 			return // EOF, deadline or protocol error: drop the session
 		}
-		resp := s.dispatch(&req)
+		var resp *Response
+		if req.Hello != nil {
+			resp = s.handleHello(req.Hello, &app)
+		} else {
+			resp = s.dispatch(&req, app)
+		}
 		if s.writeTimeout > 0 {
 			_ = conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
 		}
@@ -335,9 +370,9 @@ func (s *Server) readRequest(conn net.Conn, req *Request) error {
 // between-stage cancellation checks will abort at its next stage
 // boundary — finishes in the background and is discarded. Shutdown's
 // WaitGroup tracks the stray so drain still accounts for it.
-func (s *Server) dispatch(req *Request) *Response {
+func (s *Server) dispatch(req *Request, app string) *Response {
 	if s.queryTimeout <= 0 {
-		return s.handle(context.Background(), req)
+		return s.handle(context.Background(), req, app)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), s.queryTimeout)
 	defer cancel()
@@ -345,7 +380,7 @@ func (s *Server) dispatch(req *Request) *Response {
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
-		ch <- s.handle(ctx, req)
+		ch <- s.handle(ctx, req, app)
 	}()
 	select {
 	case resp := <-ch:
@@ -360,7 +395,28 @@ func (s *Server) dispatch(req *Request) *Response {
 // containment is disabled) becomes a structured error response plus a
 // logged incident — one query fails, the server and every other session
 // keep going.
-func (s *Server) handle(ctx context.Context, req *Request) (resp *Response) {
+// handleHello answers one handshake frame and, on success, binds the
+// session to the declared application. Version skew is handled the
+// conservative way: a client NEWER than the server is refused (it may
+// rely on semantics this server lacks) and the session stays unbound —
+// but alive, so the client can retry with an older hello or proceed
+// as a legacy session in the default domain.
+func (s *Server) handleHello(h *Hello, app *string) *Response {
+	if h.Version > HelloVersion {
+		return &Response{
+			Error: fmt.Sprintf("hello version %d unsupported (server speaks ≤ %d)",
+				h.Version, HelloVersion),
+			Hello: &HelloAck{Version: HelloVersion},
+		}
+	}
+	*app = h.App
+	return &Response{Hello: &HelloAck{
+		Version: HelloVersion,
+		Domain:  s.resolveDomain(h.App),
+	}}
+}
+
+func (s *Server) handle(ctx context.Context, req *Request, app string) (resp *Response) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.panics.Add(1)
@@ -377,9 +433,9 @@ func (s *Server) handle(ctx context.Context, req *Request) (resp *Response) {
 		for i, a := range req.Args {
 			args[i] = FromWire(a)
 		}
-		res, err = s.db.ExecArgsContext(ctx, req.Query, args...)
+		res, err = s.db.ExecAppContext(ctx, app, req.Query, args...)
 	} else {
-		res, err = s.db.ExecContext(ctx, req.Query)
+		res, err = s.db.ExecAppContext(ctx, app, req.Query)
 	}
 	if err != nil {
 		return &Response{

@@ -14,10 +14,20 @@ echo "== building =="
 go build -o /tmp/septicd ./cmd/septicd
 go build -o /tmp/septic-replay ./cmd/septic-replay
 
-echo "== starting septicd (prevention, obs on $OBS_ADDR) =="
-/tmp/septicd -addr "$DB_ADDR" -obs-addr "$OBS_ADDR" -quiet &
+# The Address Book queries are tagged "/* ab:... */", so registering an
+# "ab" protection domain routes the whole replay into its own partition
+# — the default domain only sees untagged traffic.
+DOMAINS_FILE=$(mktemp)
+cat >"$DOMAINS_FILE" <<'JSON'
+{
+  "ab": { "mode": "prevention" }
+}
+JSON
+
+echo "== starting septicd (prevention, obs on $OBS_ADDR, domain 'ab') =="
+/tmp/septicd -addr "$DB_ADDR" -obs-addr "$OBS_ADDR" -domains "$DOMAINS_FILE" -quiet &
 SEPTICD_PID=$!
-trap 'kill "$SEPTICD_PID" 2>/dev/null || true' EXIT
+trap 'kill "$SEPTICD_PID" 2>/dev/null || true; rm -f "$DOMAINS_FILE"' EXIT
 
 for _ in $(seq 50); do
     curl -sf "http://$OBS_ADDR/metrics" >/dev/null 2>&1 && break
@@ -29,15 +39,22 @@ echo "== replaying Address Book workload + attacks =="
 
 echo
 echo "== /metrics (stage histograms and counters) =="
-curl -s "http://$OBS_ADDR/metrics?format=prometheus" | grep -E 'stage|attacks|hook' | head -40
+# awk instead of head: head exits early and the resulting SIGPIPE into
+# curl trips pipefail.
+curl -s "http://$OBS_ADDR/metrics?format=prometheus" | awk '/stage|attacks|hook/ && ++n <= 40'
 
 echo
 echo "== /events?kind=attack (the blocked injections) =="
 curl -s "http://$OBS_ADDR/events?kind=attack"
 
 echo
-echo "== /qm (learned query models, data blanked to ⊥) =="
-curl -s "http://$OBS_ADDR/qm" | head -c 2000; echo
+echo "== per-domain counters (core.domain.ab.*) =="
+curl -s "http://$OBS_ADDR/metrics?format=prometheus" | awk '/domain_ab/ && ++n <= 10'
+
+echo
+echo "== /qm?domain=ab (the 'ab' domain's learned models, data blanked to ⊥) =="
+qm=$(curl -s "http://$OBS_ADDR/qm?domain=ab")
+printf '%s\n' "${qm:0:2000}"
 
 echo
 echo "== done — septicd shutting down =="
