@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos cover cover-gate vuln bench bench-hook bench-engine demo fig5 accuracy sweep parallel fuzz obs-demo clean
+.PHONY: all build vet test race chaos cover cover-gate vuln bench bench-hook bench-engine bench-wire bench-record demo fig5 accuracy sweep parallel fuzz obs-demo clean
 
 all: build vet test race
 
@@ -54,6 +54,7 @@ fuzz:
 	$(GO) test ./internal/qstruct/ -fuzz=FuzzBuildStack -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/qstruct/ -fuzz=FuzzSkeletonHash -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/core/ -fuzz=FuzzBeforeExecute -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/wire/ -fuzz=FuzzBinaryDecode -fuzztime=$(FUZZTIME)
 
 # COUNT > 1 gives benchstat-comparable samples, e.g.:
 #   make bench-hook COUNT=10 > new.txt && benchstat old.txt new.txt
@@ -69,6 +70,18 @@ bench-hook:
 # The engine execution path (parse cache + lock plan + executor).
 bench-engine:
 	$(GO) test -run='^$$' -bench='BenchmarkEngineExec|BenchmarkParse|BenchmarkQSBuild' -benchmem -count=$(COUNT) .
+
+# The wire protocol: synchronous v1 JSON baseline vs pipelined v2 binary
+# frames at depths 1/4/16.
+bench-wire:
+	$(GO) test -run='^$$' -bench='BenchmarkWireSync$$|BenchmarkWirePipelined' -benchmem -count=$(COUNT) .
+
+# Run the wire benchmarks and record the numbers into BENCH_wire.json
+# (ops/sec, ns/op, allocs/op per series plus the depth-16 speedup). The
+# CI bench job runs this non-blocking for visibility; commit the file to
+# refresh the recorded numbers.
+bench-record:
+	bash scripts/bench-record.sh
 
 # Reproduce the paper's results.
 demo:

@@ -16,6 +16,11 @@
 //	                         contention-free hot path under load.
 //	septic-bench table1    — Table I regenerated behaviourally: which
 //	                         actions each operation mode takes.
+//	septic-bench wire      — wire-protocol replay: the benign workload
+//	                         trace of one application replayed over a
+//	                         loopback wire session, synchronous v1 JSON
+//	                         versus pipelined v2 binary frames at a
+//	                         sweep of pipeline depths.
 package main
 
 import (
@@ -70,8 +75,17 @@ func run() error {
 	accFlags := flag.NewFlagSet("accuracy", flag.ExitOnError)
 	paranoia := accFlags.Int("paranoia", 1, "WAF paranoia level (1 or 2)")
 
+	wireFlags := flag.NewFlagSet("wire", flag.ExitOnError)
+	wireApp := wireFlags.String("app", "ab", "application prefix to replay (ab, rb, cms, wm)")
+	wireCfg := wireFlags.String("config", "YY", "SEPTIC configuration (base, NN, YN, NY, YY)")
+	wireDepths := wireFlags.String("depths", "1,4,16", "comma-separated pipeline depths (1 = synchronous v1 baseline)")
+	wireClients := wireFlags.Int("clients", 1, "concurrent wire connections")
+	wireLoops := wireFlags.Int("loops", 50, "trace replays per connection")
+	wireWorkers := wireFlags.Int("workers", 0, "server per-connection worker pool (0 = default)")
+	wireInFlight := wireFlags.Int("max-in-flight", 0, "server per-connection in-flight bound (0 = default)")
+
 	if len(os.Args) < 2 {
-		return fmt.Errorf("usage: septic-bench fig5|accuracy|sweep|parallel|table1 [flags]")
+		return fmt.Errorf("usage: septic-bench fig5|accuracy|sweep|parallel|table1|wire [flags]")
 	}
 	switch os.Args[1] {
 	case "table1":
@@ -122,6 +136,11 @@ func run() error {
 		}
 		printStageTable(hub)
 		return nil
+	case "wire":
+		if err := wireFlags.Parse(os.Args[2:]); err != nil {
+			return err
+		}
+		return runWire(*wireApp, *wireCfg, *wireDepths, *wireClients, *wireLoops, *wireWorkers, *wireInFlight)
 	default:
 		return fmt.Errorf("unknown subcommand %q", os.Args[1])
 	}

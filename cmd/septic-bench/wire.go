@@ -1,0 +1,102 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/septic-db/septic/internal/benchlab"
+	"github.com/septic-db/septic/internal/benchlab/wirebench"
+)
+
+// runWire replays one application's benign workload trace over the wire
+// protocol at a sweep of pipeline depths and prints a sync-versus-
+// pipelined throughput table. Depth 1 is the synchronous v1 JSON
+// baseline; every deeper series negotiates v2 binary frames and keeps
+// the window full.
+func runWire(app, cfgName, depthList string, clients, loops, workers, maxInFlight int) error {
+	spec, err := wireSpec(app)
+	if err != nil {
+		return err
+	}
+	cfg, err := wireConfig(cfgName)
+	if err != nil {
+		return err
+	}
+	depths, err := parseDepths(depthList)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("wire replay: %s under %s, %d client(s) × %d loop(s) per depth\n\n",
+		spec.Name, cfg, clients, loops)
+	fmt.Printf("  %-6s  %-5s  %10s  %12s  %10s  %8s\n",
+		"depth", "proto", "queries", "elapsed", "qps", "speedup")
+
+	var baseline float64
+	for _, depth := range depths {
+		res, err := wirebench.Run(spec, cfg, wirebench.Params{
+			Clients:     clients,
+			Depth:       depth,
+			Loops:       loops,
+			Workers:     workers,
+			MaxInFlight: maxInFlight,
+		})
+		if err != nil {
+			return fmt.Errorf("depth %d: %w", depth, err)
+		}
+		if res.Errors != 0 {
+			return fmt.Errorf("depth %d: benign replay produced %d errors", depth, res.Errors)
+		}
+		qps := res.PerSecond()
+		if baseline == 0 {
+			baseline = qps
+		}
+		fmt.Printf("  %-6d  v%-4d  %10d  %12v  %10.0f  %7.2fx\n",
+			depth, res.Protocol, res.Queries, res.Elapsed.Round(time.Millisecond), qps, qps/baseline)
+	}
+	fmt.Println("\nspeedup is relative to the first depth in the sweep.")
+	return nil
+}
+
+func wireSpec(prefix string) (benchlab.AppSpec, error) {
+	for _, spec := range benchlab.PaperSpecs() {
+		if spec.Prefix == prefix {
+			return spec, nil
+		}
+	}
+	var known []string
+	for _, spec := range benchlab.PaperSpecs() {
+		known = append(known, spec.Prefix)
+	}
+	return benchlab.AppSpec{}, fmt.Errorf("unknown app %q (have %s)", prefix, strings.Join(known, ", "))
+}
+
+func wireConfig(name string) (benchlab.SepticConfig, error) {
+	for _, cfg := range append(benchlab.Configs(), benchlab.ConfigBaseline) {
+		if strings.EqualFold(cfg.String(), name) {
+			return cfg, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown config %q (base, NN, YN, NY, YY)", name)
+}
+
+func parseDepths(list string) ([]int, error) {
+	var depths []int
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		d, err := strconv.Atoi(part)
+		if err != nil || d < 1 {
+			return nil, fmt.Errorf("bad depth %q", part)
+		}
+		depths = append(depths, d)
+	}
+	if len(depths) == 0 {
+		return nil, fmt.Errorf("empty depth list")
+	}
+	return depths, nil
+}

@@ -9,6 +9,12 @@
 //	        [-domains domains.json]
 //	        [-max-conns N] [-query-timeout D] [-idle-timeout D]
 //	        [-drain-timeout D] [-fail-open] [-obs-addr 127.0.0.1:9188]
+//	        [-pipeline-workers N] [-max-in-flight N]
+//
+// -pipeline-workers and -max-in-flight size the v2 pipelined protocol's
+// per-session worker pool and admission window (clients that negotiate
+// protocol version 2 multiplex up to max-in-flight requests over one
+// connection; v1 clients are unaffected).
 //
 // With -domains the server becomes multi-tenant: the JSON file maps
 // application names to per-domain policy, one protection domain each —
@@ -188,6 +194,11 @@ func run() error {
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown drain deadline before force-closing sessions")
 		failOpen     = flag.Bool("fail-open", false, "admit queries when the protection path faults (default fail-closed)")
 		obsAddr      = flag.String("obs-addr", "", "serve /metrics, /events, /qm and /debug/pprof on this address (empty = observability off)")
+
+		pipeWorkers = flag.Int("pipeline-workers", wire.DefaultPipelineWorkers,
+			"per-session worker pool for v2 pipelined sessions")
+		maxInFlight = flag.Int("max-in-flight", wire.DefaultMaxInFlight,
+			"per-session admission bound for v2 pipelined sessions")
 	)
 	flag.Parse()
 
@@ -229,6 +240,8 @@ func run() error {
 		wire.WithMaxConns(*maxConns),
 		wire.WithQueryTimeout(*queryTimeout),
 		wire.WithIdleTimeout(*idleTimeout),
+		wire.WithPipelineWorkers(*pipeWorkers),
+		wire.WithMaxInFlight(*maxInFlight),
 	}
 	if hub != nil {
 		coreOpts = append(coreOpts, core.WithObserver(hub))

@@ -68,6 +68,19 @@ func TestSepticBenchFig5CommandTiny(t *testing.T) {
 	}
 }
 
+func TestSepticBenchWireCommandTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping command smoke test in -short mode")
+	}
+	out := runCommand(t, "run", "./cmd/septic-bench", "wire",
+		"-loops", "2", "-depths", "1,4")
+	for _, want := range []string{"Address Book", "v1", "v2", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("wire output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestExampleCommands(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping command smoke test in -short mode")

@@ -1,0 +1,75 @@
+package wirebench
+
+import (
+	"testing"
+
+	"github.com/septic-db/septic/internal/benchlab"
+)
+
+// TestSyncReplay pins the baseline series: depth 1 stays on the v1 JSON
+// protocol and replays the recorded benign trace without a single error.
+func TestSyncReplay(t *testing.T) {
+	spec := benchlab.PaperSpecs()[0] // Address Book
+	res, err := Run(spec, benchlab.ConfigYY, Params{Depth: 1, Loops: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Protocol != 1 {
+		t.Fatalf("sync replay negotiated protocol %d, want 1", res.Protocol)
+	}
+	if res.TraceLen == 0 {
+		t.Fatal("recorded trace is empty")
+	}
+	if res.Errors != 0 {
+		t.Fatalf("benign replay produced %d errors", res.Errors)
+	}
+	if want := int64(2 * res.TraceLen); res.Queries != want {
+		t.Fatalf("queries = %d, want %d", res.Queries, want)
+	}
+	if res.PerSecond() <= 0 {
+		t.Fatalf("throughput %v not positive", res.PerSecond())
+	}
+}
+
+// TestPipelinedReplay pins the measured series: depth > 1 negotiates v2,
+// keeps the window bounded, and the same trace replays error-free.
+func TestPipelinedReplay(t *testing.T) {
+	spec := benchlab.PaperSpecs()[0]
+	res, err := Run(spec, benchlab.ConfigYY, Params{
+		Depth: 8, Loops: 2, Clients: 2, Workers: 2, MaxInFlight: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Protocol != 2 {
+		t.Fatalf("pipelined replay negotiated protocol %d, want 2", res.Protocol)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("benign replay produced %d errors", res.Errors)
+	}
+	if want := int64(2 * 2 * res.TraceLen); res.Queries != want {
+		t.Fatalf("queries = %d, want %d", res.Queries, want)
+	}
+}
+
+// TestBaselineDeploysWithoutGuard covers the no-SEPTIC series: the
+// recorder and wire replay must work against the bare engine too.
+func TestBaselineDeploysWithoutGuard(t *testing.T) {
+	spec := benchlab.PaperSpecs()[0]
+	b, err := New(spec, benchlab.ConfigBaseline, Params{Depth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.TraceLen() == 0 {
+		t.Fatal("trace empty")
+	}
+	res := b.Replay(1)
+	if res.Errors != 0 {
+		t.Fatalf("baseline replay produced %d errors", res.Errors)
+	}
+	// Replay is repeatable on the same fixture (benchmarks rely on it).
+	if res2 := b.Replay(1); res2.Errors != 0 {
+		t.Fatalf("second replay produced %d errors", res2.Errors)
+	}
+}

@@ -3,6 +3,7 @@ package wire
 import (
 	"encoding/binary"
 	"errors"
+	"net"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -293,6 +294,219 @@ func TestChaosBenchlabReplayUnderFaults(t *testing.T) {
 		t.Errorf("benign workload blocked %d times under storm", blocked)
 	}
 	// The server still serves a fresh session.
+	c := dial(t, addr)
+	if _, err := c.Exec("/* ab:list */ SELECT id, name, phone FROM contacts ORDER BY name"); err != nil {
+		t.Fatalf("server unhealthy after storm: %v", err)
+	}
+}
+
+// TestChaosPipelinedTornFramesMidWindow tears the transport under v2
+// clients with a full window of futures in flight. Every future must
+// complete (result or poisoned-connection error — never a hang), the
+// pipe's goroutines must drain, and the server must stay healthy.
+func TestChaosPipelinedTornFramesMidWindow(t *testing.T) {
+	snapshotGoroutines(t)
+	addr, srv, _, db := chaosServer(t, core.Config{Mode: core.ModeTraining})
+	if _, err := db.Exec("CREATE TABLE t (id INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO t (id) VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		// Tear at offsets past the JSON hello exchange so the session
+		// upgrades to v2 first, then dies mid-window.
+		c, err := Dial(addr,
+			WithPipeline(8),
+			WithDialFunc(faultinject.Dialer(faultinject.Plan{
+				Seed:        uint64(i),
+				TearWriteAt: int64(80 + i*17),
+			})))
+		if err != nil {
+			continue // hello itself hit the tear: also a valid outcome
+		}
+		if v := c.ProtocolVersion(); v != 2 {
+			t.Fatalf("client %d negotiated v%d, want v2", i, v)
+		}
+		futs := make([]*Future, 8)
+		for j := range futs {
+			futs[j] = c.Submit("SELECT id FROM t")
+		}
+		done := make(chan struct{})
+		go func() {
+			for _, f := range futs {
+				_, _ = f.Wait() // error or result — only hanging is a failure
+			}
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("client %d: futures wedged after torn frame mid-window", i)
+		}
+		c.Close()
+	}
+	if srv.Panics() != 0 {
+		t.Errorf("server panics: %d", srv.Panics())
+	}
+	c := dial(t, addr)
+	if _, err := c.Exec("SELECT id FROM t"); err != nil {
+		t.Fatalf("healthy session after torn pipelined windows: %v", err)
+	}
+}
+
+// TestChaosPipelinedResetWithResponsesInFlight resets the read side so
+// responses die on the wire while the window is full, including under
+// auto-reconnect: the client must re-negotiate v2 on the fresh
+// connection and keep serving.
+func TestChaosPipelinedResetWithResponsesInFlight(t *testing.T) {
+	snapshotGoroutines(t)
+	addr, srv, _, db := chaosServer(t, core.Config{Mode: core.ModeTraining})
+	if _, err := db.Exec("CREATE TABLE t (id INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO t (id) VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	var dials atomic.Int64
+	base := faultinject.Dialer(faultinject.Plan{})
+	c, err := Dial(addr,
+		WithPipeline(8),
+		WithAutoReconnect(5),
+		WithDialFunc(func(a string) (net.Conn, error) {
+			// First connection dies after ~600 read bytes (hello ack plus a
+			// few responses); reconnects get a clean transport.
+			if dials.Add(1) == 1 {
+				return faultinject.Dialer(faultinject.Plan{ResetReadAt: 600})(a)
+			}
+			return base(a)
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Hammer until the reset lands, then through the reconnect.
+	var failures int
+	for i := 0; i < 400; i++ {
+		futs := make([]*Future, 8)
+		for j := range futs {
+			futs[j] = c.Submit("SELECT id FROM t")
+		}
+		for _, f := range futs {
+			if _, err := f.Wait(); err != nil {
+				failures++
+			}
+		}
+	}
+	if dials.Load() < 2 {
+		t.Fatalf("reset never landed (dials = %d)", dials.Load())
+	}
+	if failures == 0 {
+		t.Fatal("reset killed no in-flight responses — fault plan miscalibrated")
+	}
+	if v := c.ProtocolVersion(); v != 2 {
+		t.Fatalf("client did not re-negotiate v2 after reconnect (v%d)", v)
+	}
+	if _, err := c.Exec("SELECT id FROM t"); err != nil {
+		t.Fatalf("exec after reconnect: %v", err)
+	}
+	if srv.Panics() != 0 {
+		t.Errorf("server panics: %d", srv.Panics())
+	}
+}
+
+// TestChaosPipelinedBenchlabReplayUnderFaults is the v2 twin of the
+// Address Book storm test: the application's executor is a PIPELINED
+// wire client with auto-reconnect while faulty v2 clients tear frames
+// mid-window and reset with responses in flight. The benign workload
+// must complete, nothing may leak, and the guard must not block it.
+func TestChaosPipelinedBenchlabReplayUnderFaults(t *testing.T) {
+	snapshotGoroutines(t)
+	spec := benchlab.PaperSpecs()[0] // Address Book
+	addr, srv, guard, db := chaosServer(t, core.Config{Mode: core.ModeTraining})
+
+	for _, q := range spec.Schema {
+		if _, err := db.Exec(q); err != nil {
+			t.Fatalf("schema: %v", err)
+		}
+	}
+	appClient, err := Dial(addr, WithPipeline(16), WithAutoReconnect(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = appClient.Close() })
+	if v := appClient.ProtocolVersion(); v != 2 {
+		t.Fatalf("app client negotiated v%d, want v2", v)
+	}
+	app := spec.Build(appClient)
+	for _, req := range spec.Training {
+		if resp := app.Serve(req.Clone()); resp.Status != 200 {
+			t.Fatalf("training %s: %v", req, resp.Err)
+		}
+	}
+	guard.SetConfig(core.Config{
+		Mode: core.ModePrevention, DetectSQLI: true, DetectStored: true, IncrementalLearning: true,
+	})
+
+	// Fault storm of pipelined clients: each dials v2, fills a window,
+	// and dies by tear or reset at a deterministic offset.
+	stop := make(chan struct{})
+	var storm sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		storm.Add(1)
+		go func(seed int) {
+			defer storm.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				plan := faultinject.Plan{Seed: uint64(seed*1000 + n)}
+				if (seed+n)%2 == 0 {
+					plan.TearWriteAt = int64(90 + n%60) // mid-window, past the hello
+				} else {
+					plan.ResetReadAt = int64(40 + n%80) // responses die in flight
+				}
+				c, err := Dial(addr, WithPipeline(6), WithDialFunc(faultinject.Dialer(plan)))
+				if err != nil {
+					continue
+				}
+				futs := make([]*Future, 6)
+				for j := range futs {
+					futs[j] = c.Submit("/* ab:list */ SELECT id, name, phone FROM contacts ORDER BY name")
+				}
+				for _, f := range futs {
+					_, _ = f.Wait()
+				}
+				c.Close()
+			}
+		}(i)
+	}
+
+	var replayErrs atomic.Int64
+	for loop := 0; loop < 3; loop++ {
+		for _, req := range spec.Workload {
+			resp := app.Serve(req.Clone())
+			if resp.Status != 200 {
+				replayErrs.Add(1)
+				t.Logf("replay %s: status %d err %v", req, resp.Status, resp.Err)
+			}
+		}
+	}
+	close(stop)
+	storm.Wait()
+
+	if n := replayErrs.Load(); n > 0 {
+		t.Errorf("%d workload requests failed under pipelined fault storm", n)
+	}
+	if srv.Panics() != 0 {
+		t.Errorf("server panics under storm: %d", srv.Panics())
+	}
+	if blocked := guard.Stats().AttacksBlocked; blocked != 0 {
+		t.Errorf("benign workload blocked %d times under storm", blocked)
+	}
 	c := dial(t, addr)
 	if _, err := c.Exec("/* ab:list */ SELECT id, name, phone FROM contacts ORDER BY name"); err != nil {
 		t.Fatalf("server unhealthy after storm: %v", err)

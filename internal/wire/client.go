@@ -33,6 +33,8 @@ type clientOptions struct {
 	baseDelay   time.Duration
 	maxDelay    time.Duration
 	hello       *Hello
+	pipeline    bool
+	window      int
 }
 
 // ClientOption configures a Client at Dial time.
@@ -66,10 +68,26 @@ func WithAutoReconnect(maxAttempts int) ClientOption {
 // negotiated domain is readable with Client.Domain. A handshake the
 // server refuses (version skew, transport fault) fails the dial.
 // Clients without WithHello never send a handshake — the legacy
-// sessions that land in the default domain.
+// sessions that land in the default domain. The declared version is the
+// legacy synchronous protocol; combine with WithPipeline to request the
+// pipelined binary transport.
 func WithHello(app string) ClientOption {
 	return func(o *clientOptions) {
-		o.hello = &Hello{Version: HelloVersion, App: app}
+		o.hello = &Hello{Version: helloVersionLegacy, App: app}
+	}
+}
+
+// WithPipeline requests the version-2 pipelined binary transport with
+// the given in-flight window (≤ 0 means DefaultPipelineWindow). The
+// handshake is negotiated on every (re)dial: a server that refuses
+// version 2 and advertises an older one gets a downgraded handshake,
+// and the session proceeds on the synchronous JSON protocol — a v2
+// client against a v1 server keeps working, just without pipelining.
+// ProtocolVersion reports what a session actually negotiated.
+func WithPipeline(window int) ClientOption {
+	return func(o *clientOptions) {
+		o.pipeline = true
+		o.window = window
 	}
 }
 
@@ -87,14 +105,18 @@ func WithReconnectBackoff(base, max time.Duration) ClientOption {
 	}
 }
 
-// Client is a connector to a wire server. It is safe for concurrent use;
-// requests on one connection are serialized, as in the MySQL protocol.
+// Client is a connector to a wire server. It is safe for concurrent
+// use. On a synchronous (v1) session requests are serialized, as in the
+// MySQL protocol; on a pipelined (v2) session concurrent callers share
+// the connection's in-flight window and complete out of order.
 type Client struct {
 	addr string
 	opts clientOptions
 
 	mu      sync.Mutex
 	conn    net.Conn
+	pipe    *pipe  // non-nil iff the session negotiated the v2 transport
+	proto   int    // protocol version this session negotiated
 	closed  bool   // Close was called; terminal
 	lastErr error  // why the connection was poisoned (nil if healthy)
 	domain  string // domain the HELLO handshake bound us to ("" = none)
@@ -142,13 +164,15 @@ func (c *Client) redialLocked() error {
 		if err == nil {
 			c.conn = conn
 			c.lastErr = nil
-			if c.opts.hello == nil {
-				return nil
-			}
-			// Handshake on the fresh connection. A failure poisons this
-			// conn and counts as one dial attempt: a session that asked
-			// for a domain binding must never silently run unbound.
-			if err = c.helloLocked(); err == nil {
+			c.proto = helloVersionLegacy
+			// Negotiate on the fresh connection — protocol version AND
+			// domain binding, on the initial dial and every reconnect. A
+			// failure poisons this conn and counts as one dial attempt: a
+			// session that asked for a domain binding must never silently
+			// run unbound, and a pipelining session must re-negotiate its
+			// transport (the replacement server may speak a different
+			// version than the one that died).
+			if err = c.negotiateLocked(); err == nil {
 				return nil
 			}
 			_ = c.poisonLocked(err)
@@ -158,24 +182,73 @@ func (c *Client) redialLocked() error {
 	return fmt.Errorf("dial %s: %w", c.addr, lastErr)
 }
 
-// helloLocked performs the HELLO handshake on the current connection.
+// negotiateLocked performs the HELLO handshake on the current
+// connection, negotiating the protocol version and the domain binding.
+// Callers hold c.mu. Clients with neither WithHello nor WithPipeline
+// send no handshake at all — the legacy default-domain session.
+func (c *Client) negotiateLocked() error {
+	if c.opts.hello == nil && !c.opts.pipeline {
+		return nil
+	}
+	h := Hello{}
+	if c.opts.hello != nil {
+		h = *c.opts.hello
+	}
+	if c.opts.pipeline {
+		h.Version = HelloVersion
+	}
+	ack, err := c.helloRoundTripLocked(&h)
+	if err != nil {
+		var refusal *helloRefusedError
+		// Auto-downgrade is only for pipelining clients probing for v2: a
+		// caller that explicitly pinned a version (o.hello) must see the
+		// refusal, not a silent downgrade.
+		if !errors.As(err, &refusal) || !c.opts.pipeline ||
+			refusal.ack == nil || refusal.ack.Version < helloVersionLegacy ||
+			refusal.ack.Version >= h.Version {
+			return err
+		}
+		h.Version = refusal.ack.Version
+		if ack, err = c.helloRoundTripLocked(&h); err != nil {
+			return err
+		}
+	}
+	c.domain = ack.Domain
+	c.proto = h.Version
+	if h.Version >= HelloVersion {
+		// The acknowledgement was the last JSON frame on this session;
+		// everything after it is binary. Hand the conn to the pipe.
+		c.pipe = newPipe(c, c.conn, c.opts.window)
+	}
+	return nil
+}
+
+// helloRefusedError carries the server's refusal acknowledgement so the
+// client can read the advertised version and downgrade.
+type helloRefusedError struct {
+	msg string
+	ack *HelloAck
+}
+
+func (e *helloRefusedError) Error() string { return "hello refused: " + e.msg }
+
+// helloRoundTripLocked sends one handshake frame and reads the reply.
 // Callers hold c.mu.
-func (c *Client) helloLocked() error {
-	if err := writeFrame(c.conn, &Request{Hello: c.opts.hello}); err != nil {
-		return fmt.Errorf("hello: %w", err)
+func (c *Client) helloRoundTripLocked(h *Hello) (*HelloAck, error) {
+	if err := writeFrame(c.conn, &Request{Hello: h}); err != nil {
+		return nil, fmt.Errorf("hello: %w", err)
 	}
 	var resp Response
 	if err := readFrame(c.conn, &resp); err != nil {
-		return fmt.Errorf("hello: %w", err)
+		return nil, fmt.Errorf("hello: %w", err)
 	}
 	if resp.Error != "" {
-		return fmt.Errorf("hello refused: %s", resp.Error)
+		return nil, &helloRefusedError{msg: resp.Error, ack: resp.Hello}
 	}
 	if resp.Hello == nil {
-		return errors.New("hello: server sent no acknowledgement")
+		return nil, errors.New("hello: server sent no acknowledgement")
 	}
-	c.domain = resp.Hello.Domain
-	return nil
+	return resp.Hello, nil
 }
 
 // poisonLocked marks the connection dead after a transport/protocol
@@ -187,8 +260,22 @@ func (c *Client) poisonLocked(err error) error {
 		_ = c.conn.Close()
 		c.conn = nil
 	}
+	c.pipe = nil
 	c.lastErr = err
 	return err
+}
+
+// pipeBroken is the pipe's poison callback: detach it so the next call
+// redials (auto-reconnect) or fails fast with the recorded cause.
+func (c *Client) pipeBroken(p *pipe, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pipe != p {
+		return // already detached (replaced or client-closed)
+	}
+	c.pipe = nil
+	c.conn = nil // the pipe closed it
+	c.lastErr = err
 }
 
 // Domain returns the protection domain the HELLO handshake bound this
@@ -199,23 +286,69 @@ func (c *Client) Domain() string {
 	return c.domain
 }
 
+// ProtocolVersion returns the protocol version the current session
+// negotiated: 2 when the pipelined binary transport is active, 1 for a
+// synchronous JSON session (including a v2 client downgraded by a v1
+// server), 0 when the connection is down.
+func (c *Client) ProtocolVersion() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return 0
+	}
+	return c.proto
+}
+
 // Exec runs one SQL statement on the server.
 func (c *Client) Exec(query string) (*engine.Result, error) {
-	return c.exec(&Request{Query: query})
+	req := getRequest()
+	req.Query = query
+	res, err := c.exec(req)
+	putRequest(req)
+	return res, err
 }
 
 // ExecArgs runs a parameterized statement, binding args server-side.
 func (c *Client) ExecArgs(query string, args ...engine.Value) (*engine.Result, error) {
-	wargs := make([]WireValue, len(args))
-	for i, a := range args {
-		wargs[i] = ToWire(a)
+	req := getRequest()
+	req.Query = query
+	for _, a := range args {
+		req.Args = append(req.Args, ToWire(a))
 	}
-	return c.exec(&Request{Query: query, Args: wargs})
+	res, err := c.exec(req)
+	putRequest(req)
+	return res, err
 }
 
-func (c *Client) exec(req *Request) (*engine.Result, error) {
+// Submit enqueues one statement and returns a Future that completes
+// when the server answers. On a pipelined session up to the negotiated
+// window of submits proceed concurrently without waiting for each
+// other; on a synchronous session Submit degrades to Exec and returns
+// an already-completed Future, so callers can be written against Submit
+// regardless of what the server negotiated.
+func (c *Client) Submit(query string, args ...engine.Value) *Future {
+	req := getRequest()
+	req.Query = query
+	for _, a := range args {
+		req.Args = append(req.Args, ToWire(a))
+	}
+	defer putRequest(req) // submit/exec are done with req when they return
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	p, err := c.sessionLocked()
+	c.mu.Unlock()
+	if err != nil {
+		return completedFuture(nil, err)
+	}
+	if p != nil {
+		return p.submit(req)
+	}
+	return completedFuture(c.exec(req))
+}
+
+// sessionLocked ensures a live connection (redialing when allowed) and
+// returns the active pipe, nil when the session is synchronous.
+// Callers hold c.mu.
+func (c *Client) sessionLocked() (*pipe, error) {
 	if c.closed {
 		return nil, ErrClientClosed
 	}
@@ -227,52 +360,63 @@ func (c *Client) exec(req *Request) (*engine.Result, error) {
 			return nil, err
 		}
 	}
+	return c.pipe, nil
+}
+
+func (c *Client) exec(req *Request) (*engine.Result, error) {
+	c.mu.Lock()
+	p, err := c.sessionLocked()
+	if err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	if p != nil {
+		// Pipelined session: submit without holding the client lock —
+		// the pipe serializes internally and other callers may overlap.
+		c.mu.Unlock()
+		return p.submit(req).Wait()
+	}
+	defer c.mu.Unlock()
 	if err := writeFrame(c.conn, req); err != nil {
 		return nil, c.poisonLocked(fmt.Errorf("write request: %w", err))
 	}
-	var resp Response
-	if err := readFrame(c.conn, &resp); err != nil {
+	resp := getResponse()
+	if err := readFrame(c.conn, resp); err != nil {
+		putResponse(resp)
 		return nil, c.poisonLocked(fmt.Errorf("read response: %w", err))
 	}
 	if resp.Busy {
 		// The server refused this connection at admission and is hanging
 		// up; poison so the next call redials (or fails fast).
+		putResponse(resp)
 		return nil, c.poisonLocked(ErrServerBusy)
 	}
-	if resp.Error != "" {
-		if resp.Blocked {
-			return nil, fmt.Errorf("%w: %s", ErrServerBlocked, resp.Error)
-		}
-		return nil, errors.New(resp.Error)
-	}
-	res := &engine.Result{
-		Columns:      resp.Columns,
-		Affected:     resp.Affected,
-		LastInsertID: resp.LastInsertID,
-	}
-	res.Rows = make([][]engine.Value, len(resp.Rows))
-	for i, row := range resp.Rows {
-		vals := make([]engine.Value, len(row))
-		for j, w := range row {
-			vals[j] = FromWire(w)
-		}
-		res.Rows[i] = vals
-	}
-	return res, nil
+	res, err := responseToResult(resp) // copies — the response is pooled
+	putResponse(resp)
+	return res, err
 }
 
 // Close tears down the connection. A closed client never reconnects.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
 	c.closed = true
-	if c.conn == nil {
+	p := c.pipe
+	conn := c.conn
+	c.pipe = nil
+	c.conn = nil
+	c.mu.Unlock()
+	if p != nil {
+		// The pipe owns the conn: poison it (failing anything in flight)
+		// and wait for its goroutines to drain.
+		p.close()
 		return nil
 	}
-	err := c.conn.Close()
-	c.conn = nil
-	return err
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
 }

@@ -1,0 +1,356 @@
+// codec.go — the version-2 binary frame codec.
+//
+// A v2 frame is length-prefixed like a v1 frame, so the 16 MiB bound
+// and the split idle/read deadline handling carry over unchanged:
+//
+//	offset  size  field
+//	0       4     payload length N (big-endian uint32, 9 ≤ N ≤ maxFrame)
+//	4       8     sequence number (big-endian uint64)
+//	12      1     frame type (frameQuery | frameResult)
+//	13      N-9   type-specific body
+//
+// The sequence number is assigned by the client, strictly increasing
+// per connection, and echoed verbatim in the response frame: responses
+// may arrive in any order (the server completes queries out of order)
+// and the client matches them back by sequence number. There is no
+// binary hello — protocol negotiation happens once, in JSON, before the
+// first binary frame — and no per-request cancellation frame: the unit
+// of cancellation is the connection (closing it abandons every request
+// in flight), exactly like the query-kill granularity of the paper's
+// MySQL deployment.
+//
+// Body encodings (all integers big-endian, lengths/counts unsigned
+// varints):
+//
+//	query request:  query string · arg count · args
+//	result:         flags byte (blocked|busy) · error string ·
+//	                affected i64 · last-insert-id i64 ·
+//	                column count · column strings ·
+//	                row count · per row: cell count · cells
+//	string:         uvarint byte length · bytes
+//	value (cell):   kind byte, then INT/FLOAT: 8 bytes, STRING: string,
+//	                BOOL: 1 byte, NULL: nothing
+//
+// Every decoder is defensive: lengths and counts are checked against
+// the bytes actually present before any allocation, so a torn or
+// hostile frame can neither panic the decoder nor make it allocate
+// beyond the (already bounded) frame size. The fuzz target
+// FuzzBinaryDecode holds the decoders to that contract.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"github.com/septic-db/septic/internal/engine"
+)
+
+// v2FrameOverhead is the sequence number plus the type byte — the fixed
+// part of every v2 payload.
+const v2FrameOverhead = 9
+
+// Frame types.
+const (
+	frameQuery  byte = 0x01 // client → server
+	frameResult byte = 0x02 // server → client
+)
+
+// errFrameTooShort rejects payloads smaller than the fixed overhead.
+var errFrameTooShort = errors.New("binary frame shorter than header")
+
+// encBuf is a pooled encode/decode scratch buffer. Frames are built in
+// one of these and written with a single Write, and read payloads land
+// in one before decoding.
+type encBuf struct {
+	b []byte
+}
+
+var encBufPool = sync.Pool{New: func() any {
+	return &encBuf{b: make([]byte, 0, 4096)}
+}}
+
+func getEncBuf() *encBuf { return encBufPool.Get().(*encBuf) }
+
+func putEncBuf(e *encBuf) {
+	if cap(e.b) <= poolableCap {
+		encBufPool.Put(e)
+	}
+}
+
+// --- encoding ----------------------------------------------------------
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendValue(b []byte, v WireValue) []byte {
+	b = append(b, byte(v.Kind))
+	switch engine.Kind(v.Kind) {
+	case engine.KindInt:
+		b = binary.BigEndian.AppendUint64(b, uint64(v.I))
+	case engine.KindFloat:
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(v.F))
+	case engine.KindString:
+		b = appendString(b, v.S)
+	case engine.KindBool:
+		if v.B {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	return b
+}
+
+// beginFrame reserves the length header and writes the fixed payload
+// prefix; endFrame patches the header once the body is complete.
+func beginFrame(b []byte, seq uint64, typ byte) []byte {
+	b = append(b, 0, 0, 0, 0)
+	b = binary.BigEndian.AppendUint64(b, seq)
+	return append(b, typ)
+}
+
+func endFrame(b []byte, start int) ([]byte, error) {
+	n := len(b) - start - 4
+	if n > maxFrame {
+		return b, fmt.Errorf("frame of %d bytes exceeds limit", n)
+	}
+	binary.BigEndian.PutUint32(b[start:], uint32(n))
+	return b, nil
+}
+
+// appendRequestFrame encodes one query request as a complete v2 frame.
+func appendRequestFrame(b []byte, seq uint64, req *Request) ([]byte, error) {
+	start := len(b)
+	b = beginFrame(b, seq, frameQuery)
+	b = appendString(b, req.Query)
+	b = binary.AppendUvarint(b, uint64(len(req.Args)))
+	for _, a := range req.Args {
+		b = appendValue(b, a)
+	}
+	return endFrame(b, start)
+}
+
+// Response flag bits.
+const (
+	respFlagBlocked = 1 << 0
+	respFlagBusy    = 1 << 1
+)
+
+// appendResponseFrame encodes one query result as a complete v2 frame.
+func appendResponseFrame(b []byte, seq uint64, resp *Response) ([]byte, error) {
+	start := len(b)
+	b = beginFrame(b, seq, frameResult)
+	var flags byte
+	if resp.Blocked {
+		flags |= respFlagBlocked
+	}
+	if resp.Busy {
+		flags |= respFlagBusy
+	}
+	b = append(b, flags)
+	b = appendString(b, resp.Error)
+	b = binary.BigEndian.AppendUint64(b, uint64(resp.Affected))
+	b = binary.BigEndian.AppendUint64(b, uint64(resp.LastInsertID))
+	b = binary.AppendUvarint(b, uint64(len(resp.Columns)))
+	for _, c := range resp.Columns {
+		b = appendString(b, c)
+	}
+	b = binary.AppendUvarint(b, uint64(len(resp.Rows)))
+	for _, row := range resp.Rows {
+		b = binary.AppendUvarint(b, uint64(len(row)))
+		for _, v := range row {
+			b = appendValue(b, v)
+		}
+	}
+	return endFrame(b, start)
+}
+
+// --- decoding ----------------------------------------------------------
+
+// dec is a bounds-checked cursor over one frame payload. Every take
+// method fails (sticky error) instead of panicking when the payload is
+// truncated or a count lies about the bytes that follow.
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("decode binary frame: truncated or invalid %s", what)
+	}
+}
+
+func (d *dec) takeByte(what string) byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 1 {
+		d.fail(what)
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *dec) takeU64(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 8 {
+		d.fail(what)
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *dec) takeUvarint(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail(what)
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+// takeCount reads a collection count and rejects any value that could
+// not possibly fit in the remaining bytes (each element needs at least
+// minElem bytes), so a lying count cannot drive a huge allocation.
+func (d *dec) takeCount(what string, minElem int) int {
+	v := d.takeUvarint(what)
+	if d.err != nil {
+		return 0
+	}
+	if v > uint64(len(d.b)/minElem) {
+		d.fail(what)
+		return 0
+	}
+	return int(v)
+}
+
+func (d *dec) takeString(what string) string {
+	n := d.takeUvarint(what)
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)) {
+		d.fail(what)
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+func (d *dec) takeValue() WireValue {
+	kind := d.takeByte("value kind")
+	if d.err != nil {
+		return WireValue{}
+	}
+	v := WireValue{Kind: int(kind)}
+	switch engine.Kind(kind) {
+	case engine.KindInvalid, engine.KindNull:
+		// No payload. KindInvalid (a zero engine.Value) round-trips like
+		// null — the JSON path carries it too, so the binary path must.
+	case engine.KindInt:
+		v.I = int64(d.takeU64("int value"))
+	case engine.KindFloat:
+		v.F = math.Float64frombits(d.takeU64("float value"))
+	case engine.KindString:
+		v.S = d.takeString("string value")
+	case engine.KindBool:
+		v.B = d.takeByte("bool value") != 0
+	default:
+		d.fail("value kind")
+	}
+	return v
+}
+
+// decodeRequestBody decodes a frameQuery body into req (which should be
+// reset; Args capacity is reused).
+func decodeRequestBody(body []byte, req *Request) error {
+	d := dec{b: body}
+	req.Query = d.takeString("query")
+	argc := d.takeCount("arg count", 1)
+	for i := 0; i < argc && d.err == nil; i++ {
+		req.Args = append(req.Args, d.takeValue())
+	}
+	if d.err == nil && len(d.b) != 0 {
+		d.fail("trailing bytes")
+	}
+	return d.err
+}
+
+// decodeResponseBody decodes a frameResult body into resp (which should
+// be reset; outer slice capacities are reused).
+func decodeResponseBody(body []byte, resp *Response) error {
+	d := dec{b: body}
+	flags := d.takeByte("flags")
+	resp.Blocked = flags&respFlagBlocked != 0
+	resp.Busy = flags&respFlagBusy != 0
+	resp.Error = d.takeString("error")
+	resp.Affected = int64(d.takeU64("affected"))
+	resp.LastInsertID = int64(d.takeU64("last insert id"))
+	ncols := d.takeCount("column count", 1)
+	for i := 0; i < ncols && d.err == nil; i++ {
+		resp.Columns = append(resp.Columns, d.takeString("column name"))
+	}
+	nrows := d.takeCount("row count", 1)
+	for i := 0; i < nrows && d.err == nil; i++ {
+		ncells := d.takeCount("cell count", 1)
+		if d.err != nil {
+			break
+		}
+		row := make([]WireValue, 0, ncells)
+		for j := 0; j < ncells && d.err == nil; j++ {
+			row = append(row, d.takeValue())
+		}
+		resp.Rows = append(resp.Rows, row)
+	}
+	if d.err == nil && len(d.b) != 0 {
+		d.fail("trailing bytes")
+	}
+	return d.err
+}
+
+// readBinaryFrame reads one v2 frame into buf (reused across calls) and
+// returns the sequence number, frame type and body. The body aliases
+// buf and is only valid until the next call.
+func readBinaryFrame(r io.Reader, buf *encBuf) (seq uint64, typ byte, body []byte, err error) {
+	n, err := readFrameHeader(r)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return readBinaryFramePayload(r, n, buf)
+}
+
+// readBinaryFramePayload reads the payload of a v2 frame whose header
+// (length n) was already consumed — split out so the server can switch
+// from its idle deadline to its read deadline between the two.
+func readBinaryFramePayload(r io.Reader, n uint32, buf *encBuf) (seq uint64, typ byte, body []byte, err error) {
+	if n < v2FrameOverhead {
+		return 0, 0, nil, errFrameTooShort
+	}
+	if uint32(cap(buf.b)) < n {
+		buf.b = make([]byte, 0, n)
+	}
+	payload := buf.b[:n]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, 0, nil, fmt.Errorf("read frame payload: %w", err)
+	}
+	seq = binary.BigEndian.Uint64(payload)
+	return seq, payload[8], payload[v2FrameOverhead:], nil
+}

@@ -1,0 +1,200 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/septic-db/septic/internal/engine"
+)
+
+const (
+	kInt    = int(engine.KindInt)
+	kFloat  = int(engine.KindFloat)
+	kString = int(engine.KindString)
+	kBool   = int(engine.KindBool)
+	kNull   = int(engine.KindNull)
+)
+
+// sampleRequest exercises every value kind.
+func sampleRequest() *Request {
+	return &Request{
+		Query: "SELECT id, name FROM t WHERE id = ? AND w > ? AND ok = ? AND note = ? AND x IS ?",
+		Args: []WireValue{
+			{Kind: kInt, I: -42},
+			{Kind: kFloat, F: math.Pi},
+			{Kind: kBool, B: true},
+			{Kind: kString, S: "O'Reilly — naïve\x00bytes"},
+			{Kind: kNull},
+		},
+	}
+}
+
+func sampleResponse() *Response {
+	return &Response{
+		Columns: []string{"id", "name"},
+		Rows: [][]WireValue{
+			{{Kind: kInt, I: 1}, {Kind: kString, S: "ann"}},
+			{{Kind: kInt, I: 2}, {Kind: kNull}},
+		},
+		Affected:     -7,
+		LastInsertID: 99,
+		Error:        "",
+	}
+}
+
+func TestBinaryRequestRoundTrip(t *testing.T) {
+	want := sampleRequest()
+	frame, err := appendRequestFrame(nil, 12345, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := &encBuf{}
+	seq, typ, body, err := readBinaryFrame(bytes.NewReader(frame), buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 12345 || typ != frameQuery {
+		t.Fatalf("seq=%d typ=%#x", seq, typ)
+	}
+	var got Request
+	if err := decodeRequestBody(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Query != want.Query || !reflect.DeepEqual(got.Args, want.Args) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, *want)
+	}
+}
+
+func TestBinaryResponseRoundTrip(t *testing.T) {
+	cases := []*Response{
+		sampleResponse(),
+		{Error: "boom", Blocked: true},
+		{Busy: true, Error: "server busy"},
+		{}, // empty success
+	}
+	for i, want := range cases {
+		frame, err := appendResponseFrame(nil, uint64(i)+7, want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := &encBuf{}
+		seq, typ, body, err := readBinaryFrame(bytes.NewReader(frame), buf)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if seq != uint64(i)+7 || typ != frameResult {
+			t.Fatalf("case %d: seq=%d typ=%#x", i, seq, typ)
+		}
+		var got Response
+		if err := decodeResponseBody(body, &got); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got.Blocked != want.Blocked || got.Busy != want.Busy || got.Error != want.Error ||
+			got.Affected != want.Affected || got.LastInsertID != want.LastInsertID ||
+			len(got.Columns) != len(want.Columns) || len(got.Rows) != len(want.Rows) {
+			t.Fatalf("case %d mismatch:\n got %+v\nwant %+v", i, got, *want)
+		}
+		for j := range want.Rows {
+			if !reflect.DeepEqual(got.Rows[j], want.Rows[j]) {
+				t.Fatalf("case %d row %d: got %+v want %+v", i, j, got.Rows[j], want.Rows[j])
+			}
+		}
+	}
+}
+
+// TestDecoderRejectsHostileBodies holds the decoders to their contract:
+// truncated, lying, or trailing-garbage bodies return an error — never
+// a panic, never a giant allocation.
+func TestDecoderRejectsHostileBodies(t *testing.T) {
+	reqFrame, _ := appendRequestFrame(nil, 1, sampleRequest())
+	respFrame, _ := appendResponseFrame(nil, 1, sampleResponse())
+	reqBody := reqFrame[4+v2FrameOverhead:]
+	respBody := respFrame[4+v2FrameOverhead:]
+
+	// Every strict prefix of a valid body must decode cleanly or error —
+	// prefixes that happen to be self-delimiting are fine, panics are not.
+	for n := 0; n < len(reqBody); n++ {
+		var req Request
+		_ = decodeRequestBody(reqBody[:n], &req) // must not panic
+	}
+	for n := 0; n < len(respBody); n++ {
+		var resp Response
+		_ = decodeResponseBody(respBody[:n], &resp)
+	}
+
+	// A count that promises more elements than bytes remain must be
+	// rejected before allocation.
+	lie := binary.AppendUvarint(appendString(nil, "SELECT 1"), 1<<40)
+	var req Request
+	if err := decodeRequestBody(lie, &req); err == nil {
+		t.Fatal("lying arg count accepted")
+	}
+	// Unknown value kind.
+	bad := appendString(nil, "q")
+	bad = binary.AppendUvarint(bad, 1) // argc = 1
+	bad = append(bad, 0xEE)            // unknown kind
+	if err := decodeRequestBody(bad, &req); err == nil {
+		t.Fatal("unknown value kind accepted")
+	}
+	// Trailing bytes after a complete body.
+	trailing := append(append([]byte{}, reqBody...), 0x00)
+	if err := decodeRequestBody(trailing, &req); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	var resp Response
+	trailingResp := append(append([]byte{}, respBody...), 0x01)
+	if err := decodeResponseBody(trailingResp, &resp); err == nil {
+		t.Fatal("trailing bytes accepted in response")
+	}
+}
+
+func TestReadBinaryFrameRejectsShortAndOversized(t *testing.T) {
+	// Payload length below the fixed seq+type overhead.
+	short := []byte{0, 0, 0, 4, 1, 2, 3, 4}
+	if _, _, _, err := readBinaryFrame(bytes.NewReader(short), &encBuf{}); err == nil {
+		t.Fatal("undersized frame accepted")
+	}
+	// Length header beyond maxFrame.
+	huge := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0}
+	if _, _, _, err := readBinaryFrame(bytes.NewReader(huge), &encBuf{}); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	// Torn frame: header promises more than arrives.
+	torn, _ := appendRequestFrame(nil, 9, sampleRequest())
+	if _, _, _, err := readBinaryFrame(bytes.NewReader(torn[:len(torn)-3]), &encBuf{}); err == nil {
+		t.Fatal("torn frame accepted")
+	}
+	// Encoder refuses to build a frame over the limit.
+	big := &Request{Query: string(make([]byte, maxFrame+1))}
+	if _, err := appendRequestFrame(nil, 1, big); err == nil {
+		t.Fatal("over-limit frame encoded")
+	}
+}
+
+// TestCodecSteadyStateAllocs pins the pooled codec's hot path: with a
+// reused buffer, encoding a request and decoding it back must not
+// allocate beyond the decoded strings themselves.
+func TestCodecSteadyStateAllocs(t *testing.T) {
+	req := sampleRequest()
+	buf := &encBuf{}
+	var scratch Request
+	allocs := testing.AllocsPerRun(200, func() {
+		frame, err := appendRequestFrame(buf.b[:0], 7, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.b = frame
+		scratch.reset()
+		if err := decodeRequestBody(frame[4+v2FrameOverhead:], &scratch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One alloc per string arg + the query string; everything else (frame
+	// buffer, args slice) is reused. Generous ceiling: 6.
+	if allocs > 6 {
+		t.Fatalf("encode+decode steady state allocates %.1f/op, ceiling 6", allocs)
+	}
+}

@@ -1,19 +1,31 @@
-// Package wire implements the client/server protocol of the DBMS: a
-// synchronous, length-prefixed JSON protocol over TCP standing in for the
-// MySQL wire protocol.
+// Package wire implements the client/server protocol of the DBMS,
+// standing in for the MySQL wire protocol. Two transports share one
+// port:
 //
-// The protocol exists to demonstrate two SEPTIC features from §II-B:
-// "no client configuration" — clients connect exactly as they would to an
-// unprotected server, because SEPTIC lives inside the DBMS — and "client
-// diversity" — several clients of different kinds may be connected to a
-// single protected server.
+//   - Version 1 — the legacy protocol: synchronous, length-prefixed
+//     JSON frames, one request in flight per connection. Every client
+//     speaks it by default, preserving the paper's "no client
+//     configuration" property (§II-B): clients connect exactly as they
+//     would to an unprotected server.
+//   - Version 2 — the pipelined binary protocol: sequence-numbered,
+//     length-prefixed binary frames (codec.go), many requests in
+//     flight per connection, responses completed out of order and
+//     matched by sequence number. A session enters v2 only through the
+//     HELLO handshake, so v1 clients and v1 servers interoperate with
+//     v2 peers unchanged.
+//
+// The protocol also demonstrates "client diversity" (§II-B): several
+// clients of different kinds — and now of different protocol versions —
+// may be connected to a single protected server.
 package wire
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 
 	"github.com/septic-db/septic/internal/engine"
 )
@@ -22,23 +34,35 @@ import (
 // max_allowed_packet).
 const maxFrame = 16 << 20
 
-// HelloVersion is the protocol version of the HELLO handshake this
-// build speaks. Version 1 adds the application declaration that binds a
-// connection to a protection domain.
-const HelloVersion = 1
+// Protocol versions carried in the HELLO handshake.
+const (
+	// HelloVersion is the newest protocol version this build speaks.
+	// Version 1 added the application declaration that binds a
+	// connection to a protection domain; version 2 adds the pipelined
+	// binary transport.
+	HelloVersion = 2
+	// helloVersionLegacy is the synchronous JSON protocol. WithHello
+	// clients declare it; a v2 client falls back to it when the server
+	// refuses version 2.
+	helloVersionLegacy = 1
+)
 
 // Hello is the optional session handshake: the first frame a
-// domain-aware client sends. It declares the client's protocol version
-// and the application it acts for; the server binds the connection to
-// the application's protection domain and every later query on the
-// connection is routed there. Clients predating the handshake simply
-// never send one — their queries carry no app binding and land in the
-// default domain, so old clients keep working against new servers
-// without any configuration ("no client configuration", §II-B).
+// domain-aware or pipelining client sends. It declares the client's
+// protocol version and the application it acts for; the server binds
+// the connection to the application's protection domain and every later
+// query on the connection is routed there. A version-2 hello
+// additionally switches the session to the pipelined binary transport:
+// the acknowledgement is the last JSON frame exchanged, and every frame
+// after it is binary (codec.go). Clients predating the handshake simply
+// never send one — their queries carry no app binding, land in the
+// default domain, and stay on the synchronous JSON protocol, so old
+// clients keep working against new servers without any configuration.
 type Hello struct {
-	// Version is the client's HelloVersion. A server refuses versions
-	// newer than its own (the client must downgrade), and accepts older
-	// ones.
+	// Version is the protocol version the client wants to speak. A
+	// server refuses versions newer than it accepts (the client must
+	// downgrade — pipelining clients do so automatically), and accepts
+	// older ones.
 	Version int `json:"v"`
 	// App is the application name to bind the session to; empty binds to
 	// the default domain.
@@ -47,7 +71,8 @@ type Hello struct {
 
 // HelloAck is the server's handshake reply.
 type HelloAck struct {
-	// Version is the server's HelloVersion.
+	// Version is the newest protocol version the server accepts. On a
+	// refusal it tells the client what to downgrade to.
 	Version int `json:"v"`
 	// Domain is the protection domain the session was bound to —
 	// "default" when the declared app is unknown or empty.
@@ -67,6 +92,15 @@ type Request struct {
 	Hello *Hello `json:"hello,omitempty"`
 }
 
+// reset clears a Request for reuse, keeping the Args capacity. Required
+// before decoding into a pooled struct: both json.Unmarshal and the
+// binary decoder leave absent fields untouched.
+func (r *Request) reset() {
+	r.Query = ""
+	r.Args = r.Args[:0]
+	r.Hello = nil
+}
+
 // Response is one server->client message.
 type Response struct {
 	Columns      []string      `json:"columns,omitempty"`
@@ -83,6 +117,48 @@ type Response struct {
 	// Hello is the handshake acknowledgement, set only when the request
 	// was a Hello frame.
 	Hello *HelloAck `json:"hello,omitempty"`
+}
+
+// reset clears a Response for reuse. Outer slice capacities are kept
+// (the per-connection serving loop reuses them frame after frame); the
+// inner row slices are released for the collector.
+func (r *Response) reset() {
+	r.Columns = r.Columns[:0]
+	for i := range r.Rows {
+		r.Rows[i] = nil
+	}
+	r.Rows = r.Rows[:0]
+	r.Affected = 0
+	r.LastInsertID = 0
+	r.Error = ""
+	r.Blocked = false
+	r.Busy = false
+	r.Hello = nil
+}
+
+// Struct pools for the serving and client hot paths: one Request and
+// one Response per frame otherwise, on both the JSON and binary paths.
+var (
+	requestPool  = sync.Pool{New: func() any { return new(Request) }}
+	responsePool = sync.Pool{New: func() any { return new(Response) }}
+)
+
+func getRequest() *Request {
+	return requestPool.Get().(*Request)
+}
+
+func putRequest(r *Request) {
+	r.reset()
+	requestPool.Put(r)
+}
+
+func getResponse() *Response {
+	return responsePool.Get().(*Response)
+}
+
+func putResponse(r *Response) {
+	r.reset()
+	responsePool.Put(r)
 }
 
 // WireValue is the serialized form of engine.Value.
@@ -104,24 +180,69 @@ func FromWire(w WireValue) engine.Value {
 	return engine.Value{Kind: engine.Kind(w.Kind), I: w.I, F: w.F, S: w.S, B: w.B}
 }
 
+// poolableCap bounds what the frame pools retain: a burst of giant
+// result sets must not pin megabytes of buffer forever.
+const poolableCap = 64 << 10
+
+// frameEncoder is a pooled JSON frame writer: the length header and the
+// marshalled payload are built in one reusable buffer and written with
+// a single Write call (one syscall per frame instead of two).
+type frameEncoder struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encoderPool = sync.Pool{New: func() any {
+	e := &frameEncoder{}
+	e.enc = json.NewEncoder(&e.buf)
+	return e
+}}
+
 // writeFrame sends one length-prefixed JSON message.
 func writeFrame(w io.Writer, msg any) error {
-	payload, err := json.Marshal(msg)
-	if err != nil {
+	e := encoderPool.Get().(*frameEncoder)
+	e.buf.Reset()
+	e.buf.Write([]byte{0, 0, 0, 0}) // length header placeholder
+	if err := e.enc.Encode(msg); err != nil {
+		encoderPool.Put(e)
 		return fmt.Errorf("encode frame: %w", err)
 	}
-	if len(payload) > maxFrame {
-		return fmt.Errorf("frame of %d bytes exceeds limit", len(payload))
+	frame := e.buf.Bytes()
+	n := len(frame) - 4 // payload includes Encode's trailing newline; Unmarshal permits it
+	if n > maxFrame {
+		encoderPool.Put(e)
+		return fmt.Errorf("frame of %d bytes exceeds limit", n)
 	}
-	var header [4]byte
-	binary.BigEndian.PutUint32(header[:], uint32(len(payload)))
-	if _, err := w.Write(header[:]); err != nil {
-		return fmt.Errorf("write frame header: %w", err)
+	binary.BigEndian.PutUint32(frame[:4], uint32(n))
+	_, err := w.Write(frame)
+	if e.buf.Cap() <= poolableCap {
+		encoderPool.Put(e)
 	}
-	if _, err := w.Write(payload); err != nil {
-		return fmt.Errorf("write frame payload: %w", err)
+	if err != nil {
+		return fmt.Errorf("write frame: %w", err)
 	}
 	return nil
+}
+
+// payloadPool recycles frame payload read buffers on both the client
+// and server side of the JSON path (and the binary reader's scratch).
+var payloadPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+func getPayloadBuf(n uint32) *[]byte {
+	pb := payloadPool.Get().(*[]byte)
+	if uint32(cap(*pb)) < n {
+		*pb = make([]byte, 0, n)
+	}
+	return pb
+}
+
+func putPayloadBuf(pb *[]byte) {
+	if cap(*pb) <= poolableCap {
+		payloadPool.Put(pb)
+	}
 }
 
 // readFrame receives one length-prefixed JSON message into msg.
@@ -149,13 +270,19 @@ func readFrameHeader(r io.Reader) (uint32, error) {
 	return n, nil
 }
 
-// readFramePayload reads the n-byte payload and decodes it into msg.
+// readFramePayload reads the n-byte payload into a pooled buffer and
+// decodes it into msg. json.Unmarshal copies everything it keeps, so
+// the buffer is recycled immediately.
 func readFramePayload(r io.Reader, n uint32, msg any) error {
-	payload := make([]byte, n)
+	pb := getPayloadBuf(n)
+	payload := (*pb)[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
+		putPayloadBuf(pb)
 		return fmt.Errorf("read frame payload: %w", err)
 	}
-	if err := json.Unmarshal(payload, msg); err != nil {
+	err := json.Unmarshal(payload, msg)
+	putPayloadBuf(pb)
+	if err != nil {
 		return fmt.Errorf("decode frame: %w", err)
 	}
 	return nil

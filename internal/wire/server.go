@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -20,6 +21,16 @@ import (
 // out). Clients see it from Exec on a refused connection.
 var ErrServerBusy = errors.New("server busy: connection limit reached")
 
+// Defaults for the v2 pipelined serving path.
+const (
+	// DefaultPipelineWorkers is the per-connection worker pool size for
+	// pipelined (v2) sessions.
+	DefaultPipelineWorkers = 4
+	// DefaultMaxInFlight bounds requests outstanding inside the server
+	// for one pipelined session (queued + executing + unwritten).
+	DefaultMaxInFlight = 64
+)
+
 // Server serves the wire protocol for one database instance. SEPTIC, if
 // installed, is already inside the engine — the server is protection-
 // agnostic, exactly like a stock MySQL front end.
@@ -32,6 +43,13 @@ var ErrServerBusy = errors.New("server busy: connection limit reached")
 // panic-contained — a crash in the engine or a hook that escapes the
 // guard's own containment is converted into an error response for that
 // query, never a server crash.
+//
+// Sessions start on the synchronous JSON protocol. A version-2 HELLO
+// switches the connection to the pipelined binary transport: a
+// per-connection worker pool executes up to WithPipelineWorkers queries
+// concurrently (bounded overall by WithMaxInFlight), and a dedicated
+// writer coalesces completed responses — in completion order, not
+// submission order — into batched flushes.
 type Server struct {
 	db *engine.DB
 
@@ -49,6 +67,13 @@ type Server struct {
 	backlog      int
 	backlogWait  time.Duration
 
+	// helloLimit is the newest protocol version this server accepts
+	// (HelloVersion unless lowered by WithHelloVersionLimit, which
+	// tests use to stand up a v1-only server).
+	helloLimit      int
+	pipelineWorkers int
+	maxInFlight     int
+
 	// sem holds one token per admitted connection; nil = unlimited.
 	sem     chan struct{}
 	waiters atomic.Int64
@@ -59,15 +84,22 @@ type Server struct {
 	// draining makes serving loops stop picking up new requests.
 	draining atomic.Bool
 
-	panics  atomic.Int64
-	refused atomic.Int64
+	panics   atomic.Int64
+	refused  atomic.Int64
+	inflight atomic.Int64 // v2 requests inside the server, all sessions
 
-	// obsHub enables front-end instrumentation (nil = off). The two hot
+	// obsHub enables front-end instrumentation (nil = off). The hot
 	// counter handles are resolved once in NewServer; they are nil-safe,
 	// so the serving loops call them unconditionally.
-	obsHub     *obs.Hub
-	obsConns   *obs.Counter // connections accepted
-	obsQueries *obs.Counter // requests answered
+	obsHub        *obs.Hub
+	obsConns      *obs.Counter // connections accepted
+	obsQueries    *obs.Counter // requests answered (JSON path + hellos)
+	obsV2Sessions *obs.Counter // sessions upgraded to the v2 transport
+	obsV2In       *obs.Counter // v2 query frames received
+	obsV2Out      *obs.Counter // v2 result frames written
+	obsV2Flushes  *obs.Counter // v2 coalesced flushes (Out/Flushes = avg batch)
+	obsV2BytesIn  *obs.Counter // v2 frame bytes received
+	obsV2BytesOut *obs.Counter // v2 frame bytes written
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -127,6 +159,39 @@ func WithAcceptBacklog(n int, wait time.Duration) ServerOption {
 	return func(s *Server) { s.backlog = n; s.backlogWait = wait }
 }
 
+// WithHelloVersionLimit lowers the newest protocol version the server
+// accepts (and advertises) to v. WithHelloVersionLimit(1) turns the
+// server into a pre-pipelining build for interop tests: v2 clients get
+// refused, downgrade, and proceed synchronously. Values outside
+// [1, HelloVersion] are clamped.
+func WithHelloVersionLimit(v int) ServerOption {
+	return func(s *Server) {
+		if v < helloVersionLegacy {
+			v = helloVersionLegacy
+		}
+		if v > HelloVersion {
+			v = HelloVersion
+		}
+		s.helloLimit = v
+	}
+}
+
+// WithPipelineWorkers sets the per-connection worker pool size for
+// pipelined (v2) sessions: up to n queries from one connection execute
+// concurrently. n < 1 means DefaultPipelineWorkers.
+func WithPipelineWorkers(n int) ServerOption {
+	return func(s *Server) { s.pipelineWorkers = n }
+}
+
+// WithMaxInFlight bounds the requests outstanding inside the server for
+// one pipelined session — queued for a worker, executing, or completed
+// but not yet written. Reads beyond the bound apply natural
+// backpressure (the reader blocks, the client's window fills). n < 1
+// means DefaultMaxInFlight; n is clamped up to the worker pool size.
+func WithMaxInFlight(n int) ServerOption {
+	return func(s *Server) { s.maxInFlight = n }
+}
+
 // WithDomainResolver installs the app→domain mapping the server answers
 // HELLO handshakes with: given the declared application name, it
 // returns the protection domain name the session is bound to. septicd
@@ -149,7 +214,8 @@ func defaultDomainResolver(app string) string {
 // WithServerObs installs an observability hub on the front end:
 // accepted-connection and answered-request counters, plus gauges for
 // tracked sessions, admission backlog occupancy, refusals, contained
-// panics and drain state.
+// panics, drain state, and the v2 transport (sessions, frames in/out,
+// coalesced flushes, frame bytes, in-flight depth).
 func WithServerObs(h *obs.Hub) ServerOption {
 	return func(s *Server) { s.obsHub = h }
 }
@@ -162,12 +228,22 @@ func NewServer(db *engine.DB, opts ...ServerOption) *Server {
 		done:        make(chan struct{}),
 		backlog:     -1, // "unset": defaulted from maxConns below
 		backlogWait: time.Second,
+		helloLimit:  HelloVersion,
 	}
 	for _, o := range opts {
 		o(s)
 	}
 	if s.resolveDomain == nil {
 		s.resolveDomain = defaultDomainResolver
+	}
+	if s.pipelineWorkers < 1 {
+		s.pipelineWorkers = DefaultPipelineWorkers
+	}
+	if s.maxInFlight < 1 {
+		s.maxInFlight = DefaultMaxInFlight
+	}
+	if s.maxInFlight < s.pipelineWorkers {
+		s.maxInFlight = s.pipelineWorkers
 	}
 	if s.maxConns > 0 {
 		s.sem = make(chan struct{}, s.maxConns)
@@ -179,6 +255,13 @@ func NewServer(db *engine.DB, opts ...ServerOption) *Server {
 		m := s.obsHub.Metrics
 		s.obsConns = m.Counter("wire.conns.accepted")
 		s.obsQueries = m.Counter("wire.queries.answered")
+		s.obsV2Sessions = m.Counter("wire.v2.sessions")
+		s.obsV2In = m.Counter("wire.v2.frames.in")
+		s.obsV2Out = m.Counter("wire.v2.frames.out")
+		s.obsV2Flushes = m.Counter("wire.v2.flushes")
+		s.obsV2BytesIn = m.Counter("wire.v2.bytes.in")
+		s.obsV2BytesOut = m.Counter("wire.v2.bytes.out")
+		m.GaugeFunc("wire.v2.inflight", s.inflight.Load)
 		m.GaugeFunc("wire.conns.tracked", func() int64 {
 			s.mu.Lock()
 			defer s.mu.Unlock()
@@ -315,32 +398,198 @@ func (s *Server) refuse(conn net.Conn) {
 }
 
 // serveConn handles one client session: a synchronous request/response
-// loop until the client disconnects, a deadline fires, or the server
-// drains. The session's domain binding (HELLO handshake) is plain
-// per-goroutine state: app is empty until a Hello frame binds it.
+// loop until the client disconnects, a deadline fires, the server
+// drains — or an accepted v2 HELLO upgrades the session to the
+// pipelined binary transport (serveConnV2). The session's domain
+// binding is plain per-goroutine state: app is empty until a Hello
+// frame binds it.
 func (s *Server) serveConn(conn net.Conn) {
 	var app string
 	for {
-		var req Request
-		if err := s.readRequest(conn, &req); err != nil {
+		req := getRequest()
+		if err := s.readRequest(conn, req); err != nil {
+			putRequest(req)
 			return // EOF, deadline or protocol error: drop the session
 		}
 		var resp *Response
+		var upgrade bool
 		if req.Hello != nil {
-			resp = s.handleHello(req.Hello, &app)
+			resp, upgrade = s.handleHello(req.Hello, &app)
+			putRequest(req)
 		} else {
-			resp = s.dispatch(&req, app)
+			resp = s.dispatch(req, app) // dispatch owns (and recycles) req
 		}
 		if s.writeTimeout > 0 {
 			_ = conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
 		}
-		if err := writeFrame(conn, resp); err != nil {
+		err := writeFrame(conn, resp)
+		putResponse(resp)
+		if err != nil {
 			return
 		}
 		s.obsQueries.Inc()
+		if upgrade {
+			// The ack we just wrote was the session's last JSON frame.
+			s.serveConnV2(conn, app)
+			return
+		}
 		if s.draining.Load() {
 			return // drain: the in-flight query was answered; end the session
 		}
+	}
+}
+
+// v2Job is one decoded query frame on its way from the reader to a
+// worker; v2Result pairs the completed response with the sequence
+// number it answers, on its way from a worker to the writer.
+type v2Job struct {
+	seq uint64
+	req *Request
+}
+
+type v2Result struct {
+	seq  uint64
+	resp *Response
+}
+
+// serveConnV2 runs the pipelined binary transport on an upgraded
+// session. Three roles share the connection:
+//
+//   - the serving goroutine itself reads query frames and queues them —
+//     when the session's in-flight bound is reached it blocks, which is
+//     the backpressure a misbehaving client feels;
+//   - a fixed pool of workers executes queries concurrently (each with
+//     the same watchdog/panic containment as the synchronous path) and
+//     emits completed responses in completion order;
+//   - one writer drains completed responses, encoding them back-to-back
+//     into a buffered writer and flushing once per drained batch — the
+//     write-coalescing that turns a burst of small responses into one
+//     syscall.
+//
+// Teardown is ordered: reader stops (EOF, deadline, drain, protocol
+// error) → jobs closes → workers finish and exit → out closes → writer
+// flushes what remains and exits. The writer never blocks teardown on a
+// dead peer: after a write error it closes the conn and keeps draining
+// results to the pool.
+func (s *Server) serveConnV2(conn net.Conn, app string) {
+	s.obsV2Sessions.Inc()
+	workers := s.pipelineWorkers
+	in := make(chan v2Job, s.maxInFlight-workers)
+	out := make(chan v2Result, s.maxInFlight)
+
+	var wpool sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wpool.Add(1)
+		go func() {
+			defer wpool.Done()
+			for j := range in {
+				resp := s.dispatch(j.req, app) // owns and recycles j.req
+				out <- v2Result{seq: j.seq, resp: resp}
+			}
+		}()
+	}
+
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		bw := bufio.NewWriterSize(conn, v2BufSize)
+		buf := getEncBuf()
+		defer putEncBuf(buf)
+		failed := false
+		for r := range out {
+			if s.writeTimeout > 0 {
+				_ = conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+			}
+		drain:
+			for {
+				if !failed {
+					failed = !s.writeV2Result(conn, bw, buf, r)
+				}
+				putResponse(r.resp)
+				s.inflight.Add(-1)
+				select {
+				case nr, ok := <-out:
+					if !ok {
+						break drain
+					}
+					r = nr
+				default:
+					break drain
+				}
+			}
+			if !failed {
+				if err := bw.Flush(); err != nil {
+					failed = true
+					_ = conn.Close()
+				} else {
+					s.obsV2Flushes.Inc()
+				}
+			}
+		}
+	}()
+
+	s.readV2Loop(conn, in)
+
+	close(in)
+	wpool.Wait()
+	close(out)
+	<-writerDone
+}
+
+// writeV2Result encodes one response frame into the writer's buffer.
+// It reports false — after closing the conn — on encode or write
+// failure; the caller then discards the rest of the session's output.
+func (s *Server) writeV2Result(conn net.Conn, bw *bufio.Writer, buf *encBuf, r v2Result) bool {
+	frame, err := appendResponseFrame(buf.b[:0], r.seq, r.resp)
+	buf.b = frame
+	if err == nil {
+		_, err = bw.Write(frame)
+	}
+	if err != nil {
+		_ = conn.Close()
+		return false
+	}
+	s.obsV2Out.Inc()
+	s.obsV2BytesOut.Add(int64(len(frame)))
+	return true
+}
+
+// readV2Loop receives query frames until the session ends, queueing
+// each for the worker pool. Any protocol violation — a non-query frame,
+// a malformed body — ends the session: the framing is length-delimited
+// so the stream is technically recoverable, but a peer that sends
+// garbage is not a peer to keep serving.
+func (s *Server) readV2Loop(conn net.Conn, in chan<- v2Job) {
+	br := bufio.NewReaderSize(conn, v2BufSize)
+	buf := getEncBuf()
+	defer putEncBuf(buf)
+	for {
+		if s.draining.Load() {
+			return
+		}
+		if s.idleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
+		}
+		n, err := readFrameHeader(br)
+		if err != nil {
+			return
+		}
+		if s.readTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.readTimeout))
+		}
+		seq, typ, body, err := readBinaryFramePayload(br, n, buf)
+		if err != nil || typ != frameQuery {
+			return
+		}
+		req := getRequest()
+		if err := decodeRequestBody(body, req); err != nil {
+			putRequest(req)
+			return
+		}
+		s.obsV2In.Inc()
+		s.obsV2BytesIn.Add(int64(n) + 4)
+		s.inflight.Add(1)
+		in <- v2Job{seq: seq, req: req}
 	}
 }
 
@@ -370,9 +619,18 @@ func (s *Server) readRequest(conn net.Conn, req *Request) error {
 // between-stage cancellation checks will abort at its next stage
 // boundary — finishes in the background and is discarded. Shutdown's
 // WaitGroup tracks the stray so drain still accounts for it.
+//
+// dispatch takes ownership of req: it returns to the pool once the
+// execution — possibly a watchdog-abandoned one still running in the
+// background — has finished with it. The returned response is pooled;
+// the caller recycles it with putResponse after writing (a response
+// abandoned by the watchdog is never pooled — the stray goroutine still
+// holds it).
 func (s *Server) dispatch(req *Request, app string) *Response {
 	if s.queryTimeout <= 0 {
-		return s.handle(context.Background(), req, app)
+		resp := s.handle(context.Background(), req, app)
+		putRequest(req)
+		return resp
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), s.queryTimeout)
 	defer cancel()
@@ -380,7 +638,9 @@ func (s *Server) dispatch(req *Request, app string) *Response {
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
-		ch <- s.handle(ctx, req, app)
+		resp := s.handle(ctx, req, app)
+		putRequest(req)
+		ch <- resp
 	}()
 	select {
 	case resp := <-ch:
@@ -390,32 +650,38 @@ func (s *Server) dispatch(req *Request, app string) *Response {
 	}
 }
 
+// handleHello answers one handshake frame and, on success, binds the
+// session to the declared application. Version skew is handled the
+// conservative way: a client NEWER than the server accepts is refused
+// (it may rely on semantics this server lacks) and the session stays
+// unbound — but alive, so the client can retry with an older hello or
+// proceed as a legacy session in the default domain. The refusal (and
+// the ack) advertise the newest version the server accepts, which is
+// what lets a pipelining client downgrade automatically. upgrade
+// reports that the accepted handshake switches the session to the v2
+// binary transport.
+func (s *Server) handleHello(h *Hello, app *string) (resp *Response, upgrade bool) {
+	if h.Version > s.helloLimit {
+		return &Response{
+			Error: fmt.Sprintf("hello version %d unsupported (server speaks ≤ %d)",
+				h.Version, s.helloLimit),
+			Hello: &HelloAck{Version: s.helloLimit},
+		}, false
+	}
+	*app = h.App
+	return &Response{Hello: &HelloAck{
+		Version: s.helloLimit,
+		Domain:  s.resolveDomain(h.App),
+	}}, h.Version >= HelloVersion
+}
+
 // handle executes one request against the engine. It is panic-contained:
 // a fault that unwinds out of the engine (or a hook whose own
 // containment is disabled) becomes a structured error response plus a
 // logged incident — one query fails, the server and every other session
-// keep going.
-// handleHello answers one handshake frame and, on success, binds the
-// session to the declared application. Version skew is handled the
-// conservative way: a client NEWER than the server is refused (it may
-// rely on semantics this server lacks) and the session stays unbound —
-// but alive, so the client can retry with an older hello or proceed
-// as a legacy session in the default domain.
-func (s *Server) handleHello(h *Hello, app *string) *Response {
-	if h.Version > HelloVersion {
-		return &Response{
-			Error: fmt.Sprintf("hello version %d unsupported (server speaks ≤ %d)",
-				h.Version, HelloVersion),
-			Hello: &HelloAck{Version: HelloVersion},
-		}
-	}
-	*app = h.App
-	return &Response{Hello: &HelloAck{
-		Version: HelloVersion,
-		Domain:  s.resolveDomain(h.App),
-	}}
-}
-
+// keep going. The response is drawn from the frame pool; result data is
+// copied in, never aliased, so recycling the response cannot corrupt
+// engine state.
 func (s *Server) handle(ctx context.Context, req *Request, app string) (resp *Response) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -437,24 +703,21 @@ func (s *Server) handle(ctx context.Context, req *Request, app string) (resp *Re
 	} else {
 		res, err = s.db.ExecAppContext(ctx, app, req.Query)
 	}
+	resp = getResponse()
 	if err != nil {
-		return &Response{
-			Error:   err.Error(),
-			Blocked: errors.Is(err, engine.ErrQueryBlocked),
-		}
+		resp.Error = err.Error()
+		resp.Blocked = errors.Is(err, engine.ErrQueryBlocked)
+		return resp
 	}
-	resp = &Response{
-		Columns:      res.Columns,
-		Affected:     res.Affected,
-		LastInsertID: res.LastInsertID,
-	}
-	resp.Rows = make([][]WireValue, len(res.Rows))
-	for i, row := range res.Rows {
+	resp.Columns = append(resp.Columns[:0], res.Columns...)
+	resp.Affected = res.Affected
+	resp.LastInsertID = res.LastInsertID
+	for _, row := range res.Rows {
 		wr := make([]WireValue, len(row))
 		for j, v := range row {
 			wr[j] = ToWire(v)
 		}
-		resp.Rows[i] = wr
+		resp.Rows = append(resp.Rows, wr)
 	}
 	return resp
 }
@@ -479,6 +742,11 @@ func (s *Server) Panics() int64 { return s.panics.Load() }
 // Refused returns the number of connections turned away by admission
 // control.
 func (s *Server) Refused() int64 { return s.refused.Load() }
+
+// InFlight returns the number of v2 requests currently inside the
+// server (queued, executing, or completed but unwritten), summed over
+// all pipelined sessions.
+func (s *Server) InFlight() int64 { return s.inflight.Load() }
 
 // beginClose transitions to closed exactly once and returns the
 // listener plus whether this call did the transition.
