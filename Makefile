@@ -18,10 +18,13 @@ test:
 race:
 	$(GO) test -race -timeout=5m ./...
 
-# Fault-injection suite: replay workloads through torn frames, resets,
-# slow clients and panicking detectors (internal/wire/chaos_test.go).
+# Fault-injection suites: replay workloads through torn frames, resets,
+# slow clients and panicking detectors (internal/wire/chaos_test.go),
+# and crash/restart the durability machinery at random kill points
+# asserting no acknowledged update is ever lost
+# (internal/core/crash_chaos_test.go).
 chaos:
-	$(GO) test -race -run 'TestChaos' -timeout=5m -v ./internal/wire/
+	$(GO) test -race -run 'TestChaos' -timeout=5m -v ./internal/wire/ ./internal/core/
 
 cover:
 	$(GO) test -cover ./...
@@ -55,6 +58,7 @@ fuzz:
 	$(GO) test ./internal/qstruct/ -fuzz=FuzzSkeletonHash -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/core/ -fuzz=FuzzBeforeExecute -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/wire/ -fuzz=FuzzBinaryDecode -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/wal/ -fuzz=FuzzWALRecover -fuzztime=$(FUZZTIME)
 
 # COUNT > 1 gives benchstat-comparable samples, e.g.:
 #   make bench-hook COUNT=10 > new.txt && benchstat old.txt new.txt

@@ -26,6 +26,7 @@ import (
 	"github.com/septic-db/septic/internal/qstruct"
 	"github.com/septic-db/septic/internal/sqlparser"
 	"github.com/septic-db/septic/internal/waf"
+	"github.com/septic-db/septic/internal/wal"
 	"github.com/septic-db/septic/internal/webapp"
 	"github.com/septic-db/septic/internal/wire"
 )
@@ -782,5 +783,52 @@ func BenchmarkParse(b *testing.B) {
 		if _, err := sqlparser.Parse(q); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Durability ablation: WAL fsync policy vs training throughput -----
+
+// BenchmarkTrainDurable measures the cost a write-ahead log adds to one
+// acknowledged training update (a Store.Put of a new model) at each
+// fsync policy, against the no-WAL baseline. Every iteration stores a
+// distinct identifier so every Put appends one WAL record; with
+// fsync=always each iteration also pays one fsync — that sub-benchmark
+// is the price of the "no acknowledged update is ever lost" guarantee.
+func BenchmarkTrainDurable(b *testing.B) {
+	stmt, err := sqlparser.Parse("SELECT a FROM t WHERE b = 1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := qstruct.ModelOf(qstruct.BuildStack(stmt))
+
+	run := func(b *testing.B, policy string) {
+		guard := core.New(core.Config{Mode: core.ModeTraining},
+			core.WithLogger(core.NewLogger(core.WithCheckedSampling(0))),
+			core.WithVerdictCacheCapacity(0))
+		if policy != "off" {
+			fp, err := wal.ParseFsyncPolicy(policy)
+			if err != nil {
+				b.Fatal(err)
+			}
+			persist, err := guard.AttachPersistence(core.PersistenceOptions{
+				Dir: b.TempDir(), Fsync: fp,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer persist.Close()
+		}
+		dom, _ := guard.Domain(core.DefaultDomain)
+		store := dom.Store()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !store.Put(fmt.Sprintf("q%09d", i), model, false) {
+				b.Fatalf("put %d refused: durability sink failed", i)
+			}
+		}
+	}
+	for _, policy := range benchlab.DurabilityPolicies() {
+		b.Run(policy, func(b *testing.B) { run(b, policy) })
 	}
 }

@@ -7,9 +7,24 @@
 //	septicd [-addr 127.0.0.1:3306] [-mode training|detection|prevention]
 //	        [-models models.json] [-sqli] [-stored]
 //	        [-domains domains.json]
+//	        [-wal-dir DIR] [-wal-fsync always|interval|never]
+//	        [-checkpoint-interval D]
 //	        [-max-conns N] [-query-timeout D] [-idle-timeout D]
 //	        [-drain-timeout D] [-fail-open] [-obs-addr 127.0.0.1:9188]
 //	        [-pipeline-workers N] [-max-in-flight N]
+//
+// With -wal-dir the learned models become crash-safe: every model
+// learned, deleted or approved — in every protection domain — and every
+// mode change is appended to a write-ahead log in DIR before it is
+// acknowledged, and a background checkpointer (period
+// -checkpoint-interval, 0 disables) compacts the log into an atomic
+// snapshot. On startup the checkpoint plus the WAL tail are replayed,
+// so a crash (not just a clean SIGTERM) loses no acknowledged training
+// update under the default -wal-fsync=always; "interval" batches fsyncs
+// (bounded loss window, much cheaper) and "never" leaves flushing to
+// the OS. The -models/-domains snapshot files remain supported and are
+// still written on clean shutdown; with a WAL they are belt to its
+// suspenders.
 //
 // -pipeline-workers and -max-in-flight size the v2 pipelined protocol's
 // per-session worker pool and admission window (clients that negotiate
@@ -64,6 +79,7 @@ import (
 	"github.com/septic-db/septic/internal/core"
 	"github.com/septic-db/septic/internal/engine"
 	"github.com/septic-db/septic/internal/obs"
+	"github.com/septic-db/septic/internal/wal"
 	"github.com/septic-db/septic/internal/wire"
 )
 
@@ -199,6 +215,11 @@ func run() error {
 			"per-session worker pool for v2 pipelined sessions")
 		maxInFlight = flag.Int("max-in-flight", wire.DefaultMaxInFlight,
 			"per-session admission bound for v2 pipelined sessions")
+
+		walDir             = flag.String("wal-dir", "", "write-ahead-log directory for crash-safe model durability (empty = off)")
+		walFsync           = flag.String("wal-fsync", "always", "WAL durability policy: always, interval or never")
+		checkpointInterval = flag.Duration("checkpoint-interval", time.Minute,
+			"background WAL checkpoint/compaction period (0 = only at shutdown)")
 	)
 	flag.Parse()
 
@@ -271,6 +292,35 @@ func run() error {
 		}))
 	}
 
+	// Durability attaches AFTER the domains are registered (their
+	// partitions must exist to replay into) and BEFORE the listener
+	// opens (no query may mutate a store sink-less).
+	var persist *core.Persistence
+	if *walDir != "" {
+		policy, err := wal.ParseFsyncPolicy(*walFsync)
+		if err != nil {
+			return err
+		}
+		persist, err = guard.AttachPersistence(core.PersistenceOptions{
+			Dir:                *walDir,
+			Fsync:              policy,
+			CheckpointInterval: *checkpointInterval,
+		})
+		if err != nil {
+			return err
+		}
+		pst := persist.Stats()
+		fmt.Printf("septicd: wal %s (fsync=%s): %d record(s) replayed in %s",
+			*walDir, policy, pst.RecoveredRecords, pst.RecoveryDuration.Round(time.Millisecond))
+		if pst.TornSegments > 0 {
+			fmt.Printf(", torn tail truncated (%d record(s) dropped)", pst.DroppedRecords)
+		}
+		if pst.RecoveredSkipped > 0 {
+			fmt.Printf(", %d record(s) skipped (unknown domain?)", pst.RecoveredSkipped)
+		}
+		fmt.Println()
+	}
+
 	engineOpts = append(engineOpts, engine.WithQueryHook(guard))
 	db := engine.New(engineOpts...)
 	srv := wire.NewServer(db, serverOpts...)
@@ -332,6 +382,19 @@ func run() error {
 	}
 	if err := saveDomains(guard, domainStores); err != nil {
 		return err
+	}
+	if persist != nil {
+		// A final checkpoint compacts the log so the next boot replays an
+		// empty tail; then the log closes cleanly.
+		if err := persist.Checkpoint(); err != nil {
+			fmt.Fprintln(os.Stderr, "septicd: shutdown checkpoint:", err)
+		}
+		if err := persist.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "septicd: wal close:", err)
+		}
+		pst := persist.Stats()
+		fmt.Printf("septicd: wal: %d append(s), %d fsync(s), %d checkpoint(s)\n",
+			pst.WAL.Appends, pst.WAL.Fsyncs, pst.Checkpoints)
 	}
 	stats := guard.Stats()
 	fmt.Printf("septicd: %d queries seen, %d models learned, %d attacks (%d blocked)\n",

@@ -57,6 +57,16 @@ type Domain struct {
 	// verdicts is the domain's private verdict-cache partition.
 	verdicts *verdictCache
 
+	// cfgSink, when installed (Persistence.bind), records every
+	// configuration change in the write-ahead log so a restart comes back
+	// in the mode the operator left the domain in. Called after
+	// publication: a config append that fails is logged and counted by
+	// the persistence layer, but never blocks the mode switch itself —
+	// losing a mode change to a crash is recoverable (the operator's
+	// domains file still names the intended mode), whereas refusing one
+	// could pin a domain in training while it is under attack.
+	cfgSink func(cfg Config)
+
 	queriesSeen    atomic.Int64
 	modelsLearned  atomic.Int64
 	attacksFound   atomic.Int64
@@ -94,6 +104,9 @@ func (d *Domain) SetMode(m Mode) {
 	// generation computed against at-most-old configuration, and its
 	// cached verdict dies with the bump.
 	d.cfgGen.Add(1)
+	if d.cfgSink != nil {
+		d.cfgSink(d.Config())
+	}
 	d.sep.logger.Log(Event{Kind: EventModeChanged, Domain: d.name,
 		Detail: "mode set to " + m.String()})
 	d.sep.obs.Publish(obs.Event{Kind: obs.KindMode,
@@ -104,11 +117,23 @@ func (d *Domain) SetMode(m Mode) {
 func (d *Domain) SetConfig(cfg Config) {
 	d.cfg.Store(&cfg)
 	d.cfgGen.Add(1)
+	if d.cfgSink != nil {
+		d.cfgSink(cfg)
+	}
 	detail := fmt.Sprintf("config set: mode=%s sqli=%t stored=%t",
 		cfg.Mode, cfg.DetectSQLI, cfg.DetectStored)
 	d.sep.logger.Log(Event{Kind: EventModeChanged, Domain: d.name, Detail: detail})
 	d.sep.obs.Publish(obs.Event{Kind: obs.KindMode,
 		Detail: "domain " + d.name + ": " + detail})
+}
+
+// replayConfig applies a recovered configuration (checkpoint or WAL
+// replay): SetConfig minus the sink (the record is already durable) and
+// minus the operator-facing event noise. The generation still bumps so
+// no verdict cached against the pre-recovery configuration survives.
+func (d *Domain) replayConfig(cfg Config) {
+	d.cfg.Store(&cfg)
+	d.cfgGen.Add(1)
 }
 
 // Stats snapshots this domain's work counters. The dependent counter is
@@ -178,6 +203,12 @@ func (s *Septic) RegisterDomain(name string, cfg Config) (*Domain, error) {
 		return nil, fmt.Errorf("domain %q already registered", name)
 	}
 	d := s.newDomain(name, cfg, NewStore())
+	if s.persist != nil {
+		// Durability is already attached: the new domain's mutations must
+		// hit the WAL from its very first learned model. Bound before
+		// publication, so no query can reach the store sink-less.
+		s.persist.bind(d)
+	}
 	next := maps.Clone(cur)
 	next[name] = d
 	// Publish copy-on-write: the hot path loads the snapshot pointer once

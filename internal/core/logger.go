@@ -58,6 +58,11 @@ const (
 	// EventDomainRegistered: a new protection domain was created; Domain
 	// carries its name and Detail its starting configuration.
 	EventDomainRegistered
+	// EventDurability: the durable model store reported an incident — a
+	// failed WAL append, a failed or contained-panicking checkpoint.
+	// Detail carries the cause; the mutation's fate is operation-specific
+	// (see Store.Put vs Store.Delete).
+	EventDurability
 )
 
 var eventKindNames = map[EventKind]string{
@@ -71,6 +76,7 @@ var eventKindNames = map[EventKind]string{
 	EventGuardFault:     "guard-fault",
 
 	EventDomainRegistered: "domain-registered",
+	EventDurability:       "durability",
 }
 
 // String names the event kind as the demo display prints it.

@@ -1,0 +1,530 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/septic-db/septic/internal/faultinject"
+	"github.com/septic-db/septic/internal/obs"
+	"github.com/septic-db/septic/internal/qstruct"
+	"github.com/septic-db/septic/internal/wal"
+)
+
+// This file is the durable model store: the seam between the in-memory
+// protection domains and the internal/wal write-ahead log. Before it,
+// models lived only in memory between a boot-time Store.Load and a
+// SIGTERM-time Store.Save — a crash, OOM-kill or power loss silently
+// discarded everything learned since startup. With a Persistence
+// attached:
+//
+//   - every Put/Delete/Approve on any domain's store partition, and
+//     every SetMode/SetConfig on any domain, appends a record tagged
+//     with its protection domain to one shared WAL;
+//   - boot replays the last checkpoint plus the WAL tail into each
+//     domain's partition, truncating a torn tail and counting what it
+//     had to drop;
+//   - a background checkpointer periodically compacts the log into an
+//     atomic snapshot (temp file + fsync + rename + directory fsync)
+//     and trims the sealed segments the snapshot made redundant.
+//
+// Under wal.FsyncAlways, a training update whose Put returned true has
+// been fsynced and survives any crash — the invariant the crash-chaos
+// suite (crash_chaos_test.go) kills the process at random points to
+// verify.
+
+// WAL record operations.
+const (
+	opPut     = "put"
+	opDelete  = "del"
+	opApprove = "approve"
+	opConfig  = "cfg"
+)
+
+// walRecord is the JSON payload of one WAL frame: a single mutation,
+// tagged with the protection domain it belongs to.
+type walRecord struct {
+	Op  string `json:"op"`
+	Dom string `json:"dom"`
+	ID  string `json:"id,omitempty"`
+	// Model and Sum carry a put's learned model and its fingerprint;
+	// replay re-verifies the fingerprint so a corrupted-but-CRC-valid
+	// payload still cannot poison a store partition.
+	Model *qstruct.Model   `json:"model,omitempty"`
+	Sum   uint64           `json:"sum,omitempty"`
+	Inc   bool             `json:"inc,omitempty"`
+	Cfg   *persistedConfig `json:"cfg,omitempty"`
+}
+
+// persistedConfig is a domain Config in persisted form.
+type persistedConfig struct {
+	Mode        int  `json:"mode"`
+	SQLI        bool `json:"sqli"`
+	Stored      bool `json:"stored"`
+	Incremental bool `json:"incremental"`
+	FailOpen    bool `json:"fail_open"`
+}
+
+// toPersistedConfig converts a live Config.
+func toPersistedConfig(c Config) persistedConfig {
+	return persistedConfig{
+		Mode:        int(c.Mode),
+		SQLI:        c.DetectSQLI,
+		Stored:      c.DetectStored,
+		Incremental: c.IncrementalLearning,
+		FailOpen:    c.FailOpen,
+	}
+}
+
+// toConfig converts back, reporting whether the persisted mode is a
+// known one (a corrupt or future-version record must not install an
+// invalid mode).
+func (p persistedConfig) toConfig() (Config, bool) {
+	m := Mode(p.Mode)
+	if m != ModeTraining && m != ModeDetection && m != ModePrevention {
+		return Config{}, false
+	}
+	return Config{
+		Mode:                m,
+		DetectSQLI:          p.SQLI,
+		DetectStored:        p.Stored,
+		IncrementalLearning: p.Incremental,
+		FailOpen:            p.FailOpen,
+	}, true
+}
+
+// checkpointVersion versions the checkpoint file layout.
+const checkpointVersion = 1
+
+// checkpointFileName is the snapshot's name inside the WAL directory.
+const checkpointFileName = "checkpoint.json"
+
+// checkpointFile is the on-disk snapshot of every domain.
+type checkpointFile struct {
+	Version int    `json:"version"`
+	WALSeq  uint64 `json:"wal_seq"`
+	// Domains maps protection-domain name → its store and config.
+	Domains map[string]checkpointDomain `json:"domains"`
+}
+
+// checkpointDomain is one domain's snapshot.
+type checkpointDomain struct {
+	Config persistedConfig         `json:"config"`
+	Sets   map[string]persistedSet `json:"sets"`
+}
+
+// PersistenceOptions configures the durable model store.
+type PersistenceOptions struct {
+	// Dir holds the WAL segments and the checkpoint file.
+	Dir string
+	// Fsync is the append durability policy (default wal.FsyncAlways —
+	// the policy the no-acknowledged-loss guarantee is stated under).
+	Fsync wal.FsyncPolicy
+	// FsyncInterval is the wal.FsyncInterval flush period.
+	FsyncInterval time.Duration
+	// SegmentSize is the WAL rotation threshold.
+	SegmentSize int64
+	// CheckpointInterval is the background compaction period; 0
+	// disables the background checkpointer (Checkpoint can still be
+	// called explicitly — septicd does at shutdown).
+	CheckpointInterval time.Duration
+}
+
+// PersistenceStats snapshots the durability counters for introspection
+// and tests; the same numbers are exported on /metrics as wal.*.
+type PersistenceStats struct {
+	// WAL mirrors the log's own counters.
+	WAL wal.Stats
+	// RecoveredRecords counts WAL records replayed at attach.
+	RecoveredRecords int64
+	// RecoveredSkipped counts records that could not be applied: an
+	// unknown protection domain, an unknown op, a fingerprint mismatch.
+	RecoveredSkipped int64
+	// TornSegments and DroppedRecords surface what recovery truncated;
+	// see wal.RecoveryInfo.
+	TornSegments   int64
+	DroppedRecords int64
+	// RecoveryDuration is how long the attach replay took.
+	RecoveryDuration time.Duration
+	// Checkpoints counts completed snapshots; CheckpointFaults counts
+	// failed or panicking attempts (contained, counted, retried next
+	// interval).
+	Checkpoints       int64
+	CheckpointFaults  int64
+	LastCheckpointSeq uint64
+	// AppendErrors counts mutations whose WAL append failed.
+	AppendErrors int64
+}
+
+// Persistence is the durable model store attached to one Septic: a
+// shared WAL plus a checkpointer over every protection domain. Create
+// it with Septic.AttachPersistence.
+type Persistence struct {
+	sep  *Septic
+	opts PersistenceOptions
+	log  *wal.Log
+
+	// cpMu serializes checkpoints (the background ticker and explicit
+	// calls).
+	cpMu sync.Mutex
+
+	recoveredRecords  atomic.Int64
+	recoveredSkipped  atomic.Int64
+	tornSegments      atomic.Int64
+	droppedRecords    atomic.Int64
+	recoveryNanos     atomic.Int64
+	checkpoints       atomic.Int64
+	checkpointFaults  atomic.Int64
+	lastCheckpointSeq atomic.Uint64
+	appendErrors      atomic.Int64
+
+	stopc  chan struct{}
+	cpDone chan struct{}
+	closed atomic.Bool
+}
+
+// AttachPersistence opens (or creates) the durable model store in
+// opts.Dir and wires it through every protection domain: the last
+// checkpoint and the WAL tail are replayed into each domain's
+// partition, every future mutation is appended to the WAL before it is
+// acknowledged, and the background checkpointer starts. Attach AFTER
+// registering domains (their partitions must exist to replay into;
+// septicd does) and BEFORE serving traffic. Records for domains that no
+// longer exist are counted as skipped, surfaced on /metrics, and
+// dropped at the next checkpoint.
+func (s *Septic) AttachPersistence(opts PersistenceOptions) (*Persistence, error) {
+	if s.persist != nil {
+		return nil, fmt.Errorf("persistence already attached")
+	}
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("persistence: empty directory")
+	}
+	p := &Persistence{sep: s, opts: opts}
+	start := time.Now()
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persistence: create dir: %w", err)
+	}
+
+	// Phase 1: the checkpoint, if one exists.
+	cpSeq, err := p.loadCheckpoint()
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: the WAL tail. Records at or below the checkpoint barrier
+	// are already covered by the snapshot; replay is idempotent anyway
+	// (fingerprint dedup), but the filter keeps boot time proportional
+	// to the uncheckpointed tail.
+	log, info, err := wal.Open(wal.Options{
+		Dir:         opts.Dir,
+		Policy:      opts.Fsync,
+		Interval:    opts.FsyncInterval,
+		SegmentSize: opts.SegmentSize,
+	}, func(rec wal.Record) error {
+		if rec.Seq <= cpSeq {
+			return nil
+		}
+		p.applyRecord(rec.Data)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("persistence: open wal: %w", err)
+	}
+	p.log = log
+	p.tornSegments.Store(int64(info.TornSegments))
+	p.droppedRecords.Store(int64(info.DroppedRecords))
+	p.lastCheckpointSeq.Store(cpSeq)
+	p.recoveryNanos.Store(int64(time.Since(start)))
+
+	// Phase 3: install the sinks — from here on every mutation is
+	// logged — and publish the persistence so later RegisterDomain
+	// calls bind their new domains too.
+	for _, d := range s.Domains() {
+		p.bind(d)
+	}
+	s.persist = p
+
+	if s.obs != nil {
+		p.registerGauges(s.obs.Metrics)
+		detail := fmt.Sprintf("durability attached: %d record(s) replayed, %d skipped",
+			p.recoveredRecords.Load(), p.recoveredSkipped.Load())
+		if info.Truncated {
+			detail += fmt.Sprintf(" (torn tail truncated: %d segment(s), %d record(s) dropped)",
+				info.TornSegments, info.DroppedRecords)
+		}
+		s.obs.Publish(obs.Event{Kind: obs.KindWAL, Detail: detail})
+	}
+
+	if opts.CheckpointInterval > 0 {
+		p.stopc = make(chan struct{})
+		p.cpDone = make(chan struct{})
+		go p.runCheckpointer()
+	}
+	return p, nil
+}
+
+// Persistence returns the attached durable store, if any.
+func (s *Septic) Persistence() *Persistence { return s.persist }
+
+// loadCheckpoint restores the snapshot into the domains and returns its
+// WAL sequence barrier (0 when no checkpoint exists).
+func (p *Persistence) loadCheckpoint() (uint64, error) {
+	path := filepath.Join(p.opts.Dir, checkpointFileName)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("persistence: read checkpoint: %w", err)
+	}
+	var cp checkpointFile
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return 0, fmt.Errorf("persistence: decode checkpoint: %w", err)
+	}
+	if cp.Version != checkpointVersion {
+		return 0, fmt.Errorf("persistence: checkpoint version %d unsupported (want %d)",
+			cp.Version, checkpointVersion)
+	}
+	for name, dom := range cp.Domains {
+		d, ok := p.sep.Domain(name)
+		if !ok {
+			p.recoveredSkipped.Add(1)
+			continue
+		}
+		if err := verifySets(dom.Sets); err != nil {
+			return 0, fmt.Errorf("persistence: checkpoint domain %q: %w", name, err)
+		}
+		d.store.restoreSets(dom.Sets)
+		if cfg, ok := dom.Config.toConfig(); ok {
+			d.replayConfig(cfg)
+		}
+	}
+	return cp.WALSeq, nil
+}
+
+// applyRecord replays one WAL payload into its domain. Unknown domains,
+// unknown ops and fingerprint mismatches are counted as skipped, never
+// fatal: recovery must converge on whatever subset is applicable.
+func (p *Persistence) applyRecord(data []byte) {
+	var rec walRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		p.recoveredSkipped.Add(1)
+		return
+	}
+	d, ok := p.sep.Domain(rec.Dom)
+	if !ok {
+		p.recoveredSkipped.Add(1)
+		return
+	}
+	switch rec.Op {
+	case opPut:
+		if rec.Model == nil || rec.Model.Fingerprint() != rec.Sum {
+			p.recoveredSkipped.Add(1)
+			return
+		}
+		d.store.replayPut(rec.ID, *rec.Model, rec.Inc)
+	case opDelete:
+		d.store.replayDelete(rec.ID)
+	case opApprove:
+		d.store.replayApprove(rec.ID)
+	case opConfig:
+		cfg, ok := Config{}, false
+		if rec.Cfg != nil {
+			cfg, ok = rec.Cfg.toConfig()
+		}
+		if !ok {
+			p.recoveredSkipped.Add(1)
+			return
+		}
+		d.replayConfig(cfg)
+	default:
+		p.recoveredSkipped.Add(1)
+		return
+	}
+	p.recoveredRecords.Add(1)
+}
+
+// bind installs the durability sinks on one domain. Called at attach
+// for existing domains and from RegisterDomain afterwards.
+func (p *Persistence) bind(d *Domain) {
+	d.store.setSink(func(rec *walRecord) error {
+		return p.append(d.name, rec)
+	})
+	d.cfgSink = func(cfg Config) {
+		pc := toPersistedConfig(cfg)
+		_ = p.append(d.name, &walRecord{Op: opConfig, Cfg: &pc})
+	}
+}
+
+// append tags, encodes and logs one mutation record. The error path is
+// counted, logged and surfaced on /metrics — a durability failure must
+// be loud — and returned so Put can refuse the unacknowledgeable
+// mutation.
+func (p *Persistence) append(domain string, rec *walRecord) error {
+	rec.Dom = domain
+	data, err := json.Marshal(rec)
+	if err == nil {
+		_, err = p.log.Append(data)
+	}
+	if err != nil {
+		p.appendErrors.Add(1)
+		p.sep.logger.Log(Event{Kind: EventDurability, Domain: domain,
+			QueryID: rec.ID,
+			Detail:  fmt.Sprintf("wal append failed (%s): %v", rec.Op, err)})
+		if p.sep.obs != nil {
+			p.sep.obs.Publish(obs.Event{Kind: obs.KindWAL, QueryID: rec.ID,
+				Detail: fmt.Sprintf("wal append failed (%s, domain %s): %v", rec.Op, domain, err)})
+		}
+		return err
+	}
+	return nil
+}
+
+// Checkpoint compacts the log: snapshot every domain, publish the
+// snapshot atomically, trim the sealed WAL segments it covers. The
+// sequence barrier is read BEFORE the stores are snapshotted; because
+// mutations append (under the shard lock) before they publish, and the
+// snapshot acquires every shard lock, every record at or below the
+// barrier is in the snapshot — so trimming up to the barrier can never
+// drop an uncheckpointed record. Records landing during the snapshot
+// may be included too; replaying them over the snapshot at boot is
+// idempotent.
+func (p *Persistence) Checkpoint() error {
+	p.cpMu.Lock()
+	defer p.cpMu.Unlock()
+	if p.closed.Load() {
+		return fmt.Errorf("persistence closed")
+	}
+	faultinject.Hit(faultinject.SiteCheckpoint)
+	if ierr := faultinject.HitErr(faultinject.SiteCheckpoint); ierr != nil {
+		p.checkpointFaults.Add(1)
+		return ierr
+	}
+	seq := p.log.LastSeq()
+	cp := checkpointFile{
+		Version: checkpointVersion,
+		WALSeq:  seq,
+		Domains: make(map[string]checkpointDomain),
+	}
+	for _, d := range p.sep.Domains() {
+		cp.Domains[d.name] = checkpointDomain{
+			Config: toPersistedConfig(d.Config()),
+			Sets:   d.store.snapshotSets(),
+		}
+	}
+	data, err := json.Marshal(&cp)
+	if err != nil {
+		p.checkpointFaults.Add(1)
+		return fmt.Errorf("persistence: encode checkpoint: %w", err)
+	}
+	if err := wal.WriteFileAtomic(filepath.Join(p.opts.Dir, checkpointFileName), data, 0o644); err != nil {
+		p.checkpointFaults.Add(1)
+		return fmt.Errorf("persistence: write checkpoint: %w", err)
+	}
+	p.checkpoints.Add(1)
+	p.lastCheckpointSeq.Store(seq)
+	if _, err := p.log.TrimTo(seq); err != nil {
+		// The snapshot is durable; a failed trim only leaves redundant
+		// segments for the next checkpoint to retry.
+		p.checkpointFaults.Add(1)
+		return fmt.Errorf("persistence: trim wal: %w", err)
+	}
+	if p.sep.obs != nil {
+		p.sep.obs.Publish(obs.Event{Kind: obs.KindWAL,
+			Detail: fmt.Sprintf("checkpoint at wal seq %d", seq)})
+	}
+	return nil
+}
+
+// runCheckpointer is the background compaction loop. Each attempt is
+// contained: a failing or even panicking checkpoint (a full disk, an
+// injected crash) is counted and retried next interval — it must never
+// take down the serving process, and must never corrupt the previous
+// snapshot (WriteFileAtomic guarantees that half).
+func (p *Persistence) runCheckpointer() {
+	defer close(p.cpDone)
+	t := time.NewTicker(p.opts.CheckpointInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stopc:
+			return
+		case <-t.C:
+			p.safeCheckpoint()
+		}
+	}
+}
+
+// safeCheckpoint runs one contained checkpoint attempt.
+func (p *Persistence) safeCheckpoint() {
+	defer func() {
+		if r := recover(); r != nil {
+			p.checkpointFaults.Add(1)
+			p.sep.logger.Log(Event{Kind: EventDurability,
+				Detail: fmt.Sprintf("checkpoint panic contained: %v", r)})
+		}
+	}()
+	if err := p.Checkpoint(); err != nil {
+		p.sep.logger.Log(Event{Kind: EventDurability,
+			Detail: fmt.Sprintf("checkpoint failed: %v", err)})
+	}
+}
+
+// Stats snapshots the durability counters.
+func (p *Persistence) Stats() PersistenceStats {
+	return PersistenceStats{
+		WAL:               p.log.Stats(),
+		RecoveredRecords:  p.recoveredRecords.Load(),
+		RecoveredSkipped:  p.recoveredSkipped.Load(),
+		TornSegments:      p.tornSegments.Load(),
+		DroppedRecords:    p.droppedRecords.Load(),
+		RecoveryDuration:  time.Duration(p.recoveryNanos.Load()),
+		Checkpoints:       p.checkpoints.Load(),
+		CheckpointFaults:  p.checkpointFaults.Load(),
+		LastCheckpointSeq: p.lastCheckpointSeq.Load(),
+		AppendErrors:      p.appendErrors.Load(),
+	}
+}
+
+// Err surfaces the WAL's sticky failure, nil while durability is
+// healthy.
+func (p *Persistence) Err() error { return p.log.Err() }
+
+// Close stops the checkpointer and closes the log. It does NOT take a
+// final checkpoint — callers that want one (septicd's shutdown path
+// does) call Checkpoint first, so tests can also exercise the
+// crash-without-checkpoint path.
+func (p *Persistence) Close() error {
+	if p.closed.Swap(true) {
+		return fmt.Errorf("persistence already closed")
+	}
+	if p.stopc != nil {
+		close(p.stopc)
+		<-p.cpDone
+	}
+	return p.log.Close()
+}
+
+// registerGauges exports the durability counters as wal.* metrics.
+func (p *Persistence) registerGauges(m *obs.Registry) {
+	m.GaugeFunc("wal.appends", func() int64 { return p.log.Stats().Appends })
+	m.GaugeFunc("wal.append_errors", p.appendErrors.Load)
+	m.GaugeFunc("wal.fsyncs", func() int64 { return p.log.Stats().Fsyncs })
+	m.GaugeFunc("wal.rotations", func() int64 { return p.log.Stats().Rotations })
+	m.GaugeFunc("wal.trimmed_segments", func() int64 { return p.log.Stats().Trimmed })
+	m.GaugeFunc("wal.last_seq", func() int64 { return int64(p.log.Stats().LastSeq) })
+	m.GaugeFunc("wal.recovered", p.recoveredRecords.Load)
+	m.GaugeFunc("wal.recovered_skipped", p.recoveredSkipped.Load)
+	m.GaugeFunc("wal.torn_segments", p.tornSegments.Load)
+	m.GaugeFunc("wal.torn_dropped", p.droppedRecords.Load)
+	m.GaugeFunc("wal.checkpoints", p.checkpoints.Load)
+	m.GaugeFunc("wal.checkpoint_faults", p.checkpointFaults.Load)
+	m.GaugeFunc("wal.last_checkpoint_seq", func() int64 { return int64(p.lastCheckpointSeq.Load()) })
+	m.GaugeFunc("wal.recovery_ms", func() int64 {
+		return p.recoveryNanos.Load() / int64(time.Millisecond)
+	})
+}

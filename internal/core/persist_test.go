@@ -1,0 +1,500 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/septic-db/septic/internal/faultinject"
+	"github.com/septic-db/septic/internal/obs"
+	"github.com/septic-db/septic/internal/wal"
+)
+
+// newPersisted builds a Septic with one registered domain ("shop") and
+// durability attached in dir, mirroring the septicd boot order: domains
+// first, attach second.
+func newPersisted(t *testing.T, dir string, opts PersistenceOptions) (*Septic, *Persistence) {
+	t.Helper()
+	s := New(DefaultConfig())
+	if _, err := s.RegisterDomain("shop", DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	opts.Dir = dir
+	p, err := s.AttachPersistence(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, p
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s1, p1 := newPersisted(t, dir, PersistenceOptions{Fsync: wal.FsyncAlways})
+
+	m1 := modelFor(t, "SELECT a FROM t WHERE b = 1")
+	m2 := modelFor(t, "SELECT name FROM users WHERE id = 2")
+	if !s1.Store().Put("q1", m1, false) {
+		t.Fatal("put q1")
+	}
+	shop, _ := s1.Domain("shop")
+	if !shop.Store().Put("q2", m2, true) {
+		t.Fatal("put q2")
+	}
+	s1.Store().Put("gone", m2, false)
+	s1.Store().Delete("gone")
+	shop.Store().Approve("q2")
+	shop.SetMode(ModeDetection)
+	if err := p1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: no checkpoint was taken, so everything comes back from
+	// the WAL alone.
+	s2, p2 := newPersisted(t, dir, PersistenceOptions{Fsync: wal.FsyncAlways})
+	defer p2.Close()
+	if _, ok := s2.Store().Get("q1"); !ok {
+		t.Fatal("q1 lost across restart")
+	}
+	if _, ok := s2.Store().Get("gone"); ok {
+		t.Fatal("deleted identifier resurrected")
+	}
+	shop2, _ := s2.Domain("shop")
+	if _, ok := shop2.Store().Get("q2"); !ok {
+		t.Fatal("q2 lost across restart")
+	}
+	if pending := shop2.Store().PendingReview(); len(pending) != 0 {
+		t.Fatalf("approval lost: pending = %v", pending)
+	}
+	if shop2.Mode() != ModeDetection {
+		t.Fatalf("mode = %s, want detection", shop2.Mode())
+	}
+	// Default-domain state never leaks into the registered domain and
+	// vice versa.
+	if _, ok := s2.Store().Get("q2"); ok {
+		t.Fatal("q2 leaked into the default domain")
+	}
+	if st := p2.Stats(); st.RecoveredRecords == 0 || st.RecoveredSkipped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPersistenceCheckpointTrimsAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	// A tiny segment size forces rotations so the checkpoint has sealed
+	// segments to trim.
+	s1, p1 := newPersisted(t, dir, PersistenceOptions{
+		Fsync: wal.FsyncAlways, SegmentSize: 256,
+	})
+	queries := []string{
+		"SELECT a FROM t1 WHERE x = 1",
+		"SELECT b FROM t2 WHERE y = 2",
+		"SELECT c FROM t3 WHERE z = 3",
+		"SELECT d FROM t4 WHERE w = 4",
+	}
+	for i, q := range queries {
+		if !s1.Store().Put(q, modelFor(t, q), false) {
+			t.Fatalf("put %d", i)
+		}
+	}
+	if err := p1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st := p1.Stats()
+	if st.Checkpoints != 1 || st.LastCheckpointSeq == 0 {
+		t.Fatalf("checkpoint stats = %+v", st)
+	}
+	if st.WAL.Trimmed == 0 {
+		t.Fatal("checkpoint trimmed no sealed segments")
+	}
+	// One more mutation after the checkpoint: recovery must stitch
+	// checkpoint + WAL tail together.
+	post := "SELECT e FROM t5 WHERE v = 5"
+	if !s1.Store().Put(post, modelFor(t, post), false) {
+		t.Fatal("post-checkpoint put")
+	}
+	if err := p1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, p2 := newPersisted(t, dir, PersistenceOptions{Fsync: wal.FsyncAlways})
+	defer p2.Close()
+	for _, q := range append(queries, post) {
+		if _, ok := s2.Store().Get(q); !ok {
+			t.Fatalf("%q lost across checkpointed restart", q)
+		}
+	}
+	if n := s2.Store().Len(); n != len(queries)+1 {
+		t.Fatalf("store has %d identifiers, want %d", n, len(queries)+1)
+	}
+}
+
+func TestPersistenceReplayIsIdempotentOverCheckpoint(t *testing.T) {
+	// Records the checkpoint already covers may also sit in the WAL tail
+	// (the barrier is read before the snapshot, so later records can be
+	// included in both). Replay over the snapshot must not duplicate
+	// models.
+	dir := t.TempDir()
+	s1, p1 := newPersisted(t, dir, PersistenceOptions{Fsync: wal.FsyncAlways})
+	q := "SELECT a FROM t WHERE b = 1"
+	s1.Store().Put(q, modelFor(t, q), false)
+	if err := p1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, p2 := newPersisted(t, dir, PersistenceOptions{Fsync: wal.FsyncAlways})
+	defer p2.Close()
+	if n := s2.Store().ModelCount(); n != 1 {
+		t.Fatalf("model count = %d, want 1 (replay not idempotent)", n)
+	}
+}
+
+func TestPersistenceSkipsUnknownDomain(t *testing.T) {
+	dir := t.TempDir()
+	s1, p1 := newPersisted(t, dir, PersistenceOptions{Fsync: wal.FsyncAlways})
+	shop, _ := s1.Domain("shop")
+	shop.Store().Put("orphan", modelFor(t, "SELECT 1"), false)
+	if err := p1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart WITHOUT registering "shop": its records must be skipped
+	// and counted, never applied to the default domain or fatal.
+	s2 := New(DefaultConfig())
+	p2, err := s2.AttachPersistence(PersistenceOptions{Dir: dir, Fsync: wal.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if _, ok := s2.Store().Get("orphan"); ok {
+		t.Fatal("unknown-domain record applied to the default domain")
+	}
+	if st := p2.Stats(); st.RecoveredSkipped == 0 {
+		t.Fatalf("skipped records not counted: %+v", st)
+	}
+}
+
+func TestPersistencePutRefusedWhenAppendFails(t *testing.T) {
+	dir := t.TempDir()
+	s, p := newPersisted(t, dir, PersistenceOptions{Fsync: wal.FsyncAlways})
+	defer p.Close()
+	faultinject.ArmErr(faultinject.FailPoint(faultinject.SiteWALAppend, 1))
+	defer faultinject.DisarmErr()
+	if s.Store().Put("q", modelFor(t, "SELECT 1"), false) {
+		t.Fatal("Put acknowledged a model whose WAL append failed")
+	}
+	if _, ok := s.Store().Get("q"); ok {
+		t.Fatal("refused Put still published the model in memory")
+	}
+	if st := p.Stats(); st.AppendErrors != 1 {
+		t.Fatalf("append errors = %d, want 1", st.AppendErrors)
+	}
+	// The failure fired before any byte was written, so the log is NOT
+	// poisoned: the next Put simply succeeds. The retry being free is
+	// the point of refusing the first one.
+	if !s.Store().Put("q2", modelFor(t, "SELECT 2"), false) {
+		t.Fatal("Put refused after a clean pre-write failure")
+	}
+	if p.Err() != nil {
+		t.Fatalf("log poisoned by a pre-write refusal: %v", p.Err())
+	}
+}
+
+func TestPersistenceTornAppendPoisonsAndRefuses(t *testing.T) {
+	dir := t.TempDir()
+	s, p := newPersisted(t, dir, PersistenceOptions{Fsync: wal.FsyncAlways})
+	defer p.Close()
+	// A failure mid-frame leaves torn bytes on disk: the log poisons
+	// itself and every later mutation is refused (for puts) or proceeds
+	// memory-only (deletes/approvals), so no acknowledged record can sit
+	// beyond a tear where recovery would silently drop it.
+	faultinject.ArmErr(faultinject.FailPoint(faultinject.SiteWALShortWrite, 1))
+	if s.Store().Put("torn", modelFor(t, "SELECT 1"), false) {
+		t.Fatal("Put acknowledged through a torn append")
+	}
+	faultinject.DisarmErr()
+	if s.Store().Put("next", modelFor(t, "SELECT 2"), false) {
+		t.Fatal("Put acknowledged on a poisoned log")
+	}
+	if !errors.Is(p.Err(), wal.ErrLogFailed) {
+		t.Fatalf("log not poisoned: %v", p.Err())
+	}
+	if st := p.Stats(); st.AppendErrors != 2 {
+		t.Fatalf("append errors = %d, want 2", st.AppendErrors)
+	}
+}
+
+func TestPersistenceCheckpointFaultIsContainedAndCounted(t *testing.T) {
+	dir := t.TempDir()
+	s, p := newPersisted(t, dir, PersistenceOptions{Fsync: wal.FsyncAlways})
+	defer p.Close()
+	q := "SELECT a FROM t WHERE b = 1"
+	s.Store().Put(q, modelFor(t, q), false)
+	if err := p.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(filepath.Join(dir, checkpointFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A checkpoint that dies before the rename must leave the previous
+	// snapshot byte-identical.
+	faultinject.ArmErr(faultinject.FailPoint(faultinject.SiteAtomicRename, 1))
+	if err := p.Checkpoint(); err == nil {
+		t.Fatal("checkpoint succeeded through an injected rename failure")
+	}
+	faultinject.DisarmErr()
+	after, err := os.ReadFile(filepath.Join(dir, checkpointFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(good) {
+		t.Fatal("failed checkpoint corrupted the previous snapshot")
+	}
+	if st := p.Stats(); st.CheckpointFaults != 1 {
+		t.Fatalf("checkpoint faults = %d, want 1", st.CheckpointFaults)
+	}
+	// The next attempt succeeds.
+	if err := p.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint after contained fault: %v", err)
+	}
+}
+
+func TestPersistenceBackgroundCheckpointer(t *testing.T) {
+	dir := t.TempDir()
+	s, p := newPersisted(t, dir, PersistenceOptions{
+		Fsync: wal.FsyncAlways, CheckpointInterval: 5 * time.Millisecond,
+	})
+	q := "SELECT a FROM t WHERE b = 1"
+	s.Store().Put(q, modelFor(t, q), false)
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Stats().Checkpoints == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background checkpointer never ran")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, checkpointFileName)); err != nil {
+		t.Fatalf("no checkpoint file: %v", err)
+	}
+}
+
+func TestPersistenceLateRegisteredDomainIsBound(t *testing.T) {
+	dir := t.TempDir()
+	s := New(DefaultConfig())
+	p, err := s.AttachPersistence(PersistenceOptions{Dir: dir, Fsync: wal.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Registered AFTER attach: the domain must still be durable.
+	late, err := s.RegisterDomain("late", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	late.Store().Put("lq", modelFor(t, "SELECT 9"), false)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := New(DefaultConfig())
+	if _, err := s2.RegisterDomain("late", DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := s2.AttachPersistence(PersistenceOptions{Dir: dir, Fsync: wal.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	d2, _ := s2.Domain("late")
+	if _, ok := d2.Store().Get("lq"); !ok {
+		t.Fatal("late-registered domain's model lost")
+	}
+}
+
+func TestPersistenceDoubleAttachRejected(t *testing.T) {
+	s := New(DefaultConfig())
+	p, err := s.AttachPersistence(PersistenceOptions{Dir: t.TempDir(), Fsync: wal.FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := s.AttachPersistence(PersistenceOptions{Dir: t.TempDir()}); err == nil {
+		t.Fatal("second attach must be rejected")
+	}
+	if s.Persistence() != p {
+		t.Fatal("Persistence() accessor broken")
+	}
+}
+
+func TestPersistenceRejectsCorruptCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, checkpointFileName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := New(DefaultConfig())
+	if _, err := s.AttachPersistence(PersistenceOptions{Dir: dir, Fsync: wal.FsyncNever}); err == nil {
+		t.Fatal("corrupt checkpoint must fail attach loudly, not boot empty")
+	}
+}
+
+// TestPersistenceGauges checks the wal.* metrics surface: every gauge is
+// registered on the observer hub, the attach event is published, and the
+// counters move with real traffic.
+func TestPersistenceGauges(t *testing.T) {
+	dir := t.TempDir()
+	hub := obs.NewHub(16)
+	s := New(DefaultConfig(), WithObserver(hub))
+	p, err := s.AttachPersistence(PersistenceOptions{Dir: dir, Fsync: wal.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if !s.Store().Put("q1", modelFor(t, "SELECT a FROM t WHERE b = 1"), false) {
+		t.Fatal("put")
+	}
+	if err := p.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := hub.Metrics.Snapshot()
+	for _, name := range []string{
+		"wal.appends", "wal.append_errors", "wal.fsyncs", "wal.rotations",
+		"wal.trimmed_segments", "wal.last_seq", "wal.recovered",
+		"wal.recovered_skipped", "wal.torn_segments", "wal.torn_dropped",
+		"wal.checkpoints", "wal.checkpoint_faults", "wal.last_checkpoint_seq",
+		"wal.recovery_ms",
+	} {
+		if _, ok := snap.Gauges[name]; !ok {
+			t.Fatalf("gauge %s not registered", name)
+		}
+	}
+	if snap.Gauges["wal.appends"] != 1 || snap.Gauges["wal.fsyncs"] != 1 {
+		t.Fatalf("appends/fsyncs gauges: %d/%d, want 1/1",
+			snap.Gauges["wal.appends"], snap.Gauges["wal.fsyncs"])
+	}
+	if snap.Gauges["wal.checkpoints"] != 1 || snap.Gauges["wal.last_checkpoint_seq"] != 1 {
+		t.Fatalf("checkpoint gauges: %+v", snap.Gauges)
+	}
+	if evs := hub.Events.Recent(obs.KindWAL, 0); len(evs) == 0 {
+		t.Fatal("no wal attach event published")
+	}
+}
+
+// TestPersistenceSkipsCorruptRecords feeds the recovery path records the
+// current code would never write — broken JSON, an unknown op, a model
+// whose stored fingerprint does not match its content, a config with an
+// invalid mode — and requires each to be skipped (counted, never fatal)
+// while a good record in the same log still lands.
+func TestPersistenceSkipsCorruptRecords(t *testing.T) {
+	dir := t.TempDir()
+
+	// Forge the log directly, bypassing the Persistence layer.
+	log, _, err := wal.Open(wal.Options{Dir: dir, Policy: wal.FsyncNever}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := modelFor(t, "SELECT a FROM t WHERE b = 1")
+	appendRec := func(rec walRecord) {
+		t.Helper()
+		data, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := log.Append(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := log.Append([]byte("{not json")); err != nil {
+		t.Fatal(err)
+	}
+	appendRec(walRecord{Op: "compact", Dom: DefaultDomain})                           // unknown op
+	appendRec(walRecord{Op: opPut, Dom: DefaultDomain, ID: "bad", Model: &m, Sum: 1}) // fingerprint lie
+	appendRec(walRecord{Op: opPut, Dom: DefaultDomain, ID: "nil"})                    // put without model
+	badMode := persistedConfig{Mode: 99}
+	appendRec(walRecord{Op: opConfig, Dom: DefaultDomain, Cfg: &badMode}) // invalid mode
+	appendRec(walRecord{Op: opPut, Dom: DefaultDomain, ID: "good", Model: &m, Sum: m.Fingerprint()})
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, p := newPersisted(t, dir, PersistenceOptions{Fsync: wal.FsyncNever})
+	defer p.Close()
+	st := p.Stats()
+	if st.RecoveredSkipped != 5 {
+		t.Fatalf("RecoveredSkipped = %d, want 5", st.RecoveredSkipped)
+	}
+	if st.RecoveredRecords != 1 {
+		t.Fatalf("RecoveredRecords = %d, want 1", st.RecoveredRecords)
+	}
+	if _, ok := s.Store().Get("good"); !ok {
+		t.Fatal("good record did not survive its corrupt neighbours")
+	}
+	for _, id := range []string{"bad", "nil"} {
+		if _, ok := s.Store().Get(id); ok {
+			t.Fatalf("corrupt record %q was applied", id)
+		}
+	}
+	if mode := s.Config().Mode; mode != DefaultConfig().Mode {
+		t.Fatalf("invalid persisted mode installed: %v", mode)
+	}
+}
+
+// TestPersistenceAttachRejectsUnusableDir: the WAL directory colliding
+// with an existing file is a boot error, not a silent no-durability run.
+func TestPersistenceAttachRejectsUnusableDir(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "occupied")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := New(DefaultConfig())
+	if _, err := s.AttachPersistence(PersistenceOptions{Dir: path}); err == nil {
+		t.Fatal("attach over a regular file succeeded")
+	}
+}
+
+func TestPersistenceDoubleCloseRejected(t *testing.T) {
+	_, p := newPersisted(t, t.TempDir(), PersistenceOptions{Fsync: wal.FsyncNever})
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err == nil {
+		t.Fatal("second close succeeded")
+	}
+}
+
+// TestPersistenceSafeCheckpointContainsPanicAndError drives the
+// background checkpointer's containment wrapper directly: an injected
+// panic at the checkpoint site is swallowed and counted, an injected
+// error is logged, and a clean run afterwards still checkpoints.
+func TestPersistenceSafeCheckpointContainsPanicAndError(t *testing.T) {
+	_, p := newPersisted(t, t.TempDir(), PersistenceOptions{Fsync: wal.FsyncNever})
+	defer p.Close()
+
+	faultinject.Arm(faultinject.KillPoint(faultinject.SiteCheckpoint, 1))
+	p.safeCheckpoint() // must not panic out
+	faultinject.Disarm()
+	if got := p.Stats().CheckpointFaults; got != 1 {
+		t.Fatalf("CheckpointFaults = %d after contained panic, want 1", got)
+	}
+
+	faultinject.ArmErr(faultinject.FailPoint(faultinject.SiteCheckpoint, 1))
+	p.safeCheckpoint()
+	faultinject.DisarmErr()
+	if got := p.Stats().Checkpoints; got != 0 {
+		t.Fatalf("failed checkpoint was counted: %d", got)
+	}
+
+	p.safeCheckpoint()
+	if got := p.Stats().Checkpoints; got != 1 {
+		t.Fatalf("clean checkpoint after faults: Checkpoints = %d, want 1", got)
+	}
+}

@@ -141,6 +141,12 @@ type Septic struct {
 
 	verdictCap int
 
+	// persist is the durable model store, nil until AttachPersistence.
+	// Only read outside the hot path (RegisterDomain binds new domains to
+	// it; septicd checkpoints through it at shutdown) — the hot path
+	// reaches durability through each store's sink pointer instead.
+	persist *Persistence
+
 	// obs is the observability hub; nil (the default) disables all
 	// instrumentation. The histogram handles are resolved once in New so
 	// the hook path never touches the registry map.

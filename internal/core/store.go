@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -9,8 +10,10 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/septic-db/septic/internal/faultinject"
 	"github.com/septic-db/septic/internal/obs"
 	"github.com/septic-db/septic/internal/qstruct"
+	"github.com/septic-db/septic/internal/wal"
 )
 
 // Store is the "QM learned" store of Fig. 1: learned query models keyed
@@ -52,6 +55,15 @@ type Store struct {
 	// obs receives a KindStore event for every mutation; nil disables.
 	// Set once at construction (core.New), before the store is shared.
 	obs *obs.Hub
+
+	// sink, when installed (Persistence.bind), receives every mutation
+	// as a WAL record BEFORE it is published in memory, while the shard
+	// lock is held. The lock-held ordering is what makes checkpoints
+	// consistent: any record the checkpointer's sequence-number barrier
+	// covers has finished publishing by the time the checkpointer can
+	// acquire the shard (see Persistence.Checkpoint). Installed before
+	// the store serves traffic; nil disables durability.
+	sink func(rec *walRecord) error
 }
 
 // storeShardCount partitions identifiers so unrelated sessions rarely
@@ -181,21 +193,50 @@ func (s *Store) getSet(id string) (ModelView, *modelSet, bool) {
 // whether the model was new: a model with an identical fingerprint is
 // never re-added (paper §IV-C: "the query model is created and stored
 // only once").
+//
+// With durability attached, the record is appended to the write-ahead
+// log BEFORE the model is published in memory, and a failed append
+// refuses the whole Put (returns false, nothing published): memory is
+// never ahead of the log for additions, so a crash can lose only
+// updates that were never acknowledged. The retry is free — the next
+// occurrence of the same query learns it again.
 func (s *Store) Put(id string, m qstruct.Model, incremental bool) bool {
 	fp := m.Fingerprint()
 	sh := s.shard(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	set, ok := sh.models[id]
+	if ok {
+		for _, existing := range set.models {
+			if existing.Fingerprint() == fp {
+				return false
+			}
+		}
+	}
+	if s.sink != nil {
+		if err := s.sink(&walRecord{Op: opPut, ID: id, Model: &m, Sum: fp, Inc: incremental}); err != nil {
+			return false
+		}
+	}
 	if !ok {
 		set = &modelSet{incremental: incremental}
 		sh.models[id] = set
 	}
-	for _, existing := range set.models {
-		if existing.Fingerprint() == fp {
-			return false
+	s.publish(set, m, incremental)
+	if s.obs != nil {
+		detail := fmt.Sprintf("model stored (%d nodes, %d model(s) for id)",
+			len(m.Nodes), len(set.models))
+		if incremental {
+			detail += ", incremental — pending review"
 		}
+		s.obs.Publish(obs.Event{Kind: obs.KindStore, QueryID: id, Detail: detail})
 	}
+	return true
+}
+
+// publish appends m to set copy-on-write and bumps the store
+// generation. Caller holds the shard lock and has already deduplicated.
+func (s *Store) publish(set *modelSet, m qstruct.Model, incremental bool) {
 	// Copy-on-write: publish a new slice so concurrent readers keep a
 	// consistent view of the one they already fetched.
 	next := make([]qstruct.Model, len(set.models)+1)
@@ -209,20 +250,55 @@ func (s *Store) Put(id string, m qstruct.Model, incremental bool) bool {
 	// against the pre-bump generation is invalidated, and any reader that
 	// already sees the new generation also sees the new model slice.
 	s.gen.Add(1)
-	if s.obs != nil {
-		detail := fmt.Sprintf("model stored (%d nodes, %d model(s) for id)",
-			len(m.Nodes), len(next))
-		if incremental {
-			detail += ", incremental — pending review"
+}
+
+// replayPut applies a recovered put record: Put minus the sink (the
+// record is already in the log) and minus the boot-time event noise.
+// Deduplication still applies, which is what makes replay over a
+// checkpoint that may already contain the record idempotent.
+func (s *Store) replayPut(id string, m qstruct.Model, incremental bool) {
+	fp := m.Fingerprint()
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	set, ok := sh.models[id]
+	if ok {
+		for _, existing := range set.models {
+			if existing.Fingerprint() == fp {
+				return
+			}
 		}
-		s.obs.Publish(obs.Event{Kind: obs.KindStore, QueryID: id, Detail: detail})
+	} else {
+		set = &modelSet{incremental: incremental}
+		sh.models[id] = set
 	}
-	return true
+	s.publish(set, m, incremental)
 }
 
 // Delete removes every model learned for id (administrator review
-// rejecting a poisoned identifier).
+// rejecting a poisoned identifier). Unlike Put, a failed durability
+// append does NOT refuse the delete: removing a model only narrows what
+// the detector accepts, so applying it in memory is the conservative
+// choice — the worst a crash can do is resurrect the identifier, which
+// the pending-review list resurfaces. The failure is still counted and
+// logged by the persistence layer.
 func (s *Store) Delete(id string) {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.models[id]; !ok {
+		return
+	}
+	if s.sink != nil {
+		_ = s.sink(&walRecord{Op: opDelete, ID: id})
+	}
+	delete(sh.models, id)
+	s.gen.Add(1)
+	s.obs.Publish(obs.Event{Kind: obs.KindStore, QueryID: id, Detail: "identifier deleted"})
+}
+
+// replayDelete applies a recovered delete record.
+func (s *Store) replayDelete(id string) {
 	sh := s.shard(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -231,11 +307,12 @@ func (s *Store) Delete(id string) {
 	}
 	delete(sh.models, id)
 	s.gen.Add(1)
-	s.obs.Publish(obs.Event{Kind: obs.KindStore, QueryID: id, Detail: "identifier deleted"})
 }
 
 // Approve clears an identifier's incremental flag: the administrator
-// reviewed the query and deemed it benign.
+// reviewed the query and deemed it benign. Like Delete, a failed
+// durability append is counted but does not refuse the approval (the
+// crash-worst-case is the identifier reappearing on the review list).
 func (s *Store) Approve(id string) bool {
 	sh := s.shard(id)
 	sh.mu.Lock()
@@ -244,9 +321,28 @@ func (s *Store) Approve(id string) bool {
 	if !ok {
 		return false
 	}
+	if s.sink != nil {
+		_ = s.sink(&walRecord{Op: opApprove, ID: id})
+	}
 	set.incremental = false
 	s.obs.Publish(obs.Event{Kind: obs.KindStore, QueryID: id, Detail: "identifier approved"})
 	return true
+}
+
+// replayApprove applies a recovered approve record.
+func (s *Store) replayApprove(id string) {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if set, ok := sh.models[id]; ok {
+		set.incremental = false
+	}
+}
+
+// setSink installs the durability sink. Must be called before the store
+// serves traffic (Persistence attach does, at boot).
+func (s *Store) setSink(sink func(rec *walRecord) error) {
+	s.sink = sink
 }
 
 // PendingReview lists the identifiers learned incrementally and not yet
@@ -395,15 +491,20 @@ type storeFile struct {
 
 const storeVersion = 3
 
-// Save writes the learned models to path atomically (write to temp file,
-// then rename), with per-model fingerprints for integrity checking.
-// Fingerprints are cached in the models themselves, so a Save is pure
-// serialization — no re-hashing.
-func (s *Store) Save(path string) error {
-	file := storeFile{
-		Version: storeVersion,
-		Sets:    make(map[string]persistedSet),
-	}
+// maxPersistedSetBytes bounds one identifier's encoded record in a
+// persisted store file. A record past this is either corruption or an
+// attempt to balloon the store through the load path; Load rejects it
+// with a descriptive error instead of silently accepting it.
+const maxPersistedSetBytes = 1 << 20
+
+// snapshotSets serializes the store's current contents, with per-model
+// fingerprints for integrity checking. Fingerprints are cached in the
+// models themselves, so a snapshot is pure serialization — no
+// re-hashing. Each shard is read under its lock, which (combined with
+// the sink-under-lock append protocol) is what makes the checkpoint
+// barrier sound: every record the barrier covers is visible here.
+func (s *Store) snapshotSets() map[string]persistedSet {
+	sets := make(map[string]persistedSet)
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
@@ -419,47 +520,118 @@ func (s *Store) Save(path string) error {
 			for i, m := range set.models {
 				p.Sums[i] = m.Fingerprint()
 			}
-			file.Sets[id] = p
+			sets[id] = p
 		}
 		sh.mu.RUnlock()
 	}
+	return sets
+}
 
+// Save writes the learned models to path atomically: temp file, fsync,
+// rename over the target, directory fsync (wal.WriteFileAtomic). A
+// crash at any point — the kill points around the write and the rename
+// are exercised by TestStoreSaveCrashKeepsOldSnapshot — leaves either
+// the previous snapshot or the new one, never a torn mixture and never
+// a missing file.
+func (s *Store) Save(path string) error {
+	file := storeFile{
+		Version: storeVersion,
+		Sets:    s.snapshotSets(),
+	}
 	data, err := json.MarshalIndent(&file, "", "  ")
 	if err != nil {
 		return fmt.Errorf("encode model store: %w", err)
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("write model store: %w", err)
+	faultinject.Hit(faultinject.SiteStoreSave)
+	if ierr := faultinject.HitErr(faultinject.SiteStoreSave); ierr != nil {
+		return fmt.Errorf("write model store: %w", ierr)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		return fmt.Errorf("rename model store: %w", err)
+	if err := wal.WriteFileAtomic(path, data, 0o644); err != nil {
+		return fmt.Errorf("write model store: %w", err)
 	}
 	return nil
 }
 
-// Load replaces the store contents with the models persisted at path,
-// verifying fingerprints.
-func (s *Store) Load(path string) error {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return fmt.Errorf("read model store: %w", err)
+// decodeStoreFile parses a persisted store, enforcing what a plain
+// json.Unmarshal silently forgives: a duplicate identifier key (the
+// last one would win, quietly dropping models) and an oversized record
+// (> maxPersistedSetBytes) are both rejected with descriptive errors.
+func decodeStoreFile(data []byte) (*storeFile, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if tok, err := dec.Token(); err != nil || tok != json.Delim('{') {
+		return nil, fmt.Errorf("not a JSON object (%v)", err)
 	}
-	var file storeFile
-	if err := json.Unmarshal(data, &file); err != nil {
-		return fmt.Errorf("decode model store: %w", err)
+	file := &storeFile{Sets: make(map[string]persistedSet)}
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return nil, err
+		}
+		key, _ := keyTok.(string)
+		switch key {
+		case "version":
+			if err := dec.Decode(&file.Version); err != nil {
+				return nil, fmt.Errorf("version: %w", err)
+			}
+		case "sets":
+			if tok, err := dec.Token(); err != nil || tok != json.Delim('{') {
+				return nil, fmt.Errorf("sets is not an object (%v)", err)
+			}
+			for dec.More() {
+				idTok, err := dec.Token()
+				if err != nil {
+					return nil, err
+				}
+				id, _ := idTok.(string)
+				if _, dup := file.Sets[id]; dup {
+					return nil, fmt.Errorf("duplicate identifier %q", id)
+				}
+				var raw json.RawMessage
+				if err := dec.Decode(&raw); err != nil {
+					return nil, fmt.Errorf("record %q: %w", id, err)
+				}
+				if len(raw) > maxPersistedSetBytes {
+					return nil, fmt.Errorf("record %q is %d bytes, exceeds the %d-byte limit",
+						id, len(raw), maxPersistedSetBytes)
+				}
+				var p persistedSet
+				if err := json.Unmarshal(raw, &p); err != nil {
+					return nil, fmt.Errorf("record %q: %w", id, err)
+				}
+				file.Sets[id] = p
+			}
+			if _, err := dec.Token(); err != nil { // closing '}'
+				return nil, err
+			}
+		default:
+			// Unknown top-level fields are skipped for forward
+			// compatibility.
+			var skip json.RawMessage
+			if err := dec.Decode(&skip); err != nil {
+				return nil, err
+			}
+		}
 	}
-	if file.Version != storeVersion {
-		return fmt.Errorf("model store version %d unsupported (want %d)",
-			file.Version, storeVersion)
-	}
-	loaded := make(map[string]*modelSet, len(file.Sets))
-	for id, p := range file.Sets {
+	return file, nil
+}
+
+// verifySets checks every model's persisted fingerprint.
+func verifySets(sets map[string]persistedSet) error {
+	for id, p := range sets {
 		for i, m := range p.Models {
 			if i < len(p.Sums) && p.Sums[i] != m.Fingerprint() {
 				return fmt.Errorf("model store corrupt: fingerprint mismatch for %q[%d]", id, i)
 			}
 		}
+	}
+	return nil
+}
+
+// restoreSets replaces the store contents with the given persisted
+// sets. Shared by Load and checkpoint recovery (Persistence attach).
+func (s *Store) restoreSets(sets map[string]persistedSet) {
+	loaded := make(map[string]*modelSet, len(sets))
+	for id, p := range sets {
 		models := make([]qstruct.Model, len(p.Models))
 		copy(models, p.Models)
 		set := &modelSet{
@@ -487,7 +659,29 @@ func (s *Store) Load(path string) error {
 		sh.mu.Unlock()
 	}
 	s.gen.Add(1)
+}
+
+// Load replaces the store contents with the models persisted at path,
+// verifying fingerprints and rejecting duplicate-identifier and
+// oversized records.
+func (s *Store) Load(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("read model store: %w", err)
+	}
+	file, err := decodeStoreFile(data)
+	if err != nil {
+		return fmt.Errorf("decode model store: %w", err)
+	}
+	if file.Version != storeVersion {
+		return fmt.Errorf("model store version %d unsupported (want %d)",
+			file.Version, storeVersion)
+	}
+	if err := verifySets(file.Sets); err != nil {
+		return err
+	}
+	s.restoreSets(file.Sets)
 	s.obs.Publish(obs.Event{Kind: obs.KindStore,
-		Detail: fmt.Sprintf("store reloaded: %d identifier(s)", len(loaded))})
+		Detail: fmt.Sprintf("store reloaded: %d identifier(s)", len(file.Sets))})
 	return nil
 }

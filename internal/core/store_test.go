@@ -1,11 +1,13 @@
 package core
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 
+	"github.com/septic-db/septic/internal/faultinject"
 	"github.com/septic-db/septic/internal/qstruct"
 	"github.com/septic-db/septic/internal/sqlparser"
 )
@@ -311,5 +313,151 @@ func TestDetectorPrefersSyntacticalVerdict(t *testing.T) {
 	}
 	if d.Step != qstruct.StepSyntactical {
 		t.Errorf("step = %s, want syntactical (closest model)", d.Step)
+	}
+}
+
+func TestStoreSaveCrashKeepsOldSnapshot(t *testing.T) {
+	// A save that dies at any kill point — before the temp file is
+	// durable, or between durability and the rename — must leave the
+	// previous snapshot readable and byte-identical: the atomic
+	// publication protocol (temp + fsync + rename + dir fsync) never
+	// exposes a torn file.
+	path := filepath.Join(t.TempDir(), "models.json")
+	s := NewStore()
+	s.Put("stable", modelFor(t, "SELECT a FROM t WHERE b = 1"), false)
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("newer", modelFor(t, "SELECT c FROM u WHERE d = 2"), false)
+
+	for _, site := range []string{
+		faultinject.SiteStoreSave,
+		faultinject.SiteAtomicWrite,
+		faultinject.SiteAtomicRename,
+	} {
+		t.Run(site, func(t *testing.T) {
+			faultinject.Arm(faultinject.KillPoint(site, 1))
+			defer faultinject.Disarm()
+			func() {
+				defer func() {
+					if r := recover(); r != nil && !faultinject.IsCrash(r) {
+						panic(r)
+					}
+				}()
+				_ = s.Save(path)
+			}()
+			after, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("snapshot unreadable after crash at %s: %v", site, err)
+			}
+			if string(after) != string(good) {
+				t.Fatalf("crash at %s left a changed snapshot", site)
+			}
+			restored := NewStore()
+			if err := restored.Load(path); err != nil {
+				t.Fatalf("snapshot unloadable after crash at %s: %v", site, err)
+			}
+		})
+	}
+	// With no kill point armed the save goes through and the new
+	// snapshot loads with both identifiers.
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewStore()
+	if err := restored.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 2 {
+		t.Fatalf("restored %d identifiers, want 2", restored.Len())
+	}
+}
+
+func TestStoreLoadRejectsMalformedFiles(t *testing.T) {
+	// Load must reject what a plain json.Unmarshal forgives. The
+	// duplicate-identifier case matters because last-one-wins silently
+	// DROPS learned models — a narrowed store means false positives; the
+	// size cap stops one ballooned record from swallowing boot memory.
+	big := strings.Repeat("x", maxPersistedSetBytes)
+	cases := []struct {
+		name string
+		data string
+		want string
+	}{
+		{
+			name: "duplicate identifier",
+			data: `{"version": 3, "sets": {"q1": {"models": []}, "q1": {"models": []}}}`,
+			want: "duplicate identifier",
+		},
+		{
+			name: "oversized record",
+			data: `{"version": 3, "sets": {"q1": {"models": [], "pad": "` + big + `"}}}`,
+			want: "exceeds",
+		},
+		{
+			name: "not an object",
+			data: `[1, 2, 3]`,
+			want: "not a JSON object",
+		},
+		{
+			name: "sets not an object",
+			data: `{"version": 3, "sets": [1]}`,
+			want: "sets is not an object",
+		},
+		{
+			name: "truncated",
+			data: `{"version": 3, "sets": {"q1": {"mod`,
+			want: "",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "models.json")
+			mustWrite(t, path, []byte(tc.data))
+			err := NewStore().Load(path)
+			if err == nil {
+				t.Fatalf("%s accepted", tc.name)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	// Unknown top-level fields are forward-compatible, not an error.
+	path := filepath.Join(t.TempDir(), "models.json")
+	mustWrite(t, path, []byte(`{"version": 3, "future": {"a": 1}, "sets": {}}`))
+	if err := NewStore().Load(path); err != nil {
+		t.Fatalf("unknown top-level field rejected: %v", err)
+	}
+}
+
+// TestStoreDump covers the /qm introspection rendering: sorted ids,
+// hit counts, and top-down node stacks.
+func TestStoreDump(t *testing.T) {
+	s := NewStore()
+	s.Put("zz", modelFor(t, "SELECT a FROM t WHERE b = 1"), false)
+	s.Put("aa", modelFor(t, "SELECT name FROM users WHERE id = 2"), true)
+	if _, ok := s.Get("aa"); !ok { // one hit for aa
+		t.Fatal("get aa")
+	}
+
+	dump := s.Dump()
+	if len(dump) != 2 || dump[0].ID != "aa" || dump[1].ID != "zz" {
+		t.Fatalf("dump not sorted by id: %+v", dump)
+	}
+	if dump[0].Hits != 1 || !dump[0].Incremental {
+		t.Fatalf("aa metadata: %+v", dump[0])
+	}
+	if len(dump[0].Models) != 1 || len(dump[0].Models[0]) == 0 {
+		t.Fatalf("aa has no rendered stack: %+v", dump[0].Models)
+	}
+	for _, node := range dump[0].Models[0] {
+		if node == "" {
+			t.Fatal("empty rendered node")
+		}
 	}
 }

@@ -22,6 +22,9 @@ const (
 	KindCache = "cache"
 	// KindMode: the operation mode or configuration changed.
 	KindMode = "mode"
+	// KindWAL: a durability event — recovery completed, a checkpoint was
+	// taken, or a write-ahead-log append failed.
+	KindWAL = "wal"
 )
 
 // Event is one structured observability record. Unlike the core

@@ -1,0 +1,55 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/septic-db/septic/internal/faultinject"
+)
+
+// WriteFileAtomic publishes data at path so that a crash at ANY point
+// leaves either the previous content or the new content — never a
+// mixture, never a missing file. The sequence is the standard one:
+// write to a temp file in the same directory, fsync the file, rename it
+// over the target, fsync the directory so the rename itself is durable.
+// Checkpoints and Store.Save both publish through here; the kill points
+// around the write and the rename are what the crash-chaos suite arms
+// to prove the "previous content survives" half.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, perm)
+	if err != nil {
+		return fmt.Errorf("wal: atomic write %s: %w", path, err)
+	}
+	// Any failure before the rename leaves the target untouched; the
+	// stale temp file is harmless and overwritten by the next attempt.
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: atomic write %s: %w", path, err)
+	}
+	faultinject.Hit(faultinject.SiteAtomicWrite)
+	if ierr := faultinject.HitErr(faultinject.SiteAtomicWrite); ierr != nil {
+		f.Close()
+		return ierr
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: atomic write %s: fsync: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: atomic write %s: close: %w", path, err)
+	}
+	faultinject.Hit(faultinject.SiteAtomicRename)
+	if ierr := faultinject.HitErr(faultinject.SiteAtomicRename); ierr != nil {
+		return ierr
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("wal: atomic write %s: rename: %w", path, err)
+	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("wal: atomic write %s: sync dir: %w", path, err)
+	}
+	return nil
+}

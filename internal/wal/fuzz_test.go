@@ -1,0 +1,90 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzWALRecover feeds arbitrary bytes to the recovery reader as a
+// segment file and asserts the crash-safety contract no hand-written
+// table can exhaust:
+//
+//   - recovery never panics and never errors on content (only I/O can
+//     fail it);
+//   - whatever it keeps is a valid, contiguous record sequence;
+//   - it converges: a second recovery of the repaired directory is
+//     clean and returns exactly the same records;
+//   - the repaired log accepts appends and the appended record survives
+//     the next recovery.
+//
+// The seed corpus covers the canonical corruptions: a torn tail, a
+// bit-flipped CRC, a frame whose header lies about its length, an empty
+// segment, and a valid multi-record segment (see testdata/fuzz and the
+// f.Add seeds below).
+func FuzzWALRecover(f *testing.F) {
+	valid := append(frame(1, []byte("select * from t")), frame(2, []byte("insert into t"))...)
+	f.Add([]byte{})                                      // empty segment
+	f.Add(valid)                                         // valid multi-record segment
+	f.Add(valid[:len(valid)-5])                          // torn tail
+	f.Add(frame(1, bytes.Repeat([]byte("x"), 200))[:50]) // torn mid-payload
+	flipped := append([]byte{}, valid...)
+	flipped[frameHeaderSize] ^= 0x40 // bit-flipped payload → CRC mismatch
+	f.Add(flipped)
+	lying := append([]byte{}, valid...)
+	binary.LittleEndian.PutUint32(lying[4:8], 0xFFFFFFFF) // lying length
+	f.Add(lying)
+	f.Add(frame(7, []byte("starts past one"))) // trimmed-log head
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		dir := t.TempDir()
+		writeSegment(t, dir, 1, raw)
+
+		var first []Record
+		l, info, err := Open(Options{Dir: dir, Policy: FsyncNever}, func(r Record) error {
+			first = append(first, r)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("recovery errored on content: %v", err)
+		}
+		if len(first) != info.Records {
+			t.Fatalf("replayed %d records, info says %d", len(first), info.Records)
+		}
+		for i := 1; i < len(first); i++ {
+			if first[i].Seq != first[i-1].Seq+1 {
+				t.Fatalf("non-contiguous: seq %d after %d", first[i].Seq, first[i-1].Seq)
+			}
+		}
+		if _, err := l.Append([]byte("appended-after-recovery")); err != nil {
+			t.Fatalf("append after recovery: %v", err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+
+		var second []Record
+		l2, info2, err := Open(Options{Dir: dir, Policy: FsyncNever}, func(r Record) error {
+			second = append(second, r)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("second recovery: %v", err)
+		}
+		defer l2.Close()
+		if info2.Truncated || info2.TornSegments != 0 {
+			t.Fatalf("recovery did not converge: %+v", info2)
+		}
+		if len(second) != len(first)+1 {
+			t.Fatalf("second recovery has %d records, want %d", len(second), len(first)+1)
+		}
+		for i, r := range first {
+			if r.Seq != second[i].Seq || !bytes.Equal(r.Data, second[i].Data) {
+				t.Fatalf("record %d changed across recoveries", i)
+			}
+		}
+		if string(second[len(second)-1].Data) != "appended-after-recovery" {
+			t.Fatal("appended record lost")
+		}
+	})
+}

@@ -1,0 +1,256 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Record is one recovered WAL entry.
+type Record struct {
+	Seq  uint64
+	Data []byte
+}
+
+// RecoveryInfo reports what recovery found and what it had to discard.
+// Everything here is observable on /metrics so a truncated tail is an
+// operator-visible incident, never a silent one.
+type RecoveryInfo struct {
+	// Segments is the number of segment files scanned.
+	Segments int
+	// Records is the number of valid records replayed.
+	Records int
+	// TornSegments counts segments whose tail failed validation and was
+	// truncated (1 after a normal crash mid-append; more only after
+	// corruption).
+	TornSegments int
+	// DroppedRecords counts records that parsed cleanly but had to be
+	// discarded because they sat BEYOND a torn point (in later segments
+	// or after a bad frame): their ordering guarantee is gone.
+	DroppedRecords int
+	// DroppedBytes counts bytes discarded by truncation.
+	DroppedBytes int64
+	// Truncated reports whether any file was rewritten; a second
+	// recovery of the same directory reports false — the convergence
+	// property the chaos suite asserts.
+	Truncated bool
+	// FirstSeq and LastSeq bound the recovered sequence numbers (0,0
+	// when the log was empty).
+	FirstSeq, LastSeq uint64
+}
+
+// segmentScan is the outcome of validating one segment file.
+type segmentScan struct {
+	records  []Record
+	validLen int64 // bytes of valid frames from the start of the file
+	torn     bool  // bytes beyond validLen failed validation
+	total    int64 // file size
+}
+
+// scanSegment validates path frame by frame. expectSeq is the sequence
+// number the first record must carry (0 = accept any, for the first
+// segment of a trimmed log); within the segment records must be
+// contiguous. Scanning stops at the first invalid frame — short header,
+// lying length, CRC mismatch, or sequence break — and everything before
+// it is returned as valid.
+func scanSegment(path string, expectSeq uint64) (segmentScan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return segmentScan{}, err
+	}
+	s := segmentScan{total: int64(len(data))}
+	off := 0
+	for {
+		if len(data)-off < frameHeaderSize {
+			s.torn = off < len(data)
+			break
+		}
+		sum := binary.LittleEndian.Uint32(data[off : off+4])
+		length := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		seq := binary.LittleEndian.Uint64(data[off+8 : off+16])
+		if length == 0 || length > MaxRecordSize {
+			s.torn = true // lying length: never trust it past the cap
+			break
+		}
+		if seq == 0 {
+			s.torn = true // sequence numbers start at 1
+			break
+		}
+		end := off + frameHeaderSize + int(length)
+		if end > len(data) {
+			s.torn = true // frame runs past EOF: the classic torn tail
+			break
+		}
+		if crc32.Checksum(data[off+4:end], castagnoli) != sum {
+			s.torn = true
+			break
+		}
+		if expectSeq != 0 && seq != expectSeq {
+			s.torn = true // gap or repeat: ordering guarantee broken
+			break
+		}
+		payload := make([]byte, length)
+		copy(payload, data[off+frameHeaderSize:end])
+		s.records = append(s.records, Record{Seq: seq, Data: payload})
+		expectSeq = seq + 1
+		off = end
+		s.validLen = int64(off)
+	}
+	return s, nil
+}
+
+// listSegments returns the directory's segment files sorted by the
+// first sequence number encoded in their names; files with unparsable
+// names are ignored.
+func listSegments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, segmentSuffix) {
+			continue
+		}
+		if _, err := strconv.ParseUint(strings.TrimSuffix(name, segmentSuffix), 10, 64); err != nil {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names) // zero-padded decimal: lexicographic == numeric
+	return names, nil
+}
+
+// Open recovers the log directory and opens it for appending. Every
+// valid record is passed to apply in sequence order (apply may be nil
+// to skip replay); an apply error aborts Open. Recovery truncates a
+// torn tail in place — it never fails on corrupt content, only on I/O
+// errors — and deletes segments beyond a torn point, counting what it
+// dropped. The returned log appends after the last valid record.
+func Open(opts Options, apply func(Record) error) (*Log, RecoveryInfo, error) {
+	opts = opts.withDefaults()
+	var info RecoveryInfo
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, info, fmt.Errorf("wal: create dir: %w", err)
+	}
+	names, err := listSegments(opts.Dir)
+	if err != nil {
+		return nil, info, fmt.Errorf("wal: list segments: %w", err)
+	}
+
+	l := &Log{opts: opts}
+	expect := uint64(0) // first segment of a trimmed log may start anywhere
+	tornAt := -1        // index of the first torn segment
+	scans := make([]segmentScan, 0, len(names))
+	for i, name := range names {
+		path := filepath.Join(opts.Dir, name)
+		scan, err := scanSegment(path, expect)
+		if err != nil {
+			return nil, info, fmt.Errorf("wal: scan %s: %w", name, err)
+		}
+		scans = append(scans, scan)
+		info.Segments++
+		if tornAt >= 0 {
+			// Past a torn point: records may parse but their contiguity
+			// with the acknowledged history is gone — count and drop.
+			info.DroppedRecords += len(scan.records)
+			info.DroppedBytes += scan.total
+			continue
+		}
+		for _, rec := range scan.records {
+			if info.FirstSeq == 0 {
+				info.FirstSeq = rec.Seq
+			}
+			info.LastSeq = rec.Seq
+			if apply != nil {
+				if err := apply(rec); err != nil {
+					return nil, info, fmt.Errorf("wal: replay seq %d: %w", rec.Seq, err)
+				}
+			}
+			info.Records++
+		}
+		if scan.torn {
+			tornAt = i
+			info.TornSegments++
+			info.DroppedBytes += scan.total - scan.validLen
+		} else {
+			expect = 0
+			if len(scan.records) > 0 {
+				expect = scan.records[len(scan.records)-1].Seq + 1
+			} else if i == 0 {
+				// Entirely empty first segment (crash right after
+				// creation): any sequence may follow in the next one.
+				expect = 0
+			}
+		}
+	}
+
+	// Repair the directory: truncate the torn segment to its valid
+	// prefix and delete everything after it.
+	if tornAt >= 0 {
+		info.Truncated = true
+		path := filepath.Join(opts.Dir, names[tornAt])
+		if err := os.Truncate(path, scans[tornAt].validLen); err != nil {
+			return nil, info, fmt.Errorf("wal: truncate %s: %w", names[tornAt], err)
+		}
+		for _, name := range names[tornAt+1:] {
+			if err := os.Remove(filepath.Join(opts.Dir, name)); err != nil {
+				return nil, info, fmt.Errorf("wal: drop %s: %w", name, err)
+			}
+		}
+		if err := syncDir(opts.Dir); err != nil {
+			return nil, info, fmt.Errorf("wal: sync dir: %w", err)
+		}
+		names = names[:tornAt+1]
+		scans = scans[:tornAt+1]
+	}
+
+	// Seal every segment but the last; reopen the last for appending.
+	l.seq = info.LastSeq
+	for i, name := range names {
+		first, _ := strconv.ParseUint(strings.TrimSuffix(name, segmentSuffix), 10, 64)
+		path := filepath.Join(opts.Dir, name)
+		if i < len(names)-1 {
+			last := first - 1
+			if n := len(scans[i].records); n > 0 {
+				last = scans[i].records[n-1].Seq
+			}
+			l.sealed = append(l.sealed, segmentInfo{path: path, first: first, last: last})
+			continue
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, info, fmt.Errorf("wal: open active segment: %w", err)
+		}
+		l.f = f
+		l.first = first
+		l.size = scans[i].validLen
+	}
+	if l.f == nil {
+		// Empty directory: create the first segment.
+		path := filepath.Join(opts.Dir, segmentName(1))
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, info, fmt.Errorf("wal: create first segment: %w", err)
+		}
+		if err := syncDir(opts.Dir); err != nil {
+			f.Close()
+			return nil, info, fmt.Errorf("wal: sync dir: %w", err)
+		}
+		l.f = f
+		l.first = 1
+	}
+
+	if opts.Policy == FsyncInterval {
+		l.stopc = make(chan struct{})
+		l.syncDone = make(chan struct{})
+		go l.runIntervalSync()
+	}
+	return l, info, nil
+}

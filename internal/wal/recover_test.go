@@ -1,0 +1,206 @@
+package wal
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// frame builds one valid frame for hand-assembled segment files.
+func frame(seq uint64, payload []byte) []byte {
+	f := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(f[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(f[8:16], seq)
+	copy(f[frameHeaderSize:], payload)
+	binary.LittleEndian.PutUint32(f[0:4], crc32.Checksum(f[4:], castagnoli))
+	return f
+}
+
+// writeSegment writes raw bytes as the segment whose name claims it
+// starts at firstSeq.
+func writeSegment(t *testing.T, dir string, firstSeq uint64, raw []byte) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, segmentName(firstSeq)), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func concat(bs ...[]byte) []byte {
+	var out []byte
+	for _, b := range bs {
+		out = append(out, b...)
+	}
+	return out
+}
+
+func TestRecoverCorruptions(t *testing.T) {
+	f1 := frame(1, []byte("alpha"))
+	f2 := frame(2, []byte("beta"))
+	f3 := frame(3, []byte("gamma"))
+
+	bitFlipped := concat(f1, f2)
+	bitFlipped[len(f1)+frameHeaderSize] ^= 0x01 // flip a payload byte of f2: CRC must catch it
+
+	lyingLen := concat(f1, f2)
+	// Claim a payload far past the cap; the reader must distrust it
+	// rather than seek past EOF.
+	binary.LittleEndian.PutUint32(lyingLen[len(f1)+4:len(f1)+8], MaxRecordSize+1)
+
+	seqGap := concat(f1, frame(5, []byte("skipped")))
+
+	cases := []struct {
+		name     string
+		segments map[uint64][]byte // firstSeq → raw bytes
+		want     int               // records recovered
+		torn     int
+		dropped  int
+		truncate bool
+	}{
+		{
+			name:     "clean single segment",
+			segments: map[uint64][]byte{1: concat(f1, f2, f3)},
+			want:     3,
+		},
+		{
+			name:     "valid multi-segment",
+			segments: map[uint64][]byte{1: concat(f1, f2), 3: f3},
+			want:     3,
+		},
+		{
+			name:     "torn tail mid-frame",
+			segments: map[uint64][]byte{1: concat(f1, f2, f3[:len(f3)-4])},
+			want:     2, torn: 1, truncate: true,
+		},
+		{
+			name:     "torn tail mid-header",
+			segments: map[uint64][]byte{1: concat(f1, f2[:7])},
+			want:     1, torn: 1, truncate: true,
+		},
+		{
+			name:     "bit-flipped payload fails CRC",
+			segments: map[uint64][]byte{1: bitFlipped},
+			want:     1, torn: 1, truncate: true,
+		},
+		{
+			name:     "lying length",
+			segments: map[uint64][]byte{1: lyingLen},
+			want:     1, torn: 1, truncate: true,
+		},
+		{
+			name:     "sequence gap treated as corruption",
+			segments: map[uint64][]byte{1: seqGap},
+			want:     1, torn: 1, truncate: true,
+		},
+		{
+			name:     "empty segment",
+			segments: map[uint64][]byte{1: nil},
+			want:     0,
+		},
+		{
+			name:     "empty directory",
+			segments: map[uint64][]byte{},
+			want:     0,
+		},
+		{
+			name: "torn middle segment drops later ones",
+			segments: map[uint64][]byte{
+				1: concat(f1, f2[:9]), // torn
+				2: concat(f2, f3),     // beyond the tear: dropped whole
+			},
+			want: 1, torn: 1, dropped: 2, truncate: true,
+		},
+		{
+			name:     "garbage-only segment",
+			segments: map[uint64][]byte{1: []byte("this is not a wal segment at all....")},
+			want:     0, torn: 1, truncate: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			for first, raw := range tc.segments {
+				writeSegment(t, dir, first, raw)
+			}
+			l, recs, info := openCollect(t, Options{Dir: dir, Policy: FsyncNever})
+			if len(recs) != tc.want || info.Records != tc.want {
+				t.Fatalf("recovered %d records (info %+v), want %d", len(recs), info, tc.want)
+			}
+			if info.TornSegments != tc.torn {
+				t.Fatalf("torn segments = %d, want %d (info %+v)", info.TornSegments, tc.torn, info)
+			}
+			if info.DroppedRecords != tc.dropped {
+				t.Fatalf("dropped records = %d, want %d", info.DroppedRecords, tc.dropped)
+			}
+			if info.Truncated != tc.truncate {
+				t.Fatalf("truncated = %t, want %t", info.Truncated, tc.truncate)
+			}
+			// The log stays appendable after any recovery...
+			if _, err := l.Append([]byte("post-recovery")); err != nil {
+				t.Fatalf("append after recovery: %v", err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			// ...and recovery converges: the second open is clean and sees
+			// everything the first one kept, plus the new record.
+			l2, recs2, info2 := openCollect(t, Options{Dir: dir, Policy: FsyncNever})
+			defer l2.Close()
+			if info2.Truncated || info2.TornSegments != 0 {
+				t.Fatalf("second recovery not converged: %+v", info2)
+			}
+			if len(recs2) != tc.want+1 {
+				t.Fatalf("second recovery: %d records, want %d", len(recs2), tc.want+1)
+			}
+			for i := 1; i < len(recs2); i++ {
+				if recs2[i].Seq != recs2[i-1].Seq+1 {
+					t.Fatalf("non-contiguous recovery: %d then %d", recs2[i-1].Seq, recs2[i].Seq)
+				}
+			}
+		})
+	}
+}
+
+func TestRecoverIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	writeSegment(t, dir, 1, frame(1, []byte("real")))
+	for _, name := range []string{"checkpoint.json", "notes.txt", "zz.wal", "1234.walx"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l, recs, info := openCollect(t, Options{Dir: dir, Policy: FsyncNever})
+	defer l.Close()
+	if len(recs) != 1 || info.Segments != 1 {
+		t.Fatalf("recovered %d records over %d segments, want 1/1", len(recs), info.Segments)
+	}
+}
+
+func TestRecoverNeverPanics(t *testing.T) {
+	// A directory of adversarial bytes must never panic the reader —
+	// the FuzzWALRecover target hammers this same property.
+	raws := [][]byte{
+		nil,
+		{0},
+		make([]byte, frameHeaderSize-1),
+		make([]byte, frameHeaderSize),
+		concat(frame(1, []byte("a"))[:5], []byte{0xff, 0xff, 0xff, 0xff}),
+		func() []byte { // valid CRC but seq 0
+			f := make([]byte, frameHeaderSize+1)
+			binary.LittleEndian.PutUint32(f[4:8], 1)
+			binary.LittleEndian.PutUint64(f[8:16], 0)
+			f[frameHeaderSize] = 'x'
+			binary.LittleEndian.PutUint32(f[0:4], crc32.Checksum(f[4:], castagnoli))
+			return f
+		}(),
+	}
+	for i, raw := range raws {
+		dir := t.TempDir()
+		writeSegment(t, dir, 1, raw)
+		l, _, _ := openCollect(t, Options{Dir: dir, Policy: FsyncNever})
+		if err := l.Close(); err != nil {
+			t.Fatalf("case %d: close: %v", i, err)
+		}
+	}
+}

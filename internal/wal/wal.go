@@ -1,0 +1,516 @@
+// Package wal is a crash-safe write-ahead log: CRC32-framed,
+// length-prefixed, sequence-numbered records appended to rotating
+// segment files, with a configurable fsync policy and a recovery reader
+// that tolerates a torn tail. It is the durability substrate under
+// SEPTIC's learned query models (core.Persistence): every acknowledged
+// training update is appended here before it is published in memory, so
+// a crash, OOM-kill or power loss between the boot-time Load and the
+// shutdown Save no longer silently discards everything learned since
+// startup.
+//
+// # Frame format
+//
+// Each record is one frame:
+//
+//	offset size
+//	0      4    CRC32-C (Castagnoli) over bytes [4, 16+len)
+//	4      4    payload length, little-endian uint32
+//	8      8    sequence number, little-endian uint64
+//	16     len  payload (opaque bytes)
+//
+// Sequence numbers start at 1 and increase by exactly 1 across segment
+// boundaries; a gap or repeat is treated as corruption. The CRC covers
+// the length and sequence fields as well as the payload, so a frame
+// whose header lies about its length fails the checksum instead of
+// desynchronizing the reader.
+//
+// # Segments
+//
+// The log is a directory of segment files named %020d.wal after the
+// sequence number of their first record. Appends go to the highest
+// segment; when it would exceed Options.SegmentSize the segment is
+// sealed (fsynced, closed) and a new one is created, with a directory
+// fsync so the new name itself is durable. Sealed segments are deleted
+// by TrimTo once a checkpoint has made their records redundant.
+//
+// # Durability and failure semantics
+//
+// Append returns only after the frame is written — and, under
+// FsyncAlways, fsynced — so its return IS the acknowledgement the
+// crash-chaos suite holds the log to: with FsyncAlways, a record whose
+// Append returned nil survives any subsequent crash. Any write or fsync
+// error (or an injected crash unwinding mid-frame) poisons the log: the
+// on-disk tail is unknowable from user space after a failed write, so
+// every later Append fails with ErrLogFailed until the process reopens
+// the directory and lets recovery truncate the tear. The alternative —
+// appending past a possibly-torn frame — would strand durable,
+// acknowledged records behind a bad frame where recovery must drop
+// them.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/septic-db/septic/internal/faultinject"
+)
+
+// FsyncPolicy selects when appends are made durable.
+type FsyncPolicy int
+
+// Fsync policies. Enums start at 1 so the zero value is invalid.
+const (
+	FsyncInvalid FsyncPolicy = iota
+	// FsyncAlways fsyncs after every append: an Append that returned nil
+	// survives any crash. The policy the durability guarantee is stated
+	// under.
+	FsyncAlways
+	// FsyncInterval fsyncs on a background timer (Options.Interval):
+	// bounded data loss — at most one interval of acknowledged appends —
+	// for near-FsyncNever append latency.
+	FsyncInterval
+	// FsyncNever leaves flushing to the OS page cache: fastest, loses up
+	// to everything since the last kernel writeback on power loss, but
+	// still torn-tail-safe (recovery truncates, never corrupts).
+	FsyncNever
+)
+
+// String names the policy the way the septicd flag spells it.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+	}
+}
+
+// ParseFsyncPolicy maps a flag string to its policy.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	default:
+		return FsyncInvalid, fmt.Errorf("unknown fsync policy %q (want always, interval or never)", s)
+	}
+}
+
+const (
+	// frameHeaderSize is the fixed per-record framing overhead.
+	frameHeaderSize = 16
+	// MaxRecordSize bounds one payload; a frame header claiming more is
+	// corruption (a "lying length"), not a huge record.
+	MaxRecordSize = 16 << 20
+	// DefaultSegmentSize is the rotation threshold.
+	DefaultSegmentSize = 4 << 20
+	// DefaultInterval is the FsyncInterval flush period.
+	DefaultInterval = 100 * time.Millisecond
+	// segmentSuffix names segment files.
+	segmentSuffix = ".wal"
+)
+
+// castagnoli is the CRC32-C table; hardware-accelerated on amd64/arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrLogFailed is wrapped by every Append after the log is poisoned by
+// a write or fsync failure; the process must reopen the directory to
+// recover.
+var ErrLogFailed = errors.New("wal: log failed, reopen to recover")
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// Options configures a log directory.
+type Options struct {
+	// Dir is the segment directory, created if absent.
+	Dir string
+	// Policy is the fsync policy; default FsyncAlways.
+	Policy FsyncPolicy
+	// Interval is the FsyncInterval flush period; default
+	// DefaultInterval.
+	Interval time.Duration
+	// SegmentSize is the rotation threshold; default DefaultSegmentSize.
+	SegmentSize int64
+}
+
+// withDefaults resolves zero fields.
+func (o Options) withDefaults() Options {
+	if o.Policy == FsyncInvalid {
+		o.Policy = FsyncAlways
+	}
+	if o.Interval <= 0 {
+		o.Interval = DefaultInterval
+	}
+	if o.SegmentSize <= 0 {
+		o.SegmentSize = DefaultSegmentSize
+	}
+	return o
+}
+
+// Stats is a snapshot of the log's work counters.
+type Stats struct {
+	// Appends counts records successfully appended this process.
+	Appends int64
+	// AppendErrors counts Append calls that failed.
+	AppendErrors int64
+	// Fsyncs counts fsyncs of the active segment.
+	Fsyncs int64
+	// Rotations counts segment seals.
+	Rotations int64
+	// Trimmed counts sealed segments deleted by TrimTo.
+	Trimmed int64
+	// LastSeq is the highest sequence number assigned.
+	LastSeq uint64
+}
+
+// segmentInfo records one sealed (read-only) segment.
+type segmentInfo struct {
+	path        string
+	first, last uint64
+}
+
+// Log is an open write-ahead log directory. All methods are safe for
+// concurrent use; appends are serialized internally.
+type Log struct {
+	opts Options
+
+	mu     sync.Mutex
+	f      *os.File // active segment
+	size   int64    // bytes in active segment
+	seq    uint64   // last assigned sequence number
+	first  uint64   // first sequence number of the active segment
+	sealed []segmentInfo
+	failed error // sticky poison; nil while healthy
+	closed bool
+
+	// torn marks the window where bytes of a frame may be on disk but
+	// the frame is incomplete; an unwind (panic or error) inside the
+	// window poisons the log via the Append defer.
+	torn bool
+
+	appends    atomic.Int64
+	appendErrs atomic.Int64
+	fsyncs     atomic.Int64
+	rotations  atomic.Int64
+	trimmed    atomic.Int64
+
+	stopc    chan struct{}
+	syncDone chan struct{}
+}
+
+// segmentName renders the file name of the segment whose first record
+// has sequence number seq.
+func segmentName(seq uint64) string {
+	return fmt.Sprintf("%020d%s", seq, segmentSuffix)
+}
+
+// syncDir fsyncs a directory so a just-created, renamed or removed name
+// in it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Stats snapshots the counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	seq := l.seq
+	l.mu.Unlock()
+	return Stats{
+		Appends:      l.appends.Load(),
+		AppendErrors: l.appendErrs.Load(),
+		Fsyncs:       l.fsyncs.Load(),
+		Rotations:    l.rotations.Load(),
+		Trimmed:      l.trimmed.Load(),
+		LastSeq:      seq,
+	}
+}
+
+// LastSeq returns the highest sequence number assigned so far (0 if the
+// log is empty).
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Err returns the sticky failure poisoning the log, or nil while it is
+// healthy.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed
+}
+
+// fail poisons the log. Caller holds l.mu.
+func (l *Log) fail(cause error) {
+	if l.failed == nil {
+		l.failed = fmt.Errorf("%w: %w", ErrLogFailed, cause)
+	}
+}
+
+// Append writes one record and returns its sequence number. Under
+// FsyncAlways the record is durable when Append returns nil — that
+// return is the acknowledgement the recovery guarantee is stated over.
+// After any failure the log is poisoned and every call fails with
+// ErrLogFailed (see the package comment for why).
+func (l *Log) Append(data []byte) (seq uint64, err error) {
+	if len(data) == 0 {
+		return 0, errors.New("wal: empty record")
+	}
+	if len(data) > MaxRecordSize {
+		return 0, fmt.Errorf("wal: record %d bytes exceeds limit %d", len(data), MaxRecordSize)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// The torn flag survives both error returns and panics (an injected
+	// Crash mid-write): either way bytes of an incomplete frame may be on
+	// disk and the log must refuse to append past them.
+	defer func() {
+		if l.torn {
+			// Reached on error return or on a panic (an injected Crash)
+			// unwinding mid-frame: incomplete bytes may be on disk.
+			l.torn = false
+			l.fail(errors.New("torn append"))
+		}
+		if err != nil {
+			l.appendErrs.Add(1)
+		}
+	}()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.failed != nil {
+		return 0, l.failed
+	}
+	faultinject.Hit(faultinject.SiteWALAppend)
+	if ierr := faultinject.HitErr(faultinject.SiteWALAppend); ierr != nil {
+		return 0, ierr // nothing written yet: injected failure, no poison
+	}
+
+	frameLen := int64(frameHeaderSize + len(data))
+	if l.size > 0 && l.size+frameLen > l.opts.SegmentSize {
+		if err := l.rotate(); err != nil {
+			l.fail(err)
+			return 0, err
+		}
+	}
+
+	next := l.seq + 1
+	frame := make([]byte, frameHeaderSize, frameHeaderSize+len(data))
+	binary.LittleEndian.PutUint32(frame[4:8], uint32(len(data)))
+	binary.LittleEndian.PutUint64(frame[8:16], next)
+	frame = append(frame, data...)
+	binary.LittleEndian.PutUint32(frame[0:4], crc32.Checksum(frame[4:], castagnoli))
+
+	// Torn window: from the first byte written until the frame is
+	// complete. With fault injection armed the frame goes down in two
+	// halves with the short-write site between them, so an armed kill
+	// leaves a genuinely torn frame for recovery to truncate; unarmed it
+	// is one write call.
+	l.torn = true
+	if faultinject.Armed() || faultinject.ErrArmed() {
+		half := len(frame) / 2
+		if _, err := l.f.Write(frame[:half]); err != nil {
+			return 0, err
+		}
+		faultinject.Hit(faultinject.SiteWALShortWrite)
+		if ierr := faultinject.HitErr(faultinject.SiteWALShortWrite); ierr != nil {
+			return 0, ierr
+		}
+		if _, err := l.f.Write(frame[half:]); err != nil {
+			return 0, err
+		}
+	} else if _, err := l.f.Write(frame); err != nil {
+		return 0, err
+	}
+	l.torn = false
+
+	l.seq = next
+	l.size += frameLen
+	l.appends.Add(1)
+
+	if l.opts.Policy == FsyncAlways {
+		if err := l.syncLocked(); err != nil {
+			l.fail(err)
+			return 0, err
+		}
+	}
+	return next, nil
+}
+
+// syncLocked fsyncs the active segment. Caller holds l.mu.
+func (l *Log) syncLocked() error {
+	faultinject.Hit(faultinject.SiteWALFsync)
+	if ierr := faultinject.HitErr(faultinject.SiteWALFsync); ierr != nil {
+		return ierr
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.fsyncs.Add(1)
+	return nil
+}
+
+// Sync forces the active segment to disk regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.failed != nil {
+		return l.failed
+	}
+	if err := l.syncLocked(); err != nil {
+		l.fail(err)
+		return err
+	}
+	return nil
+}
+
+// rotate seals the active segment and starts a new one. Caller holds
+// l.mu. A crash anywhere inside leaves either the sealed segment alone
+// (recovery appends to it) or an empty new segment (recovery sees zero
+// records in it) — both consistent.
+func (l *Log) rotate() error {
+	faultinject.Hit(faultinject.SiteWALRotate)
+	if ierr := faultinject.HitErr(faultinject.SiteWALRotate); ierr != nil {
+		return ierr
+	}
+	// Seal: the old segment's records must be durable before the log
+	// moves on, whatever the append policy — TrimTo may delete WAL
+	// history on the strength of a checkpoint while these bytes are still
+	// only in the page cache otherwise.
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.fsyncs.Add(1)
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	l.sealed = append(l.sealed, segmentInfo{
+		path:  filepath.Join(l.opts.Dir, segmentName(l.first)),
+		first: l.first,
+		last:  l.seq,
+	})
+	first := l.seq + 1
+	f, err := os.OpenFile(filepath.Join(l.opts.Dir, segmentName(first)),
+		os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := syncDir(l.opts.Dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.first = first
+	l.size = 0
+	l.rotations.Add(1)
+	return nil
+}
+
+// TrimTo deletes sealed segments whose every record has sequence number
+// ≤ seq — called after a checkpoint covering seq has been made durable.
+// The active segment is never deleted. Returns the number of segments
+// removed. A crash mid-trim leaves a shorter (still contiguous from
+// some sequence number) history; recovery handles it like any other
+// prefix-trimmed log.
+func (l *Log) TrimTo(seq uint64) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	faultinject.Hit(faultinject.SiteWALTrim)
+	if ierr := faultinject.HitErr(faultinject.SiteWALTrim); ierr != nil {
+		return 0, ierr
+	}
+	removed := 0
+	// Oldest-first, stopping at the first keeper: a crash between
+	// removals can only shorten the prefix, never hole the middle.
+	for len(l.sealed) > 0 && l.sealed[0].last <= seq {
+		if err := os.Remove(l.sealed[0].path); err != nil && !os.IsNotExist(err) {
+			return removed, err
+		}
+		l.sealed = l.sealed[1:]
+		removed++
+	}
+	if removed > 0 {
+		l.trimmed.Add(int64(removed))
+		if err := syncDir(l.opts.Dir); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}
+
+// Close flushes (best-effort when already poisoned) and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	l.closed = true
+	stopc := l.stopc
+	l.mu.Unlock()
+	if stopc != nil {
+		close(stopc)
+		<-l.syncDone
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var err error
+	if l.failed == nil {
+		err = l.f.Sync()
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// runIntervalSync is the FsyncInterval background flusher.
+func (l *Log) runIntervalSync() {
+	defer close(l.syncDone)
+	t := time.NewTicker(l.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stopc:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed && l.failed == nil && l.size > 0 {
+				if err := l.syncLocked(); err != nil {
+					l.fail(err)
+				}
+			}
+			l.mu.Unlock()
+		}
+	}
+}

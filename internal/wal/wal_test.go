@@ -1,0 +1,348 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/septic-db/septic/internal/faultinject"
+)
+
+// openCollect opens dir and returns the log plus every recovered
+// record.
+func openCollect(t *testing.T, opts Options) (*Log, []Record, RecoveryInfo) {
+	t.Helper()
+	var recs []Record
+	l, info, err := Open(opts, func(r Record) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, recs, info
+}
+
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openCollect(t, Options{Dir: dir, Policy: FsyncNever})
+	want := [][]byte{[]byte("one"), []byte("two"), []byte("three")}
+	for i, d := range want {
+		seq, err := l.Append(d)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("append %d: seq %d, want %d", i, seq, i+1)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	l2, recs, info := openCollect(t, Options{Dir: dir, Policy: FsyncNever})
+	defer l2.Close()
+	if info.Records != len(want) || info.Truncated || info.TornSegments != 0 {
+		t.Fatalf("recovery info: %+v", info)
+	}
+	for i, r := range recs {
+		if string(r.Data) != string(want[i]) || r.Seq != uint64(i+1) {
+			t.Fatalf("record %d: seq %d data %q", i, r.Seq, r.Data)
+		}
+	}
+	// Appends continue the sequence.
+	seq, err := l2.Append([]byte("four"))
+	if err != nil || seq != 4 {
+		t.Fatalf("continued append: seq %d err %v", seq, err)
+	}
+}
+
+func TestRotationAndTrim(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments: every record larger than half the threshold forces
+	// a rotation per append.
+	l, _, _ := openCollect(t, Options{Dir: dir, Policy: FsyncNever, SegmentSize: 64})
+	payload := make([]byte, 48)
+	const n = 5
+	for i := 0; i < n; i++ {
+		if _, err := l.Append(payload); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if got := l.Stats().Rotations; got != n-1 {
+		t.Fatalf("rotations = %d, want %d", got, n-1)
+	}
+	names, _ := listSegments(dir)
+	if len(names) != n {
+		t.Fatalf("segments on disk = %d, want %d", len(names), n)
+	}
+
+	// Trim everything covered by a "checkpoint" at seq 3: segments whose
+	// last record ≤ 3 go; the active segment stays whatever happens.
+	removed, err := l.TrimTo(3)
+	if err != nil {
+		t.Fatalf("trim: %v", err)
+	}
+	if removed != 3 {
+		t.Fatalf("trimmed %d segments, want 3", removed)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Recovery of the trimmed log starts mid-sequence.
+	l2, recs, info := openCollect(t, Options{Dir: dir, Policy: FsyncNever, SegmentSize: 64})
+	defer l2.Close()
+	if info.Records != 2 || info.FirstSeq != 4 || info.LastSeq != 5 {
+		t.Fatalf("post-trim recovery: %+v", info)
+	}
+	if len(recs) != 2 || recs[0].Seq != 4 {
+		t.Fatalf("post-trim records: %+v", recs)
+	}
+	if seq, err := l2.Append(payload); err != nil || seq != 6 {
+		t.Fatalf("post-trim append: seq %d err %v", seq, err)
+	}
+}
+
+func TestFsyncPolicies(t *testing.T) {
+	for _, policy := range []FsyncPolicy{FsyncAlways, FsyncInterval, FsyncNever} {
+		t.Run(policy.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			l, _, _ := openCollect(t, Options{Dir: dir, Policy: policy})
+			if _, err := l.Append([]byte("x")); err != nil {
+				t.Fatalf("append: %v", err)
+			}
+			st := l.Stats()
+			if policy == FsyncAlways && st.Fsyncs == 0 {
+				t.Fatal("FsyncAlways did not fsync on append")
+			}
+			if policy == FsyncNever && st.Fsyncs != 0 {
+				t.Fatalf("FsyncNever fsynced %d times", st.Fsyncs)
+			}
+			if err := l.Sync(); err != nil {
+				t.Fatalf("explicit sync: %v", err)
+			}
+			if l.Stats().Fsyncs == st.Fsyncs {
+				t.Fatal("explicit Sync did not fsync")
+			}
+			if err := l.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+		})
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want FsyncPolicy
+		ok   bool
+	}{
+		{"always", FsyncAlways, true},
+		{"interval", FsyncInterval, true},
+		{"never", FsyncNever, true},
+		{"sometimes", FsyncInvalid, false},
+		{"", FsyncInvalid, false},
+	} {
+		got, err := ParseFsyncPolicy(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseFsyncPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openCollect(t, Options{Dir: dir, Policy: FsyncNever})
+	defer l.Close()
+	if _, err := l.Append(nil); err == nil {
+		t.Fatal("empty record accepted")
+	}
+	if _, err := l.Append(make([]byte, MaxRecordSize+1)); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+	// Neither validation failure poisons the log.
+	if _, err := l.Append([]byte("ok")); err != nil {
+		t.Fatalf("append after validation errors: %v", err)
+	}
+}
+
+func TestInjectedFsyncErrorPoisonsLog(t *testing.T) {
+	defer faultinject.DisarmErr()
+	dir := t.TempDir()
+	l, _, _ := openCollect(t, Options{Dir: dir, Policy: FsyncAlways})
+	defer l.Close()
+	if _, err := l.Append([]byte("healthy")); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	faultinject.ArmErr(faultinject.FailPoint(faultinject.SiteWALFsync, 1))
+	if _, err := l.Append([]byte("doomed")); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("append under fsync fault: %v", err)
+	}
+	faultinject.DisarmErr()
+	// The write preceding the failed fsync may or may not be durable;
+	// the log must refuse to append past it.
+	if _, err := l.Append([]byte("after")); !errors.Is(err, ErrLogFailed) {
+		t.Fatalf("append on poisoned log: %v", err)
+	}
+	if l.Err() == nil {
+		t.Fatal("Err() nil on poisoned log")
+	}
+	if l.Stats().AppendErrors != 2 {
+		t.Fatalf("append errors = %d, want 2", l.Stats().AppendErrors)
+	}
+}
+
+func TestKillMidWriteLeavesRecoverableTorn(t *testing.T) {
+	defer faultinject.Disarm()
+	dir := t.TempDir()
+	l, _, _ := openCollect(t, Options{Dir: dir, Policy: FsyncAlways})
+	acked := 0
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("acked-%d", i))); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		acked++
+	}
+	faultinject.Arm(faultinject.KillPoint(faultinject.SiteWALShortWrite, 1))
+	func() {
+		defer func() {
+			if r := recover(); !faultinject.IsCrash(r) {
+				t.Fatalf("expected injected crash, got %v", r)
+			}
+		}()
+		l.Append([]byte("torn"))
+		t.Fatal("append survived the kill point")
+	}()
+	faultinject.Disarm()
+	// The crash left half a frame on disk; the poisoned log refuses to
+	// append past it, so no acknowledged record can land beyond the tear.
+	if _, err := l.Append([]byte("after-crash")); !errors.Is(err, ErrLogFailed) {
+		t.Fatalf("append after mid-write crash: %v", err)
+	}
+	// Abandon without Close — a crash doesn't flush. Recovery truncates
+	// the torn frame and keeps every acknowledged record.
+	l2, recs, info := openCollect(t, Options{Dir: dir, Policy: FsyncAlways})
+	defer l2.Close()
+	if len(recs) != acked {
+		t.Fatalf("recovered %d records, want %d acked", len(recs), acked)
+	}
+	if !info.Truncated || info.TornSegments != 1 {
+		t.Fatalf("recovery info: %+v", info)
+	}
+	// Convergence: a second recovery sees a clean log.
+	if err := l2.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	l3, recs3, info3 := openCollect(t, Options{Dir: dir, Policy: FsyncAlways})
+	defer l3.Close()
+	if info3.Truncated || len(recs3) != acked {
+		t.Fatalf("second recovery not converged: %+v (%d records)", info3, len(recs3))
+	}
+}
+
+func TestClosedLogRefusesWork(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openCollect(t, Options{Dir: dir, Policy: FsyncInterval})
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := l.Append([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append on closed log: %v", err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("sync on closed log: %v", err)
+	}
+	if _, err := l.TrimTo(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("trim on closed log: %v", err)
+	}
+	if err := l.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.json")
+	if err := WriteFileAtomic(path, []byte("v1"), 0o644); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	if err := WriteFileAtomic(path, []byte("v2"), 0o644); err != nil {
+		t.Fatalf("second write: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "v2" {
+		t.Fatalf("read back: %q, %v", got, err)
+	}
+}
+
+func TestWriteFileAtomicCrashBeforeRenameKeepsOld(t *testing.T) {
+	defer faultinject.Disarm()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.json")
+	if err := WriteFileAtomic(path, []byte("good"), 0o644); err != nil {
+		t.Fatalf("seed write: %v", err)
+	}
+	for _, site := range []string{faultinject.SiteAtomicWrite, faultinject.SiteAtomicRename} {
+		faultinject.Arm(faultinject.KillPoint(site, 1))
+		func() {
+			defer func() {
+				if r := recover(); !faultinject.IsCrash(r) {
+					t.Fatalf("site %s: expected crash, got %v", site, r)
+				}
+			}()
+			WriteFileAtomic(path, []byte("half-written"), 0o644)
+			t.Fatalf("site %s: write survived the kill point", site)
+		}()
+		faultinject.Disarm()
+		got, err := os.ReadFile(path)
+		if err != nil || string(got) != "good" {
+			t.Fatalf("site %s: target after crash: %q, %v", site, got, err)
+		}
+	}
+	// And the interrupted state is repairable: the next write wins.
+	if err := WriteFileAtomic(path, []byte("recovered"), 0o644); err != nil {
+		t.Fatalf("write after crashes: %v", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "recovered" {
+		t.Fatalf("final content: %q", got)
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openCollect(t, Options{Dir: dir, Policy: FsyncNever, SegmentSize: 1 << 10})
+	const writers, each = 8, 50
+	done := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			for i := 0; i < each; i++ {
+				if _, err := l.Append([]byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < writers; w++ {
+		if err := <-done; err != nil {
+			t.Fatalf("writer: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	l2, recs, info := openCollect(t, Options{Dir: dir, Policy: FsyncNever, SegmentSize: 1 << 10})
+	defer l2.Close()
+	if info.Records != writers*each || info.Truncated {
+		t.Fatalf("recovery: %+v", info)
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+	}
+}

@@ -3,7 +3,11 @@
 # JSON baseline vs pipelined v2 binary frames) and record the numbers
 # into BENCH_wire.json: per series ns/op, B/op, allocs/op and derived
 # ops/sec, plus the depth-16-vs-sync speedup the ISSUE's acceptance
-# floor (≥2×) is read off of.
+# floor (≥2×) is read off of. Then runs the durability ablation
+# (BenchmarkTrainDurable: WAL off/never/interval/always) and records the
+# per-policy cost of one acknowledged training update into
+# BENCH_durability.json, with each policy's overhead factor over the
+# no-WAL baseline.
 #
 # Usage: scripts/bench-record.sh [output.json]
 #   BENCHTIME=2s scripts/bench-record.sh    # longer sampling
@@ -11,6 +15,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_wire.json}"
+DUR_OUT="${DUR_OUT:-BENCH_durability.json}"
 BENCHTIME="${BENCHTIME:-1s}"
 
 RAW="$(go test -run='^$' -bench='BenchmarkWireSync$|BenchmarkWirePipelined' \
@@ -44,3 +49,36 @@ END {
 }
 '
 echo "bench-record: wrote $OUT"
+
+# Durability ablation: fixed iteration count rather than -benchtime, so
+# the fsync=always series (hundreds of µs per op) finishes quickly while
+# still sampling every policy identically.
+DUR_RAW="$(go test -run='^$' -bench='BenchmarkTrainDurable' \
+	-benchmem -benchtime=2000x -count=1 .)"
+printf '%s\n' "$DUR_RAW"
+
+printf '%s\n' "$DUR_RAW" | awk -v out="$DUR_OUT" '
+BEGIN      { n = 0 }
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/    { sub(/^cpu: /, ""); cpu = $0 }
+/^BenchmarkTrainDurable\// {
+	name = $1; sub(/-[0-9]+$/, "", name); sub(/^BenchmarkTrainDurable\//, "", name)
+	names[n] = name; ns[n] = $3; allocs[n] = $7; n++
+	if (name == "off") base_ns = $3
+}
+END {
+	if (n == 0) { print "bench-record: no durability lines parsed" > "/dev/stderr"; exit 1 }
+	printf "{\n" > out
+	printf "  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\",\n", goos, goarch, cpu > out
+	printf "  \"metric\": \"ns per acknowledged training update (Store.Put incl. WAL append)\",\n" > out
+	printf "  \"policies\": [\n" > out
+	for (i = 0; i < n; i++) {
+		over = (base_ns > 0 && names[i] != "off") ? ns[i] / base_ns : 1
+		printf "    {\"fsync\": \"%s\", \"ns_per_update\": %s, \"allocs_per_op\": %s, \"overhead_x\": %.1f}%s\n", \
+			names[i], ns[i], allocs[i], over, (i < n - 1 ? "," : "") > out
+	}
+	printf "  ]\n}\n" > out
+}
+'
+echo "bench-record: wrote $DUR_OUT"
