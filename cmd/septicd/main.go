@@ -8,7 +8,7 @@
 //	        [-models models.json] [-sqli] [-stored]
 //	        [-domains domains.json]
 //	        [-wal-dir DIR] [-wal-fsync always|interval|never]
-//	        [-checkpoint-interval D]
+//	        [-checkpoint-interval D] [-wal-force-recover]
 //	        [-max-conns N] [-query-timeout D] [-idle-timeout D]
 //	        [-drain-timeout D] [-fail-open] [-obs-addr 127.0.0.1:9188]
 //	        [-pipeline-workers N] [-max-in-flight N]
@@ -24,7 +24,12 @@
 // (bounded loss window, much cheaper) and "never" leaves flushing to
 // the OS. The -models/-domains snapshot files remain supported and are
 // still written on clean shutdown; with a WAL they are belt to its
-// suspenders.
+// suspenders. The WAL directory is single-writer (a second septicd on
+// the same -wal-dir fails fast at boot), and damage in the middle of
+// the log — which a crash alone can never cause — refuses to boot
+// rather than silently dropping the acknowledged records beyond it;
+// -wal-force-recover is the explicit override that truncates the damage
+// and continues with what is intact before it.
 //
 // -pipeline-workers and -max-in-flight size the v2 pipelined protocol's
 // per-session worker pool and admission window (clients that negotiate
@@ -218,6 +223,8 @@ func run() error {
 
 		walDir             = flag.String("wal-dir", "", "write-ahead-log directory for crash-safe model durability (empty = off)")
 		walFsync           = flag.String("wal-fsync", "always", "WAL durability policy: always, interval or never")
+		walForceRecover    = flag.Bool("wal-force-recover", false,
+			"boot past mid-log WAL damage, truncating it and dropping every record beyond it")
 		checkpointInterval = flag.Duration("checkpoint-interval", time.Minute,
 			"background WAL checkpoint/compaction period (0 = only at shutdown)")
 	)
@@ -305,6 +312,7 @@ func run() error {
 			Dir:                *walDir,
 			Fsync:              policy,
 			CheckpointInterval: *checkpointInterval,
+			ForceRecover:       *walForceRecover,
 		})
 		if err != nil {
 			return err

@@ -166,10 +166,11 @@ func TestChaosCrashRecoveryNeverLosesAckedUpdates(t *testing.T) {
 		if crashed {
 			crashes++
 		}
-		// The dead process's handles are abandoned, not closed: a real
-		// crash flushes nothing. fsync=always has already made every
-		// acked append durable.
-		_ = s
+		// The dead process's descriptors are reaped, never Close()d: Kill
+		// releases them — and with them the WAL directory lock, as the
+		// kernel would — without flushing a byte. fsync=always has
+		// already made every acked append durable.
+		p.Kill()
 	}
 
 	if crashes == 0 {

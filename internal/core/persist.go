@@ -132,6 +132,12 @@ type PersistenceOptions struct {
 	// disables the background checkpointer (Checkpoint can still be
 	// called explicitly — septicd does at shutdown).
 	CheckpointInterval time.Duration
+	// ForceRecover lets boot proceed past mid-log WAL damage by
+	// truncating it and dropping (and counting) every record beyond it.
+	// Default false: attach fails with wal.ErrMidLogCorrupt so an
+	// operator decides, instead of acknowledged models silently
+	// vanishing.
+	ForceRecover bool
 }
 
 // PersistenceStats snapshots the durability counters for introspection
@@ -220,10 +226,11 @@ func (s *Septic) AttachPersistence(opts PersistenceOptions) (*Persistence, error
 	// (fingerprint dedup), but the filter keeps boot time proportional
 	// to the uncheckpointed tail.
 	log, info, err := wal.Open(wal.Options{
-		Dir:         opts.Dir,
-		Policy:      opts.Fsync,
-		Interval:    opts.FsyncInterval,
-		SegmentSize: opts.SegmentSize,
+		Dir:          opts.Dir,
+		Policy:       opts.Fsync,
+		Interval:     opts.FsyncInterval,
+		SegmentSize:  opts.SegmentSize,
+		ForceRecover: opts.ForceRecover,
 	}, func(rec wal.Record) error {
 		if rec.Seq <= cpSeq {
 			return nil
@@ -507,6 +514,22 @@ func (p *Persistence) Close() error {
 		<-p.cpDone
 	}
 	return p.log.Close()
+}
+
+// Kill simulates process death for crash tests: the checkpointer stops
+// and the WAL's descriptors — including the directory lock — are
+// released without flushing anything, exactly as the kernel reaps them
+// when a process dies. The files are left as the last write and the
+// fsync policy left them. See wal.(*Log).Kill.
+func (p *Persistence) Kill() {
+	if p.closed.Swap(true) {
+		return
+	}
+	if p.stopc != nil {
+		close(p.stopc)
+		<-p.cpDone
+	}
+	p.log.Kill()
 }
 
 // registerGauges exports the durability counters as wal.* metrics.

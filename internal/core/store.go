@@ -615,11 +615,18 @@ func decodeStoreFile(data []byte) (*storeFile, error) {
 	return file, nil
 }
 
-// verifySets checks every model's persisted fingerprint.
+// verifySets checks every model's persisted fingerprint. A record whose
+// fingerprint array does not pair one sum with every model is itself
+// corrupt — a truncated Sums array must not let the unmatched models
+// skip verification.
 func verifySets(sets map[string]persistedSet) error {
 	for id, p := range sets {
+		if len(p.Sums) != len(p.Models) {
+			return fmt.Errorf("model store corrupt: %q has %d fingerprint(s) for %d model(s)",
+				id, len(p.Sums), len(p.Models))
+		}
 		for i, m := range p.Models {
-			if i < len(p.Sums) && p.Sums[i] != m.Fingerprint() {
+			if p.Sums[i] != m.Fingerprint() {
 				return fmt.Errorf("model store corrupt: fingerprint mismatch for %q[%d]", id, i)
 			}
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
@@ -432,6 +433,51 @@ func TestStoreLoadRejectsMalformedFiles(t *testing.T) {
 	mustWrite(t, path, []byte(`{"version": 3, "future": {"a": 1}, "sets": {}}`))
 	if err := NewStore().Load(path); err != nil {
 		t.Fatalf("unknown top-level field rejected: %v", err)
+	}
+}
+
+// TestVerifySetsRequiresOneSumPerModel: a record pairing fewer (or
+// more) fingerprints than models is corrupt in itself — a truncated
+// Sums array must not let the unmatched models bypass verification.
+func TestVerifySetsRequiresOneSumPerModel(t *testing.T) {
+	m := modelFor(t, "SELECT a FROM t WHERE b = 1")
+	good := map[string]persistedSet{"q": {Models: []qstruct.Model{m}, Sums: []uint64{m.Fingerprint()}}}
+	if err := verifySets(good); err != nil {
+		t.Fatalf("well-formed set rejected: %v", err)
+	}
+	bad := map[string]map[string]persistedSet{
+		"missing sums":   {"q": {Models: []qstruct.Model{m}}},
+		"truncated sums": {"q": {Models: []qstruct.Model{m, m}, Sums: []uint64{m.Fingerprint()}}},
+		"surplus sums":   {"q": {Models: []qstruct.Model{m}, Sums: []uint64{m.Fingerprint(), 7}}},
+		"wrong sum":      {"q": {Models: []qstruct.Model{m}, Sums: []uint64{m.Fingerprint() + 1}}},
+	}
+	for name, sets := range bad {
+		if verifySets(sets) == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}
+
+// TestStoreLoadRejectsTruncatedSums drives the same property through
+// the full Load path on a real snapshot with its sums array emptied.
+func TestStoreLoadRejectsTruncatedSums(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "models.json")
+	s := NewStore()
+	s.Put("q1", modelFor(t, "SELECT a FROM t WHERE b = 1"), false)
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := regexp.MustCompile(`(?s)"sums": \[.*?\]`).ReplaceAll(data, []byte(`"sums": []`))
+	if string(edited) == string(data) {
+		t.Fatal("snapshot edit found no sums array")
+	}
+	mustWrite(t, path, edited)
+	if err := NewStore().Load(path); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("snapshot with truncated sums accepted: %v", err)
 	}
 }
 

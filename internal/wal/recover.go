@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 )
 
 // Record is one recovered WAL entry.
@@ -29,9 +30,10 @@ type RecoveryInfo struct {
 	// truncated (1 after a normal crash mid-append; more only after
 	// corruption).
 	TornSegments int
-	// DroppedRecords counts records that parsed cleanly but had to be
-	// discarded because they sat BEYOND a torn point (in later segments
-	// or after a bad frame): their ordering guarantee is gone.
+	// DroppedRecords counts records that parsed cleanly but were
+	// discarded because they sat beyond a mid-log tear. Only a
+	// ForceRecover open can make this nonzero: the default refuses
+	// mid-log damage with ErrMidLogCorrupt instead of dropping.
 	DroppedRecords int
 	// DroppedBytes counts bytes discarded by truncation.
 	DroppedBytes int64
@@ -104,6 +106,13 @@ func scanSegment(path string, expectSeq uint64) (segmentScan, error) {
 	return s, nil
 }
 
+// nameSeq extracts the first sequence number encoded in a segment file
+// name (0 for a name listSegments would have rejected).
+func nameSeq(name string) uint64 {
+	n, _ := strconv.ParseUint(strings.TrimSuffix(name, segmentSuffix), 10, 64)
+	return n
+}
+
 // listSegments returns the directory's segment files sorted by the
 // first sequence number encoded in their names; files with unparsable
 // names are ignored.
@@ -127,41 +136,98 @@ func listSegments(dir string) ([]string, error) {
 	return names, nil
 }
 
-// Open recovers the log directory and opens it for appending. Every
+// lockDir takes the directory's exclusive advisory lock, failing fast
+// with ErrLocked when another log — in this process or any other —
+// already holds it. The kernel releases the flock when the holding
+// process exits, so a crashed daemon never leaves a stale lock.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockFileName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s (flock: %v)", ErrLocked, dir, err)
+	}
+	return f, nil
+}
+
+// Open recovers the log directory and opens it for appending, holding
+// the directory's exclusive lock until Close (or process death). Every
 // valid record is passed to apply in sequence order (apply may be nil
 // to skip replay); an apply error aborts Open. Recovery truncates a
-// torn tail in place — it never fails on corrupt content, only on I/O
-// errors — and deletes segments beyond a torn point, counting what it
-// dropped. The returned log appends after the last valid record.
+// torn tail of the newest segment in place — expected crash debris —
+// but refuses mid-log damage with ErrMidLogCorrupt unless
+// Options.ForceRecover explicitly accepts dropping everything beyond
+// it. The returned log appends after the last valid record, or after
+// the active segment's name-encoded floor when the segment holds none.
 func Open(opts Options, apply func(Record) error) (*Log, RecoveryInfo, error) {
 	opts = opts.withDefaults()
-	var info RecoveryInfo
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
-		return nil, info, fmt.Errorf("wal: create dir: %w", err)
+		return nil, RecoveryInfo{}, fmt.Errorf("wal: create dir: %w", err)
 	}
+	lock, err := lockDir(opts.Dir)
+	if err != nil {
+		return nil, RecoveryInfo{}, err
+	}
+	l, info, err := openLocked(opts, apply)
+	if err != nil {
+		lock.Close()
+		return nil, info, err
+	}
+	l.lock = lock
+	return l, info, nil
+}
+
+// openLocked is Open's body once the directory lock is held.
+func openLocked(opts Options, apply func(Record) error) (*Log, RecoveryInfo, error) {
+	var info RecoveryInfo
 	names, err := listSegments(opts.Dir)
 	if err != nil {
 		return nil, info, fmt.Errorf("wal: list segments: %w", err)
 	}
 
 	l := &Log{opts: opts}
-	expect := uint64(0) // first segment of a trimmed log may start anywhere
+	expect := uint64(0) // next sequence the chain of records demands
 	tornAt := -1        // index of the first torn segment
 	scans := make([]segmentScan, 0, len(names))
 	for i, name := range names {
 		path := filepath.Join(opts.Dir, name)
+		if tornAt >= 0 {
+			// Past a forced-recovery torn point: records may parse but
+			// their contiguity with the acknowledged history is gone —
+			// scan with no sequence expectation purely to count what the
+			// drop discards.
+			scan, err := scanSegment(path, 0)
+			if err != nil {
+				return nil, info, fmt.Errorf("wal: scan %s: %w", name, err)
+			}
+			scans = append(scans, scan)
+			info.Segments++
+			info.DroppedRecords += len(scan.records)
+			info.DroppedBytes += scan.total
+			continue
+		}
+		if expect == 0 {
+			// No expectation from the chain yet (oldest segment of a
+			// trimmed log, or everything before was empty): the name
+			// encodes the sequence the segment's first record must carry.
+			expect = nameSeq(name)
+		}
 		scan, err := scanSegment(path, expect)
 		if err != nil {
 			return nil, info, fmt.Errorf("wal: scan %s: %w", name, err)
 		}
 		scans = append(scans, scan)
 		info.Segments++
-		if tornAt >= 0 {
-			// Past a torn point: records may parse but their contiguity
-			// with the acknowledged history is gone — count and drop.
-			info.DroppedRecords += len(scan.records)
-			info.DroppedBytes += scan.total
-			continue
+		if scan.torn && i < len(names)-1 && !opts.ForceRecover {
+			// Invalid frames with intact segments after them: a crash only
+			// ever tears the newest segment (rotation fsyncs before moving
+			// on), so this is real damage, and truncating here would drop
+			// the acknowledged records in those later segments.
+			return nil, info, fmt.Errorf(
+				"%w: segment %s is damaged but %d later segment(s) exist; remove or repair it, or open with ForceRecover to truncate and drop everything after it",
+				ErrMidLogCorrupt, name, len(names)-1-i)
 		}
 		for _, rec := range scan.records {
 			if info.FirstSeq == 0 {
@@ -183,10 +249,6 @@ func Open(opts Options, apply func(Record) error) (*Log, RecoveryInfo, error) {
 			expect = 0
 			if len(scan.records) > 0 {
 				expect = scan.records[len(scan.records)-1].Seq + 1
-			} else if i == 0 {
-				// Entirely empty first segment (crash right after
-				// creation): any sequence may follow in the next one.
-				expect = 0
 			}
 		}
 	}
@@ -214,7 +276,7 @@ func Open(opts Options, apply func(Record) error) (*Log, RecoveryInfo, error) {
 	// Seal every segment but the last; reopen the last for appending.
 	l.seq = info.LastSeq
 	for i, name := range names {
-		first, _ := strconv.ParseUint(strings.TrimSuffix(name, segmentSuffix), 10, 64)
+		first := nameSeq(name)
 		path := filepath.Join(opts.Dir, name)
 		if i < len(names)-1 {
 			last := first - 1
@@ -231,6 +293,17 @@ func Open(opts Options, apply func(Record) error) (*Log, RecoveryInfo, error) {
 		l.f = f
 		l.first = first
 		l.size = scans[i].validLen
+		if first > 0 && first-1 > l.seq {
+			// The active segment may legitimately hold zero valid records
+			// — a crash right after rotation, or a fully-torn first frame
+			// truncated above — yet its name still encodes the sequence
+			// its first record must carry. Seeding from replayed records
+			// alone would restart numbering below a checkpoint barrier
+			// after a trim, and the next boot's seq-filtered replay would
+			// silently skip the new appends: the name is the durable
+			// floor.
+			l.seq = first - 1
+		}
 	}
 	if l.f == nil {
 		// Empty directory: create the first segment.

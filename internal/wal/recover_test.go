@@ -2,6 +2,7 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"hash/crc32"
 	"os"
 	"path/filepath"
@@ -104,14 +105,6 @@ func TestRecoverCorruptions(t *testing.T) {
 			want:     0,
 		},
 		{
-			name: "torn middle segment drops later ones",
-			segments: map[uint64][]byte{
-				1: concat(f1, f2[:9]), // torn
-				2: concat(f2, f3),     // beyond the tear: dropped whole
-			},
-			want: 1, torn: 1, dropped: 2, truncate: true,
-		},
-		{
 			name:     "garbage-only segment",
 			segments: map[uint64][]byte{1: []byte("this is not a wal segment at all....")},
 			want:     0, torn: 1, truncate: true,
@@ -157,6 +150,92 @@ func TestRecoverCorruptions(t *testing.T) {
 				if recs2[i].Seq != recs2[i-1].Seq+1 {
 					t.Fatalf("non-contiguous recovery: %d then %d", recs2[i-1].Seq, recs2[i].Seq)
 				}
+			}
+		})
+	}
+}
+
+// TestMidLogCorruptionRefusedUnlessForced: invalid frames in a
+// non-final segment can never be crash debris (rotation fsyncs before
+// moving on), so the default Open refuses to boot over them — the
+// intact later segments hold acknowledged records that truncation would
+// silently drop. ForceRecover is the explicit opt-in to exactly that.
+func TestMidLogCorruptionRefusedUnlessForced(t *testing.T) {
+	f1 := frame(1, []byte("alpha"))
+	f2 := frame(2, []byte("beta"))
+	f3 := frame(3, []byte("gamma"))
+	dir := t.TempDir()
+	writeSegment(t, dir, 1, concat(f1, f2[:9])) // torn mid-log
+	writeSegment(t, dir, 2, concat(f2, f3))     // intact beyond the tear
+
+	if _, _, err := Open(Options{Dir: dir, Policy: FsyncNever}, nil); !errors.Is(err, ErrMidLogCorrupt) {
+		t.Fatalf("mid-log corruption: err = %v, want ErrMidLogCorrupt", err)
+	}
+	// The refusal repaired nothing: both segments (and the damaged
+	// bytes) are still there for forensics or manual repair.
+	if names, _ := listSegments(dir); len(names) != 2 {
+		t.Fatalf("refused open modified the directory: %v", names)
+	}
+	st, err := os.Stat(filepath.Join(dir, segmentName(1)))
+	if err != nil || st.Size() != int64(len(f1)+9) {
+		t.Fatalf("refused open truncated the damaged segment: %v, %v", st, err)
+	}
+
+	// The explicit override recovers what sits before the tear and
+	// counts everything it dropped.
+	l, recs, info := openCollect(t, Options{Dir: dir, Policy: FsyncNever, ForceRecover: true})
+	if len(recs) != 1 || recs[0].Seq != 1 {
+		t.Fatalf("forced recovery records: %+v", recs)
+	}
+	if info.TornSegments != 1 || info.DroppedRecords != 2 || !info.Truncated {
+		t.Fatalf("forced recovery info: %+v", info)
+	}
+	if _, err := l.Append([]byte("after-force")); err != nil {
+		t.Fatalf("append after forced recovery: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The repair converges: the next DEFAULT open is clean.
+	l2, recs2, info2 := openCollect(t, Options{Dir: dir, Policy: FsyncNever})
+	defer l2.Close()
+	if info2.Truncated || len(recs2) != 2 {
+		t.Fatalf("post-force recovery: %+v (%d records)", info2, len(recs2))
+	}
+}
+
+// TestSeqSeedsFromActiveSegmentName: after a checkpoint trim the sole
+// surviving segment can hold zero valid records; the next sequence
+// number must continue from the segment name's floor, never restart at
+// 1 — restarted numbering would hide fresh acknowledged appends behind
+// the checkpoint barrier's replay filter on the next boot.
+func TestSeqSeedsFromActiveSegmentName(t *testing.T) {
+	cases := map[string][]byte{
+		"empty active segment":      nil,
+		"fully torn active segment": []byte("not a valid frame, torn right after rotation"),
+	}
+	for name, raw := range cases {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			writeSegment(t, dir, 501, raw)
+			l, recs, _ := openCollect(t, Options{Dir: dir, Policy: FsyncNever})
+			if len(recs) != 0 {
+				t.Fatalf("recovered %d records from a recordless segment", len(recs))
+			}
+			seq, err := l.Append([]byte("first-after-trim"))
+			if err != nil {
+				t.Fatalf("append: %v", err)
+			}
+			if seq != 501 {
+				t.Fatalf("append seq = %d, want 501 (the segment name's floor)", seq)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			l2, recs2, _ := openCollect(t, Options{Dir: dir, Policy: FsyncNever})
+			defer l2.Close()
+			if len(recs2) != 1 || recs2[0].Seq != 501 {
+				t.Fatalf("reopen saw %+v, want one record at seq 501", recs2)
 			}
 		})
 	}

@@ -31,7 +31,27 @@
 // segment; when it would exceed Options.SegmentSize the segment is
 // sealed (fsynced, closed) and a new one is created, with a directory
 // fsync so the new name itself is durable. Sealed segments are deleted
-// by TrimTo once a checkpoint has made their records redundant.
+// by TrimTo once a checkpoint has made their records redundant. The
+// name is load-bearing: after a trim the active segment may hold zero
+// valid records (a crash right after rotation), and recovery seeds the
+// next sequence number from the name so appends can never restart below
+// a checkpoint barrier and vanish behind its replay filter.
+//
+// The directory is single-writer: Open takes an exclusive flock on a
+// LOCK file inside it and fails fast with ErrLocked when another log —
+// in this or any other process — already holds it, so two daemons
+// pointed at the same -wal-dir cannot interleave conflicting sequence
+// numbers. The kernel releases the lock when the holding process dies.
+//
+// Recovery distinguishes crash debris from real damage. A torn tail in
+// the NEWEST segment is the expected residue of a crash: it is
+// truncated at the last good frame, counted, and the log continues.
+// Invalid frames in any earlier segment can never come from a crash
+// (segments are fsynced before rotation moves on), so Open refuses with
+// ErrMidLogCorrupt rather than silently dropping the acknowledged
+// records in intact later segments; Options.ForceRecover is the
+// explicit override that truncates the damage and drops (and counts)
+// everything after it.
 //
 // # Durability and failure semantics
 //
@@ -122,6 +142,9 @@ const (
 	DefaultInterval = 100 * time.Millisecond
 	// segmentSuffix names segment files.
 	segmentSuffix = ".wal"
+	// lockFileName is the flock target guarding the directory against a
+	// second writer.
+	lockFileName = "LOCK"
 )
 
 // castagnoli is the CRC32-C table; hardware-accelerated on amd64/arm64.
@@ -135,6 +158,17 @@ var ErrLogFailed = errors.New("wal: log failed, reopen to recover")
 // ErrClosed is returned by operations on a closed log.
 var ErrClosed = errors.New("wal: log closed")
 
+// ErrLocked is returned by Open when another log — in this process or
+// any other — holds the directory's exclusive lock.
+var ErrLocked = errors.New("wal: directory locked by another log")
+
+// ErrMidLogCorrupt is returned by Open when a segment other than the
+// newest has invalid frames. That can never be crash debris (sealed
+// segments are fsynced before rotation proceeds), and recovering past
+// it would drop the acknowledged records in the intact later segments;
+// set Options.ForceRecover to do exactly that, explicitly.
+var ErrMidLogCorrupt = errors.New("wal: mid-log corruption")
+
 // Options configures a log directory.
 type Options struct {
 	// Dir is the segment directory, created if absent.
@@ -146,6 +180,11 @@ type Options struct {
 	Interval time.Duration
 	// SegmentSize is the rotation threshold; default DefaultSegmentSize.
 	SegmentSize int64
+	// ForceRecover recovers past mid-log damage by truncating the
+	// damaged segment and dropping every later one (counted in
+	// RecoveryInfo). Default false: Open fails with ErrMidLogCorrupt
+	// instead, refusing to silently discard acknowledged records.
+	ForceRecover bool
 }
 
 // withDefaults resolves zero fields.
@@ -191,6 +230,7 @@ type Log struct {
 
 	mu     sync.Mutex
 	f      *os.File // active segment
+	lock   *os.File // flock'd LOCK file; released on Close/Kill
 	size   int64    // bytes in active segment
 	seq    uint64   // last assigned sequence number
 	first  uint64   // first sequence number of the active segment
@@ -491,7 +531,41 @@ func (l *Log) Close() error {
 	if cerr := l.f.Close(); err == nil {
 		err = cerr
 	}
+	if l.lock != nil {
+		// Closing the LOCK file releases the flock: the directory is
+		// free for the next Open.
+		if cerr := l.lock.Close(); err == nil {
+			err = cerr
+		}
+	}
 	return err
+}
+
+// Kill releases the log's OS resources — the active segment descriptor
+// and the directory lock — without flushing anything, exactly as the
+// kernel reaps a dead process's descriptors. It exists for crash tests:
+// an in-process "kill -9" must leave the files as the last write (and
+// the fsync policy) left them, yet still free the directory lock so the
+// next Open can recover. Never call it on a log you mean to keep.
+func (l *Log) Kill() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	stopc := l.stopc
+	l.mu.Unlock()
+	if stopc != nil {
+		close(stopc)
+		<-l.syncDone
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_ = l.f.Close()
+	if l.lock != nil {
+		_ = l.lock.Close()
+	}
 }
 
 // runIntervalSync is the FsyncInterval background flusher.

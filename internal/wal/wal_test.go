@@ -222,8 +222,11 @@ func TestKillMidWriteLeavesRecoverableTorn(t *testing.T) {
 	if _, err := l.Append([]byte("after-crash")); !errors.Is(err, ErrLogFailed) {
 		t.Fatalf("append after mid-write crash: %v", err)
 	}
-	// Abandon without Close — a crash doesn't flush. Recovery truncates
-	// the torn frame and keeps every acknowledged record.
+	// Kill, don't Close — a crash doesn't flush, but the kernel does
+	// reap the dead process's descriptors, releasing the directory
+	// lock. Recovery truncates the torn frame and keeps every
+	// acknowledged record.
+	l.Kill()
 	l2, recs, info := openCollect(t, Options{Dir: dir, Policy: FsyncAlways})
 	defer l2.Close()
 	if len(recs) != acked {
@@ -260,6 +263,115 @@ func TestClosedLogRefusesWork(t *testing.T) {
 	}
 	if err := l.Close(); !errors.Is(err, ErrClosed) {
 		t.Fatalf("double close: %v", err)
+	}
+}
+
+// TestDirLockExcludesSecondLog: the directory is single-writer — a
+// second Open (same process or another; flock conflicts either way)
+// fails fast instead of interleaving conflicting sequence numbers into
+// the active segment.
+func TestDirLockExcludesSecondLog(t *testing.T) {
+	dir := t.TempDir()
+	l1, _, _ := openCollect(t, Options{Dir: dir, Policy: FsyncNever})
+	if _, _, err := Open(Options{Dir: dir, Policy: FsyncNever}, nil); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second open of a held directory: err = %v, want ErrLocked", err)
+	}
+	if err := l1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close released the lock: the directory opens cleanly again.
+	l2, _, _ := openCollect(t, Options{Dir: dir, Policy: FsyncNever})
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKillReleasesLockWithoutFlushing: Kill is the crash tests'
+// simulated process death — descriptors (and the directory lock) are
+// released, nothing is flushed, and recovery proceeds over whatever the
+// writes left behind.
+func TestKillReleasesLockWithoutFlushing(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openCollect(t, Options{Dir: dir, Policy: FsyncNever})
+	if _, err := l.Append([]byte("pre-crash")); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	l.Kill()
+	if _, err := l.Append([]byte("post-kill")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after kill: %v, want ErrClosed", err)
+	}
+	l.Kill() // idempotent, like killing a dead process
+	l2, recs, _ := openCollect(t, Options{Dir: dir, Policy: FsyncNever})
+	defer l2.Close()
+	if len(recs) != 1 || string(recs[0].Data) != "pre-crash" {
+		t.Fatalf("recovery after kill: %+v", recs)
+	}
+}
+
+// TestSeqSurvivesTrimToEmptyActiveSegment drives the full production
+// sequence of the bug: rotate, checkpoint-trim the sealed history,
+// crash mid-append so recovery truncates the fresh segment to empty,
+// trim again — and then require the next append to continue past the
+// trimmed history instead of restarting at 1 below the checkpoint
+// barrier.
+func TestSeqSurvivesTrimToEmptyActiveSegment(t *testing.T) {
+	defer faultinject.Disarm()
+	dir := t.TempDir()
+	opts := Options{Dir: dir, Policy: FsyncAlways, SegmentSize: 64}
+	payload := make([]byte, 48) // > half the threshold: one rotation per append
+
+	l, _, _ := openCollect(t, opts)
+	for i := 0; i < 4; i++ {
+		if _, err := l.Append(payload); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	// A checkpoint at seq 3 trims the sealed segments 1–3; the active
+	// segment holds record 4.
+	if _, err := l.TrimTo(3); err != nil {
+		t.Fatal(err)
+	}
+	// Crash mid-append of record 5: the rotation seals segment 4 and the
+	// new segment's first frame tears.
+	faultinject.Arm(faultinject.KillPoint(faultinject.SiteWALShortWrite, 1))
+	func() {
+		defer func() {
+			if r := recover(); !faultinject.IsCrash(r) {
+				t.Fatalf("expected injected crash, got %v", r)
+			}
+		}()
+		l.Append(payload)
+	}()
+	faultinject.Disarm()
+	l.Kill()
+
+	// Recovery keeps record 4 and truncates the torn fresh segment to
+	// empty; a checkpoint now covering seq 4 trims the last sealed
+	// segment, leaving only the empty active one. Then crash again.
+	l2, recs, _ := openCollect(t, opts)
+	if len(recs) != 1 || recs[0].Seq != 4 {
+		t.Fatalf("mid-cycle recovery: %+v", recs)
+	}
+	if _, err := l2.TrimTo(4); err != nil {
+		t.Fatal(err)
+	}
+	l2.Kill()
+
+	// Boot over a directory whose only segment has zero records. The
+	// next sequence number must be 5 — a restart at 1 would sit below a
+	// checkpoint barrier of 4 and be silently skipped by the replay
+	// filter on the boot after this one.
+	l3, recs3, info3 := openCollect(t, opts)
+	defer l3.Close()
+	if len(recs3) != 0 || info3.LastSeq != 0 {
+		t.Fatalf("final recovery: %+v records, info %+v", recs3, info3)
+	}
+	seq, err := l3.Append(payload)
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if seq != 5 {
+		t.Fatalf("append seq = %d, want 5: sequence restarted below the checkpoint barrier", seq)
 	}
 }
 
