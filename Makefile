@@ -20,11 +20,13 @@ race:
 
 # Fault-injection suites: replay workloads through torn frames, resets,
 # slow clients and panicking detectors (internal/wire/chaos_test.go),
-# and crash/restart the durability machinery at random kill points
-# asserting no acknowledged update is ever lost
-# (internal/core/crash_chaos_test.go).
+# crash/restart the durability machinery at random kill points asserting
+# no acknowledged update is ever lost (internal/core/crash_chaos_test.go),
+# and kill/resume a streaming replica mid-apply and mid-snapshot
+# asserting zero divergence from the primary
+# (internal/repl/chaos_test.go).
 chaos:
-	$(GO) test -race -run 'TestChaos' -timeout=5m -v ./internal/wire/ ./internal/core/
+	$(GO) test -race -run 'TestChaos' -timeout=5m -v ./internal/wire/ ./internal/core/ ./internal/repl/
 
 cover:
 	$(GO) test -cover ./...
@@ -59,6 +61,7 @@ fuzz:
 	$(GO) test ./internal/core/ -fuzz=FuzzBeforeExecute -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/wire/ -fuzz=FuzzBinaryDecode -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/wal/ -fuzz=FuzzWALRecover -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/repl/ -fuzz=FuzzReplFrameDecode -fuzztime=$(FUZZTIME)
 
 # COUNT > 1 gives benchstat-comparable samples, e.g.:
 #   make bench-hook COUNT=10 > new.txt && benchstat old.txt new.txt

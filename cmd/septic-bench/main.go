@@ -26,6 +26,11 @@
 //	                         loopback wire session, synchronous v1 JSON
 //	                         versus pipelined v2 binary frames at a
 //	                         sweep of pipeline depths.
+//	septic-bench repl      — replication lag: a read replica follows a
+//	                         training primary over loopback while
+//	                         serving the Address Book workload in
+//	                         detection mode; reports the lag-over-time
+//	                         table and the catch-up time to lag 0.
 package main
 
 import (
@@ -41,6 +46,7 @@ import (
 	"github.com/septic-db/septic/internal/demo"
 	"github.com/septic-db/septic/internal/engine"
 	"github.com/septic-db/septic/internal/obs"
+	"github.com/septic-db/septic/internal/repllab"
 	"github.com/septic-db/septic/internal/waf"
 )
 
@@ -93,8 +99,12 @@ func run() error {
 	wireWorkers := wireFlags.Int("workers", 0, "server per-connection worker pool (0 = default)")
 	wireInFlight := wireFlags.Int("max-in-flight", 0, "server per-connection in-flight bound (0 = default)")
 
+	replFlags := flag.NewFlagSet("repl", flag.ExitOnError)
+	replUpdates := replFlags.Int("updates", 5000, "distinct training updates on the primary during the measured window")
+	replLoops := replFlags.Int("loops", 200, "Address Book workload replays on the replica while the stream applies")
+
 	if len(os.Args) < 2 {
-		return fmt.Errorf("usage: septic-bench fig5|accuracy|sweep|parallel|table1|durability|wire [flags]")
+		return fmt.Errorf("usage: septic-bench fig5|accuracy|sweep|parallel|table1|durability|wire|repl [flags]")
 	}
 	switch os.Args[1] {
 	case "table1":
@@ -155,6 +165,11 @@ func run() error {
 			return err
 		}
 		return runWire(*wireApp, *wireCfg, *wireDepths, *wireClients, *wireLoops, *wireWorkers, *wireInFlight)
+	case "repl":
+		if err := replFlags.Parse(os.Args[2:]); err != nil {
+			return err
+		}
+		return runRepl(*replUpdates, *replLoops)
 	default:
 		return fmt.Errorf("unknown subcommand %q", os.Args[1])
 	}
@@ -417,5 +432,30 @@ func runDurability(updates, rounds int) error {
 	fmt.Print(benchlab.FormatDurability(ordered))
 	fmt.Println("\nfsync=always is the no-acknowledged-loss configuration; " +
 		"interval bounds the loss window to the flush period at near-never cost.")
+	return nil
+}
+
+// runRepl runs the replication-lag lane: a primary trains continuously
+// while a loopback replica follows its WAL stream and serves the
+// Address Book workload in detection mode.
+func runRepl(updates, loops int) error {
+	if updates < 1 || loops < 1 {
+		return fmt.Errorf("repl: -updates and -loops must both be >= 1")
+	}
+	fmt.Printf("replication lag: %d training updates on the primary, %d workload replays on the replica\n\n",
+		updates, loops)
+	dir, err := os.MkdirTemp("", "septic-repl-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	res, err := repllab.RunRepl(dir, updates, loops)
+	if err != nil {
+		return err
+	}
+	fmt.Print(repllab.FormatRepl(res))
+	if !res.Converged {
+		return fmt.Errorf("replica did not converge to lag 0 within the deadline")
+	}
 	return nil
 }

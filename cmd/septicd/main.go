@@ -12,6 +12,18 @@
 //	        [-max-conns N] [-query-timeout D] [-idle-timeout D]
 //	        [-drain-timeout D] [-fail-open] [-obs-addr 127.0.0.1:9188]
 //	        [-pipeline-workers N] [-max-in-flight N]
+//	        [-repl-listen ADDR] [-replicate-from ADDR]
+//
+// With -wal-dir the server is also a replication primary: replicas may
+// subscribe to the model WAL over the main port (a HELLO handshake with
+// the repl flag) or over a dedicated -repl-listen address. A server
+// started with -replicate-from becomes a read replica of that primary:
+// it boots from the primary's snapshot (or resumes from its own WAL when
+// -wal-dir is set — a restart never re-requests the snapshot while the
+// primary retains the tail), follows the live stream, and serves
+// detection-mode reads while refusing local training writes. Run
+// replicas with -mode detection; reconnects use jittered exponential
+// backoff.
 //
 // With -wal-dir the learned models become crash-safe: every model
 // learned, deleted or approved — in every protection domain — and every
@@ -84,6 +96,7 @@ import (
 	"github.com/septic-db/septic/internal/core"
 	"github.com/septic-db/septic/internal/engine"
 	"github.com/septic-db/septic/internal/obs"
+	"github.com/septic-db/septic/internal/repl"
 	"github.com/septic-db/septic/internal/wal"
 	"github.com/septic-db/septic/internal/wire"
 )
@@ -227,6 +240,9 @@ func run() error {
 			"boot past mid-log WAL damage, truncating it and dropping every record beyond it")
 		checkpointInterval = flag.Duration("checkpoint-interval", time.Minute,
 			"background WAL checkpoint/compaction period (0 = only at shutdown)")
+
+		replListen    = flag.String("repl-listen", "", "dedicated replication listener address (requires -wal-dir; empty = serve replication on the main port only)")
+		replicateFrom = flag.String("replicate-from", "", "primary address to replicate from (makes this server a read replica)")
 	)
 	flag.Parse()
 
@@ -329,12 +345,53 @@ func run() error {
 		fmt.Println()
 	}
 
+	// Replication primary: with a WAL attached the server can stream it.
+	// The handler rides the main port's HELLO handshake; -repl-listen
+	// additionally opens a dedicated replication port.
+	var primary *repl.Primary
+	if persist != nil {
+		primary = repl.NewPrimary(persist, repl.PrimaryOptions{})
+		serverOpts = append(serverOpts, wire.WithReplHandler(primary.HandleConn))
+	}
+	if *replListen != "" && primary == nil {
+		return fmt.Errorf("-repl-listen requires -wal-dir (the replication stream is the WAL)")
+	}
+
+	// Replica mode: attach the apply state AFTER persistence (the resume
+	// position comes from the local WAL) and BEFORE the listener opens.
+	var replica *repl.Replica
+	if *replicateFrom != "" {
+		rs, err := guard.AttachReplicaSource()
+		if err != nil {
+			return err
+		}
+		replica = repl.NewReplica(*replicateFrom, rs, repl.ReplicaOptions{})
+		fmt.Printf("septicd: replica of %s, resuming after seq %d\n",
+			*replicateFrom, rs.AppliedSeq())
+	}
+
 	engineOpts = append(engineOpts, engine.WithQueryHook(guard))
 	db := engine.New(engineOpts...)
 	srv := wire.NewServer(db, serverOpts...)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		return err
+	}
+	if *replListen != "" {
+		replLn, err := net.Listen("tcp", *replListen)
+		if err != nil {
+			return fmt.Errorf("repl listen %s: %w", *replListen, err)
+		}
+		defer replLn.Close()
+		go func() {
+			if err := primary.Serve(replLn); err != nil && !errors.Is(err, net.ErrClosed) {
+				fmt.Fprintln(os.Stderr, "septicd: repl server:", err)
+			}
+		}()
+		fmt.Printf("septicd: replication on %s\n", replLn.Addr())
+	}
+	if replica != nil {
+		replica.Start()
 	}
 
 	if hub != nil {
@@ -374,6 +431,15 @@ func run() error {
 	<-sig
 
 	fmt.Println("\nsepticd: draining sessions")
+	if replica != nil {
+		replica.Close()
+		if err := replica.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "septicd: replication stream:", err)
+		}
+	}
+	if primary != nil {
+		primary.Close()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {

@@ -131,6 +131,60 @@ func TestCachedHitAllocationFreeWithObs(t *testing.T) {
 	}
 }
 
+// TestCachedHitAllocationFreeReplica extends the tentpole guard to a
+// replica-fed Septic: models arrive through the replication apply path
+// (ReplicaState.ApplyRecord), the stores are read-only, and a repeated
+// known-benign detection read must still be served from the verdict
+// cache with ZERO allocations — the replica gate is one atomic load on
+// the training path, never a cost on the cached hit.
+func TestCachedHitAllocationFreeReplica(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race instrumentation adds allocations")
+	}
+	// A primary learns one model; its WAL records feed the replica.
+	primary := New(Config{Mode: ModeTraining},
+		WithLogger(NewLogger(WithCheckedSampling(0))))
+	pp, err := primary.AttachPersistence(PersistenceOptions{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pp.Close()
+	hctx := hookCtxFor(t, "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234")
+	if err := primary.BeforeExecute(hctx); err != nil {
+		t.Fatalf("primary training: %v", err)
+	}
+	recs, err := pp.ReplReadFrom(0, 0)
+	if err != nil || len(recs) == 0 {
+		t.Fatalf("primary WAL: %d records, err %v", len(recs), err)
+	}
+
+	sep := New(DefaultConfig(),
+		WithLogger(NewLogger(WithCheckedSampling(0))))
+	rs, err := sep.AttachReplicaSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := rs.ApplyRecord(rec.Seq, rec.Data); err != nil {
+			t.Fatalf("apply %d: %v", rec.Seq, err)
+		}
+	}
+	if err := sep.BeforeExecute(hctx); err != nil { // miss: populate cache
+		t.Fatalf("warm-up: %v", err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := sep.BeforeExecute(hctx); err != nil {
+			t.Fatalf("cached hit: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("replica cached-hit hook path allocates %.1f objects/op, want 0", allocs)
+	}
+	if sep.CacheStats().Hits == 0 {
+		t.Fatal("cache never hit — the guard measured the wrong path")
+	}
+}
+
 // execAllocCeiling is the allocation budget for a protected repeated
 // point SELECT through the full engine path (parse cache + verdict
 // cache + lock plan + execution). Measured 16 allocs/op after the

@@ -203,6 +203,11 @@ func (s *Septic) RegisterDomain(name string, cfg Config) (*Domain, error) {
 		return nil, fmt.Errorf("domain %q already registered", name)
 	}
 	d := s.newDomain(name, cfg, NewStore())
+	if s.replica.Load() {
+		// Replica mode covers domains registered after attach too: the
+		// new store must only ever be written by the replication applier.
+		d.store.setReadOnly(true)
+	}
 	if s.persist != nil {
 		// Durability is already attached: the new domain's mutations must
 		// hit the WAL from its very first learned model. Bound before

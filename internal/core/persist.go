@@ -58,6 +58,13 @@ type walRecord struct {
 	Sum   uint64           `json:"sum,omitempty"`
 	Inc   bool             `json:"inc,omitempty"`
 	Cfg   *persistedConfig `json:"cfg,omitempty"`
+	// RSeq is the upstream replication sequence number this record
+	// carried when a replica applied it (0 on a primary's own records).
+	// It is what lets a restarted replica resume the stream from its
+	// last durably applied position instead of re-requesting the full
+	// snapshot: recovery tracks the maximum RSeq replayed (see
+	// Persistence.ReplAppliedSeq).
+	RSeq uint64 `json:"rseq,omitempty"`
 }
 
 // persistedConfig is a domain Config in persisted form.
@@ -107,6 +114,10 @@ const checkpointFileName = "checkpoint.json"
 type checkpointFile struct {
 	Version int    `json:"version"`
 	WALSeq  uint64 `json:"wal_seq"`
+	// ReplSeq is the upstream replication sequence the snapshot covers —
+	// nonzero only on a replica with local durability (or in a snapshot
+	// a primary streams to a replica, where it doubles as the barrier).
+	ReplSeq uint64 `json:"repl_seq,omitempty"`
 	// Domains maps protection-domain name → its store and config.
 	Domains map[string]checkpointDomain `json:"domains"`
 }
@@ -187,6 +198,10 @@ type Persistence struct {
 	checkpointFaults  atomic.Int64
 	lastCheckpointSeq atomic.Uint64
 	appendErrors      atomic.Int64
+	// replSeq is the highest upstream replication sequence made locally
+	// durable (checkpoint ReplSeq or a replayed record's RSeq); the
+	// resume floor AttachReplicaSource seeds the applier with.
+	replSeq atomic.Uint64
 
 	stopc  chan struct{}
 	cpDone chan struct{}
@@ -296,6 +311,7 @@ func (p *Persistence) loadCheckpoint() (uint64, error) {
 		return 0, fmt.Errorf("persistence: checkpoint version %d unsupported (want %d)",
 			cp.Version, checkpointVersion)
 	}
+	p.replSeq.Store(cp.ReplSeq)
 	for name, dom := range cp.Domains {
 		d, ok := p.sep.Domain(name)
 		if !ok {
@@ -321,6 +337,12 @@ func (p *Persistence) applyRecord(data []byte) {
 	if err := json.Unmarshal(data, &rec); err != nil {
 		p.recoveredSkipped.Add(1)
 		return
+	}
+	if rec.RSeq > p.replSeq.Load() {
+		// Replay is single-threaded; the load-then-store is safe. Even a
+		// record skipped below advances the resume floor — it was applied
+		// (or deliberately skipped) before the restart too.
+		p.replSeq.Store(rec.RSeq)
 	}
 	d, ok := p.sep.Domain(rec.Dom)
 	if !ok {
@@ -415,6 +437,7 @@ func (p *Persistence) Checkpoint() error {
 	cp := checkpointFile{
 		Version: checkpointVersion,
 		WALSeq:  seq,
+		ReplSeq: p.replSeq.Load(),
 		Domains: make(map[string]checkpointDomain),
 	}
 	for _, d := range p.sep.Domains() {
@@ -531,6 +554,58 @@ func (p *Persistence) Kill() {
 	}
 	p.log.Kill()
 }
+
+// ReplAppliedSeq is the replica resume floor: the highest upstream
+// replication sequence this store has made locally durable, recovered at
+// attach from the checkpoint's ReplSeq and the maximum RSeq replayed
+// from the WAL tail. A restarted replica subscribes from here instead of
+// re-requesting the full snapshot.
+func (p *Persistence) ReplAppliedSeq() uint64 { return p.replSeq.Load() }
+
+// ReplSnapshot captures an in-memory snapshot of every domain for
+// streaming to a replica, without writing or trimming anything locally.
+// The returned barrier is the WAL sequence read BEFORE the stores were
+// snapshotted — the same barrier argument Checkpoint relies on: every
+// record at or below it is reflected in the snapshot, so a replica that
+// installs the snapshot and then follows the stream from the barrier
+// misses nothing (records landing during the snapshot may be included
+// AND replayed; replay is idempotent). The payload is a checkpointFile,
+// so the replica installs it through the same decode/verify/restore
+// path boot uses.
+func (p *Persistence) ReplSnapshot() (uint64, []byte, error) {
+	barrier := p.log.LastSeq()
+	cp := checkpointFile{
+		Version: checkpointVersion,
+		WALSeq:  barrier,
+		ReplSeq: barrier,
+		Domains: make(map[string]checkpointDomain),
+	}
+	for _, d := range p.sep.Domains() {
+		cp.Domains[d.name] = checkpointDomain{
+			Config: toPersistedConfig(d.Config()),
+			Sets:   d.store.snapshotSets(),
+		}
+	}
+	data, err := json.Marshal(&cp)
+	if err != nil {
+		return 0, nil, fmt.Errorf("persistence: encode snapshot: %w", err)
+	}
+	return barrier, data, nil
+}
+
+// ReplReadFrom reads WAL records with sequence > after for replication
+// catch-up. See wal.(*Log).ReadFrom for the gap semantics (a trimmed
+// prefix surfaces as a sequence jump the caller must detect).
+func (p *Persistence) ReplReadFrom(after uint64, maxBytes int) ([]wal.Record, error) {
+	return p.log.ReadFrom(after, maxBytes)
+}
+
+// ReplWatch subscribes to the live WAL tail. Subscribe BEFORE the
+// catch-up read so no record can fall between the two.
+func (p *Persistence) ReplWatch(buf int) *wal.Watcher { return p.log.Watch(buf) }
+
+// ReplLastSeq is the newest WAL sequence, the replication stream's head.
+func (p *Persistence) ReplLastSeq() uint64 { return p.log.LastSeq() }
 
 // registerGauges exports the durability counters as wal.* metrics.
 func (p *Persistence) registerGauges(m *obs.Registry) {

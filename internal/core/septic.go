@@ -147,6 +147,14 @@ type Septic struct {
 	// reaches durability through each store's sink pointer instead.
 	persist *Persistence
 
+	// replica is true while this Septic is a read replica
+	// (AttachReplicaSource): training and incremental-learning writes are
+	// refused with ErrReadOnly. Read only on the hook's write paths — the
+	// cached-hit path never touches it. Cleared by ReplicaState.Promote.
+	replica atomic.Bool
+	// replicaState is the replication apply state, nil on a primary.
+	replicaState *ReplicaState
+
 	// obs is the observability hub; nil (the default) disables all
 	// instrumentation. The histogram handles are resolved once in New so
 	// the hook path never touches the registry map.
@@ -402,6 +410,14 @@ func (s *Septic) BeforeExecute(ctx *engine.HookContext) (err error) {
 	id := s.idgen.ID(ctx.Stmt, ctx.Comments)
 
 	if cfg.Mode == ModeTraining {
+		if s.replica.Load() {
+			// A replica's stores are owned by the replication applier;
+			// training traffic must go to the primary. Refusing loudly
+			// beats silently not learning — the operator pointed a
+			// training workload at the wrong node.
+			s.observeFull(obsStart)
+			return fmt.Errorf("%w: training writes must go to the primary", ErrReadOnly)
+		}
 		// Training never consults or feeds the cache: every execution
 		// must reach the store so variants keep being learned.
 		s.learn(d, id, ctx.Decoded, qstruct.BuildStack(ctx.Stmt), EventModelLearned)
@@ -411,7 +427,7 @@ func (s *Septic) BeforeExecute(ctx *engine.HookContext) (err error) {
 
 	models, set, known := d.store.getSet(id)
 	if !known {
-		if cfg.IncrementalLearning {
+		if cfg.IncrementalLearning && !s.replica.Load() {
 			// Incremental training (§II-E): learn and execute; the
 			// administrator later reviews whether the new model came
 			// from a benign query. Not cached — the Put just bumped the

@@ -64,6 +64,13 @@ type Store struct {
 	// acquire the shard (see Persistence.Checkpoint). Installed before
 	// the store serves traffic; nil disables durability.
 	sink func(rec *walRecord) error
+
+	// readOnly refuses local mutations (Put/Delete/Approve) while the
+	// store is fed by a replication stream: on a replica the only writer
+	// is the applier (ReplicaState), which goes through the replay*
+	// methods and is exempt. Cleared by ReplicaState.Promote on
+	// failover.
+	readOnly atomic.Bool
 }
 
 // storeShardCount partitions identifiers so unrelated sessions rarely
@@ -201,6 +208,9 @@ func (s *Store) getSet(id string) (ModelView, *modelSet, bool) {
 // updates that were never acknowledged. The retry is free — the next
 // occurrence of the same query learns it again.
 func (s *Store) Put(id string, m qstruct.Model, incremental bool) bool {
+	if s.readOnly.Load() {
+		return false
+	}
 	fp := m.Fingerprint()
 	sh := s.shard(id)
 	sh.mu.Lock()
@@ -283,6 +293,9 @@ func (s *Store) replayPut(id string, m qstruct.Model, incremental bool) {
 // the pending-review list resurfaces. The failure is still counted and
 // logged by the persistence layer.
 func (s *Store) Delete(id string) {
+	if s.readOnly.Load() {
+		return
+	}
 	sh := s.shard(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -314,6 +327,9 @@ func (s *Store) replayDelete(id string) {
 // durability append is counted but does not refuse the approval (the
 // crash-worst-case is the identifier reappearing on the review list).
 func (s *Store) Approve(id string) bool {
+	if s.readOnly.Load() {
+		return false
+	}
 	sh := s.shard(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -343,6 +359,16 @@ func (s *Store) replayApprove(id string) {
 // serves traffic (Persistence attach does, at boot).
 func (s *Store) setSink(sink func(rec *walRecord) error) {
 	s.sink = sink
+}
+
+// setReadOnly flips the local-mutation gate (see the readOnly field).
+func (s *Store) setReadOnly(v bool) {
+	s.readOnly.Store(v)
+}
+
+// ReadOnly reports whether local mutations are refused (replica mode).
+func (s *Store) ReadOnly() bool {
+	return s.readOnly.Load()
 }
 
 // PendingReview lists the identifiers learned incrementally and not yet

@@ -86,6 +86,22 @@ const (
 	SiteStoreSave = "core/store.save"
 )
 
+// Replication fault-point sites: the kill points of a replica's apply
+// path (core.ReplicaState). They are deliberately OUTSIDE KillSites():
+// the replication chaos harness runs primary and replica in one process,
+// so arming a shared wal/core site would also crash the primary's
+// background goroutines uncontained. The repl sites fire only inside the
+// replica's applier, whose session loop recovers Crash panics as a
+// simulated replica death.
+const (
+	// SiteReplApply fires on entry to ReplicaState.ApplyRecord, before
+	// the record is examined.
+	SiteReplApply = "repl/apply"
+	// SiteReplSnapshot fires on entry to ReplicaState.ApplySnapshot,
+	// before the snapshot is decoded.
+	SiteReplSnapshot = "repl/snapshot"
+)
+
 // KillSites lists every durability kill point, for harnesses that pick
 // one at random.
 func KillSites() []string {

@@ -1,0 +1,149 @@
+package repl
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/septic-db/septic/internal/core"
+	"github.com/septic-db/septic/internal/faultinject"
+)
+
+// The replication chaos suite (run via `make chaos`, always part of
+// `go test`) kills the REPLICA at injected kill points in its apply
+// path — mid-record, mid-snapshot — while the primary keeps training,
+// then "reboots" the replica from its local persistence and lets it
+// resume. The invariants, in PR 8's style but across two nodes:
+//
+//  1. Acked on the primary ⇒ eventually applied on the replica. Every
+//     mutation the primary acknowledged must be present on the replica
+//     once it converges, no matter how many times the replica died
+//     mid-apply.
+//  2. Zero divergence. At quiescence the replica's per-domain store
+//     dumps are byte-identical to the primary's, and repl.lag_seq is 0.
+//
+// A "kill" is an in-process panic(faultinject.Crash) recovered at the
+// replica transport's session boundary — the applier's half-done state
+// and its abandoned WAL handles are left exactly as the crash made
+// them, then a fresh Septic boots over the same directory.
+
+// rebootReplica boots a replica incarnation over dir, resuming from its
+// local WAL, and connects it to addr. Returns the pieces the harness
+// kills and inspects.
+func rebootReplica(t *testing.T, dir, addr string) (*core.Septic, *core.ReplicaState, *core.Persistence, *Replica) {
+	t.Helper()
+	sep, rs, persist := newReplicaSepticPersist(t, dir)
+	r := NewReplica(addr, rs, fastReplicaOptions())
+	r.Start()
+	return sep, rs, persist, r
+}
+
+func TestChaosReplKillResumeNeverDiverges(t *testing.T) {
+	const cycles = 40
+	rng := rand.New(rand.NewSource(0x9E97))
+	pdir, rdir := t.TempDir(), t.TempDir()
+
+	sep, persist := newPrimary(t, pdir)
+	addr, _ := servePrimary(t, persist, PrimaryOptions{})
+	mut := newPrimaryMutator(t, sep, 0x9E97)
+
+	crashes := 0
+	var rsep *core.Septic
+	var rs *core.ReplicaState
+	var rpersist *core.Persistence
+	var r *Replica
+	rsep, rs, rpersist, r = rebootReplica(t, rdir, addr)
+
+	for cycle := 0; cycle < cycles; cycle++ {
+		// Arm a kill a few applies ahead. The snapshot site is excluded
+		// here — the primary never checkpoints in this test, so the stream
+		// never needs a snapshot (asserted below); the snapshot-kill case
+		// has its own test.
+		faultinject.Arm(faultinject.KillPoint(faultinject.SiteReplApply, int64(1+rng.Intn(8))))
+
+		// The primary trains on, live, while the armed replica applies.
+		for op := 0; op < 12; op++ {
+			mut.step()
+		}
+
+		// The kill fires inside the applier; the transport's session
+		// boundary converts it to a simulated process death.
+		select {
+		case <-r.Done():
+		case <-time.After(10 * time.Second):
+			t.Fatalf("cycle %d: kill point never fired", cycle)
+		}
+		faultinject.Disarm()
+		var crash faultinject.Crash
+		if err := r.Err(); !errors.As(err, &crash) || crash.Site != faultinject.SiteReplApply {
+			t.Fatalf("cycle %d: replica ended without the injected crash: %v", cycle, err)
+		}
+		crashes++
+		r.Close()
+		// Reap the dead incarnation's descriptors without flushing a byte,
+		// then reboot over its debris.
+		rpersist.Kill()
+		rsep, rs, rpersist, r = rebootReplica(t, rdir, addr)
+	}
+
+	// Quiesce and converge: the surviving incarnation catches all the way
+	// up to the primary's head.
+	waitApplied(t, rs, persist.ReplLastSeq())
+	assertStoresIdentical(t, sep, rsep)
+	st := rs.Stats()
+	if st.LagSeq != 0 {
+		t.Fatalf("lag %d after convergence, want 0", st.LagSeq)
+	}
+	if st.Snapshots != 0 {
+		t.Fatalf("replica took %d snapshot(s); with the primary never checkpointing, "+
+			"every resume must stream from the WAL", st.Snapshots)
+	}
+	if crashes != cycles {
+		t.Fatalf("%d crashes in %d cycles", crashes, cycles)
+	}
+	r.Close()
+	t.Logf("chaos: %d kill/resume cycles, %d records on the primary, replica converged with 0 divergence",
+		crashes, persist.ReplLastSeq())
+}
+
+// TestChaosReplSnapshotKill kills the replica INSIDE a snapshot install
+// — the other apply-path kill site — and requires the reboot to
+// re-request and complete the snapshot, then converge.
+func TestChaosReplSnapshotKill(t *testing.T) {
+	pdir, rdir := t.TempDir(), t.TempDir()
+	sep, persist := newPrimary(t, pdir)
+	addr, _ := servePrimary(t, persist, PrimaryOptions{})
+
+	// Build history, then checkpoint: the WAL is trimmed, so a fresh
+	// replica MUST take the snapshot path.
+	mut := newPrimaryMutator(t, sep, 0x51AB)
+	for i := 0; i < 100; i++ {
+		mut.step()
+	}
+	if err := persist.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.Arm(faultinject.KillPoint(faultinject.SiteReplSnapshot, 1))
+	_, _, rpersist, r := rebootReplica(t, rdir, addr)
+	select {
+	case <-r.Done():
+	case <-time.After(10 * time.Second):
+		faultinject.Disarm()
+		t.Fatal("snapshot kill never fired")
+	}
+	faultinject.Disarm()
+	r.Close()
+	rpersist.Kill()
+
+	// Reboot: the half-installed snapshot was never acknowledged, so the
+	// fresh incarnation starts from zero, re-requests it, and converges.
+	rsep2, rs2, _, r2 := rebootReplica(t, rdir, addr)
+	defer r2.Close()
+	waitApplied(t, rs2, persist.ReplLastSeq())
+	assertStoresIdentical(t, sep, rsep2)
+	if rs2.Stats().Snapshots == 0 {
+		t.Fatal("rebooted replica never installed the snapshot")
+	}
+}

@@ -1,0 +1,307 @@
+// Package repl implements WAL-shipped model replication: a primary
+// serves its write-ahead log as a replication stream — checkpoint
+// snapshot, sequence-addressed catch-up batches, then the live tail —
+// and a replica applies it into its protection domains through the same
+// replay paths boot recovery uses (core.ReplicaState), serving
+// detection-mode reads the whole time.
+//
+// A session begins with the ordinary JSON HELLO handshake (wire.Hello
+// with Repl set), so version negotiation and clean degradation against
+// v1-only or non-primary servers come from the existing protocol: any
+// refusal arrives as a typed error in the acknowledgement, never a hang.
+// After the acknowledgement the connection switches to the binary frame
+// protocol in this file.
+package repl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame types. The replication frame space (0x21..) is disjoint from
+// the wire codec's request/response opcodes, so a frame accidentally
+// delivered to the wrong decoder can never alias a valid message.
+const (
+	// frameSubscribe is the replica's only request: "send me everything
+	// after sequence N" (N = 0 for a fresh replica). Body: u64 after.
+	frameSubscribe = byte(0x21)
+	// frameSnapBegin opens a snapshot transfer. Body: u64 barrier (the
+	// WAL sequence the snapshot covers), uvarint total payload bytes.
+	frameSnapBegin = byte(0x22)
+	// frameSnapChunk carries one snapshot fragment. Body: raw bytes.
+	frameSnapChunk = byte(0x23)
+	// frameSnapEnd closes a snapshot transfer. Body: u32 CRC-32C of the
+	// whole reassembled payload.
+	frameSnapEnd = byte(0x24)
+	// frameBatch carries WAL records, for catch-up and the live tail
+	// alike. Body: uvarint count, then per record u64 seq, uvarint len,
+	// len bytes.
+	frameBatch = byte(0x25)
+	// frameHeartbeat keeps an idle tail alive and reports the stream
+	// head. Body: u64 newest primary sequence.
+	frameHeartbeat = byte(0x26)
+	// frameError reports a terminal session error. Body: uvarint len,
+	// len message bytes.
+	frameError = byte(0x27)
+)
+
+// maxFrame bounds one replication frame, matching the wire protocol's
+// frame limit (and MySQL's default max_allowed_packet).
+const maxFrame = 16 << 20
+
+// snapChunkSize is how much snapshot one frameSnapChunk carries.
+const snapChunkSize = 256 << 10
+
+// castagnoli is the CRC-32C table, the same polynomial the WAL frames
+// use.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// record is one replicated WAL record: the upstream sequence and the
+// opaque payload (a core walRecord, but the transport never looks
+// inside).
+type record struct {
+	seq  uint64
+	data []byte
+}
+
+// frame is one decoded replication frame; which fields are meaningful
+// depends on typ.
+type frame struct {
+	typ     byte
+	after   uint64   // frameSubscribe
+	barrier uint64   // frameSnapBegin
+	total   uint64   // frameSnapBegin
+	chunk   []byte   // frameSnapChunk (aliases the payload buffer)
+	sum     uint32   // frameSnapEnd
+	recs    []record // frameBatch (data aliases the payload buffer)
+	lastSeq uint64   // frameHeartbeat
+	msg     string   // frameError
+}
+
+// dec is a defensive byte-cursor: every read is bounds-checked and a
+// failure poisons the cursor, so decoders are straight-line reads
+// followed by one error check — the property that makes decodeFrame
+// safely fuzzable against arbitrary payloads.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("repl: truncated frame: %s", what)
+	}
+}
+
+func (d *dec) u8(what string) byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+1 > len(d.b) {
+		d.fail(what)
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) u32(what string) uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+4 > len(d.b) {
+		d.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) u64(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.b) {
+		d.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *dec) uvarint(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail(what)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// bytes returns n bytes aliasing the underlying buffer (callers that
+// retain them past the frame copy them).
+func (d *dec) bytes(n int, what string) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.b) {
+		d.fail(what)
+		return nil
+	}
+	v := d.b[d.off : d.off+n]
+	d.off += n
+	return v
+}
+
+// decodeFrame parses one frame payload (everything after the length
+// prefix). It must return an error — never panic, never over-read — for
+// ANY input; FuzzReplFrameDecode holds it to that.
+func decodeFrame(payload []byte) (frame, error) {
+	d := &dec{b: payload}
+	f := frame{typ: d.u8("frame type")}
+	switch f.typ {
+	case frameSubscribe:
+		f.after = d.u64("subscribe position")
+	case frameSnapBegin:
+		f.barrier = d.u64("snapshot barrier")
+		f.total = d.uvarint("snapshot size")
+		if d.err == nil && f.total > maxSnapshot {
+			return frame{}, fmt.Errorf("repl: snapshot of %d bytes exceeds limit", f.total)
+		}
+	case frameSnapChunk:
+		f.chunk = d.bytes(len(payload)-d.off, "snapshot chunk")
+	case frameSnapEnd:
+		f.sum = d.u32("snapshot checksum")
+	case frameBatch:
+		n := d.uvarint("record count")
+		if d.err == nil && n > uint64(len(payload)) {
+			// Each record costs at least one seq+len byte pair; a count
+			// beyond the payload size is forged.
+			return frame{}, fmt.Errorf("repl: batch count %d exceeds frame", n)
+		}
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			seq := d.u64("record seq")
+			ln := d.uvarint("record length")
+			if d.err == nil && ln > uint64(len(payload)) {
+				return frame{}, fmt.Errorf("repl: record of %d bytes exceeds frame", ln)
+			}
+			data := d.bytes(int(ln), "record payload")
+			if d.err == nil {
+				f.recs = append(f.recs, record{seq: seq, data: data})
+			}
+		}
+	case frameHeartbeat:
+		f.lastSeq = d.u64("heartbeat position")
+	case frameError:
+		ln := d.uvarint("error length")
+		if d.err == nil && ln > uint64(len(payload)) {
+			return frame{}, fmt.Errorf("repl: error of %d bytes exceeds frame", ln)
+		}
+		f.msg = string(d.bytes(int(ln), "error message"))
+	default:
+		return frame{}, fmt.Errorf("repl: unknown frame type 0x%02x", f.typ)
+	}
+	if d.err != nil {
+		return frame{}, d.err
+	}
+	if d.off != len(payload) {
+		return frame{}, fmt.Errorf("repl: %d trailing byte(s) after frame", len(payload)-d.off)
+	}
+	return f, nil
+}
+
+// maxSnapshot bounds a snapshot transfer (the sum of all chunks): big
+// enough for any realistic model corpus, small enough that a forged
+// SnapBegin cannot make a replica reserve unbounded memory.
+const maxSnapshot = 1 << 30
+
+// Encoders: each appends one complete payload to buf and returns it.
+
+func appendSubscribe(buf []byte, after uint64) []byte {
+	buf = append(buf, frameSubscribe)
+	return binary.LittleEndian.AppendUint64(buf, after)
+}
+
+func appendSnapBegin(buf []byte, barrier uint64, total int) []byte {
+	buf = append(buf, frameSnapBegin)
+	buf = binary.LittleEndian.AppendUint64(buf, barrier)
+	return binary.AppendUvarint(buf, uint64(total))
+}
+
+func appendSnapChunk(buf []byte, chunk []byte) []byte {
+	buf = append(buf, frameSnapChunk)
+	return append(buf, chunk...)
+}
+
+func appendSnapEnd(buf []byte, sum uint32) []byte {
+	buf = append(buf, frameSnapEnd)
+	return binary.LittleEndian.AppendUint32(buf, sum)
+}
+
+func appendBatch(buf []byte, recs []record) []byte {
+	buf = append(buf, frameBatch)
+	buf = binary.AppendUvarint(buf, uint64(len(recs)))
+	for _, r := range recs {
+		buf = binary.LittleEndian.AppendUint64(buf, r.seq)
+		buf = binary.AppendUvarint(buf, uint64(len(r.data)))
+		buf = append(buf, r.data...)
+	}
+	return buf
+}
+
+func appendHeartbeat(buf []byte, lastSeq uint64) []byte {
+	buf = append(buf, frameHeartbeat)
+	return binary.LittleEndian.AppendUint64(buf, lastSeq)
+}
+
+func appendError(buf []byte, msg string) []byte {
+	buf = append(buf, frameError)
+	buf = binary.AppendUvarint(buf, uint64(len(msg)))
+	return append(buf, msg...)
+}
+
+// writeFrame sends one payload with the 4-byte big-endian length prefix
+// (the same framing the wire protocol uses) in a single Write.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("repl: frame of %d bytes exceeds limit", len(payload))
+	}
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[4:], payload)
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("repl: write frame: %w", err)
+	}
+	return nil
+}
+
+// readFrame receives one length-prefixed payload, reusing buf when it
+// is large enough. io.EOF passes through for clean shutdown detection.
+func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var header [4]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(header[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("repl: frame of %d bytes exceeds limit", n)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("repl: read frame payload: %w", err)
+	}
+	return buf, nil
+}

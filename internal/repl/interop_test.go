@@ -1,0 +1,117 @@
+package repl
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/septic-db/septic/internal/engine"
+	"github.com/septic-db/septic/internal/wire"
+)
+
+// startWireServer boots a plain wire server (the query endpoint, not a
+// dedicated replication listener) with the given options.
+func startWireServer(t *testing.T, opts ...wire.ServerOption) string {
+	t.Helper()
+	srv := wire.NewServer(engine.New(), opts...)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return addr
+}
+
+// TestProtocolInteropMatrixRepl extends the wire interop matrix with
+// the replica↔primary rows: a v2 replica against every flavour of
+// server it can be pointed at. The failure rows must end in the typed
+// ErrUnsupported quickly — a replica aimed at a server that cannot
+// serve replication fails loudly, it never hangs and never spins on
+// reconnect.
+func TestProtocolInteropMatrixRepl(t *testing.T) {
+	sep, persist := newPrimary(t, t.TempDir())
+	d, _ := sep.Domain("shop")
+	d.Store().Put("iq1", modelFor(t, "SELECT a FROM t WHERE b = 1"), false)
+
+	cases := []struct {
+		name string
+		addr func(t *testing.T) string
+		ok   bool
+	}{
+		{
+			// The happy row: a wire server with replication enabled hands
+			// the connection to the primary after the HELLO.
+			name: "v2replica_v2server_repl",
+			addr: func(t *testing.T) string {
+				p := NewPrimary(persist, PrimaryOptions{HeartbeatInterval: 20 * time.Millisecond})
+				t.Cleanup(p.Close)
+				return startWireServer(t, wire.WithReplHandler(p.HandleConn))
+			},
+			ok: true,
+		},
+		{
+			// A current server WITHOUT replication enabled refuses with a
+			// clean typed error.
+			name: "v2replica_v2server_noRepl",
+			addr: func(t *testing.T) string { return startWireServer(t) },
+		},
+		{
+			// A v1-only server cannot speak the replication stream at all;
+			// the version refusal must surface, not a hang.
+			name: "v2replica_v1server",
+			addr: func(t *testing.T) string {
+				return startWireServer(t, wire.WithHelloVersionLimit(1))
+			},
+		},
+		{
+			// A v1-only server with a repl handler configured still refuses:
+			// the stream rides protocol v2 frames.
+			name: "v2replica_v1server_repl",
+			addr: func(t *testing.T) string {
+				p := NewPrimary(persist, PrimaryOptions{HeartbeatInterval: 20 * time.Millisecond})
+				t.Cleanup(p.Close)
+				return startWireServer(t,
+					wire.WithHelloVersionLimit(1), wire.WithReplHandler(p.HandleConn))
+			},
+		},
+		{
+			// The dedicated replication listener (septicd -repl-listen).
+			name: "v2replica_dedicated_primary",
+			addr: func(t *testing.T) string {
+				addr, _ := servePrimary(t, persist, PrimaryOptions{})
+				return addr
+			},
+			ok: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			snapshotGoroutines(t)
+			addr := tc.addr(t)
+			rsep, rs := newReplicaSeptic(t, "")
+			r := NewReplica(addr, rs, fastReplicaOptions())
+			r.Start()
+			t.Cleanup(r.Close)
+
+			if tc.ok {
+				waitApplied(t, rs, persist.ReplLastSeq())
+				assertStoresIdentical(t, sep, rsep)
+				if err := r.Err(); err != nil {
+					t.Fatalf("healthy session reported %v", err)
+				}
+				return
+			}
+			select {
+			case <-r.Done():
+			case <-time.After(5 * time.Second):
+				t.Fatal("refused replica still running after 5s (hang, not a typed failure)")
+			}
+			if err := r.Err(); !errors.Is(err, ErrUnsupported) {
+				t.Fatalf("refusal error %v, want ErrUnsupported", err)
+			}
+			if rs.AppliedSeq() != 0 {
+				t.Fatalf("refused replica applied %d records", rs.AppliedSeq())
+			}
+		})
+	}
+}

@@ -1,0 +1,33 @@
+package repllab
+
+import (
+	"strings"
+	"testing"
+)
+
+// A scaled-down run of the replication lane: the primary trains, the
+// replica converges, the replica's workload serves cleanly throughout,
+// and the report renders. The full-size run is `septic-bench repl`.
+func TestRunReplSmoke(t *testing.T) {
+	res, err := RunRepl(t.TempDir(), 300, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("replica did not converge: %+v", res)
+	}
+	if res.PrimaryModels == 0 || res.PrimaryModels != res.ReplicaModels {
+		t.Fatalf("model counts diverged: primary %d, replica %d",
+			res.PrimaryModels, res.ReplicaModels)
+	}
+	if res.ReplicaErrors != 0 {
+		t.Fatalf("%d replica serve errors out of %d requests",
+			res.ReplicaErrors, res.ReplicaRequests)
+	}
+	out := FormatRepl(res)
+	for _, want := range []string{"converged=true", "primary seq", "models: primary"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

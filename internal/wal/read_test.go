@@ -1,0 +1,247 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// appendN appends n records "r<seq>" and returns the last sequence.
+func appendN(t *testing.T, l *Log, n int) uint64 {
+	t.Helper()
+	var last uint64
+	for i := 0; i < n; i++ {
+		seq, err := l.Append([]byte(fmt.Sprintf("r%d", l.LastSeq()+1)))
+		if err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		last = seq
+	}
+	return last
+}
+
+func TestReadFromOrderAndPosition(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openCollect(t, Options{Dir: dir, Policy: FsyncNever, SegmentSize: 64})
+	defer l.Close()
+	appendN(t, l, 20) // several sealed segments at SegmentSize 64
+
+	recs, err := l.ReadFrom(0, 0)
+	if err != nil {
+		t.Fatalf("ReadFrom(0): %v", err)
+	}
+	if len(recs) != 20 {
+		t.Fatalf("ReadFrom(0): %d records, want 20", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d out of order: seq %d", i, r.Seq)
+		}
+		if want := fmt.Sprintf("r%d", r.Seq); string(r.Data) != want {
+			t.Fatalf("record %d: data %q, want %q", i, r.Data, want)
+		}
+	}
+
+	// A mid-stream position returns strictly-greater sequences only.
+	recs, err = l.ReadFrom(13, 0)
+	if err != nil {
+		t.Fatalf("ReadFrom(13): %v", err)
+	}
+	if len(recs) != 7 || recs[0].Seq != 14 {
+		t.Fatalf("ReadFrom(13): %d records starting at %d", len(recs), recs[0].Seq)
+	}
+
+	// Caught up: nothing newer exists.
+	if recs, err := l.ReadFrom(20, 0); err != nil || recs != nil {
+		t.Fatalf("ReadFrom(head) = %d records, err %v", len(recs), err)
+	}
+}
+
+func TestReadFromByteBudget(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openCollect(t, Options{Dir: dir, Policy: FsyncNever})
+	defer l.Close()
+	appendN(t, l, 10)
+
+	// A 1-byte budget still yields a record; the caller pages with the
+	// last sequence.
+	var after uint64
+	var total int
+	for {
+		recs, err := l.ReadFrom(after, 1)
+		if err != nil {
+			t.Fatalf("ReadFrom(%d): %v", after, err)
+		}
+		if recs == nil {
+			break
+		}
+		if len(recs) != 1 {
+			t.Fatalf("budget of 1 byte returned %d records", len(recs))
+		}
+		if recs[0].Seq != after+1 {
+			t.Fatalf("page starts at %d, want %d", recs[0].Seq, after+1)
+		}
+		after = recs[0].Seq
+		total++
+	}
+	if total != 10 {
+		t.Fatalf("paged %d records, want 10", total)
+	}
+}
+
+func TestReadFromAfterTrimExposesGap(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openCollect(t, Options{Dir: dir, Policy: FsyncNever, SegmentSize: 64})
+	defer l.Close()
+	appendN(t, l, 20)
+	if _, err := l.TrimTo(12); err != nil {
+		t.Fatalf("TrimTo: %v", err)
+	}
+
+	first := l.FirstSeq()
+	if first <= 1 {
+		t.Fatalf("FirstSeq %d after trim, want > 1", first)
+	}
+	recs, err := l.ReadFrom(0, 0)
+	if err != nil {
+		t.Fatalf("ReadFrom(0): %v", err)
+	}
+	// The gap is detectable: the result starts past after+1.
+	if len(recs) == 0 || recs[0].Seq != first {
+		t.Fatalf("post-trim read starts at %d, want FirstSeq %d", recs[0].Seq, first)
+	}
+	if recs[len(recs)-1].Seq != 20 {
+		t.Fatalf("post-trim read ends at %d, want 20", recs[len(recs)-1].Seq)
+	}
+}
+
+func TestFirstSeqEmptyLog(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openCollect(t, Options{Dir: dir, Policy: FsyncNever})
+	defer l.Close()
+	if got := l.FirstSeq(); got != 0 {
+		t.Fatalf("FirstSeq on empty log = %d, want 0", got)
+	}
+}
+
+func TestReadFromClosedLog(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openCollect(t, Options{Dir: dir, Policy: FsyncNever})
+	appendN(t, l, 3)
+	l.Close()
+	if _, err := l.ReadFrom(0, 0); err != ErrClosed {
+		t.Fatalf("ReadFrom on closed log: %v, want ErrClosed", err)
+	}
+}
+
+func TestWatchDeliversInOrder(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openCollect(t, Options{Dir: dir, Policy: FsyncNever})
+	defer l.Close()
+	appendN(t, l, 3) // pre-subscription records are not delivered
+
+	w := l.Watch(16)
+	if w == nil {
+		t.Fatal("Watch returned nil on an open log")
+	}
+	defer w.Close()
+	appendN(t, l, 5)
+	for want := uint64(4); want <= 8; want++ {
+		select {
+		case rec := <-w.C():
+			if rec.Seq != want {
+				t.Fatalf("watcher delivered seq %d, want %d", rec.Seq, want)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("watcher never delivered seq %d", want)
+		}
+	}
+	select {
+	case rec := <-w.C():
+		t.Fatalf("unexpected extra record seq %d", rec.Seq)
+	default:
+	}
+	if w.Lagged() {
+		t.Fatal("watcher lagged with a roomy buffer")
+	}
+}
+
+func TestWatchThenReadFromNoGap(t *testing.T) {
+	// The no-gap protocol: subscribe BEFORE ReadFrom, and every record is
+	// either in the read result or on the channel.
+	dir := t.TempDir()
+	l, _, _ := openCollect(t, Options{Dir: dir, Policy: FsyncNever})
+	defer l.Close()
+	appendN(t, l, 5)
+
+	w := l.Watch(64)
+	defer w.Close()
+	appendN(t, l, 5) // races the catch-up read in a real replica
+
+	recs, err := l.ReadFrom(0, 0)
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	seen := make(map[uint64]bool)
+	for _, r := range recs {
+		seen[r.Seq] = true
+	}
+	for {
+		select {
+		case rec := <-w.C():
+			seen[rec.Seq] = true
+			continue
+		default:
+		}
+		break
+	}
+	for seq := uint64(1); seq <= 10; seq++ {
+		if !seen[seq] {
+			t.Fatalf("seq %d in neither the read result nor the watcher", seq)
+		}
+	}
+}
+
+func TestWatchLaggedOnFullBuffer(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openCollect(t, Options{Dir: dir, Policy: FsyncNever})
+	defer l.Close()
+
+	w := l.Watch(1)
+	defer w.Close()
+	appendN(t, l, 5) // buffer of 1: four drops
+	if !w.Lagged() {
+		t.Fatal("watcher did not report lag after overflowing its buffer")
+	}
+	if w.Lagged() {
+		t.Fatal("Lagged did not clear on read")
+	}
+	// The surviving record plus ReadFrom recovers the full range.
+	rec := <-w.C()
+	recs, err := l.ReadFrom(0, 0)
+	if err != nil || len(recs) != 5 {
+		t.Fatalf("recovery read: %d records, err %v", len(recs), err)
+	}
+	if rec.Seq != 1 {
+		t.Fatalf("surviving buffered record seq %d, want 1", rec.Seq)
+	}
+}
+
+func TestWatchClosedByLogClose(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openCollect(t, Options{Dir: dir, Policy: FsyncNever})
+	w := l.Watch(4)
+	l.Close()
+	select {
+	case _, ok := <-w.C():
+		if ok {
+			t.Fatal("channel delivered a record after Close")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("watcher channel not closed by Log.Close")
+	}
+	// Watch on a closed log refuses.
+	if l.Watch(4) != nil {
+		t.Fatal("Watch on a closed log returned a watcher")
+	}
+}

@@ -237,6 +237,9 @@ type Log struct {
 	sealed []segmentInfo
 	failed error // sticky poison; nil while healthy
 	closed bool
+	// watchers are live-tail subscriptions (see read.go); notified under
+	// l.mu after each successful append.
+	watchers []*Watcher
 
 	// torn marks the window where bytes of a frame may be on disk but
 	// the frame is incomplete; an unwind (panic or error) inside the
@@ -398,6 +401,10 @@ func (l *Log) Append(data []byte) (seq uint64, err error) {
 			return 0, err
 		}
 	}
+	// Tail subscribers hear about the record only once it is as durable
+	// as the policy makes it: a replica can never apply an update the
+	// primary would not recover itself.
+	l.notifyWatchers(next, data)
 	return next, nil
 }
 
@@ -524,6 +531,7 @@ func (l *Log) Close() error {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.closeWatchersLocked()
 	var err error
 	if l.failed == nil {
 		err = l.f.Sync()
@@ -562,6 +570,7 @@ func (l *Log) Kill() {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.closeWatchersLocked()
 	_ = l.f.Close()
 	if l.lock != nil {
 		_ = l.lock.Close()

@@ -11,6 +11,7 @@ import (
 
 	"github.com/septic-db/septic/internal/core"
 	"github.com/septic-db/septic/internal/engine"
+	"github.com/septic-db/septic/internal/raceflag"
 )
 
 // gatedHook wraps the guard and parks any query whose text equals
@@ -432,6 +433,9 @@ func measureRoundTripAllocs(t *testing.T, c *Client, loops int) float64 {
 func TestWireRoundTripAllocCeiling(t *testing.T) {
 	if testing.Short() {
 		t.Skip("alloc measurement is noisy under -short")
+	}
+	if raceflag.Enabled {
+		t.Skip("race instrumentation adds allocations")
 	}
 	addr, _, db := startServer(t, core.Config{Mode: core.ModeTraining})
 	if _, err := db.Exec("CREATE TABLE t (id INT, name TEXT)"); err != nil {

@@ -67,6 +67,14 @@ type Hello struct {
 	// App is the application name to bind the session to; empty binds to
 	// the default domain.
 	App string `json:"app,omitempty"`
+	// Repl, when true, asks for a replication session instead of a query
+	// session: after the acknowledgement the connection switches to the
+	// replication frame protocol (internal/repl) and never carries
+	// queries. Requires Version >= 2 and a server with replication
+	// enabled; anything else is refused in the ack — the same clean
+	// degradation path as a version refusal, so a replica pointed at a
+	// v1-only or non-primary server gets a typed error, never a hang.
+	Repl bool `json:"repl,omitempty"`
 }
 
 // HelloAck is the server's handshake reply.
@@ -77,6 +85,9 @@ type HelloAck struct {
 	// Domain is the protection domain the session was bound to —
 	// "default" when the declared app is unknown or empty.
 	Domain string `json:"domain,omitempty"`
+	// Repl confirms a replication handshake: the server accepted and the
+	// connection is now a replication stream.
+	Repl bool `json:"repl,omitempty"`
 }
 
 // Request is one client->server message. A frame with Hello set is a
@@ -244,6 +255,16 @@ func putPayloadBuf(pb *[]byte) {
 		payloadPool.Put(pb)
 	}
 }
+
+// WriteJSONFrame sends one length-prefixed JSON message. Exported for
+// internal/repl, whose handshake is the same JSON HELLO exchange the
+// query protocol uses — sharing the encoder keeps the two framings
+// byte-identical by construction.
+func WriteJSONFrame(w io.Writer, msg any) error { return writeFrame(w, msg) }
+
+// ReadJSONFrame receives one length-prefixed JSON message into msg.
+// Exported for internal/repl (see WriteJSONFrame).
+func ReadJSONFrame(r io.Reader, msg any) error { return readFrame(r, msg) }
 
 // readFrame receives one length-prefixed JSON message into msg.
 func readFrame(r io.Reader, msg any) error {

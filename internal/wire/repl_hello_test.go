@@ -1,0 +1,101 @@
+package wire
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/septic-db/septic/internal/engine"
+)
+
+// replHello performs a replication HELLO against addr and returns the
+// ack plus the open connection (for the accepted case, the conn now
+// speaks the replication frame protocol).
+func replHello(t *testing.T, addr string, version int) (*Response, net.Conn) {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	req := Request{Hello: &Hello{Version: version, Repl: true}}
+	if err := WriteJSONFrame(conn, &req); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := ReadJSONFrame(conn, &resp); err != nil {
+		t.Fatal(err)
+	}
+	return &resp, conn
+}
+
+// TestReplHelloHandoff covers the server side of the replication
+// handshake: an accepted HELLO hands the raw connection to the
+// configured handler; every refusal answers with an error ack naming
+// what the server does speak, never a hang or a silent close.
+func TestReplHelloHandoff(t *testing.T) {
+	t.Run("accepted", func(t *testing.T) {
+		handed := make(chan struct{})
+		srv := NewServer(engine.New(), WithReplHandler(func(conn net.Conn) {
+			// The handler owns the conn post-ack; prove bytes flow by
+			// echoing one marker byte back.
+			buf := make([]byte, 1)
+			if _, err := conn.Read(buf); err == nil {
+				conn.Write(buf)
+			}
+			close(handed)
+		}))
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+
+		resp, conn := replHello(t, addr, HelloVersion)
+		if resp.Error != "" || resp.Hello == nil || !resp.Hello.Repl {
+			t.Fatalf("accepted handshake ack %+v", resp)
+		}
+		if _, err := conn.Write([]byte{0x5A}); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 1)
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := conn.Read(buf); err != nil || buf[0] != 0x5A {
+			t.Fatalf("echo through handler: %v %x", err, buf)
+		}
+		select {
+		case <-handed:
+		case <-time.After(2 * time.Second):
+			t.Fatal("connection never handed to the repl handler")
+		}
+	})
+
+	refusals := []struct {
+		name    string
+		opts    []ServerOption
+		version int
+		want    string
+	}{
+		{"no_handler", nil, HelloVersion, "not enabled"},
+		{"v1_server", []ServerOption{WithHelloVersionLimit(1)}, HelloVersion, "unsupported"},
+		{"v1_client", []ServerOption{WithReplHandler(func(net.Conn) {})}, 1, "requires protocol version"},
+	}
+	for _, tc := range refusals {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := NewServer(engine.New(), tc.opts...)
+			addr, err := srv.Listen("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+			resp, _ := replHello(t, addr, tc.version)
+			if resp.Error == "" || !strings.Contains(resp.Error, tc.want) {
+				t.Fatalf("refusal %+v, want error containing %q", resp, tc.want)
+			}
+			if resp.Hello == nil || resp.Hello.Repl {
+				t.Fatalf("refusal ack %+v must advertise the server's version without the repl flag", resp.Hello)
+			}
+		})
+	}
+}

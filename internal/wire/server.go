@@ -74,6 +74,13 @@ type Server struct {
 	pipelineWorkers int
 	maxInFlight     int
 
+	// replHandler, when set, receives connections whose HELLO asked for
+	// a replication session (Hello.Repl). The handler owns the
+	// connection until it returns — the serving loop has already written
+	// the acknowledgement and will close the conn afterwards. Nil means
+	// replication hellos are refused with a clean error ack.
+	replHandler func(conn net.Conn)
+
 	// sem holds one token per admitted connection; nil = unlimited.
 	sem     chan struct{}
 	waiters atomic.Int64
@@ -190,6 +197,17 @@ func WithPipelineWorkers(n int) ServerOption {
 // means DefaultMaxInFlight; n is clamped up to the worker pool size.
 func WithMaxInFlight(n int) ServerOption {
 	return func(s *Server) { s.maxInFlight = n }
+}
+
+// WithReplHandler enables replication sessions: a HELLO with the Repl
+// flag (and protocol version 2) hands the connection — acknowledged,
+// deadlines cleared — to h, which speaks the replication frame protocol
+// on it until the session ends. Without this option replication hellos
+// are refused in the ack, so a replica pointed at a non-primary server
+// fails with a typed error instead of hanging. septicd installs the
+// repl.Primary here when -repl-listen names the serving address.
+func WithReplHandler(h func(conn net.Conn)) ServerOption {
+	return func(s *Server) { s.replHandler = h }
 }
 
 // WithDomainResolver installs the app→domain mapping the server answers
@@ -412,9 +430,14 @@ func (s *Server) serveConn(conn net.Conn) {
 			return // EOF, deadline or protocol error: drop the session
 		}
 		var resp *Response
-		var upgrade bool
+		var upgrade, repl bool
 		if req.Hello != nil {
-			resp, upgrade = s.handleHello(req.Hello, &app)
+			if req.Hello.Repl {
+				resp, repl = s.handleReplHello(req.Hello)
+				upgrade = false
+			} else {
+				resp, upgrade = s.handleHello(req.Hello, &app)
+			}
 			putRequest(req)
 		} else {
 			resp = s.dispatch(req, app) // dispatch owns (and recycles) req
@@ -428,6 +451,15 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		s.obsQueries.Inc()
+		if repl {
+			// The ack we just wrote was the session's last query-protocol
+			// frame: the replication handler owns the conn from here. The
+			// serving deadlines are cleared — replication paces itself.
+			_ = conn.SetReadDeadline(time.Time{})
+			_ = conn.SetWriteDeadline(time.Time{})
+			s.replHandler(conn)
+			return
+		}
 		if upgrade {
 			// The ack we just wrote was the session's last JSON frame.
 			s.serveConnV2(conn, app)
@@ -673,6 +705,36 @@ func (s *Server) handleHello(h *Hello, app *string) (resp *Response, upgrade boo
 		Version: s.helloLimit,
 		Domain:  s.resolveDomain(h.App),
 	}}, h.Version >= HelloVersion
+}
+
+// handleReplHello answers a replication handshake. The refusal paths
+// mirror handleHello's version refusal — error text plus an ack
+// advertising what the server does speak — so a replica always gets a
+// diagnosable answer: a v1-only server refuses by version, a current
+// server without replication enabled refuses by capability. accepted
+// reports that the connection should be handed to the repl handler.
+func (s *Server) handleReplHello(h *Hello) (resp *Response, accepted bool) {
+	if h.Version > s.helloLimit {
+		return &Response{
+			Error: fmt.Sprintf("hello version %d unsupported (server speaks ≤ %d)",
+				h.Version, s.helloLimit),
+			Hello: &HelloAck{Version: s.helloLimit},
+		}, false
+	}
+	if h.Version < HelloVersion {
+		return &Response{
+			Error: fmt.Sprintf("replication requires protocol version %d (hello declared %d)",
+				HelloVersion, h.Version),
+			Hello: &HelloAck{Version: s.helloLimit},
+		}, false
+	}
+	if s.replHandler == nil {
+		return &Response{
+			Error: "replication not enabled on this server",
+			Hello: &HelloAck{Version: s.helloLimit},
+		}, false
+	}
+	return &Response{Hello: &HelloAck{Version: s.helloLimit, Repl: true}}, true
 }
 
 // handle executes one request against the engine. It is panic-contained:
