@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos cover cover-gate vuln bench bench-hook bench-engine bench-wire bench-record demo fig5 accuracy sweep parallel fuzz obs-demo clean
+.PHONY: all build vet test race chaos cover cover-gate vuln bench bench-hook bench-engine bench-wire bench-overload bench-record demo fig5 accuracy sweep parallel fuzz obs-demo clean
 
 all: build vet test race
 
@@ -24,9 +24,11 @@ race:
 # no acknowledged update is ever lost (internal/core/crash_chaos_test.go),
 # and kill/resume a streaming replica mid-apply and mid-snapshot
 # asserting zero divergence from the primary
-# (internal/repl/chaos_test.go).
+# (internal/repl/chaos_test.go). The overload scenarios flood per-domain
+# quotas and run a latency storm against the admission controller
+# (internal/wire/overload_test.go, internal/core/overload_test.go).
 chaos:
-	$(GO) test -race -run 'TestChaos' -timeout=5m -v ./internal/wire/ ./internal/core/ ./internal/repl/
+	$(GO) test -race -run 'TestChaos' -timeout=5m -v ./internal/wire/ ./internal/core/ ./internal/repl/ ./internal/overload/
 
 cover:
 	$(GO) test -cover ./...
@@ -83,10 +85,19 @@ bench-engine:
 bench-wire:
 	$(GO) test -run='^$$' -bench='BenchmarkWireSync$$|BenchmarkWirePipelined' -benchmem -count=$(COUNT) .
 
+# Overload sweep: drive the admission-controlled wire server at 1×/2×/4×
+# of its execution capacity and print shed rate plus admitted p50/p99 per
+# point (the brownout claim: admitted p99 at 4× stays within 2× of the
+# 1× baseline). bench-record runs this with -json to refresh
+# BENCH_overload.json.
+bench-overload:
+	$(GO) run ./cmd/septic-bench overload
+
 # Run the wire benchmarks and record the numbers into BENCH_wire.json
-# (ops/sec, ns/op, allocs/op per series plus the depth-16 speedup). The
-# CI bench job runs this non-blocking for visibility; commit the file to
-# refresh the recorded numbers.
+# (ops/sec, ns/op, allocs/op per series plus the depth-16 speedup), the
+# durability ablation into BENCH_durability.json, and the overload sweep
+# into BENCH_overload.json. The CI bench job runs this non-blocking for
+# visibility; commit the files to refresh the recorded numbers.
 bench-record:
 	bash scripts/bench-record.sh
 

@@ -26,6 +26,12 @@
 //	                         loopback wire session, synchronous v1 JSON
 //	                         versus pipelined v2 binary frames at a
 //	                         sweep of pipeline depths.
+//	septic-bench overload  — adaptive overload control: a loopback
+//	                         deployment with a known service time and
+//	                         execution capacity driven at 1×/2×/4×
+//	                         capacity; reports shed rate and admitted
+//	                         p50/p99 per offered load (-json records
+//	                         the rows for the committed ledger).
 //	septic-bench repl      — replication lag: a read replica follows a
 //	                         training primary over loopback while
 //	                         serving the Address Book workload in
@@ -99,12 +105,20 @@ func run() error {
 	wireWorkers := wireFlags.Int("workers", 0, "server per-connection worker pool (0 = default)")
 	wireInFlight := wireFlags.Int("max-in-flight", 0, "server per-connection in-flight bound (0 = default)")
 
+	ovlFlags := flag.NewFlagSet("overload", flag.ExitOnError)
+	ovlService := ovlFlags.Duration("service", 2*time.Millisecond, "injected executor latency per query")
+	ovlGate := ovlFlags.Int("gate", 4, "server concurrent-execution capacity")
+	ovlTarget := ovlFlags.Duration("target", 5*time.Millisecond, "admission queueing-delay target")
+	ovlClients := ovlFlags.Int("clients", 64, "concurrent wire connections generating load")
+	ovlDuration := ovlFlags.Duration("duration", 2*time.Second, "measured window per offered-load point")
+	ovlJSON := ovlFlags.String("json", "", "record the sweep into this JSON file (e.g. BENCH_overload.json)")
+
 	replFlags := flag.NewFlagSet("repl", flag.ExitOnError)
 	replUpdates := replFlags.Int("updates", 5000, "distinct training updates on the primary during the measured window")
 	replLoops := replFlags.Int("loops", 200, "Address Book workload replays on the replica while the stream applies")
 
 	if len(os.Args) < 2 {
-		return fmt.Errorf("usage: septic-bench fig5|accuracy|sweep|parallel|table1|durability|wire|repl [flags]")
+		return fmt.Errorf("usage: septic-bench fig5|accuracy|sweep|parallel|table1|durability|wire|overload|repl [flags]")
 	}
 	switch os.Args[1] {
 	case "table1":
@@ -165,6 +179,11 @@ func run() error {
 			return err
 		}
 		return runWire(*wireApp, *wireCfg, *wireDepths, *wireClients, *wireLoops, *wireWorkers, *wireInFlight)
+	case "overload":
+		if err := ovlFlags.Parse(os.Args[2:]); err != nil {
+			return err
+		}
+		return runOverload(*ovlService, *ovlGate, *ovlTarget, *ovlClients, *ovlDuration, *ovlJSON)
 	case "repl":
 		if err := replFlags.Parse(os.Args[2:]); err != nil {
 			return err

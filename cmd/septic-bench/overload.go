@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/septic-db/septic/internal/benchlab/overloadbench"
+)
+
+// overloadReport is the committed BENCH_overload.json shape.
+type overloadReport struct {
+	GOOS          string              `json:"goos"`
+	GOARCH        string              `json:"goarch"`
+	ServiceTimeNS int64               `json:"service_time_ns"`
+	Gate          int                 `json:"gate"`
+	TargetNS      int64               `json:"target_ns"`
+	Clients       int                 `json:"clients"`
+	DurationNS    int64               `json:"duration_ns"`
+	CapacityQPS   float64             `json:"capacity_qps"`
+	Rows          []overloadbench.Row `json:"rows"`
+	// P99Ratio compares the admitted p99 at the highest multiplier to
+	// the 1× baseline — the brownout claim is that this stays near 1
+	// (bounded by the shed target) instead of growing with the backlog.
+	P99Ratio float64 `json:"p99_ratio_max_vs_1x"`
+}
+
+// runOverload sweeps offered load over the admission-controlled wire
+// deployment and prints the shed/latency table; with -json the rows are
+// additionally recorded for the committed benchmark ledger.
+func runOverload(service time.Duration, gate int, target time.Duration,
+	clients int, duration time.Duration, jsonPath string) error {
+	p := overloadbench.Params{
+		ServiceTime: service,
+		Gate:        gate,
+		Target:      target,
+		Clients:     clients,
+		Duration:    duration,
+	}
+	rows, err := overloadbench.Run(p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("overload sweep: service %v × gate %d (capacity %.0f q/s), target %v, %d clients, %v per point\n\n",
+		service, gate, p.CapacityQPS(), target, clients, duration)
+	fmt.Printf("  %-5s %12s %10s %10s %10s %8s %12s %12s\n",
+		"load", "offered q/s", "sent", "admitted", "shed", "shed%", "p50", "p99")
+	for _, r := range rows {
+		fmt.Printf("  %-4dx %12.0f %10d %10d %10d %7.1f%% %12v %12v\n",
+			r.Multiplier, r.OfferedQPS, r.Sent, r.Admitted, r.Shed,
+			100*r.ShedRate(), r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond))
+		if r.Errors > 0 {
+			return fmt.Errorf("multiplier %d: %d untyped errors (want only success or typed shed)", r.Multiplier, r.Errors)
+		}
+	}
+	var ratio float64
+	if first, last := rows[0], rows[len(rows)-1]; first.P99 > 0 {
+		ratio = float64(last.P99) / float64(first.P99)
+		fmt.Printf("\nadmitted p99 at %d× is %.2f× the 1× baseline (acceptance: ≤ 2×)\n",
+			last.Multiplier, ratio)
+	}
+
+	if jsonPath != "" {
+		report := overloadReport{
+			GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+			ServiceTimeNS: service.Nanoseconds(),
+			Gate:          gate,
+			TargetNS:      target.Nanoseconds(),
+			Clients:       clients,
+			DurationNS:    duration.Nanoseconds(),
+			CapacityQPS:   p.CapacityQPS(),
+			Rows:          rows,
+			P99Ratio:      ratio,
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
+}

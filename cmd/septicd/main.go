@@ -12,6 +12,7 @@
 //	        [-max-conns N] [-query-timeout D] [-idle-timeout D]
 //	        [-drain-timeout D] [-fail-open] [-obs-addr 127.0.0.1:9188]
 //	        [-pipeline-workers N] [-max-in-flight N]
+//	        [-shed-target D] [-max-concurrent N]
 //	        [-repl-listen ADDR] [-replicate-from ADDR]
 //
 // With -wal-dir the server is also a replication primary: replicas may
@@ -64,7 +65,21 @@
 //	}
 //
 // Omitted booleans default to true for sqli/stored/incremental and
-// false for fail_open; "mode" is required.
+// false for fail_open; "mode" is required. Entries may additionally
+// carry per-domain overload policy: "quota_rate" (sustained
+// queries/second), "quota_burst" (bucket depth), "max_in_flight"
+// (concurrent-query bound) and "breaker": true (+"breaker_slow_ms")
+// to arm a circuit breaker around the domain's detection pipeline —
+// when it trips, cached verdicts keep being served and misses follow
+// the domain's fail policy until the pipeline recovers (brownout).
+//
+// With -shed-target the server sheds load adaptively: when the
+// estimated queueing delay exceeds the target, requests are refused
+// with a typed shed response carrying a retry-after hint instead of
+// queueing without bound (-max-concurrent sizes the execution gate;
+// the default 4×GOMAXPROCS suits CPU-bound detection). Shedding is
+// per-request and keeps the session alive; clients retry after the
+// hint. /healthz on -obs-addr reports 503 while draining or shedding.
 //
 // With -obs-addr the server additionally exposes live introspection over
 // HTTP: /metrics (JSON, ?format=prometheus for text exposition), /events
@@ -89,6 +104,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"sort"
 	"syscall"
 	"time"
@@ -96,6 +112,7 @@ import (
 	"github.com/septic-db/septic/internal/core"
 	"github.com/septic-db/septic/internal/engine"
 	"github.com/septic-db/septic/internal/obs"
+	"github.com/septic-db/septic/internal/overload"
 	"github.com/septic-db/septic/internal/repl"
 	"github.com/septic-db/septic/internal/wal"
 	"github.com/septic-db/septic/internal/wire"
@@ -120,6 +137,41 @@ type domainSpec struct {
 	// Store is the domain's persistence path; empty disables persistence
 	// for this domain.
 	Store string `json:"store"`
+
+	// Overload policy, all optional. QuotaRate caps the domain's
+	// sustained queries/second (0 = unlimited); QuotaBurst is the bucket
+	// depth (0 = rate); MaxInFlight bounds the domain's concurrent
+	// queries (0 = unlimited). Breaker arms the detection circuit
+	// breaker; BreakerSlowMS additionally counts detection runs slower
+	// than this many milliseconds as failures (0 = latency ignored).
+	QuotaRate     float64 `json:"quota_rate"`
+	QuotaBurst    float64 `json:"quota_burst"`
+	MaxInFlight   int     `json:"max_in_flight"`
+	Breaker       bool    `json:"breaker"`
+	BreakerSlowMS int     `json:"breaker_slow_ms"`
+}
+
+// overloadControls builds the per-domain overload policy out of a
+// domains-file entry, or nil when the entry configures none.
+func (spec domainSpec) overloadControls() *overload.Controls {
+	var q *overload.Quota
+	if spec.QuotaRate > 0 || spec.MaxInFlight > 0 {
+		q = overload.NewQuota(overload.QuotaSpec{
+			Rate:        spec.QuotaRate,
+			Burst:       spec.QuotaBurst,
+			MaxInFlight: spec.MaxInFlight,
+		})
+	}
+	var b *overload.Breaker
+	if spec.Breaker {
+		b = overload.NewBreaker(overload.BreakerOptions{
+			SlowCall: time.Duration(spec.BreakerSlowMS) * time.Millisecond,
+		})
+	}
+	if q == nil && b == nil {
+		return nil
+	}
+	return overload.NewControls(q, b)
 }
 
 // parseMode maps a -mode / domains-file mode string.
@@ -173,6 +225,9 @@ func loadDomains(guard *core.Septic, path string) (map[string]string, error) {
 		})
 		if err != nil {
 			return nil, err
+		}
+		if ctl := spec.overloadControls(); ctl != nil {
+			d.SetOverload(ctl)
 		}
 		if spec.Store == "" {
 			fmt.Printf("septicd: domain %s (mode=%s, no persistence)\n", name, mode)
@@ -234,6 +289,11 @@ func run() error {
 		maxInFlight = flag.Int("max-in-flight", wire.DefaultMaxInFlight,
 			"per-session admission bound for v2 pipelined sessions")
 
+		shedTarget = flag.Duration("shed-target", 0,
+			"queueing-delay target for adaptive load shedding (0 = shedding off)")
+		maxConcurrent = flag.Int("max-concurrent", 0,
+			"server-wide concurrent query bound behind -shed-target (0 = 4×GOMAXPROCS)")
+
 		walDir             = flag.String("wal-dir", "", "write-ahead-log directory for crash-safe model durability (empty = off)")
 		walFsync           = flag.String("wal-fsync", "always", "WAL durability policy: always, interval or never")
 		walForceRecover    = flag.Bool("wal-force-recover", false,
@@ -287,6 +347,18 @@ func run() error {
 		wire.WithPipelineWorkers(*pipeWorkers),
 		wire.WithMaxInFlight(*maxInFlight),
 	}
+	var adm *overload.Admission
+	if *shedTarget > 0 {
+		capacity := *maxConcurrent
+		if capacity <= 0 {
+			capacity = 4 * runtime.GOMAXPROCS(0)
+		}
+		adm = overload.NewAdmission(overload.AdmissionOptions{
+			Target:   *shedTarget,
+			Capacity: capacity,
+		})
+		serverOpts = append(serverOpts, wire.WithAdmission(adm))
+	}
 	if hub != nil {
 		coreOpts = append(coreOpts, core.WithObserver(hub))
 		engineOpts = append(engineOpts, engine.WithObs(hub))
@@ -299,6 +371,19 @@ func run() error {
 		IncrementalLearning: true,
 		FailOpen:            *failOpen,
 	}, coreOpts...)
+
+	// The wire layer enforces per-domain quotas and counts sheds against
+	// the domain a session actually bound to; unknown applications land
+	// on the default domain's controls, like the queries themselves.
+	serverOpts = append(serverOpts, wire.WithOverloadControls(func(app string) *overload.Controls {
+		if d, ok := guard.Domain(app); ok {
+			return d.Overload()
+		}
+		if d, ok := guard.Domain(core.DefaultDomain); ok {
+			return d.Overload()
+		}
+		return nil
+	}))
 
 	domainStores := map[string]string{}
 	if *domains != "" {
@@ -409,14 +494,27 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("obs listen %s: %w", *obsAddr, err)
 		}
-		obsSrv := &http.Server{Handler: obs.Handler(hub, qmDump)}
+		// Readiness flips to 503 while the server drains or the admission
+		// controller is persistently shedding, steering load balancers
+		// away before clients see shed responses.
+		ready := func() (bool, map[string]any) {
+			draining := srv.Draining()
+			shedding := adm.Shedding()
+			return !draining && !shedding, map[string]any{
+				"draining":    draining,
+				"shedding":    shedding,
+				"queue_depth": adm.Depth(),
+				"sheds":       srv.Sheds(),
+			}
+		}
+		obsSrv := &http.Server{Handler: obs.Handler(hub, qmDump, obs.WithHealth(ready))}
 		go func() {
 			if err := obsSrv.Serve(obsLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "septicd: obs server:", err)
 			}
 		}()
 		defer obsSrv.Close()
-		fmt.Printf("septicd: observability on http://%s (/metrics /events /qm /debug/pprof)\n",
+		fmt.Printf("septicd: observability on http://%s (/metrics /events /qm /healthz /debug/pprof)\n",
 			obsLn.Addr())
 	}
 	policy := "fail-closed"

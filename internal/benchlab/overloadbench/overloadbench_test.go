@@ -1,0 +1,58 @@
+package overloadbench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunSweep drives a miniature sweep and holds the fixture to its
+// contract: no untyped errors, overload at 4× is actually shed, and the
+// admitted requests' tail latency does not collapse into the backlog.
+func TestRunSweep(t *testing.T) {
+	rows, err := Run(Params{
+		ServiceTime: time.Millisecond,
+		Gate:        2,
+		Target:      3 * time.Millisecond,
+		Clients:     16,
+		Duration:    300 * time.Millisecond,
+		Multipliers: []int{1, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Errors != 0 {
+			t.Errorf("multiplier %d: %d untyped errors", r.Multiplier, r.Errors)
+		}
+		if r.Sent == 0 || r.Admitted == 0 {
+			t.Errorf("multiplier %d: sent=%d admitted=%d — fixture generated no load",
+				r.Multiplier, r.Sent, r.Admitted)
+		}
+	}
+	over := rows[1]
+	if over.Shed == 0 {
+		t.Error("4× capacity shed nothing — admission ineffective")
+	}
+	if rate := over.ShedRate(); rate >= 1 {
+		t.Errorf("4× shed rate %.2f — nothing admitted under overload", rate)
+	}
+	if over.P99 <= 0 {
+		t.Error("no admitted latency sample at 4×")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	lat := []time.Duration{5, 1, 4, 2, 3}
+	if got := percentile(lat, 0.5); got != 3 {
+		t.Errorf("p50 = %v, want 3", got)
+	}
+	if got := percentile(lat, 0.99); got != 5 {
+		t.Errorf("p99 = %v, want 5", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+}

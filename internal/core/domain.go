@@ -9,6 +9,7 @@ import (
 
 	"github.com/septic-db/septic/internal/engine"
 	"github.com/septic-db/septic/internal/obs"
+	"github.com/septic-db/septic/internal/overload"
 )
 
 // DefaultDomain names the protection domain queries fall into when no
@@ -72,6 +73,16 @@ type Domain struct {
 	attacksFound   atomic.Int64
 	attacksBlocked atomic.Int64
 	guardFaults    atomic.Int64
+
+	// ovl is the domain's overload controls (quota, detection breaker,
+	// shed accounting), shared by value with the wire server so both
+	// layers count against the same object. Never nil — newDomain
+	// installs inert controls, so the hot path's single atomic load
+	// needs no branch.
+	ovl atomic.Pointer[overload.Controls]
+	// brownouts counts verdict-cache misses answered by the fail stance
+	// while the detection breaker was open.
+	brownouts atomic.Int64
 }
 
 // Name returns the domain's registered name ("default" for the default
@@ -136,29 +147,66 @@ func (d *Domain) replayConfig(cfg Config) {
 	d.cfgGen.Add(1)
 }
 
+// SetOverload installs the domain's overload controls (per-domain
+// quota, detection breaker). nil resets to inert controls. The wire
+// server resolves the same Controls per session, so quota enforcement
+// there and the counters reported here are one set of numbers. A
+// breaker's state transitions are logged to the event register and
+// published to the observability hub.
+func (d *Domain) SetOverload(c *overload.Controls) {
+	if c == nil {
+		c = overload.NewControls(nil, nil)
+	}
+	if c.Breaker != nil {
+		c.Breaker.OnStateChange(func(from, to overload.State) { d.noteBreaker(from, to) })
+	}
+	d.ovl.Store(c)
+}
+
+// Overload returns the domain's overload controls; never nil.
+func (d *Domain) Overload() *overload.Controls { return d.ovl.Load() }
+
+// noteBreaker records one detection-breaker transition — brownout entry
+// and recovery are operator-grade events, unlike the per-query brownout
+// outcomes (which only count, so an open breaker under flood cannot
+// flood the register too).
+func (d *Domain) noteBreaker(from, to overload.State) {
+	detail := fmt.Sprintf("detection breaker %s -> %s", from, to)
+	d.sep.logger.Log(Event{Kind: EventOverload, Domain: d.name, Detail: detail})
+	d.sep.obs.Publish(obs.Event{Kind: obs.KindOverload,
+		Detail: "domain " + d.name + ": " + detail})
+}
+
 // Stats snapshots this domain's work counters. The dependent counter is
 // read before its antecedent (blocked before found before seen) so the
 // invariants AttacksBlocked ≤ AttacksFound ≤ QueriesSeen hold in every
-// snapshot; see Septic.Stats for the full argument.
+// snapshot; see Septic.Stats for the full argument. The overload
+// counters are independent of that chain and carry no cross-invariant.
 func (d *Domain) Stats() Stats {
 	blocked := d.attacksBlocked.Load()
 	found := d.attacksFound.Load()
 	faults := d.guardFaults.Load()
 	learned := d.modelsLearned.Load()
 	seen := d.queriesSeen.Load()
+	ctl := d.ovl.Load()
 	return Stats{
 		QueriesSeen:    seen,
 		ModelsLearned:  learned,
 		AttacksFound:   found,
 		AttacksBlocked: blocked,
 		GuardFaults:    faults,
-		Cache:          d.verdicts.stats(),
+		Shed:           ctl.Sheds(),
+		QuotaRejected:  ctl.QuotaRejected(),
+		BreakerTrips:   ctl.BreakerTrips(),
+		Cache:          d.CacheStats(),
 	}
 }
 
 // CacheStats returns the domain's verdict-cache counters alone.
 func (d *Domain) CacheStats() CacheStats {
-	return d.verdicts.stats()
+	cs := d.verdicts.stats()
+	cs.Brownouts = d.brownouts.Load()
+	return cs
 }
 
 // validDomainName reports whether name can be registered: non-empty, not
@@ -303,6 +351,10 @@ func (s *Septic) registerDomainGauges(d *Domain) {
 	m.GaugeFunc(prefix+"attacks_found", d.attacksFound.Load)
 	m.GaugeFunc(prefix+"attacks_blocked", d.attacksBlocked.Load)
 	m.GaugeFunc(prefix+"guard_faults", d.guardFaults.Load)
+	m.GaugeFunc(prefix+"shed", func() int64 { return d.ovl.Load().Sheds() })
+	m.GaugeFunc(prefix+"quota_rejected", func() int64 { return d.ovl.Load().QuotaRejected() })
+	m.GaugeFunc(prefix+"breaker_trips", func() int64 { return d.ovl.Load().BreakerTrips() })
+	m.GaugeFunc(prefix+"brownouts", d.brownouts.Load)
 	m.GaugeFunc(prefix+"store.identifiers", func() int64 { return int64(d.store.Len()) })
 	m.GaugeFunc(prefix+"store.models", func() int64 { return int64(d.store.ModelCount()) })
 	m.GaugeFunc(prefix+"verdict_cache.hits", func() int64 { return d.verdicts.stats().Hits })

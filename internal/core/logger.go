@@ -63,6 +63,10 @@ const (
 	// Detail carries the cause; the mutation's fate is operation-specific
 	// (see Store.Put vs Store.Delete).
 	EventDurability
+	// EventOverload: the domain's detection circuit breaker changed
+	// state (brownout entry, half-open probe, recovery). Detail names
+	// the transition.
+	EventOverload
 )
 
 var eventKindNames = map[EventKind]string{
@@ -77,6 +81,7 @@ var eventKindNames = map[EventKind]string{
 
 	EventDomainRegistered: "domain-registered",
 	EventDurability:       "durability",
+	EventOverload:         "overload",
 }
 
 // String names the event kind as the demo display prints it.

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/septic-db/septic/internal/engine"
+	"github.com/septic-db/septic/internal/faultinject"
+	"github.com/septic-db/septic/internal/overload"
+)
+
+// brownoutGuard trains one benign SELECT skeleton, switches to
+// prevention, warms the verdict cache with it, and arms a fast-tripping
+// detection breaker on the default domain.
+func brownoutGuard(t *testing.T, failOpen bool) (*Septic, *Domain, *engine.DB) {
+	t.Helper()
+	guard := New(Config{Mode: ModeTraining})
+	db := engine.New(engine.WithQueryHook(guard))
+	if _, err := db.Exec("CREATE TABLE t (id INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("SELECT id FROM t WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	guard.SetConfig(Config{Mode: ModePrevention, DetectSQLI: true, FailOpen: failOpen})
+	d, ok := guard.Domain(DefaultDomain)
+	if !ok {
+		t.Fatal("no default domain")
+	}
+	d.SetOverload(overload.NewControls(nil, overload.NewBreaker(overload.BreakerOptions{
+		Window:      time.Second,
+		Buckets:     4,
+		FailureRate: 0.5,
+		MinSamples:  3,
+		Cooldown:    50 * time.Millisecond,
+	})))
+	// Warm the verdict cache: the trained skeleton's benign verdict.
+	if _, err := db.Exec("SELECT id FROM t WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	return guard, d, db
+}
+
+// tripBrownoutBreaker panics the detector (armed until t.Cleanup) and
+// drives guard faults through cache misses until the breaker opens.
+func tripBrownoutBreaker(t *testing.T, d *Domain, db *engine.DB) {
+	t.Helper()
+	faultinject.Arm(func(site string) {
+		if site == faultinject.SiteCoreDetect {
+			panic("overload test: detector down")
+		}
+	})
+	t.Cleanup(faultinject.Disarm)
+	// Each exec misses the cache (contained faults are never cached),
+	// faults in detection, and books one breaker failure.
+	for i := 0; i < 3; i++ {
+		_, _ = db.Exec("SELECT id FROM t WHERE id = 1 OR 1 = 1")
+	}
+	if got := d.Overload().Breaker.State(); got != overload.Open {
+		t.Fatalf("breaker %v after %d faults, want open", got, 3)
+	}
+}
+
+func TestBrownoutFailClosedBlocksMissesServesHits(t *testing.T) {
+	guard, d, db := brownoutGuard(t, false)
+	tripBrownoutBreaker(t, d, db)
+	faultsAtTrip := guard.Stats().GuardFaults
+
+	// Brownout, fail-closed: a cache miss is refused without running the
+	// (still faulted) pipeline — GuardFaults must not grow.
+	_, err := db.Exec("SELECT id FROM t WHERE id = 2 OR 1 = 1")
+	if !errors.Is(err, engine.ErrQueryBlocked) {
+		t.Fatalf("brownout miss: err = %v, want ErrQueryBlocked", err)
+	}
+	if got := guard.Stats().GuardFaults; got != faultsAtTrip {
+		t.Errorf("brownout ran the faulted pipeline: GuardFaults %d -> %d", faultsAtTrip, got)
+	}
+	// The cached benign verdict keeps being served during the brownout.
+	if _, err := db.Exec("SELECT id FROM t WHERE id = 1"); err != nil {
+		t.Fatalf("cached verdict refused during brownout: %v", err)
+	}
+	if got := d.CacheStats().Brownouts; got == 0 {
+		t.Error("brownout outcome not counted")
+	}
+	if got := d.Stats().BreakerTrips; got != 1 {
+		t.Errorf("BreakerTrips = %d, want 1", got)
+	}
+
+	// Recovery: the detector heals, the cooldown elapses, and the
+	// half-open probe (a real pipeline run) closes the breaker.
+	faultinject.Disarm()
+	time.Sleep(60 * time.Millisecond)
+	// Invalidate the cache so the probe is a genuine miss.
+	guard.SetConfig(Config{Mode: ModePrevention, DetectSQLI: true})
+	if _, err := db.Exec("SELECT id FROM t WHERE id = 1"); err != nil {
+		t.Fatalf("half-open probe failed: %v", err)
+	}
+	if got := d.Overload().Breaker.State(); got != overload.Closed {
+		t.Fatalf("breaker %v after successful probe, want closed", got)
+	}
+	if got := d.Stats().BreakerTrips; got != 1 {
+		t.Errorf("BreakerTrips = %d after recovery, want 1", got)
+	}
+	// Brownout entry and recovery are operator events.
+	var transitions int
+	for _, e := range guard.Logger().Events() {
+		if e.Kind == EventOverload {
+			transitions++
+		}
+	}
+	if transitions < 3 { // closed>open, open>half-open, half-open>closed
+		t.Errorf("logged %d overload transitions, want >= 3", transitions)
+	}
+}
+
+func TestBrownoutFailOpenAdmitsMisses(t *testing.T) {
+	guard, d, db := brownoutGuard(t, true)
+	tripBrownoutBreaker(t, d, db)
+	faultsAtTrip := guard.Stats().GuardFaults
+
+	// Brownout, fail-open: the miss is admitted undetected rather than
+	// refused — availability over strictness, per the domain's policy.
+	if _, err := db.Exec("SELECT id FROM t WHERE id = 2 OR 1 = 1"); err != nil {
+		t.Fatalf("fail-open brownout must admit: %v", err)
+	}
+	if got := guard.Stats().GuardFaults; got != faultsAtTrip {
+		t.Errorf("brownout ran the faulted pipeline: GuardFaults %d -> %d", faultsAtTrip, got)
+	}
+	if got := d.CacheStats().Brownouts; got == 0 {
+		t.Error("brownout outcome not counted")
+	}
+}
+
+// TestChaosOverloadStatsTornRead hammers the overload counters from
+// writer goroutines while readers snapshot Stats — the counters are
+// independent atomics, so the snapshot must never tear under -race and
+// the final tallies must be exact.
+func TestChaosOverloadStatsTornRead(t *testing.T) {
+	guard := New(Config{Mode: ModeTraining})
+	d, ok := guard.Domain(DefaultDomain)
+	if !ok {
+		t.Fatal("no default domain")
+	}
+	ctl := overload.NewControls(
+		overload.NewQuota(overload.QuotaSpec{MaxInFlight: 2}),
+		overload.NewBreaker(overload.BreakerOptions{
+			FailureRate: 0.99, MinSamples: 1 << 30, // never trips
+		}))
+	d.SetOverload(ctl)
+
+	const writers, rounds = 8, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := guard.Stats()
+				if s.Shed < 0 || s.QuotaRejected < 0 || s.BreakerTrips < 0 {
+					t.Error("negative counter in snapshot")
+					return
+				}
+				_ = d.Stats()
+				_ = d.CacheStats()
+			}
+		}()
+	}
+	var work sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		work.Add(1)
+		go func(seed int) {
+			defer work.Done()
+			q := ctl.Quota
+			for n := 0; n < rounds; n++ {
+				ctl.NoteShed()
+				if ok, _ := q.Acquire(); ok {
+					q.Release()
+				}
+				ctl.Breaker.RecordResult(seed%2 == 0, 0)
+			}
+		}(i)
+	}
+	work.Wait()
+	close(stop)
+	wg.Wait()
+
+	if got := guard.Stats().Shed; got != writers*rounds {
+		t.Errorf("Shed = %d, want %d", got, writers*rounds)
+	}
+	if got := ctl.Quota.InFlight(); got != 0 {
+		t.Errorf("in-flight = %d after drain, want 0", got)
+	}
+	if got := guard.Stats().BreakerTrips; got != 0 {
+		t.Errorf("BreakerTrips = %d, want 0", got)
+	}
+}

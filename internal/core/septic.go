@@ -10,6 +10,7 @@ import (
 	"github.com/septic-db/septic/internal/engine"
 	"github.com/septic-db/septic/internal/faultinject"
 	"github.com/septic-db/septic/internal/obs"
+	"github.com/septic-db/septic/internal/overload"
 	"github.com/septic-db/septic/internal/qstruct"
 )
 
@@ -89,6 +90,14 @@ type Stats struct {
 	AttacksBlocked int64
 	// GuardFaults counts contained panics in the protection path.
 	GuardFaults int64
+	// Shed counts requests the shared admission controller rejected on
+	// this domain's behalf (typed shed responses, wire layer).
+	Shed int64
+	// QuotaRejected counts requests the domain's own quota refused.
+	QuotaRejected int64
+	// BreakerTrips counts how many times the domain's detection breaker
+	// opened (brownout entries).
+	BreakerTrips int64
 	// Cache reports verdict-cache effectiveness.
 	Cache CacheStats
 }
@@ -100,6 +109,9 @@ func (s *Stats) add(o Stats) {
 	s.AttacksFound += o.AttacksFound
 	s.AttacksBlocked += o.AttacksBlocked
 	s.GuardFaults += o.GuardFaults
+	s.Shed += o.Shed
+	s.QuotaRejected += o.QuotaRejected
+	s.BreakerTrips += o.BreakerTrips
 	s.Cache.add(o.Cache)
 }
 
@@ -253,6 +265,7 @@ func (s *Septic) newDomain(name string, cfg Config, store *Store) *Domain {
 	d := &Domain{name: name, sep: s, store: store,
 		verdicts: newVerdictCache(s.verdictCap)}
 	d.cfg.Store(&cfg)
+	d.ovl.Store(overload.NewControls(nil, nil))
 	if s.obs != nil {
 		store.SetObserver(s.obs)
 		d.verdicts.setObserver(s.obs)
@@ -362,9 +375,18 @@ var stackPool = sync.Pool{
 // and converted into an error (fail-closed, the default) or a logged
 // admission (fail-open) per the DOMAIN's policy — it never unwinds into
 // the engine and takes the session or the server down. See
-// Config.FailOpen. The containment shell and the pipeline live in one
-// function body: splitting them costs an extra call on the cached-hit
-// path, which is measured in single nanoseconds (BenchmarkHookCached).
+// Config.FailOpen.
+//
+// When the domain carries a detection circuit breaker (SetOverload), it
+// gates the MISS path only: contained guard faults and slow pipeline
+// runs feed its rolling window, and while it is open a miss is answered
+// by the domain's brownout stance (see brownout) instead of running
+// detection. The cached-hit path stays in this function body, before
+// the breaker check, so known-benign traffic is served throughout a
+// brownout and the hit path's cost is unchanged — zero overload work,
+// preserving BenchmarkHookCached's 0-alloc, single-digit-ns profile.
+// The miss pipeline lives in runMiss; the extra call is nanoseconds
+// against a pipeline measured in hundreds.
 func (s *Septic) BeforeExecute(ctx *engine.HookContext) (err error) {
 	// Domain routing runs outside the containment shell: it is a map
 	// lookup plus byte scans over a bounded comment — no panic surface —
@@ -405,8 +427,49 @@ func (s *Septic) BeforeExecute(ctx *engine.HookContext) (err error) {
 			}
 			return nil
 		}
+		// Verdict-cache miss: the full pipeline is about to run. The
+		// domain's breaker — one atomic pointer load plus, when armed,
+		// one atomic state load — decides whether it may.
+		if brk := d.ovl.Load().Breaker; brk != nil {
+			if !brk.Allow() {
+				return s.brownout(d, cfg)
+			}
+			start := time.Now()
+			err := s.runMiss(d, ctx, cfg, cfgGen, storeGen, obsStart)
+			// A blocked attack is a SUCCESSFUL pipeline run; failures
+			// reach the breaker through containFault (panics), and slow
+			// runs through the elapsed time.
+			brk.RecordResult(false, time.Since(start))
+			return err
+		}
 	}
+	return s.runMiss(d, ctx, cfg, cfgGen, storeGen, obsStart)
+}
 
+// brownout answers a verdict-cache miss while the domain's detection
+// breaker is open: detection does not run, nothing is learned or
+// cached, and the domain's fail stance decides the query's fate —
+// fail-open admits it unchecked (availability over protection),
+// fail-closed (the default) blocks it, wrapping engine.ErrQueryBlocked
+// so the engine books it as a block. Cache hits never reach here (the
+// lookup precedes the breaker), so known-benign traffic is served from
+// the verdict cache for the whole brownout.
+func (s *Septic) brownout(d *Domain, cfg Config) error {
+	d.brownouts.Add(1)
+	if cfg.FailOpen {
+		return nil
+	}
+	return fmt.Errorf("%w: septic brownout (fail-closed): detection pipeline circuit open",
+		engine.ErrQueryBlocked)
+}
+
+// runMiss is the full pipeline behind the verdict cache: ID generation,
+// training/incremental learning, store lookup, and detection. Split
+// from BeforeExecute so the breaker can time one complete run; it
+// executes under BeforeExecute's containment shell (a panic here
+// unwinds to containFault, which also books the breaker failure).
+func (s *Septic) runMiss(d *Domain, ctx *engine.HookContext, cfg Config,
+	cfgGen, storeGen uint64, obsStart time.Time) error {
 	id := s.idgen.ID(ctx.Stmt, ctx.Comments)
 
 	if cfg.Mode == ModeTraining {
@@ -494,6 +557,10 @@ func (s *Septic) observeFull(start time.Time) {
 // block) and fail-open admits it.
 func (s *Septic) containFault(d *Domain, ctx *engine.HookContext, r any) error {
 	d.guardFaults.Add(1)
+	// A contained fault is a detection-pipeline failure: the domain's
+	// breaker (if any) counts it toward the trip rate, so a faulting
+	// pipeline browns out instead of panicking per-query forever.
+	d.ovl.Load().Breaker.RecordResult(true, 0)
 	cfg := *d.cfg.Load()
 	policy := "fail-closed"
 	if cfg.FailOpen {

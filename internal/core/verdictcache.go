@@ -70,6 +70,10 @@ type CacheStats struct {
 	Invalidations int64
 	// Entries is the current number of cached verdicts.
 	Entries int
+	// Brownouts counts the subset of Misses answered by the domain's
+	// fail policy instead of the detection pipeline because the
+	// detection breaker was open (cache hits keep being served).
+	Brownouts int64
 }
 
 // add accumulates another snapshot (per-domain partition aggregation).
@@ -79,6 +83,7 @@ func (s *CacheStats) add(o CacheStats) {
 	s.Evictions += o.Evictions
 	s.Invalidations += o.Invalidations
 	s.Entries += o.Entries
+	s.Brownouts += o.Brownouts
 }
 
 // newVerdictCache builds a cache bounded to capacity entries; capacity 0

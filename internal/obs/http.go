@@ -9,6 +9,21 @@ import (
 	"strings"
 )
 
+// HandlerOption customizes the introspection mux built by Handler.
+type HandlerOption func(*handlerOptions)
+
+type handlerOptions struct {
+	health func() (bool, map[string]any)
+}
+
+// WithHealth registers a /healthz readiness endpoint. ready reports
+// whether the process should receive traffic plus a detail map rendered
+// in the body; not-ready is served as 503 so load balancers drain the
+// instance while operators still see why (draining, shedding, …).
+func WithHealth(ready func() (ok bool, detail map[string]any)) HandlerOption {
+	return func(o *handlerOptions) { o.health = ready }
+}
+
 // Handler builds the introspection endpoint mux over a hub:
 //
 //	/metrics        — metrics snapshot as JSON; ?format=prometheus for
@@ -19,13 +34,20 @@ import (
 //	                  learned" view); served only when qmDump != nil.
 //	                  ?domain=NAME selects one protection domain's
 //	                  partition (no parameter = the default domain)
+//	/healthz        — readiness probe (with WithHealth): 200 when the
+//	                  process should receive traffic, 503 otherwise,
+//	                  JSON detail either way
 //	/debug/pprof/…  — the standard runtime profiles
 //
 // qmDump returns a JSON-serializable view of the named protection
 // domain's learned model store, or nil when no such domain exists
 // (rendered as 404); the empty name means the default domain. It is
 // injected as a closure so obs stays dependency-free.
-func Handler(h *Hub, qmDump func(domain string) any) http.Handler {
+func Handler(h *Hub, qmDump func(domain string) any, opts ...HandlerOption) http.Handler {
+	var ho handlerOptions
+	for _, opt := range opts {
+		opt(&ho)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		snap := h.Metrics.Snapshot()
@@ -61,6 +83,22 @@ func Handler(h *Hub, qmDump func(domain string) any) http.Handler {
 				return
 			}
 			writeJSON(w, dump)
+		})
+	}
+	if ho.health != nil {
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			ok, detail := ho.health()
+			body := map[string]any{"ready": ok}
+			for k, v := range detail {
+				body[k] = v
+			}
+			w.Header().Set("Content-Type", "application/json")
+			if !ok {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(body)
 		})
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -25,6 +25,9 @@ const (
 	// KindWAL: a durability event — recovery completed, a checkpoint was
 	// taken, or a write-ahead-log append failed.
 	KindWAL = "wal"
+	// KindOverload: an overload-control event — a domain's detection
+	// breaker changed state (brownout entry, probe, recovery).
+	KindOverload = "overload"
 )
 
 // Event is one structured observability record. Unlike the core

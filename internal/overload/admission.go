@@ -1,0 +1,218 @@
+package overload
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// AdmissionOptions configures the latency-aware admission controller.
+type AdmissionOptions struct {
+	// Target is the queue-delay budget: when the estimated time a new
+	// arrival would wait for an execution slot exceeds it, the arrival
+	// is shed. Defaults to 5ms.
+	Target time.Duration
+	// Interval is the CoDel-style persistence window: measured sojourns
+	// must stay above Target for a full Interval before the controller
+	// enters its sticky shedding state (which halves the admission bound
+	// until a sojourn dips back under Target). Defaults to 100ms.
+	Interval time.Duration
+	// Capacity is the number of requests the server executes
+	// concurrently behind the admission queue — the denominator of the
+	// queue-delay estimate, and the size the server gives its execution
+	// gate. Defaults to 4.
+	Capacity int
+}
+
+// Admission is a latency-aware admission controller in the CoDel
+// family: it tracks how long admitted work actually waits for an
+// execution slot (the sojourn) and sheds the newest arrivals when the
+// queue delay exceeds a target.
+//
+// Two signals combine:
+//
+//   - A queue-delay estimate, depth x EWMA(service time) / capacity,
+//     checked at every arrival. This bounds admitted queueing delay by
+//     construction: an arrival that would wait longer than Target is
+//     shed immediately, so admitted latency stays near Target + one
+//     service time even at many multiples of capacity.
+//   - A CoDel-style persistence detector fed by measured sojourns: when
+//     sojourns stay above Target for a full Interval the controller
+//     enters a sticky shedding state that halves the admission bound,
+//     draining the standing queue instead of hovering at the limit. One
+//     sojourn back under Target clears it.
+//
+// Shed work must be answered with a typed response carrying the
+// RetryAfter hint — never silently dropped (the client contract in
+// wire depends on it). All methods are safe for concurrent use and
+// nil-safe.
+type Admission struct {
+	targetNS int64
+	interval time.Duration
+	capacity int64
+
+	depth    atomic.Int64 // admitted, not yet completed
+	ewmaNS   atomic.Int64 // smoothed per-request service time
+	shedding atomic.Bool  // sticky CoDel state
+	above    atomic.Bool  // a sojourn streak above target is running
+	sheds    atomic.Int64
+
+	mu         sync.Mutex // guards firstAbove
+	firstAbove time.Time
+
+	now func() time.Time // injectable clock for tests
+}
+
+// NewAdmission builds an admission controller; zero option fields take
+// the documented defaults.
+func NewAdmission(opts AdmissionOptions) *Admission {
+	if opts.Target <= 0 {
+		opts.Target = 5 * time.Millisecond
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = 100 * time.Millisecond
+	}
+	if opts.Capacity <= 0 {
+		opts.Capacity = 4
+	}
+	return &Admission{
+		targetNS: opts.Target.Nanoseconds(),
+		interval: opts.Interval,
+		capacity: int64(opts.Capacity),
+		now:      time.Now,
+	}
+}
+
+// Arrive decides one arrival. Admitted work MUST later call Done (or
+// Cancel if it never reaches execution); shed work must not. On a shed,
+// retryAfter is the backoff hint to relay to the client.
+func (a *Admission) Arrive() (admit bool, retryAfter time.Duration) {
+	if a == nil {
+		return true, 0
+	}
+	est := a.depth.Load() * a.ewmaNS.Load() / a.capacity
+	limit := a.targetNS
+	if a.shedding.Load() {
+		// Sticky state: shed down to half the budget so the standing
+		// queue actually drains rather than oscillating at the limit.
+		limit /= 2
+	}
+	if est > limit {
+		a.sheds.Add(1)
+		// Hint: the time for the estimated excess to drain, floored at
+		// the persistence interval so a herd of shed clients spreads
+		// out over at least one control period.
+		hint := time.Duration(est - limit)
+		if hint < a.interval {
+			hint = a.interval
+		}
+		return false, clampRetryAfter(hint)
+	}
+	a.depth.Add(1)
+	return true, 0
+}
+
+// Done completes one admitted request: sojourn is the time it waited
+// for an execution slot, service the time it spent executing.
+func (a *Admission) Done(sojourn, service time.Duration) {
+	if a == nil {
+		return
+	}
+	a.depth.Add(-1)
+	s := service.Nanoseconds()
+	if s < 0 {
+		s = 0
+	}
+	// EWMA with alpha 1/8; seeded by the first sample so the controller
+	// is live from the first completion instead of warming up from zero.
+	for {
+		old := a.ewmaNS.Load()
+		next := s
+		if old != 0 {
+			next = old + (s-old)/8
+		}
+		if a.ewmaNS.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	a.observe(sojourn)
+}
+
+// Cancel abandons one admitted request that never reached execution
+// (server shutdown between admission and dispatch).
+func (a *Admission) Cancel() {
+	if a == nil {
+		return
+	}
+	a.depth.Add(-1)
+}
+
+// observe feeds one measured sojourn to the persistence detector. The
+// healthy path — below target, no streak running — is two atomic loads
+// and no lock.
+func (a *Admission) observe(sojourn time.Duration) {
+	below := sojourn.Nanoseconds() < a.targetNS
+	if below && !a.above.Load() && !a.shedding.Load() {
+		return
+	}
+	now := a.now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if below {
+		a.firstAbove = time.Time{}
+		a.above.Store(false)
+		a.shedding.Store(false)
+		return
+	}
+	if a.firstAbove.IsZero() {
+		a.firstAbove = now
+		a.above.Store(true)
+		return
+	}
+	if now.Sub(a.firstAbove) >= a.interval {
+		a.shedding.Store(true)
+	}
+}
+
+// Capacity is the concurrency the controller assumes behind the queue;
+// the server sizes its execution gate with it.
+func (a *Admission) Capacity() int {
+	if a == nil {
+		return 0
+	}
+	return int(a.capacity)
+}
+
+// Depth reports requests admitted and not yet completed.
+func (a *Admission) Depth() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.depth.Load()
+}
+
+// Sheds reports the total arrivals shed.
+func (a *Admission) Sheds() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.sheds.Load()
+}
+
+// Shedding reports whether the sticky persistence state is active — the
+// signal /healthz uses to fail readiness while overloaded.
+func (a *Admission) Shedding() bool {
+	if a == nil {
+		return false
+	}
+	return a.shedding.Load()
+}
+
+// EstimatedDelay is the current queue-delay estimate a new arrival
+// would face (exported as a gauge).
+func (a *Admission) EstimatedDelay() time.Duration {
+	if a == nil {
+		return 0
+	}
+	return time.Duration(a.depth.Load() * a.ewmaNS.Load() / a.capacity)
+}

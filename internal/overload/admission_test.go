@@ -1,0 +1,181 @@
+package overload
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic control-law
+// tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1000, 0)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestAdmissionNilSafe(t *testing.T) {
+	var a *Admission
+	if ok, _ := a.Arrive(); !ok {
+		t.Fatal("nil admission must admit")
+	}
+	a.Done(time.Second, time.Second)
+	a.Cancel()
+	if a.Shedding() || a.Depth() != 0 || a.Sheds() != 0 || a.Capacity() != 0 {
+		t.Fatal("nil accessors must be zero")
+	}
+}
+
+func TestAdmissionAdmitsWhenIdle(t *testing.T) {
+	a := NewAdmission(AdmissionOptions{Target: 5 * time.Millisecond, Capacity: 2})
+	for i := 0; i < 100; i++ {
+		ok, _ := a.Arrive()
+		if !ok {
+			t.Fatalf("arrival %d shed with zero service history", i)
+		}
+		a.Done(0, time.Millisecond)
+	}
+	if a.Sheds() != 0 {
+		t.Fatalf("sheds = %d, want 0", a.Sheds())
+	}
+}
+
+// TestAdmissionShedsOnEstimatedDelay drives the EWMA to a known service
+// time, stacks up depth without completing, and checks the arrival
+// bound: depth x service / capacity > target => shed with a hint.
+func TestAdmissionShedsOnEstimatedDelay(t *testing.T) {
+	a := NewAdmission(AdmissionOptions{Target: 5 * time.Millisecond, Capacity: 2})
+	// Seed the EWMA at 2ms service time.
+	for i := 0; i < 64; i++ {
+		if ok, _ := a.Arrive(); !ok {
+			t.Fatal("unexpected shed while seeding")
+		}
+		a.Done(0, 2*time.Millisecond)
+	}
+	// Capacity 2, service 2ms: estimated delay crosses 5ms past depth 5.
+	admitted := 0
+	var retry time.Duration
+	for i := 0; i < 20; i++ {
+		ok, ra := a.Arrive()
+		if !ok {
+			retry = ra
+			break
+		}
+		admitted++
+	}
+	if admitted < 3 || admitted > 8 {
+		t.Fatalf("admitted %d before shedding, want ~5-6", admitted)
+	}
+	if retry <= 0 {
+		t.Fatalf("shed without retry-after hint")
+	}
+	if a.Sheds() == 0 {
+		t.Fatal("shed counter not incremented")
+	}
+	if a.EstimatedDelay() <= 0 {
+		t.Fatal("estimated delay should be positive with standing depth")
+	}
+	// Draining the queue restores admission.
+	for i := 0; i < admitted; i++ {
+		a.Done(0, 2*time.Millisecond)
+	}
+	if ok, _ := a.Arrive(); !ok {
+		t.Fatal("arrival shed after queue drained")
+	}
+	a.Cancel()
+}
+
+// TestAdmissionCoDelStickyState checks the persistence detector:
+// sojourns above target for a full interval flip the sticky shedding
+// state (halving the bound), and one sojourn below target clears it.
+func TestAdmissionCoDelStickyState(t *testing.T) {
+	clk := newFakeClock()
+	a := NewAdmission(AdmissionOptions{
+		Target:   5 * time.Millisecond,
+		Interval: 100 * time.Millisecond,
+		Capacity: 2,
+	})
+	a.now = clk.now
+
+	bad := 10 * time.Millisecond
+	// First bad sojourn starts the streak, does not yet shed.
+	a.depth.Add(1)
+	a.Done(bad, time.Millisecond)
+	if a.Shedding() {
+		t.Fatal("one bad sojourn must not enter shedding")
+	}
+	// Still inside the interval: no state change.
+	clk.advance(50 * time.Millisecond)
+	a.depth.Add(1)
+	a.Done(bad, time.Millisecond)
+	if a.Shedding() {
+		t.Fatal("streak shorter than interval must not enter shedding")
+	}
+	// Past the interval: sticky state engages.
+	clk.advance(60 * time.Millisecond)
+	a.depth.Add(1)
+	a.Done(bad, time.Millisecond)
+	if !a.Shedding() {
+		t.Fatal("sustained above-target sojourns must enter shedding")
+	}
+	// One good sojourn clears it.
+	a.depth.Add(1)
+	a.Done(time.Millisecond, time.Millisecond)
+	if a.Shedding() {
+		t.Fatal("below-target sojourn must clear shedding")
+	}
+}
+
+// TestAdmissionSheddingHalvesBound verifies the sticky state tightens
+// the arrival bound to target/2.
+func TestAdmissionSheddingHalvesBound(t *testing.T) {
+	a := NewAdmission(AdmissionOptions{Target: 8 * time.Millisecond, Capacity: 1})
+	a.ewmaNS.Store((2 * time.Millisecond).Nanoseconds())
+	a.depth.Store(3) // est delay 6ms: under 8ms target, over the halved 4ms
+	if ok, _ := a.Arrive(); !ok {
+		t.Fatal("6ms estimate must pass the 8ms bound")
+	}
+	a.depth.Store(3)
+	a.shedding.Store(true)
+	if ok, _ := a.Arrive(); ok {
+		t.Fatal("6ms estimate must fail the halved 4ms bound while shedding")
+	}
+}
+
+func TestChaosAdmissionConcurrent(t *testing.T) {
+	a := NewAdmission(AdmissionOptions{Target: time.Millisecond, Capacity: 4})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if ok, ra := a.Arrive(); ok {
+					a.Done(time.Duration(i%3)*time.Millisecond, 50*time.Microsecond)
+				} else if ra <= 0 {
+					t.Error("shed without hint")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if d := a.Depth(); d != 0 {
+		t.Fatalf("depth %d after all requests completed, want 0", d)
+	}
+}

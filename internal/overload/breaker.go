@@ -1,0 +1,284 @@
+package overload
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is a circuit breaker state.
+type State int32
+
+const (
+	// Closed: detection runs normally; outcomes feed the rolling window.
+	Closed State = iota
+	// Open: detection is browned out; callers apply the domain's
+	// fail-open/fail-closed stance instead of running the pipeline.
+	Open
+	// HalfOpen: the cooldown elapsed; a bounded number of probe
+	// requests run detection for real to test recovery.
+	HalfOpen
+)
+
+// String names the state for logs and gauges.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerOptions configures a circuit breaker. Zero fields take the
+// documented defaults.
+type BreakerOptions struct {
+	// Window is the rolling window over which the failure rate is
+	// measured. Defaults to 10s.
+	Window time.Duration
+	// Buckets is how many slices the window is divided into; more
+	// buckets age out old outcomes more smoothly. Defaults to 10.
+	Buckets int
+	// FailureRate in [0,1] trips the breaker when the windowed share of
+	// failures reaches it. Defaults to 0.5.
+	FailureRate float64
+	// MinSamples is the minimum windowed outcome count before the rate
+	// is trusted — a single failure on a quiet domain must not trip.
+	// Defaults to 20.
+	MinSamples int64
+	// Cooldown is how long an open breaker waits before letting
+	// half-open probes through. Defaults to 5s.
+	Cooldown time.Duration
+	// SlowCall, when > 0, counts successful calls slower than this as
+	// failures (a timing-out detector is as harmful as a failing one).
+	SlowCall time.Duration
+	// HalfOpenProbes is how many concurrent probes half-open admits.
+	// Defaults to 1.
+	HalfOpenProbes int
+}
+
+// Breaker is a circuit breaker around the detection pipeline of one
+// protection domain: it measures the rolling-window failure (and
+// slow-call) rate of guarded calls, opens when the rate trips, and
+// recovers through half-open probes. While open the domain is in
+// brownout — core serves verdict-cache hits as usual and applies the
+// domain's fail-open/fail-closed stance to misses.
+//
+// Allow on a closed breaker is one atomic load, so an armed-but-healthy
+// breaker adds no measurable cost to the detection path. Methods are
+// safe for concurrent use and nil-safe.
+type Breaker struct {
+	opts  BreakerOptions
+	slice time.Duration // window / buckets
+
+	state    atomic.Int32
+	trips    atomic.Int64
+	openedAt atomic.Int64 // UnixNano of the last trip
+	probes   atomic.Int64 // remaining half-open probe budget
+
+	onChange atomic.Pointer[func(from, to State)]
+
+	mu      sync.Mutex
+	buckets []breakerBucket
+
+	now func() time.Time // injectable clock for tests
+}
+
+// breakerBucket is one window slice, tagged with the epoch (absolute
+// slice index) it belongs to so stale buckets age out lazily.
+type breakerBucket struct {
+	epoch      int64
+	succ, fail int64
+}
+
+// NewBreaker builds a breaker; zero option fields take defaults.
+func NewBreaker(opts BreakerOptions) *Breaker {
+	if opts.Window <= 0 {
+		opts.Window = 10 * time.Second
+	}
+	if opts.Buckets <= 0 {
+		opts.Buckets = 10
+	}
+	if opts.FailureRate <= 0 || opts.FailureRate > 1 {
+		opts.FailureRate = 0.5
+	}
+	if opts.MinSamples <= 0 {
+		opts.MinSamples = 20
+	}
+	if opts.Cooldown <= 0 {
+		opts.Cooldown = 5 * time.Second
+	}
+	if opts.HalfOpenProbes <= 0 {
+		opts.HalfOpenProbes = 1
+	}
+	return &Breaker{
+		opts:    opts,
+		slice:   opts.Window / time.Duration(opts.Buckets),
+		buckets: make([]breakerBucket, opts.Buckets),
+		now:     time.Now,
+	}
+}
+
+// OnStateChange installs a transition callback, invoked outside the
+// breaker's locks as (from, to). Core uses it to log brownout entry and
+// recovery without the breaker depending on any logging layer.
+func (b *Breaker) OnStateChange(f func(from, to State)) {
+	if b == nil {
+		return
+	}
+	b.onChange.Store(&f)
+}
+
+func (b *Breaker) notify(from, to State) {
+	if f := b.onChange.Load(); f != nil {
+		(*f)(from, to)
+	}
+}
+
+// Allow reports whether a guarded call may run detection. Closed is one
+// atomic load. Open flips to half-open once the cooldown elapses; in
+// half-open a bounded probe budget is handed out. A true return MUST be
+// followed by RecordResult for the call.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	switch State(b.state.Load()) {
+	case Closed:
+		return true
+	case Open:
+		if b.now().UnixNano()-b.openedAt.Load() < int64(b.opts.Cooldown) {
+			return false
+		}
+		if b.state.CompareAndSwap(int32(Open), int32(HalfOpen)) {
+			b.probes.Store(int64(b.opts.HalfOpenProbes))
+			b.notify(Open, HalfOpen)
+		}
+		return b.takeProbe()
+	default:
+		return b.takeProbe()
+	}
+}
+
+// takeProbe claims one half-open probe slot.
+func (b *Breaker) takeProbe() bool {
+	if State(b.state.Load()) != HalfOpen {
+		// Raced with a transition; closed admits, open refuses.
+		return State(b.state.Load()) == Closed
+	}
+	if b.probes.Add(-1) >= 0 {
+		return true
+	}
+	b.probes.Add(1) // undo: keep the budget from drifting unboundedly
+	return false
+}
+
+// RecordResult reports the outcome of a guarded call admitted by Allow.
+// A successful call slower than SlowCall counts as a failure. In
+// half-open, one failed probe re-opens and one successful probe closes;
+// in closed, outcomes roll into the window and a failure may trip.
+func (b *Breaker) RecordResult(failed bool, elapsed time.Duration) {
+	if b == nil {
+		return
+	}
+	if !failed && b.opts.SlowCall > 0 && elapsed > b.opts.SlowCall {
+		failed = true
+	}
+	switch State(b.state.Load()) {
+	case HalfOpen:
+		if failed {
+			b.trip(HalfOpen)
+			return
+		}
+		if b.state.CompareAndSwap(int32(HalfOpen), int32(Closed)) {
+			b.resetWindow()
+			b.notify(HalfOpen, Closed)
+		}
+	case Open:
+		// A straggler from before the trip; its outcome is stale.
+	default:
+		now := b.now()
+		b.mu.Lock()
+		bk := b.rotateLocked(now)
+		if failed {
+			bk.fail++
+		} else {
+			bk.succ++
+		}
+		trip := false
+		if failed {
+			succ, fail := b.sumLocked(now)
+			total := succ + fail
+			trip = total >= b.opts.MinSamples &&
+				float64(fail) >= b.opts.FailureRate*float64(total)
+		}
+		b.mu.Unlock()
+		if trip {
+			b.trip(Closed)
+		}
+	}
+}
+
+// trip moves from -> Open, stamping the cooldown clock.
+func (b *Breaker) trip(from State) {
+	if b.state.CompareAndSwap(int32(from), int32(Open)) {
+		b.openedAt.Store(b.now().UnixNano())
+		b.trips.Add(1)
+		b.notify(from, Open)
+	}
+}
+
+// rotateLocked returns the live bucket for now, resetting it if it
+// still holds counts from a previous pass over the ring.
+func (b *Breaker) rotateLocked(now time.Time) *breakerBucket {
+	epoch := now.UnixNano() / int64(b.slice)
+	bk := &b.buckets[epoch%int64(len(b.buckets))]
+	if bk.epoch != epoch {
+		bk.epoch = epoch
+		bk.succ, bk.fail = 0, 0
+	}
+	return bk
+}
+
+// sumLocked totals the buckets still inside the window.
+func (b *Breaker) sumLocked(now time.Time) (succ, fail int64) {
+	epoch := now.UnixNano() / int64(b.slice)
+	oldest := epoch - int64(len(b.buckets)) + 1
+	for i := range b.buckets {
+		if bk := &b.buckets[i]; bk.epoch >= oldest {
+			succ += bk.succ
+			fail += bk.fail
+		}
+	}
+	return succ, fail
+}
+
+// resetWindow clears the rolling window after a recovery, so the
+// failures that caused the trip cannot immediately re-trip.
+func (b *Breaker) resetWindow() {
+	b.mu.Lock()
+	for i := range b.buckets {
+		b.buckets[i] = breakerBucket{}
+	}
+	b.mu.Unlock()
+}
+
+// State reports the current state.
+func (b *Breaker) State() State {
+	if b == nil {
+		return Closed
+	}
+	return State(b.state.Load())
+}
+
+// Trips reports how many times the breaker has opened.
+func (b *Breaker) Trips() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.trips.Load()
+}

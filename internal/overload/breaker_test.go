@@ -1,0 +1,226 @@
+package overload
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBreakerNilSafe(t *testing.T) {
+	var b *Breaker
+	if !b.Allow() {
+		t.Fatal("nil breaker must allow")
+	}
+	b.RecordResult(true, 0)
+	b.OnStateChange(func(State, State) {})
+	if b.State() != Closed || b.Trips() != 0 {
+		t.Fatal("nil accessors must be zero")
+	}
+}
+
+// newTestBreaker builds a breaker with a fake clock and small windows
+// so the state machine can be exercised deterministically.
+func newTestBreaker(clk *fakeClock, opts BreakerOptions) *Breaker {
+	b := NewBreaker(opts)
+	b.now = clk.now
+	return b
+}
+
+// TestBreakerStateMachine is the trip / half-open / recover table test:
+// each case is a script of steps driving one breaker through the
+// machine with a manual clock, asserting the state after every step.
+func TestBreakerStateMachine(t *testing.T) {
+	const (
+		opFail    = "fail"    // Allow (must admit) + RecordResult(failed)
+		opSucceed = "succeed" // Allow (must admit) + RecordResult(ok)
+		opRefused = "refused" // Allow must refuse
+		opSlow    = "slow"    // Allow + RecordResult(ok, above SlowCall)
+	)
+	type step struct {
+		op      string
+		advance time.Duration // clock advance before the op
+		want    State         // state after the op
+	}
+	opts := BreakerOptions{
+		Window:      time.Second,
+		Buckets:     4,
+		FailureRate: 0.5,
+		MinSamples:  4,
+		Cooldown:    500 * time.Millisecond,
+		SlowCall:    50 * time.Millisecond,
+	}
+	cases := []struct {
+		name  string
+		steps []step
+	}{
+		{"trips at failure rate over min samples", []step{
+			{op: opFail, want: Closed},
+			{op: opFail, want: Closed},
+			{op: opFail, want: Closed}, // 3 samples < MinSamples: no trip
+			{op: opFail, want: Open},   // 4/4 failed >= 50%
+			{op: opRefused, want: Open},
+		}},
+		{"failure rate below threshold stays closed", []step{
+			{op: opSucceed, want: Closed},
+			{op: opSucceed, want: Closed},
+			{op: opSucceed, want: Closed},
+			{op: opFail, want: Closed},
+			{op: opFail, want: Closed}, // 2/5 = 40% < 50%
+		}},
+		{"slow calls count as failures", []step{
+			{op: opSlow, want: Closed},
+			{op: opSlow, want: Closed},
+			{op: opSlow, want: Closed},
+			{op: opSlow, want: Open},
+		}},
+		{"half-open probe failure re-opens", []step{
+			{op: opFail, want: Closed},
+			{op: opFail, want: Closed},
+			{op: opFail, want: Closed},
+			{op: opFail, want: Open},
+			{op: opRefused, advance: 100 * time.Millisecond, want: Open},
+			{op: opFail, advance: 500 * time.Millisecond, want: Open}, // probe fails
+			{op: opRefused, want: Open},                               // cooldown restarted
+		}},
+		{"half-open probe success recovers", []step{
+			{op: opFail, want: Closed},
+			{op: opFail, want: Closed},
+			{op: opFail, want: Closed},
+			{op: opFail, want: Open},
+			{op: opSucceed, advance: 600 * time.Millisecond, want: Closed},
+			// The window was reset on recovery: the old failures are
+			// gone, one new failure cannot re-trip.
+			{op: opFail, want: Closed},
+		}},
+		{"old outcomes age out of the window", []step{
+			{op: opFail, want: Closed},
+			{op: opFail, want: Closed},
+			{op: opFail, want: Closed},
+			// 1.5 windows later the three failures have aged out; the
+			// fourth failure alone is below MinSamples.
+			{op: opFail, advance: 1500 * time.Millisecond, want: Closed},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clk := newFakeClock()
+			b := newTestBreaker(clk, opts)
+			for i, st := range tc.steps {
+				clk.advance(st.advance)
+				switch st.op {
+				case opRefused:
+					if b.Allow() {
+						t.Fatalf("step %d: Allow = true, want refused", i)
+					}
+				case opFail, opSucceed, opSlow:
+					if !b.Allow() {
+						t.Fatalf("step %d: Allow = false, want admitted", i)
+					}
+					switch st.op {
+					case opFail:
+						b.RecordResult(true, 0)
+					case opSucceed:
+						b.RecordResult(false, time.Millisecond)
+					case opSlow:
+						b.RecordResult(false, 100*time.Millisecond)
+					}
+				}
+				if got := b.State(); got != st.want {
+					t.Fatalf("step %d (%s): state = %v, want %v", i, st.op, got, st.want)
+				}
+			}
+		})
+	}
+}
+
+// TestBreakerHalfOpenProbeBudget checks half-open hands out exactly the
+// configured number of probes until one resolves.
+func TestBreakerHalfOpenProbeBudget(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(clk, BreakerOptions{
+		MinSamples: 1, FailureRate: 0.5, Cooldown: time.Second, HalfOpenProbes: 2,
+	})
+	b.Allow()
+	b.RecordResult(true, 0)
+	if b.State() != Open {
+		t.Fatal("breaker did not trip")
+	}
+	clk.advance(2 * time.Second)
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("half-open must admit the probe budget")
+	}
+	if b.Allow() {
+		t.Fatal("half-open must refuse past the probe budget")
+	}
+	b.RecordResult(false, 0)
+	if b.State() != Closed {
+		t.Fatal("successful probe must close the breaker")
+	}
+}
+
+func TestBreakerTripsCounterAndCallback(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(clk, BreakerOptions{
+		MinSamples: 1, FailureRate: 0.5, Cooldown: 100 * time.Millisecond,
+	})
+	var mu sync.Mutex
+	var transitions []string
+	b.OnStateChange(func(from, to State) {
+		mu.Lock()
+		transitions = append(transitions, from.String()+">"+to.String())
+		mu.Unlock()
+	})
+	b.Allow()
+	b.RecordResult(true, 0) // trip 1
+	clk.advance(200 * time.Millisecond)
+	b.Allow()               // open -> half-open
+	b.RecordResult(true, 0) // probe fails: trip 2
+	clk.advance(200 * time.Millisecond)
+	b.Allow()
+	b.RecordResult(false, 0) // probe succeeds: recovered
+	if b.Trips() != 2 {
+		t.Fatalf("trips = %d, want 2", b.Trips())
+	}
+	want := []string{"closed>open", "open>half-open", "half-open>open",
+		"open>half-open", "half-open>closed"}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transition %d = %s, want %s", i, transitions[i], want[i])
+		}
+	}
+}
+
+// TestChaosBreakerConcurrent hammers one breaker from many goroutines
+// through repeated trip/recover cycles; the race detector checks the
+// synchronization and the invariants check the bookkeeping.
+func TestChaosBreakerConcurrent(t *testing.T) {
+	b := NewBreaker(BreakerOptions{
+		Window: 50 * time.Millisecond, Buckets: 5,
+		MinSamples: 10, FailureRate: 0.5,
+		Cooldown: time.Millisecond, HalfOpenProbes: 2,
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				if b.Allow() {
+					b.RecordResult((i+seed)%3 == 0, time.Duration(i%2)*time.Millisecond)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := b.State(); st != Closed && st != Open && st != HalfOpen {
+		t.Fatalf("invalid state %v", st)
+	}
+	if b.Trips() < 0 {
+		t.Fatal("negative trips")
+	}
+}

@@ -1,0 +1,104 @@
+// Package overload implements adaptive overload control for the
+// protected server: latency-aware admission (admission.go), per-domain
+// token-bucket quotas (quota.go), and a circuit breaker around the
+// detection pipeline (breaker.go).
+//
+// The three mechanisms answer different failure modes and compose in a
+// fixed order on the wire hot path:
+//
+//	quota -> admission -> execution gate -> detection (breaker inside)
+//
+// Quota runs first so a flooded tenant is rejected before it occupies
+// shared queue slots — its excess never inflates the sojourn other
+// domains' requests observe. Admission then bounds the shared queue
+// delay for whatever the quotas let through. The breaker lives deepest,
+// around the detection pipeline itself in core, and converts a failing
+// detector into a per-domain brownout instead of a latency storm.
+//
+// Every type in this package is nil-safe: a nil *Admission admits
+// everything, a nil *Quota never rejects, a nil *Breaker always allows.
+// Callers thread optional controls without branching on configuration.
+// The package depends only on the standard library so both core and
+// wire can import it without cycles.
+package overload
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Controls bundles the per-domain overload mechanisms. One Controls
+// value is shared between the core Domain (which reports its counters
+// in Stats) and the wire server (which enforces and counts), so both
+// layers observe the same numbers. The zero value (and nil) disables
+// everything.
+type Controls struct {
+	// Quota is the domain's token-bucket + in-flight limit, nil when the
+	// domain is unmetered.
+	Quota *Quota
+	// Breaker guards the domain's detection pipeline, nil when the
+	// domain never browns out.
+	Breaker *Breaker
+
+	// shed counts admission-controller sheds billed to this domain: the
+	// request passed its quota but the shared queue was over target.
+	shed atomic.Int64
+}
+
+// NewControls bundles a quota and breaker; either may be nil.
+func NewControls(q *Quota, b *Breaker) *Controls {
+	return &Controls{Quota: q, Breaker: b}
+}
+
+// NoteShed bills one admission shed to the domain.
+func (c *Controls) NoteShed() {
+	if c != nil {
+		c.shed.Add(1)
+	}
+}
+
+// Sheds reports admission sheds billed to the domain.
+func (c *Controls) Sheds() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.shed.Load()
+}
+
+// QuotaRejected reports requests the domain's quota refused.
+func (c *Controls) QuotaRejected() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.Quota.Rejected()
+}
+
+// BreakerTrips reports how many times the domain's breaker opened.
+func (c *Controls) BreakerTrips() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.Breaker.Trips()
+}
+
+// retryAfterFloor is the minimum hint handed to shed clients: retrying
+// sooner than this cannot help (the queue cannot drain meaningfully in
+// under a millisecond) and synchronized sub-millisecond retries are
+// exactly the herd the hint exists to prevent.
+const retryAfterFloor = time.Millisecond
+
+// retryAfterCeil caps the hint: even a deeply backlogged server drains
+// eventually, and a stale multi-minute hint would park clients long
+// after recovery.
+const retryAfterCeil = 5 * time.Second
+
+// clampRetryAfter bounds a computed retry hint to a sane window.
+func clampRetryAfter(d time.Duration) time.Duration {
+	if d < retryAfterFloor {
+		return retryAfterFloor
+	}
+	if d > retryAfterCeil {
+		return retryAfterCeil
+	}
+	return d
+}

@@ -1,0 +1,145 @@
+package overload
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQuotaNilSafe(t *testing.T) {
+	var q *Quota
+	if ok, _ := q.Acquire(); !ok {
+		t.Fatal("nil quota must admit")
+	}
+	q.Release()
+	if q.InFlight() != 0 || q.Rejected() != 0 {
+		t.Fatal("nil accessors must be zero")
+	}
+}
+
+func TestQuotaRateAndBurst(t *testing.T) {
+	clk := newFakeClock()
+	q := NewQuota(QuotaSpec{Rate: 100, Burst: 5})
+	q.now = clk.now
+	q.last = clk.now()
+	q.tokens = q.burst
+
+	// The burst drains in full...
+	for i := 0; i < 5; i++ {
+		ok, _ := q.Acquire()
+		if !ok {
+			t.Fatalf("burst request %d rejected", i)
+		}
+		q.Release()
+	}
+	// ...then the bucket is empty and the hint says when a token lands.
+	ok, retry := q.Acquire()
+	if ok {
+		t.Fatal("empty bucket must reject")
+	}
+	if retry <= 0 || retry > 100*time.Millisecond {
+		t.Fatalf("retry hint %v out of range for rate 100/s", retry)
+	}
+	if q.Rejected() != 1 {
+		t.Fatalf("rejected = %d, want 1", q.Rejected())
+	}
+	// Refill at 100/s: 30ms buys 3 tokens.
+	clk.advance(30 * time.Millisecond)
+	for i := 0; i < 3; i++ {
+		if ok, _ := q.Acquire(); !ok {
+			t.Fatalf("request %d rejected after refill", i)
+		}
+		q.Release()
+	}
+	if ok, _ := q.Acquire(); ok {
+		t.Fatal("fourth request must exceed the 3-token refill")
+	}
+	// The bucket never overfills past burst.
+	clk.advance(time.Hour)
+	for i := 0; i < 5; i++ {
+		if ok, _ := q.Acquire(); !ok {
+			t.Fatalf("burst request %d rejected after long idle", i)
+		}
+		q.Release()
+	}
+	if ok, _ := q.Acquire(); ok {
+		t.Fatal("bucket overfilled past burst")
+	}
+}
+
+func TestQuotaMaxInFlight(t *testing.T) {
+	q := NewQuota(QuotaSpec{MaxInFlight: 2})
+	if ok, _ := q.Acquire(); !ok {
+		t.Fatal("first acquire rejected")
+	}
+	if ok, _ := q.Acquire(); !ok {
+		t.Fatal("second acquire rejected")
+	}
+	ok, retry := q.Acquire()
+	if ok {
+		t.Fatal("third concurrent acquire must be rejected")
+	}
+	if retry <= 0 {
+		t.Fatal("in-flight rejection must carry a retry hint")
+	}
+	if q.InFlight() != 2 {
+		t.Fatalf("inflight = %d, want 2", q.InFlight())
+	}
+	q.Release()
+	if ok, _ := q.Acquire(); !ok {
+		t.Fatal("acquire after release rejected")
+	}
+}
+
+func TestQuotaUnlimitedSpec(t *testing.T) {
+	q := NewQuota(QuotaSpec{})
+	for i := 0; i < 1000; i++ {
+		if ok, _ := q.Acquire(); !ok {
+			t.Fatal("unlimited quota rejected a request")
+		}
+	}
+}
+
+func TestChaosQuotaConcurrent(t *testing.T) {
+	q := NewQuota(QuotaSpec{Rate: 1e9, Burst: 1e9, MaxInFlight: 4})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if ok, _ := q.Acquire(); ok {
+					if n := q.InFlight(); n < 1 || n > 4 {
+						t.Errorf("inflight %d outside [1,4]", n)
+						q.Release()
+						return
+					}
+					q.Release()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if q.InFlight() != 0 {
+		t.Fatalf("inflight = %d after drain, want 0", q.InFlight())
+	}
+}
+
+func TestControlsCounters(t *testing.T) {
+	var c *Controls
+	c.NoteShed()
+	if c.Sheds() != 0 || c.QuotaRejected() != 0 || c.BreakerTrips() != 0 {
+		t.Fatal("nil controls counters must be zero")
+	}
+	c = NewControls(NewQuota(QuotaSpec{MaxInFlight: 1}), nil)
+	c.NoteShed()
+	c.NoteShed()
+	if c.Sheds() != 2 {
+		t.Fatalf("sheds = %d, want 2", c.Sheds())
+	}
+	c.Quota.Acquire()
+	c.Quota.Acquire() // rejected: in-flight full
+	if c.QuotaRejected() != 1 {
+		t.Fatalf("quota rejected = %d, want 1", c.QuotaRejected())
+	}
+}

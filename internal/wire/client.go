@@ -16,6 +16,27 @@ import (
 // errors.Is works across the wire boundary.
 var ErrServerBlocked = fmt.Errorf("%w (reported by server)", engine.ErrQueryBlocked)
 
+// ErrOverloaded is the sentinel under every typed shed: errors.Is(err,
+// ErrOverloaded) detects an overload rejection regardless of which
+// control (admission or quota) produced it.
+var ErrOverloaded = errors.New("wire: server overloaded, request shed")
+
+// OverloadError is returned when the server shed one request under
+// overload control. Unlike a transport failure it is a clean,
+// pre-execution rejection: the connection stays healthy, the request
+// definitely did not run, and the caller may retry it — ideally after
+// RetryAfter (with jitter), which is the server's own drain estimate.
+// It unwraps to ErrOverloaded.
+type OverloadError struct {
+	// RetryAfter is the server's backoff hint (zero when it sent none).
+	RetryAfter time.Duration
+	msg        string
+}
+
+func (e *OverloadError) Error() string { return e.msg }
+
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
+
 // ErrClientClosed is returned by every call on a client whose
 // connection is gone — closed by the caller, or poisoned by an earlier
 // transport/protocol error. Poisoning is deliberate: after a failed
@@ -35,6 +56,7 @@ type clientOptions struct {
 	hello       *Hello
 	pipeline    bool
 	window      int
+	shedRetries int
 }
 
 // ClientOption configures a Client at Dial time.
@@ -91,6 +113,20 @@ func WithPipeline(window int) ClientOption {
 	}
 }
 
+// WithShedRetry makes Exec and ExecArgs transparently retry a request
+// the server shed under overload control, up to max extra attempts,
+// sleeping the server's jittered retry-after hint between tries. This
+// is safe where replaying transport failures is not: a shed response
+// guarantees the request never executed. Submit futures are not
+// retried — pipelined callers see the typed OverloadError and choose.
+func WithShedRetry(max int) ClientOption {
+	return func(o *clientOptions) {
+		if max > 0 {
+			o.shedRetries = max
+		}
+	}
+}
+
 // WithReconnectBackoff tunes the auto-reconnect delays (implies
 // WithAutoReconnect with the current attempt budget).
 func WithReconnectBackoff(base, max time.Duration) ClientOption {
@@ -120,6 +156,9 @@ type Client struct {
 	closed  bool   // Close was called; terminal
 	lastErr error  // why the connection was poisoned (nil if healthy)
 	domain  string // domain the HELLO handshake bound us to ("" = none)
+	// retryHint is the server's retry-after from the last busy refusal;
+	// the next redial honors it (jittered) before its first attempt.
+	retryHint time.Duration
 }
 
 // Dial connects to a server address.
@@ -148,6 +187,14 @@ func (c *Client) redialLocked() error {
 	attempts := 1
 	if c.opts.reconnect {
 		attempts = c.opts.maxAttempts
+	}
+	if hint := c.retryHint; hint > 0 {
+		// The previous session ended with a busy refusal carrying a
+		// retry-after hint: honor it (jittered) before the first dial so
+		// refused clients spread out instead of stampeding the admission
+		// gate that just turned them away.
+		c.retryHint = 0
+		sleepRetryAfter(hint)
 	}
 	delay := c.opts.baseDelay
 	var lastErr error
@@ -303,7 +350,7 @@ func (c *Client) ProtocolVersion() int {
 func (c *Client) Exec(query string) (*engine.Result, error) {
 	req := getRequest()
 	req.Query = query
-	res, err := c.exec(req)
+	res, err := c.execShedRetry(req)
 	putRequest(req)
 	return res, err
 }
@@ -315,9 +362,35 @@ func (c *Client) ExecArgs(query string, args ...engine.Value) (*engine.Result, e
 	for _, a := range args {
 		req.Args = append(req.Args, ToWire(a))
 	}
-	res, err := c.exec(req)
+	res, err := c.execShedRetry(req)
 	putRequest(req)
 	return res, err
+}
+
+// execShedRetry runs exec with the WithShedRetry budget: only typed
+// shed rejections — guaranteed never executed server-side — are
+// retried, after the server's jittered retry-after hint.
+func (c *Client) execShedRetry(req *Request) (*engine.Result, error) {
+	res, err := c.exec(req)
+	for retries := c.opts.shedRetries; retries > 0; retries-- {
+		var oe *OverloadError
+		if !errors.As(err, &oe) {
+			break
+		}
+		sleepRetryAfter(oe.RetryAfter)
+		res, err = c.exec(req)
+	}
+	return res, err
+}
+
+// sleepRetryAfter honors a server retry-after hint with jitter: the
+// wait is uniform in [hint/2, 1.5*hint], averaging the server's ask
+// while decorrelating a herd of rejected clients.
+func sleepRetryAfter(hint time.Duration) {
+	if hint <= 0 {
+		return
+	}
+	time.Sleep(hint/2 + time.Duration(rand.Int63n(int64(hint)+1)))
 }
 
 // Submit enqueues one statement and returns a Future that completes
@@ -387,7 +460,9 @@ func (c *Client) exec(req *Request) (*engine.Result, error) {
 	}
 	if resp.Busy {
 		// The server refused this connection at admission and is hanging
-		// up; poison so the next call redials (or fails fast).
+		// up; poison so the next call redials (or fails fast), honoring
+		// the server's retry-after hint before that redial.
+		c.retryHint = time.Duration(resp.RetryAfterMS) * time.Millisecond
 		putResponse(resp)
 		return nil, c.poisonLocked(ErrServerBusy)
 	}

@@ -23,7 +23,9 @@
 // varints):
 //
 //	query request:  query string · arg count · args
-//	result:         flags byte (blocked|busy) · error string ·
+//	result:         flags byte (blocked|busy|shed|retry-after) ·
+//	                [retry-after ms uvarint, iff the retry-after flag] ·
+//	                error string ·
 //	                affected i64 · last-insert-id i64 ·
 //	                column count · column strings ·
 //	                row count · per row: cell count · cells
@@ -136,10 +138,14 @@ func appendRequestFrame(b []byte, seq uint64, req *Request) ([]byte, error) {
 	return endFrame(b, start)
 }
 
-// Response flag bits.
+// Response flag bits. Old decoders never see the new bits set by old
+// encoders and ignore unknown bits, so adding flags (with their
+// flag-gated payload) keeps both directions of version skew working.
 const (
-	respFlagBlocked = 1 << 0
-	respFlagBusy    = 1 << 1
+	respFlagBlocked    = 1 << 0
+	respFlagBusy       = 1 << 1
+	respFlagShed       = 1 << 2 // overload control rejected this request
+	respFlagRetryAfter = 1 << 3 // a retry-after uvarint follows the flags
 )
 
 // appendResponseFrame encodes one query result as a complete v2 frame.
@@ -153,7 +159,16 @@ func appendResponseFrame(b []byte, seq uint64, resp *Response) ([]byte, error) {
 	if resp.Busy {
 		flags |= respFlagBusy
 	}
+	if resp.Shed {
+		flags |= respFlagShed
+	}
+	if resp.RetryAfterMS > 0 {
+		flags |= respFlagRetryAfter
+	}
 	b = append(b, flags)
+	if resp.RetryAfterMS > 0 {
+		b = binary.AppendUvarint(b, uint64(resp.RetryAfterMS))
+	}
 	b = appendString(b, resp.Error)
 	b = binary.BigEndian.AppendUint64(b, uint64(resp.Affected))
 	b = binary.BigEndian.AppendUint64(b, uint64(resp.LastInsertID))
@@ -301,6 +316,10 @@ func decodeResponseBody(body []byte, resp *Response) error {
 	flags := d.takeByte("flags")
 	resp.Blocked = flags&respFlagBlocked != 0
 	resp.Busy = flags&respFlagBusy != 0
+	resp.Shed = flags&respFlagShed != 0
+	if flags&respFlagRetryAfter != 0 {
+		resp.RetryAfterMS = int64(d.takeUvarint("retry-after ms"))
+	}
 	resp.Error = d.takeString("error")
 	resp.Affected = int64(d.takeU64("affected"))
 	resp.LastInsertID = int64(d.takeU64("last insert id"))

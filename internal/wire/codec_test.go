@@ -73,6 +73,9 @@ func TestBinaryResponseRoundTrip(t *testing.T) {
 		sampleResponse(),
 		{Error: "boom", Blocked: true},
 		{Busy: true, Error: "server busy"},
+		{Busy: true, Error: "server busy", RetryAfterMS: 250},
+		{Shed: true, Error: "server overloaded", RetryAfterMS: 17},
+		{Shed: true, Error: "quota exceeded"}, // shed without a hint
 		{}, // empty success
 	}
 	for i, want := range cases {
@@ -93,6 +96,7 @@ func TestBinaryResponseRoundTrip(t *testing.T) {
 			t.Fatalf("case %d: %v", i, err)
 		}
 		if got.Blocked != want.Blocked || got.Busy != want.Busy || got.Error != want.Error ||
+			got.Shed != want.Shed || got.RetryAfterMS != want.RetryAfterMS ||
 			got.Affected != want.Affected || got.LastInsertID != want.LastInsertID ||
 			len(got.Columns) != len(want.Columns) || len(got.Rows) != len(want.Rows) {
 			t.Fatalf("case %d mismatch:\n got %+v\nwant %+v", i, got, *want)

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/septic-db/septic/internal/engine"
 )
@@ -282,6 +283,15 @@ func (p *pipe) close() {
 // responseToResult converts a wire response into the caller-visible
 // result/error pair, mirroring the v1 client's handling.
 func responseToResult(resp *Response) (*engine.Result, error) {
+	if resp.Shed {
+		// Overload control rejected this one request before execution:
+		// the session stays healthy (no poison) and the typed error
+		// carries the server's retry-after hint.
+		return nil, &OverloadError{
+			RetryAfter: time.Duration(resp.RetryAfterMS) * time.Millisecond,
+			msg:        resp.Error,
+		}
+	}
 	if resp.Busy {
 		return nil, ErrServerBusy
 	}

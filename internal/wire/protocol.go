@@ -125,6 +125,17 @@ type Response struct {
 	// Busy reports that the server refused the connection at admission
 	// (max-conns reached and the accept backlog full or timed out).
 	Busy bool `json:"busy,omitempty"`
+	// Shed reports that overload control rejected THIS request — the
+	// admission controller's queue-delay bound or the session domain's
+	// quota. Unlike Busy it is not terminal: the request never executed,
+	// the session stays usable, and the client may retry after
+	// RetryAfterMS. Old clients that predate the field see only the
+	// Error text and treat it as an ordinary query failure.
+	Shed bool `json:"shed,omitempty"`
+	// RetryAfterMS is the backoff hint accompanying Busy or Shed: how
+	// long the client should wait (with jitter) before retrying or
+	// redialing. Zero means no hint.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 	// Hello is the handshake acknowledgement, set only when the request
 	// was a Hello frame.
 	Hello *HelloAck `json:"hello,omitempty"`
@@ -144,6 +155,8 @@ func (r *Response) reset() {
 	r.Error = ""
 	r.Blocked = false
 	r.Busy = false
+	r.Shed = false
+	r.RetryAfterMS = 0
 	r.Hello = nil
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"github.com/septic-db/septic/internal/engine"
 	"github.com/septic-db/septic/internal/obs"
+	"github.com/septic-db/septic/internal/overload"
 )
 
 // ErrServerBusy is the admission-control refusal: the server is at its
@@ -80,6 +81,20 @@ type Server struct {
 	// the acknowledgement and will close the conn afterwards. Nil means
 	// replication hellos are refused with a clean error ack.
 	replHandler func(conn net.Conn)
+
+	// admission, when set, is the latency-aware admission controller on
+	// the query hot path; execGate (sized admission.Capacity()) is the
+	// bounded execution stage whose wait is the sojourn the control law
+	// consumes. Both are nil unless WithAdmission armed them.
+	admission *overload.Admission
+	execGate  chan struct{}
+	// resolveControls maps a session's app binding to its protection
+	// domain's overload controls (quota + per-domain shed accounting);
+	// nil disables per-domain overload control.
+	resolveControls func(app string) *overload.Controls
+	// shed counts typed shed responses written (admission + quota +
+	// drain), all sessions.
+	shed atomic.Int64
 
 	// sem holds one token per admitted connection; nil = unlimited.
 	sem     chan struct{}
@@ -229,6 +244,27 @@ func defaultDomainResolver(app string) string {
 	return app
 }
 
+// WithAdmission installs a latency-aware admission controller on the
+// query hot path. Admitted requests execute inside a bounded gate of
+// admission.Capacity() slots; the time a request waits for a slot (plus,
+// on pipelined sessions, its time in the worker queue) is the sojourn
+// fed back to the controller. Arrivals past the queue-delay target are
+// answered with a typed shed response carrying a retry-after hint — the
+// session stays alive and nothing is ever silently dropped.
+func WithAdmission(a *overload.Admission) ServerOption {
+	return func(s *Server) { s.admission = a }
+}
+
+// WithOverloadControls installs the per-domain overload resolver: a
+// session resolves its app binding to the domain's Controls at bind
+// time (the default domain before any HELLO), and every request is
+// charged against that domain's quota before it may occupy a shared
+// queue slot — so a flooded tenant degrades alone. septicd wires this
+// to the guard's domain registry.
+func WithOverloadControls(resolve func(app string) *overload.Controls) ServerOption {
+	return func(s *Server) { s.resolveControls = resolve }
+}
+
 // WithServerObs installs an observability hub on the front end:
 // accepted-connection and answered-request counters, plus gauges for
 // tracked sessions, admission backlog occupancy, refusals, contained
@@ -269,6 +305,9 @@ func NewServer(db *engine.DB, opts ...ServerOption) *Server {
 			s.backlog = s.maxConns
 		}
 	}
+	if s.admission != nil {
+		s.execGate = make(chan struct{}, s.admission.Capacity())
+	}
 	if s.obsHub != nil {
 		m := s.obsHub.Metrics
 		s.obsConns = m.Counter("wire.conns.accepted")
@@ -294,6 +333,16 @@ func NewServer(db *engine.DB, opts ...ServerOption) *Server {
 			}
 			return 0
 		})
+		m.GaugeFunc("wire.overload.sheds", s.shed.Load)
+		if s.admission != nil {
+			m.GaugeFunc("wire.overload.queue_depth", s.admission.Depth)
+			m.GaugeFunc("wire.overload.shedding", func() int64 {
+				if s.admission.Shedding() {
+					return 1
+				}
+				return 0
+			})
+		}
 	}
 	return s
 }
@@ -408,11 +457,51 @@ func (s *Server) admitAndServe(conn net.Conn) {
 	s.serveConn(conn)
 }
 
-// refuse answers one admission rejection and hangs up.
+// refuse answers one admission rejection and hangs up. The busy frame
+// carries the backlog wait as a retry-after hint: a herd of refused
+// clients redialing immediately is exactly what exhausted the slots, so
+// the hint (jittered client-side) spreads the retries over at least one
+// backlog interval.
 func (s *Server) refuse(conn net.Conn) {
 	s.refused.Add(1)
 	_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
-	_ = writeFrame(conn, &Response{Error: ErrServerBusy.Error(), Busy: true})
+	_ = writeFrame(conn, &Response{
+		Error:        ErrServerBusy.Error(),
+		Busy:         true,
+		RetryAfterMS: retryAfterMS(s.backlogWait),
+	})
+}
+
+// Shed response texts. Clients match on the Shed flag, never on these
+// strings.
+const (
+	shedMsgOverload = "server overloaded: request shed, retry after backoff"
+	shedMsgQuota    = "domain quota exceeded: request shed, retry after backoff"
+	shedMsgDraining = "server draining: request not executed"
+)
+
+// shedResponse builds one typed overload rejection. The request it
+// answers was never executed, so the client may retry it safely after
+// the hint.
+func (s *Server) shedResponse(msg string, retryAfter time.Duration) *Response {
+	s.shed.Add(1)
+	resp := getResponse()
+	resp.Error = msg
+	resp.Shed = true
+	resp.RetryAfterMS = retryAfterMS(retryAfter)
+	return resp
+}
+
+// retryAfterMS converts a hint to wire milliseconds, rounding a
+// sub-millisecond hint up so a hint is never silently lost.
+func retryAfterMS(d time.Duration) int64 {
+	if d <= 0 {
+		return 0
+	}
+	if ms := d.Milliseconds(); ms > 0 {
+		return ms
+	}
+	return 1
 }
 
 // serveConn handles one client session: a synchronous request/response
@@ -423,6 +512,7 @@ func (s *Server) refuse(conn net.Conn) {
 // frame binds it.
 func (s *Server) serveConn(conn net.Conn) {
 	var app string
+	ctl := s.controlsFor(app)
 	for {
 		req := getRequest()
 		if err := s.readRequest(conn, req); err != nil {
@@ -437,10 +527,11 @@ func (s *Server) serveConn(conn net.Conn) {
 				upgrade = false
 			} else {
 				resp, upgrade = s.handleHello(req.Hello, &app)
+				ctl = s.controlsFor(app) // re-resolve for the bound domain
 			}
 			putRequest(req)
 		} else {
-			resp = s.dispatch(req, app) // dispatch owns (and recycles) req
+			resp = s.dispatchAdmitted(req, app, ctl) // owns (and recycles) req
 		}
 		if s.writeTimeout > 0 {
 			_ = conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
@@ -462,7 +553,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		if upgrade {
 			// The ack we just wrote was the session's last JSON frame.
-			s.serveConnV2(conn, app)
+			s.serveConnV2(conn, app, ctl)
 			return
 		}
 		if s.draining.Load() {
@@ -471,12 +562,75 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+// controlsFor resolves the overload controls for a session's app
+// binding; nil when per-domain control is not configured.
+func (s *Server) controlsFor(app string) *overload.Controls {
+	if s.resolveControls == nil {
+		return nil
+	}
+	return s.resolveControls(app)
+}
+
+// dispatchAdmitted runs the overload checks in front of dispatch, in
+// order: domain quota first (a flooded tenant is rejected before it can
+// occupy a shared queue slot), then the shared admission bound, then
+// the bounded execution gate whose wait is the measured sojourn. With
+// no overload control configured it is exactly dispatch.
+func (s *Server) dispatchAdmitted(req *Request, app string, ctl *overload.Controls) *Response {
+	var quota *overload.Quota
+	if ctl != nil {
+		quota = ctl.Quota
+	}
+	if quota != nil {
+		if ok, ra := quota.Acquire(); !ok {
+			putRequest(req)
+			return s.shedResponse(shedMsgQuota, ra)
+		}
+	}
+	if s.admission == nil {
+		resp := s.dispatch(req, app)
+		quota.Release()
+		return resp
+	}
+	if ok, ra := s.admission.Arrive(); !ok {
+		quota.Release()
+		ctl.NoteShed()
+		putRequest(req)
+		return s.shedResponse(shedMsgOverload, ra)
+	}
+	return s.dispatchGated(req, app, time.Now(), quota)
+}
+
+// dispatchGated executes one admission-admitted request inside the
+// bounded execution gate, completing the accounting begun at Arrive:
+// the gate wait since arrival is the sojourn, the rest is service time.
+func (s *Server) dispatchGated(req *Request, app string, arrival time.Time, quota *overload.Quota) *Response {
+	select {
+	case s.execGate <- struct{}{}:
+	case <-s.done:
+		s.admission.Cancel()
+		quota.Release()
+		putRequest(req)
+		return s.shedResponse(shedMsgDraining, time.Second)
+	}
+	sojourn := time.Since(arrival)
+	resp := s.dispatch(req, app)
+	<-s.execGate
+	s.admission.Done(sojourn, time.Since(arrival)-sojourn)
+	quota.Release()
+	return resp
+}
+
 // v2Job is one decoded query frame on its way from the reader to a
 // worker; v2Result pairs the completed response with the sequence
-// number it answers, on its way from a worker to the writer.
+// number it answers, on its way from a worker to the writer. arrival
+// and quota carry the overload accounting opened in readV2Loop (arrival
+// is zero when admission is unarmed).
 type v2Job struct {
-	seq uint64
-	req *Request
+	seq     uint64
+	req     *Request
+	arrival time.Time
+	quota   *overload.Quota
 }
 
 type v2Result struct {
@@ -503,7 +657,7 @@ type v2Result struct {
 // flushes what remains and exits. The writer never blocks teardown on a
 // dead peer: after a write error it closes the conn and keeps draining
 // results to the pool.
-func (s *Server) serveConnV2(conn net.Conn, app string) {
+func (s *Server) serveConnV2(conn net.Conn, app string, ctl *overload.Controls) {
 	s.obsV2Sessions.Inc()
 	workers := s.pipelineWorkers
 	in := make(chan v2Job, s.maxInFlight-workers)
@@ -515,7 +669,13 @@ func (s *Server) serveConnV2(conn net.Conn, app string) {
 		go func() {
 			defer wpool.Done()
 			for j := range in {
-				resp := s.dispatch(j.req, app) // owns and recycles j.req
+				var resp *Response // dispatch owns and recycles j.req
+				if s.admission != nil {
+					resp = s.dispatchGated(j.req, app, j.arrival, j.quota)
+				} else {
+					resp = s.dispatch(j.req, app)
+					j.quota.Release()
+				}
 				out <- v2Result{seq: j.seq, resp: resp}
 			}
 		}()
@@ -560,7 +720,7 @@ func (s *Server) serveConnV2(conn net.Conn, app string) {
 		}
 	}()
 
-	s.readV2Loop(conn, in)
+	s.readV2Loop(conn, in, out, ctl)
 
 	close(in)
 	wpool.Wait()
@@ -591,7 +751,12 @@ func (s *Server) writeV2Result(conn net.Conn, bw *bufio.Writer, buf *encBuf, r v
 // a malformed body — ends the session: the framing is length-delimited
 // so the stream is technically recoverable, but a peer that sends
 // garbage is not a peer to keep serving.
-func (s *Server) readV2Loop(conn net.Conn, in chan<- v2Job) {
+//
+// Overload checks run here, at arrival, so shed work never occupies a
+// queue slot: a quota- or admission-rejected frame is answered with a
+// typed shed result pushed straight to the writer (the shed result
+// joins the session's in-flight accounting like any other response).
+func (s *Server) readV2Loop(conn net.Conn, in chan<- v2Job, out chan<- v2Result, ctl *overload.Controls) {
 	br := bufio.NewReaderSize(conn, v2BufSize)
 	buf := getEncBuf()
 	defer putEncBuf(buf)
@@ -620,8 +785,32 @@ func (s *Server) readV2Loop(conn net.Conn, in chan<- v2Job) {
 		}
 		s.obsV2In.Inc()
 		s.obsV2BytesIn.Add(int64(n) + 4)
+		var quota *overload.Quota
+		if ctl != nil {
+			quota = ctl.Quota
+		}
+		if quota != nil {
+			if ok, ra := quota.Acquire(); !ok {
+				putRequest(req)
+				s.inflight.Add(1)
+				out <- v2Result{seq: seq, resp: s.shedResponse(shedMsgQuota, ra)}
+				continue
+			}
+		}
+		var arrival time.Time
+		if s.admission != nil {
+			if ok, ra := s.admission.Arrive(); !ok {
+				quota.Release()
+				ctl.NoteShed()
+				putRequest(req)
+				s.inflight.Add(1)
+				out <- v2Result{seq: seq, resp: s.shedResponse(shedMsgOverload, ra)}
+				continue
+			}
+			arrival = time.Now()
+		}
 		s.inflight.Add(1)
-		in <- v2Job{seq: seq, req: req}
+		in <- v2Job{seq: seq, req: req, arrival: arrival, quota: quota}
 	}
 }
 
@@ -809,6 +998,14 @@ func (s *Server) Refused() int64 { return s.refused.Load() }
 // server (queued, executing, or completed but unwritten), summed over
 // all pipelined sessions.
 func (s *Server) InFlight() int64 { return s.inflight.Load() }
+
+// Sheds returns the number of typed shed responses written (admission,
+// quota, and drain rejections), summed over all sessions.
+func (s *Server) Sheds() int64 { return s.shed.Load() }
+
+// Draining reports whether shutdown has begun — with Admission's
+// Shedding, the /healthz readiness signal.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // beginClose transitions to closed exactly once and returns the
 // listener plus whether this call did the transition.

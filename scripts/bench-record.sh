@@ -7,7 +7,10 @@
 # (BenchmarkTrainDurable: WAL off/never/interval/always) and records the
 # per-policy cost of one acknowledged training update into
 # BENCH_durability.json, with each policy's overhead factor over the
-# no-WAL baseline.
+# no-WAL baseline. Finally runs the overload sweep (septic-bench
+# overload: 1×/2×/4× capacity against the admission controller) which
+# writes its own BENCH_overload.json with shed rates and admitted
+# p50/p99 per point.
 #
 # Usage: scripts/bench-record.sh [output.json]
 #   BENCHTIME=2s scripts/bench-record.sh    # longer sampling
@@ -16,6 +19,7 @@ cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_wire.json}"
 DUR_OUT="${DUR_OUT:-BENCH_durability.json}"
+OVL_OUT="${OVL_OUT:-BENCH_overload.json}"
 BENCHTIME="${BENCHTIME:-1s}"
 
 RAW="$(go test -run='^$' -bench='BenchmarkWireSync$|BenchmarkWirePipelined' \
@@ -82,3 +86,9 @@ END {
 }
 '
 echo "bench-record: wrote $DUR_OUT"
+
+# Overload sweep: the lane computes its own derived numbers (shed rate
+# per multiplier, admitted-p99 ratio vs the 1× baseline) and writes the
+# JSON itself.
+go run ./cmd/septic-bench overload -json "$OVL_OUT"
+echo "bench-record: wrote $OVL_OUT"
